@@ -1,0 +1,96 @@
+package dlte_test
+
+import (
+	"testing"
+
+	"dlte/internal/exp"
+)
+
+// Each benchmark regenerates one experiment from DESIGN.md §3 in Quick
+// mode (full sweeps: cmd/dlte-sim). The measured quantity is the
+// wall-clock cost of the whole experiment — the tables themselves are
+// the scientific output and are printed by `go run ./cmd/dlte-sim`.
+
+func benchOpts() exp.Options { return exp.Options{Quick: true, Seed: 42} }
+
+// BenchmarkE1DesignSpace regenerates Table 1 (design-space quadrant).
+func BenchmarkE1DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2DataPath regenerates Figure 1 (breakout vs tunnel).
+func BenchmarkE2DataPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3CoreScaling regenerates the §4.1 scaling comparison.
+func BenchmarkE3CoreScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Mobility regenerates the §4.2 roam-disruption study.
+func BenchmarkE4Mobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5SpectrumModes regenerates the §4.3 sharing comparison.
+func BenchmarkE5SpectrumModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Waveform regenerates the §3.2 range/throughput tables.
+func BenchmarkE6Waveform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7X2Overhead regenerates the §4.3 coordination-cost study.
+func BenchmarkE7X2Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Deployment regenerates the §5 town-deployment study.
+func BenchmarkE8Deployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE8(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9HiddenAndRelay regenerates the §4.3 hidden-terminal and
+// §7 relay studies.
+func BenchmarkE9HiddenAndRelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE9(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command dlte-keytool manages open dLTE SIMs against a running
+// registry (see cmd/dlte-registry): it provisions a new SIM, publishes
+// its key (the paper's §4.2 pre-publication step), fetches published
+// keys, and lists registered access points — all over real TCP.
+//
+// Usage:
+//
+//	dlte-keytool -registry localhost:8400 new -imsi 001010000000001
+//	dlte-keytool -registry localhost:8400 fetch -imsi 001010000000001
+//	dlte-keytool -registry localhost:8400 keys
+//	dlte-keytool -registry localhost:8400 aps
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"dlte/internal/auth"
+	"dlte/internal/registry"
+)
+
+func main() {
+	regAddr := flag.String("registry", "localhost:8400", "registry address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("dlte-keytool: want a subcommand: new | fetch | keys | aps")
+	}
+
+	dial := func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	client, err := registry.Dial(dial, *regAddr)
+	if err != nil {
+		log.Fatalf("dlte-keytool: %v", err)
+	}
+	defer client.Close()
+
+	switch flag.Arg(0) {
+	case "new":
+		fs := flag.NewFlagSet("new", flag.ExitOnError)
+		imsi := fs.String("imsi", "", "IMSI to provision (14–15 digits)")
+		fs.Parse(flag.Args()[1:])
+		sim, err := auth.NewSIM(auth.IMSI(*imsi))
+		if err != nil {
+			log.Fatalf("dlte-keytool: %v", err)
+		}
+		if err := client.PublishKey(registry.NewKeyRecord(auth.KeyPublication{
+			IMSI: sim.IMSI, K: sim.K, OPc: sim.OPc,
+		})); err != nil {
+			log.Fatalf("dlte-keytool: publish: %v", err)
+		}
+		fmt.Printf("provisioned and published open SIM\n  IMSI %s\n  K    %s\n  OPc  %s\n",
+			sim.IMSI, hex.EncodeToString(sim.K), hex.EncodeToString(sim.OPc))
+
+	case "fetch":
+		fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+		imsi := fs.String("imsi", "", "IMSI to fetch")
+		fs.Parse(flag.Args()[1:])
+		k, err := client.FetchKey(*imsi)
+		if err != nil {
+			log.Fatalf("dlte-keytool: %v", err)
+		}
+		fmt.Printf("IMSI %s\n  K   %s\n  OPc %s\n", k.IMSI, k.K, k.OPc)
+
+	case "keys":
+		keys, err := client.Keys()
+		if err != nil {
+			log.Fatalf("dlte-keytool: %v", err)
+		}
+		for _, k := range keys {
+			fmt.Printf("%s  K=%s\n", k.IMSI, k.K)
+		}
+		fmt.Printf("%d published key(s)\n", len(keys))
+
+	case "aps":
+		records, err := client.List("")
+		if err != nil {
+			log.Fatalf("dlte-keytool: %v", err)
+		}
+		for _, r := range records {
+			fmt.Printf("%-12s %-22s pos=(%.0f,%.0f) %s mode=%s\n",
+				r.ID, r.Band, r.X, r.Y, r.X2Addr, r.Mode)
+		}
+		fmt.Printf("%d registered AP(s)\n", len(records))
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,31 @@
+// Command dlte-registry runs the global dLTE registry (paper §4.3) as
+// a real TCP server: the open directory where access points publish
+// their location/band/mode records for peer discovery, and where
+// subscribers publish open-SIM keys (§4.2).
+//
+// Usage:
+//
+//	dlte-registry -listen :8400
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"dlte/internal/registry"
+)
+
+func main() {
+	listen := flag.String("listen", ":8400", "TCP listen address")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("dlte-registry: %v", err)
+	}
+	log.Printf("dlte-registry: open registry listening on %s", l.Addr())
+	store := registry.NewStore()
+	srv := registry.NewServer(store)
+	srv.Serve(l) // blocks until the listener closes
+}

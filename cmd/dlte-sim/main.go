@@ -1,0 +1,70 @@
+// Command dlte-sim regenerates any of the repository's experiments
+// (DESIGN.md §3, EXPERIMENTS.md): it builds the simulated world, runs
+// the real protocol stacks and radio models, and prints the result
+// tables.
+//
+// Usage:
+//
+//	dlte-sim -exp E2            # one experiment
+//	dlte-sim -exp all -quick    # everything, reduced sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dlte/internal/exp"
+)
+
+// runner pairs an experiment ID with its entry point.
+type runner struct {
+	id, title string
+	run       func(exp.Options) error
+}
+
+func runners() []runner {
+	wrap := func(f func(exp.Options) error) func(exp.Options) error { return f }
+	return []runner{
+		{"E1", "Table 1: design space", wrap(func(o exp.Options) error { _, err := exp.RunE1(o); return err })},
+		{"E2", "Figure 1: data path", wrap(func(o exp.Options) error { _, err := exp.RunE2(o); return err })},
+		{"E3", "§4.1: core scaling", wrap(func(o exp.Options) error { _, err := exp.RunE3(o); return err })},
+		{"E4", "§4.2: mobility", wrap(func(o exp.Options) error { _, err := exp.RunE4(o); return err })},
+		{"E5", "§4.3: spectrum modes", wrap(func(o exp.Options) error { _, err := exp.RunE5(o); return err })},
+		{"E6", "§3.2: waveform & bands", wrap(func(o exp.Options) error { _, err := exp.RunE6(o); return err })},
+		{"E7", "§4.3: X2 overhead", wrap(func(o exp.Options) error { _, err := exp.RunE7(o); return err })},
+		{"E8", "§5: town deployment", wrap(func(o exp.Options) error { _, err := exp.RunE8(o); return err })},
+		{"E9", "§4.3/§7: hidden terminals & relay", wrap(func(o exp.Options) error { _, err := exp.RunE9(o); return err })},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run: E1..E9 or 'all'")
+	quick := flag.Bool("quick", false, "reduced sweeps (CI-sized)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	opt := exp.Options{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	want := strings.ToUpper(*expFlag)
+
+	matched := false
+	for _, r := range runners() {
+		if want != "ALL" && want != r.id {
+			continue
+		}
+		matched = true
+		fmt.Printf("### %s — %s\n\n", r.id, r.title)
+		start := time.Now()
+		if err := r.run(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9 or all)\n", *expFlag)
+		os.Exit(2)
+	}
+}

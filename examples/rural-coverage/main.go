@@ -1,0 +1,82 @@
+// Rural coverage: the paper's §3.2/§5 story in numbers. One basestation
+// on a grain silo (or the town gym): how far does service reach on the
+// LTE waveform in sub-GHz licensed bands versus WiFi in the ISM bands?
+//
+//	go run ./examples/rural-coverage
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dlte/internal/metrics"
+	"dlte/internal/radio"
+)
+
+func main() {
+	fmt.Println("One tower, 20 m mast, rural terrain (Okumura-Hata open area).")
+	fmt.Println("Downlink throughput by distance and technology:")
+	fmt.Println()
+
+	techs := []struct {
+		name string
+		band radio.Band
+		wifi bool
+	}{
+		{"LTE band 31 (450 MHz)", radio.LTEBand31, false},
+		{"LTE band 5 (850 MHz)", radio.LTEBand5, false},
+		{"LTE CBRS (3.5 GHz)", radio.CBRS, false},
+		{"WiFi 2.4 GHz", radio.ISM24, true},
+	}
+	distances := []float64{0.5, 1, 2, 5, 10, 20, 30}
+
+	t := metrics.NewTable("downlink Mbps vs km", append([]string{"technology"}, kmHeaders(distances)...)...)
+	for _, tech := range techs {
+		row := make([]interface{}, 0, len(distances)+1)
+		row = append(row, tech.name)
+		for _, d := range distances {
+			var bps float64
+			if tech.wifi {
+				l := radio.Link{Tx: radio.WiFiAccessPoint, Rx: radio.WiFiClient, Band: tech.band}
+				bps = radio.WiFiThroughputBps(l.SNRdB(d), d, radio.WiFiDefaultMaxRangeKm)
+			} else {
+				l := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: tech.band}
+				bps = radio.LTEThroughputBps(l.SNRdB(d), tech.band.BandwidthHz(), true)
+			}
+			row = append(row, bps/1e6)
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Service range at 512 kbps (the 'usable Internet' floor):")
+	for _, tech := range techs {
+		tech := tech
+		r := radio.MaxRangeKm(func(d float64) float64 {
+			if tech.wifi {
+				l := radio.Link{Tx: radio.WiFiAccessPoint, Rx: radio.WiFiClient, Band: tech.band}
+				return radio.WiFiThroughputBps(l.SNRdB(d), d, radio.WiFiDefaultMaxRangeKm)
+			}
+			l := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: tech.band}
+			return radio.LTEThroughputBps(l.SNRdB(d), tech.band.BandwidthHz(), true)
+		}, 512e3, radio.LTETimingAdvanceMaxKm)
+		fmt.Printf("  %-24s %6.1f km\n", tech.name, r)
+	}
+
+	fmt.Println()
+	fmt.Println("The asymmetric-uplink advantage (§3.2): at 5 km on band 5,")
+	dl := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: radio.LTEBand5}
+	ul := radio.Link{Tx: radio.LTEHandset, Rx: radio.LTEBaseStation, Band: radio.LTEBand5, Uplink: true}
+	fmt.Printf("  downlink SNR %.1f dB, uplink SNR %.1f dB — the tower's high\n", dl.SNRdB(5), ul.SNRdB(5))
+	fmt.Println("  antenna and the handset's SC-FDMA (no PAPR backoff) keep the")
+	fmt.Println("  uplink alive where a WiFi client would have given up.")
+}
+
+func kmHeaders(ds []float64) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = fmt.Sprintf("%gkm", d)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module dlte
+
+go 1.22

@@ -1,0 +1,371 @@
+package auth
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TS 35.207 §4.3 test set 1 — the conformance vectors for Milenage.
+func TestMilenageTestSet1(t *testing.T) {
+	k := mustHex(t, "465b5ce8b199b49faa5f0a2ee238a6bc")
+	rand := mustHex(t, "23553cbe9637a89d218ae64dae47bf35")
+	sqn := mustHex(t, "ff9bb4d0b607")
+	amf := mustHex(t, "b9b9")
+	op := mustHex(t, "cdc202d5123e20f62b6d676ac72cb318")
+
+	opc, err := DeriveOPc(k, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "cd63cb71954a9f4e48a5994e37a02baf"); !bytes.Equal(opc, want) {
+		t.Fatalf("OPc = %x, want %x", opc, want)
+	}
+
+	m, err := NewMilenageOP(k, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.OPc(), opc) {
+		t.Fatal("NewMilenageOP derived a different OPc")
+	}
+
+	macA, macS, err := m.F1(rand, sqn, amf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "4a9ffac354dfafb3"); !bytes.Equal(macA, want) {
+		t.Errorf("f1 MAC-A = %x, want %x", macA, want)
+	}
+	if want := mustHex(t, "01cfaf9ec4e871e9"); !bytes.Equal(macS, want) {
+		t.Errorf("f1* MAC-S = %x, want %x", macS, want)
+	}
+
+	res, ck, ik, ak, err := m.F2345(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "a54211d5e3ba50bf"); !bytes.Equal(res, want) {
+		t.Errorf("f2 RES = %x, want %x", res, want)
+	}
+	if want := mustHex(t, "b40ba9a3c58b2a05bbf0d987b21bf8cb"); !bytes.Equal(ck, want) {
+		t.Errorf("f3 CK = %x, want %x", ck, want)
+	}
+	if want := mustHex(t, "f769bcd751044604127672711c6d3441"); !bytes.Equal(ik, want) {
+		t.Errorf("f4 IK = %x, want %x", ik, want)
+	}
+	if want := mustHex(t, "aa689c648370"); !bytes.Equal(ak, want) {
+		t.Errorf("f5 AK = %x, want %x", ak, want)
+	}
+
+	akStar, err := m.F5Star(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "451e8beca43b"); !bytes.Equal(akStar, want) {
+		t.Errorf("f5* AK = %x, want %x", akStar, want)
+	}
+}
+
+// TS 35.207 test set 2 exercises different key material.
+func TestMilenageTestSet2(t *testing.T) {
+	k := mustHex(t, "0396eb317b6d1c36f19c1c84cd6ffd16")
+	rand := mustHex(t, "c00d603103dcee52c4478119494202e8")
+	sqn := mustHex(t, "fd8eef40df7d")
+	amf := mustHex(t, "af17")
+	op := mustHex(t, "ff53bade17df5d4e793073ce9d7579fa")
+
+	m, err := NewMilenageOP(k, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macA, _, err := m.F1(rand, sqn, amf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "5df5b31807e258b0"); !bytes.Equal(macA, want) {
+		t.Errorf("f1 = %x, want %x", macA, want)
+	}
+	res, _, _, ak, err := m.F2345(rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "d3a628ed988620f0"); !bytes.Equal(res, want) {
+		t.Errorf("f2 = %x, want %x", res, want)
+	}
+	if want := mustHex(t, "c47783995f72"); !bytes.Equal(ak, want) {
+		t.Errorf("f5 = %x, want %x", ak, want)
+	}
+}
+
+func TestMilenageBadInputs(t *testing.T) {
+	if _, err := NewMilenage([]byte{1}, make([]byte, 16)); err == nil {
+		t.Error("short K accepted")
+	}
+	if _, err := NewMilenageOP(make([]byte, 16), []byte{1}); err == nil {
+		t.Error("short OP accepted")
+	}
+	if _, err := DeriveOPc([]byte{1}, make([]byte, 16)); err == nil {
+		t.Error("DeriveOPc short K accepted")
+	}
+	m, _ := NewMilenage(make([]byte, 16), make([]byte, 16))
+	if _, _, err := m.F1(make([]byte, 15), make([]byte, 6), make([]byte, 2)); err == nil {
+		t.Error("short RAND accepted by f1")
+	}
+	if _, _, _, _, err := m.F2345(make([]byte, 8)); err == nil {
+		t.Error("short RAND accepted by f2345")
+	}
+	if _, err := m.F5Star(nil); err == nil {
+		t.Error("nil RAND accepted by f5*")
+	}
+}
+
+func testMilenage(t *testing.T) *Milenage {
+	t.Helper()
+	k := mustHex(t, "465b5ce8b199b49faa5f0a2ee238a6bc")
+	opc := mustHex(t, "cd63cb71954a9f4e48a5994e37a02baf")
+	m, err := NewMilenage(k, opc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAKARoundTrip(t *testing.T) {
+	m := testMilenage(t)
+	v, err := GenerateVector(m, 1000, "00101", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.RAND) != 16 || len(v.AUTN) != 16 || len(v.XRES) != 8 || len(v.KASME) != 32 {
+		t.Fatalf("vector shape wrong: %+v", v)
+	}
+	ue := &UEContext{Mil: m, HighestSQN: 500}
+	res, err := ue.Respond(v.RAND, v.AUTN, "00101")
+	if err != nil {
+		t.Fatalf("UE rejected genuine challenge: %v", err)
+	}
+	if err := CheckRES(v, res.RES); err != nil {
+		t.Fatalf("network rejected genuine RES: %v", err)
+	}
+	if !bytes.Equal(res.KASME, v.KASME) {
+		t.Error("UE and network derived different KASME")
+	}
+	if ue.HighestSQN != 1000 {
+		t.Errorf("UE SQN not advanced: %d", ue.HighestSQN)
+	}
+}
+
+func TestAKAMACFailure(t *testing.T) {
+	m := testMilenage(t)
+	v, _ := GenerateVector(m, 1000, "00101", nil)
+	// A different network key produces a bad MAC.
+	other, _ := NewMilenage(make([]byte, 16), make([]byte, 16))
+	ue := &UEContext{Mil: other}
+	if _, err := ue.Respond(v.RAND, v.AUTN, "00101"); !errors.Is(err, ErrMACFailure) {
+		t.Fatalf("want ErrMACFailure, got %v", err)
+	}
+	// Tampered AUTN also fails.
+	ue2 := &UEContext{Mil: m}
+	bad := append([]byte{}, v.AUTN...)
+	bad[15] ^= 0xFF
+	if _, err := ue2.Respond(v.RAND, bad, "00101"); !errors.Is(err, ErrMACFailure) {
+		t.Fatalf("tampered AUTN: want ErrMACFailure, got %v", err)
+	}
+}
+
+func TestAKAReplayRejected(t *testing.T) {
+	m := testMilenage(t)
+	v, _ := GenerateVector(m, 1000, "00101", nil)
+	ue := &UEContext{Mil: m}
+	if _, err := ue.Respond(v.RAND, v.AUTN, "00101"); err != nil {
+		t.Fatal(err)
+	}
+	// Replay of the same challenge: SQN no longer fresh.
+	if _, err := ue.Respond(v.RAND, v.AUTN, "00101"); !errors.Is(err, ErrSyncFailure) {
+		t.Fatalf("replay: want ErrSyncFailure, got %v", err)
+	}
+}
+
+func TestAKAWrongRES(t *testing.T) {
+	m := testMilenage(t)
+	v, _ := GenerateVector(m, 1000, "00101", nil)
+	if err := CheckRES(v, []byte{1, 2, 3, 4, 5, 6, 7, 8}); !errors.Is(err, ErrResMismatch) {
+		t.Fatalf("want ErrResMismatch, got %v", err)
+	}
+}
+
+func TestKASMEBindsServingNetwork(t *testing.T) {
+	m := testMilenage(t)
+	rand := mustHex(t, "23553cbe9637a89d218ae64dae47bf35")
+	v1, _ := GenerateVector(m, 1000, "network-a", rand)
+	v2, _ := GenerateVector(m, 1000, "network-b", rand)
+	if bytes.Equal(v1.KASME, v2.KASME) {
+		t.Error("KASME identical across serving networks")
+	}
+	// Same inputs reproduce the same KASME.
+	v3, _ := GenerateVector(m, 1000, "network-a", rand)
+	if !bytes.Equal(v1.KASME, v3.KASME) {
+		t.Error("KASME not deterministic")
+	}
+}
+
+func TestGenerateVectorBadRAND(t *testing.T) {
+	m := testMilenage(t)
+	if _, err := GenerateVector(m, 1, "x", []byte{1, 2}); err == nil {
+		t.Error("short injected RAND accepted")
+	}
+}
+
+func TestSQNBytesRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xff9bb4d0b607, 1 << 47} {
+		if got := SQNFromBytes(sqnBytes(v)); got != v&0xFFFFFFFFFFFF {
+			t.Errorf("SQN %d round-tripped to %d", v, got)
+		}
+	}
+}
+
+func TestNASKeysDistinct(t *testing.T) {
+	kasme := make([]byte, 32)
+	for i := range kasme {
+		kasme[i] = byte(i)
+	}
+	keys := DeriveNASKeys(kasme)
+	if len(keys.Enc) != 16 || len(keys.Int) != 16 {
+		t.Fatalf("key lengths: %d/%d", len(keys.Enc), len(keys.Int))
+	}
+	if bytes.Equal(keys.Enc, keys.Int) {
+		t.Error("enc and int keys identical")
+	}
+}
+
+func TestNASMAC(t *testing.T) {
+	k := make([]byte, 16)
+	msg := []byte("attach-complete")
+	mac := ComputeNASMAC(k, 7, msg)
+	if len(mac) != 4 {
+		t.Fatalf("MAC length %d", len(mac))
+	}
+	if !VerifyNASMAC(k, 7, msg, mac) {
+		t.Error("genuine MAC rejected")
+	}
+	if VerifyNASMAC(k, 8, msg, mac) {
+		t.Error("wrong count accepted")
+	}
+	if VerifyNASMAC(k, 7, []byte("tampered"), mac) {
+		t.Error("tampered message accepted")
+	}
+}
+
+func TestIMSIValidation(t *testing.T) {
+	if !IMSI("001010000000001").Valid() {
+		t.Error("valid IMSI rejected")
+	}
+	for _, bad := range []IMSI{"", "123", "abcdefghijklmno", "0010100000000012345"} {
+		if bad.Valid() {
+			t.Errorf("invalid IMSI %q accepted", bad)
+		}
+	}
+}
+
+func TestNewSIMUnique(t *testing.T) {
+	a, err := NewSIM("001010000000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSIM("001010000000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.K, b.K) {
+		t.Error("two SIMs share a key")
+	}
+	if _, err := NewSIM("bad"); err == nil {
+		t.Error("invalid IMSI provisioned")
+	}
+}
+
+func TestSubscriberDBFlow(t *testing.T) {
+	db := NewSubscriberDB(false)
+	sim, _ := NewSIM("001010000000001")
+	if err := db.Provision(sim); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Known(sim.IMSI) || db.Known("001010000000099") {
+		t.Error("Known wrong")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	v1, err := db.NextVector(sim.IMSI, "00101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := db.NextVector(sim.IMSI, "00101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(v1.AUTN, v2.AUTN) {
+		t.Error("consecutive vectors identical (SQN not advancing)")
+	}
+	if _, err := db.NextVector("001010000000099", "00101"); err == nil {
+		t.Error("vector for unknown subscriber")
+	}
+	// UE accepts consecutive vectors in order.
+	m, _ := sim.Milenage()
+	ue := &UEContext{Mil: m}
+	if _, err := ue.Respond(v1.RAND, v1.AUTN, "00101"); err != nil {
+		t.Fatalf("vector 1: %v", err)
+	}
+	if _, err := ue.Respond(v2.RAND, v2.AUTN, "00101"); err != nil {
+		t.Fatalf("vector 2: %v", err)
+	}
+}
+
+func TestOpenVsClosedCore(t *testing.T) {
+	sim, _ := NewSIM("001010000000001")
+	pub := KeyPublication{IMSI: sim.IMSI, K: sim.K, OPc: sim.OPc}
+
+	closed := NewSubscriberDB(false)
+	if err := closed.ImportPublished(pub.SIM()); err == nil {
+		t.Error("closed core accepted a published key — that is the telecom moat the paper describes, it must hold")
+	}
+	open := NewSubscriberDB(true)
+	if err := open.ImportPublished(pub.SIM()); err != nil {
+		t.Fatalf("open core rejected published key: %v", err)
+	}
+	// And the imported identity authenticates end to end.
+	v, err := open.NextVector(sim.IMSI, "dlte-ap-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sim.Milenage()
+	ue := &UEContext{Mil: m}
+	res, err := ue.Respond(v.RAND, v.AUTN, "dlte-ap-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRES(v, res.RES); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisionValidation(t *testing.T) {
+	db := NewSubscriberDB(true)
+	if err := db.Provision(SIM{IMSI: "bad"}); err == nil {
+		t.Error("bad IMSI provisioned")
+	}
+	if err := db.Provision(SIM{IMSI: "001010000000001", K: []byte{1}, OPc: make([]byte, 16)}); err == nil {
+		t.Error("bad key material provisioned")
+	}
+}

@@ -1,0 +1,182 @@
+// Package auth implements LTE's authentication and key agreement (AKA)
+// as the dLTE paper relies on it: the Milenage algorithm set (3GPP TS
+// 35.205/35.206) over AES-128, authentication-vector generation as an
+// HSS performs it, UE-side verification as a SIM performs it, and the
+// KASME / NAS-key derivation tree of TS 33.401.
+//
+// dLTE's twist (§4.2) is *where* the key lives: instead of a secret
+// shared only with one operator's HSS, an open dLTE SIM pre-publishes
+// its key so any AP's local core stub can run the same mutual
+// authentication. The crypto is unchanged — only the trust model moves
+// — which is exactly what keeps standard handsets compatible.
+package auth
+
+import (
+	"crypto/aes"
+	"fmt"
+)
+
+// Milenage constants from TS 35.206 §4.1: per-function additive
+// constants c1..c5 and rotation amounts r1..r5 (bits).
+var (
+	milC = [5][16]byte{
+		{},      // c1 = 0
+		{15: 1}, // c2
+		{15: 2}, // c3
+		{15: 4}, // c4
+		{15: 8}, // c5
+	}
+	milR = [5]uint{64, 0, 32, 64, 96}
+)
+
+// KeyLen is the length of K, OP, and OPc in bytes.
+const KeyLen = 16
+
+// Milenage holds a subscriber key and its derived OPc, ready to compute
+// the f1–f5 functions.
+type Milenage struct {
+	k   [16]byte
+	opc [16]byte
+}
+
+// NewMilenage builds the function set from the subscriber key K and the
+// operator variant constant OPc (already derived).
+func NewMilenage(k, opc []byte) (*Milenage, error) {
+	if len(k) != KeyLen || len(opc) != KeyLen {
+		return nil, fmt.Errorf("auth: K and OPc must be %d bytes", KeyLen)
+	}
+	m := &Milenage{}
+	copy(m.k[:], k)
+	copy(m.opc[:], opc)
+	return m, nil
+}
+
+// NewMilenageOP builds the function set from K and the operator
+// constant OP, deriving OPc = E_K(OP) ⊕ OP.
+func NewMilenageOP(k, op []byte) (*Milenage, error) {
+	if len(k) != KeyLen || len(op) != KeyLen {
+		return nil, fmt.Errorf("auth: K and OP must be %d bytes", KeyLen)
+	}
+	opc, err := DeriveOPc(k, op)
+	if err != nil {
+		return nil, err
+	}
+	return NewMilenage(k, opc)
+}
+
+// DeriveOPc computes OPc = E_K(OP) ⊕ OP (TS 35.206 §4.1).
+func DeriveOPc(k, op []byte) ([]byte, error) {
+	if len(k) != KeyLen || len(op) != KeyLen {
+		return nil, fmt.Errorf("auth: K and OP must be %d bytes", KeyLen)
+	}
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return nil, fmt.Errorf("auth: %w", err)
+	}
+	out := make([]byte, 16)
+	block.Encrypt(out, op)
+	for i := range out {
+		out[i] ^= op[i]
+	}
+	return out, nil
+}
+
+// OPc returns a copy of the operator variant constant in use.
+func (m *Milenage) OPc() []byte {
+	out := make([]byte, 16)
+	copy(out, m.opc[:])
+	return out
+}
+
+func (m *Milenage) encrypt(in [16]byte) [16]byte {
+	block, err := aes.NewCipher(m.k[:])
+	if err != nil {
+		// Key length is validated at construction; AES cannot fail here.
+		panic(err)
+	}
+	var out [16]byte
+	block.Encrypt(out[:], in[:])
+	return out
+}
+
+func xor16(a, b [16]byte) [16]byte {
+	var out [16]byte
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// rot rotates a 128-bit block left by r bits (r a multiple of 8 in
+// Milenage, so the byte-wise rotation suffices).
+func rot(in [16]byte, rBits uint) [16]byte {
+	shift := int(rBits / 8)
+	var out [16]byte
+	for i := range out {
+		out[i] = in[(i+shift)%16]
+	}
+	return out
+}
+
+// outN computes OUTn = E_K(rot(TEMP ⊕ OPc, rn) ⊕ cn) ⊕ OPc for
+// n ∈ {2..5} (index 1..4 into the constant tables).
+func (m *Milenage) outN(temp [16]byte, n int) [16]byte {
+	t := rot(xor16(temp, m.opc), milR[n])
+	t = xor16(t, milC[n])
+	return xor16(m.encrypt(t), m.opc)
+}
+
+// F1 computes the network authentication code MAC-A (f1) and the
+// resynchronization code MAC-S (f1*) for the given RAND, SQN (6 bytes),
+// and AMF (2 bytes).
+func (m *Milenage) F1(rand []byte, sqn []byte, amf []byte) (macA, macS []byte, err error) {
+	if len(rand) != 16 || len(sqn) != 6 || len(amf) != 2 {
+		return nil, nil, fmt.Errorf("auth: f1 wants RAND[16] SQN[6] AMF[2]")
+	}
+	var r [16]byte
+	copy(r[:], rand)
+	temp := m.encrypt(xor16(r, m.opc))
+
+	var in1 [16]byte
+	copy(in1[0:6], sqn)
+	copy(in1[6:8], amf)
+	copy(in1[8:14], sqn)
+	copy(in1[14:16], amf)
+
+	t := rot(xor16(in1, m.opc), milR[0])
+	t = xor16(t, temp)
+	t = xor16(t, milC[0])
+	out1 := xor16(m.encrypt(t), m.opc)
+	return append([]byte{}, out1[0:8]...), append([]byte{}, out1[8:16]...), nil
+}
+
+// F2345 computes RES (f2), CK (f3), IK (f4), and AK (f5) for RAND.
+func (m *Milenage) F2345(rand []byte) (res, ck, ik, ak []byte, err error) {
+	if len(rand) != 16 {
+		return nil, nil, nil, nil, fmt.Errorf("auth: f2345 wants RAND[16]")
+	}
+	var r [16]byte
+	copy(r[:], rand)
+	temp := m.encrypt(xor16(r, m.opc))
+
+	out2 := m.outN(temp, 1)
+	out3 := m.outN(temp, 2)
+	out4 := m.outN(temp, 3)
+	res = append([]byte{}, out2[8:16]...)
+	ak = append([]byte{}, out2[0:6]...)
+	ck = append([]byte{}, out3[:]...)
+	ik = append([]byte{}, out4[:]...)
+	return res, ck, ik, ak, nil
+}
+
+// F5Star computes the resynchronization anonymity key AK* (f5*).
+func (m *Milenage) F5Star(rand []byte) ([]byte, error) {
+	if len(rand) != 16 {
+		return nil, fmt.Errorf("auth: f5* wants RAND[16]")
+	}
+	var r [16]byte
+	copy(r[:], rand)
+	temp := m.encrypt(xor16(r, m.opc))
+	out5 := m.outN(temp, 4)
+	return append([]byte{}, out5[0:6]...), nil
+}

@@ -1,0 +1,101 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+)
+
+// TS 35.207 test set 1 covers f1*/f5* (asserted in TestMilenageTestSet1);
+// these tests exercise the full AUTS round trip built on them.
+
+func TestAUTSRoundTrip(t *testing.T) {
+	m := testMilenage(t)
+	rnd := mustHex(t, "23553cbe9637a89d218ae64dae47bf35")
+
+	ue := &UEContext{Mil: m, HighestSQN: 0x00000ABCDEF0}
+	auts, err := ue.BuildAUTS(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auts) != 14 {
+		t.Fatalf("AUTS length = %d", len(auts))
+	}
+	sqnMS, err := RecoverSQNms(m, rnd, auts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqnMS != ue.HighestSQN {
+		t.Errorf("recovered SQNms = %#x, want %#x", sqnMS, ue.HighestSQN)
+	}
+}
+
+func TestAUTSVerificationRejectsTampering(t *testing.T) {
+	m := testMilenage(t)
+	rnd := mustHex(t, "23553cbe9637a89d218ae64dae47bf35")
+	ue := &UEContext{Mil: m, HighestSQN: 999}
+	auts, _ := ue.BuildAUTS(rnd)
+
+	bad := append([]byte{}, auts...)
+	bad[13] ^= 0xFF
+	if _, err := RecoverSQNms(m, rnd, bad); !errors.Is(err, ErrBadAUTS) {
+		t.Errorf("tampered MAC-S: %v", err)
+	}
+	// Wrong key material cannot forge AUTS.
+	other, _ := NewMilenage(make([]byte, 16), make([]byte, 16))
+	if _, err := RecoverSQNms(other, rnd, auts); !errors.Is(err, ErrBadAUTS) {
+		t.Errorf("wrong key: %v", err)
+	}
+	// Wrong RAND (replayed AUTS against a different challenge).
+	rnd2 := mustHex(t, "c00d603103dcee52c4478119494202e8")
+	if _, err := RecoverSQNms(m, rnd2, auts); !errors.Is(err, ErrBadAUTS) {
+		t.Errorf("wrong RAND: %v", err)
+	}
+	if _, err := RecoverSQNms(m, rnd, auts[:10]); !errors.Is(err, ErrBadAUTS) {
+		t.Errorf("short AUTS: %v", err)
+	}
+	if _, err := ue.BuildAUTS([]byte{1}); err == nil {
+		t.Error("short RAND accepted by BuildAUTS")
+	}
+}
+
+func TestSubscriberDBResynchronize(t *testing.T) {
+	db := NewSubscriberDB(true)
+	sim, _ := NewSIM("001010000000090")
+	db.Provision(sim)
+
+	// The UE's SQN is far ahead of this (fresh) HSS — the roaming
+	// desync scenario.
+	m, _ := sim.Milenage()
+	ue := &UEContext{Mil: m, HighestSQN: 1 << 46}
+
+	v1, err := db.NextVector(sim.IMSI, "ap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ue.Respond(v1.RAND, v1.AUTN, "ap")
+	if !errors.Is(rerr, ErrSyncFailure) {
+		t.Fatalf("expected sync failure, got %v", rerr)
+	}
+	auts, err := ue.BuildAUTS(v1.RAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Resynchronize(sim.IMSI, v1.RAND, auts); err != nil {
+		t.Fatal(err)
+	}
+	// The next vector is beyond the UE's SQNms and is accepted.
+	v2, err := db.NextVector(sim.IMSI, "ap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ue.Respond(v2.RAND, v2.AUTN, "ap"); err != nil {
+		t.Fatalf("post-resync challenge rejected: %v", err)
+	}
+}
+
+func TestResynchronizeUnknownSubscriber(t *testing.T) {
+	db := NewSubscriberDB(true)
+	if err := db.Resynchronize("001010000000091", make([]byte, 16), make([]byte, 14)); err == nil {
+		t.Error("resync for unknown subscriber succeeded")
+	}
+}

@@ -1,0 +1,189 @@
+package auth
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// IMSI is an international mobile subscriber identity in its usual
+// string form (15 decimal digits: MCC+MNC+MSIN).
+type IMSI string
+
+// Valid reports whether the IMSI is 14–15 decimal digits.
+func (i IMSI) Valid() bool {
+	if len(i) < 14 || len(i) > 15 {
+		return false
+	}
+	for _, c := range i {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// SIM models a provisioned SIM/e-SIM profile: identity plus key
+// material. dLTE uses exactly the same structure; openness comes from
+// publishing Key/OPc instead of guarding them (§4.2).
+type SIM struct {
+	IMSI IMSI
+	// K is the 128-bit subscriber key.
+	K []byte
+	// OPc is the operator-variant constant.
+	OPc []byte
+}
+
+// NewSIM provisions a SIM with fresh random key material.
+func NewSIM(imsi IMSI) (SIM, error) {
+	if !imsi.Valid() {
+		return SIM{}, fmt.Errorf("auth: invalid IMSI %q", imsi)
+	}
+	k := make([]byte, KeyLen)
+	opc := make([]byte, KeyLen)
+	if _, err := rand.Read(k); err != nil {
+		return SIM{}, fmt.Errorf("auth: %w", err)
+	}
+	if _, err := rand.Read(opc); err != nil {
+		return SIM{}, fmt.Errorf("auth: %w", err)
+	}
+	return SIM{IMSI: imsi, K: k, OPc: opc}, nil
+}
+
+// Milenage builds the SIM's function set.
+func (s SIM) Milenage() (*Milenage, error) { return NewMilenage(s.K, s.OPc) }
+
+// SubscriberDB is the HSS-side subscriber store. In a telecom EPC this
+// is the crown-jewels database; in dLTE each local core stub holds one,
+// populated either with its own subscribers or from the published-key
+// feed.
+type SubscriberDB struct {
+	mu   sync.RWMutex
+	subs map[IMSI]*subscriberEntry
+	// Open marks a dLTE-style open HSS: unknown IMSIs presenting a
+	// published key are admitted on first use.
+	Open bool
+}
+
+type subscriberEntry struct {
+	sim SIM
+	sqn uint64
+}
+
+// NewSubscriberDB returns an empty store. Open selects dLTE semantics
+// (accept published-key registrations at attach time).
+func NewSubscriberDB(open bool) *SubscriberDB {
+	return &SubscriberDB{subs: make(map[IMSI]*subscriberEntry), Open: open}
+}
+
+// Provision inserts or replaces a subscriber.
+func (db *SubscriberDB) Provision(sim SIM) error {
+	if !sim.IMSI.Valid() {
+		return fmt.Errorf("auth: invalid IMSI %q", sim.IMSI)
+	}
+	if len(sim.K) != KeyLen || len(sim.OPc) != KeyLen {
+		return fmt.Errorf("auth: bad key material for %s", sim.IMSI)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.subs[sim.IMSI] = &subscriberEntry{sim: sim}
+	return nil
+}
+
+// Known reports whether the IMSI is provisioned.
+func (db *SubscriberDB) Known(imsi IMSI) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.subs[imsi]
+	return ok
+}
+
+// Len reports the number of provisioned subscribers.
+func (db *SubscriberDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.subs)
+}
+
+// NextVector generates the next authentication vector for imsi,
+// advancing its sequence number. snID is the serving network identity
+// bound into KASME.
+//
+// SQN generation is time-based (TS 33.102 Annex C.3 style): the high
+// bits derive from wall-clock time, the low bits from a local counter.
+// This matters specifically for dLTE: a published-key SIM attaches at
+// *independent* local cores that share no SQN state, and time-based
+// sequence numbers are what keep each stub's challenges fresh from the
+// UE's point of view without any inter-core synchronization.
+func (db *SubscriberDB) NextVector(imsi IMSI, snID string) (Vector, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.subs[imsi]
+	if !ok {
+		return Vector{}, fmt.Errorf("auth: unknown subscriber %s", imsi)
+	}
+	// 1 ms ticks with 5 counter bits: independent cores issue
+	// colliding SQNs only if they challenge the same SIM within the
+	// same millisecond, which a real attach exchange (several RTTs)
+	// cannot do. AUTS resynchronization (Resynchronize) recovers any
+	// residual skew.
+	timeBased := uint64(time.Now().UnixMilli()) << 5
+	if timeBased > e.sqn {
+		e.sqn = timeBased
+	} else {
+		e.sqn++
+	}
+	m, err := e.sim.Milenage()
+	if err != nil {
+		return Vector{}, err
+	}
+	return GenerateVector(m, e.sqn, snID, nil)
+}
+
+// Resynchronize processes a UE's AUTS token (TS 33.102 §6.3.5): verify
+// it against the RAND the UE answered, recover the UE's SQNms, and
+// advance the subscriber's counter past it so the next vector is
+// fresh. This is the standard's remedy for the sequence-number skew a
+// published-key SIM can accumulate across independent dLTE cores.
+func (db *SubscriberDB) Resynchronize(imsi IMSI, rnd, auts []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.subs[imsi]
+	if !ok {
+		return fmt.Errorf("auth: unknown subscriber %s", imsi)
+	}
+	m, err := e.sim.Milenage()
+	if err != nil {
+		return err
+	}
+	sqnMS, err := RecoverSQNms(m, rnd, auts)
+	if err != nil {
+		return err
+	}
+	if sqnMS >= e.sqn {
+		e.sqn = sqnMS
+	}
+	return nil
+}
+
+// ImportPublished admits a published-key SIM (the dLTE open-SIM flow).
+// It fails on a closed (telecom) subscriber DB — which is precisely the
+// organic-growth barrier the paper describes (§2.1).
+func (db *SubscriberDB) ImportPublished(sim SIM) error {
+	if !db.Open {
+		return fmt.Errorf("auth: closed core refuses published key for %s", sim.IMSI)
+	}
+	return db.Provision(sim)
+}
+
+// KeyPublication is the paper's published-key record: the open dLTE SIM
+// material a subscriber exposes so that any AP can authenticate it.
+type KeyPublication struct {
+	IMSI IMSI
+	K    []byte
+	OPc  []byte
+}
+
+// SIM converts the publication back into provisioning material.
+func (p KeyPublication) SIM() SIM { return SIM{IMSI: p.IMSI, K: p.K, OPc: p.OPc} }

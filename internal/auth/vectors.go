@@ -1,0 +1,279 @@
+package auth
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors surfaced by AKA verification.
+var (
+	// ErrMACFailure means AUTN's MAC-A did not verify: the network
+	// does not hold the subscriber key.
+	ErrMACFailure = errors.New("auth: MAC failure")
+	// ErrSyncFailure means the SQN was outside the acceptance window;
+	// the UE requests resynchronization.
+	ErrSyncFailure = errors.New("auth: SQN synchronisation failure")
+	// ErrResMismatch means the UE's RES did not match XRES.
+	ErrResMismatch = errors.New("auth: RES mismatch")
+)
+
+// Vector is one EPS authentication vector as the HSS hands it to an
+// MME (TS 33.401 §6.1.2).
+type Vector struct {
+	RAND  []byte // 16 bytes
+	XRES  []byte // 8 bytes
+	AUTN  []byte // 16 bytes: SQN⊕AK || AMF || MAC-A
+	KASME []byte // 32 bytes
+}
+
+// defaultAMF is the authentication management field with the
+// "separation bit" set, marking EPS AKA.
+var defaultAMF = []byte{0x80, 0x00}
+
+// GenerateVector produces an authentication vector for the subscriber
+// key set at sequence number sqn, for serving network snID. Pass a nil
+// random16 to draw RAND from crypto/rand; tests inject a fixed RAND.
+func GenerateVector(m *Milenage, sqn uint64, snID string, random16 []byte) (Vector, error) {
+	var rnd []byte
+	if random16 != nil {
+		if len(random16) != 16 {
+			return Vector{}, fmt.Errorf("auth: RAND must be 16 bytes")
+		}
+		rnd = append([]byte{}, random16...)
+	} else {
+		rnd = make([]byte, 16)
+		if _, err := rand.Read(rnd); err != nil {
+			return Vector{}, fmt.Errorf("auth: rand: %w", err)
+		}
+	}
+	sqnB := sqnBytes(sqn)
+	macA, _, err := m.F1(rnd, sqnB, defaultAMF)
+	if err != nil {
+		return Vector{}, err
+	}
+	xres, ck, ik, ak, err := m.F2345(rnd)
+	if err != nil {
+		return Vector{}, err
+	}
+	autn := make([]byte, 0, 16)
+	for i := 0; i < 6; i++ {
+		autn = append(autn, sqnB[i]^ak[i])
+	}
+	autn = append(autn, defaultAMF...)
+	autn = append(autn, macA...)
+
+	return Vector{
+		RAND:  rnd,
+		XRES:  xres,
+		AUTN:  autn,
+		KASME: DeriveKASME(ck, ik, snID, autn[:6]),
+	}, nil
+}
+
+// sqnBytes encodes the 48-bit sequence number big-endian.
+func sqnBytes(sqn uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], sqn)
+	return b[2:]
+}
+
+// SQNFromBytes decodes a 6-byte sequence number.
+func SQNFromBytes(b []byte) uint64 {
+	var full [8]byte
+	copy(full[2:], b)
+	return binary.BigEndian.Uint64(full[:])
+}
+
+// The UE accepts any SQN strictly greater than the highest it has
+// seen. (TS 33.102 additionally bounds how far ahead a SQN may jump
+// and recovers via AUTS resynchronization; with the time-based SQN
+// generation dLTE stubs use — see SubscriberDB.NextVector — forward
+// jumps are the *normal* roaming case, so the upper bound is elided
+// here. Replay protection is unaffected.)
+
+// UEContext is the SIM-side state needed to answer a network challenge.
+type UEContext struct {
+	Mil *Milenage
+	// HighestSQN is the highest sequence number accepted so far.
+	HighestSQN uint64
+}
+
+// ChallengeResult is what a successful UE-side AKA run yields.
+type ChallengeResult struct {
+	RES   []byte
+	KASME []byte
+}
+
+// Respond runs UE-side AKA (TS 33.102 §6.3.3): recompute AK, unmask
+// SQN, verify MAC-A, check SQN freshness, and derive RES and KASME.
+func (u *UEContext) Respond(rnd, autn []byte, snID string) (ChallengeResult, error) {
+	if len(rnd) != 16 || len(autn) != 16 {
+		return ChallengeResult{}, fmt.Errorf("auth: challenge wants RAND[16] AUTN[16]")
+	}
+	res, ck, ik, ak, err := u.Mil.F2345(rnd)
+	if err != nil {
+		return ChallengeResult{}, err
+	}
+	sqnB := make([]byte, 6)
+	for i := 0; i < 6; i++ {
+		sqnB[i] = autn[i] ^ ak[i]
+	}
+	amf := autn[6:8]
+	macA, _, err := u.Mil.F1(rnd, sqnB, amf)
+	if err != nil {
+		return ChallengeResult{}, err
+	}
+	if !hmac.Equal(macA, autn[8:16]) {
+		return ChallengeResult{}, ErrMACFailure
+	}
+	sqn := SQNFromBytes(sqnB)
+	if sqn <= u.HighestSQN {
+		return ChallengeResult{}, fmt.Errorf("%w: got %d, highest %d", ErrSyncFailure, sqn, u.HighestSQN)
+	}
+	u.HighestSQN = sqn
+	return ChallengeResult{
+		RES:   res,
+		KASME: DeriveKASME(ck, ik, snID, autn[:6]),
+	}, nil
+}
+
+// CheckRES compares the UE's RES against the vector's XRES in constant
+// time, completing mutual authentication on the network side.
+func CheckRES(v Vector, res []byte) error {
+	if !hmac.Equal(v.XRES, res) {
+		return ErrResMismatch
+	}
+	return nil
+}
+
+// resyncAMF is the AMF* used in resynchronization (TS 33.102 §6.3.3:
+// all zeros).
+var resyncAMF = []byte{0x00, 0x00}
+
+// BuildAUTS constructs the resynchronization token the UE returns on a
+// sync failure: AUTS = (SQNms ⊕ AK*) ‖ MAC-S, where AK* = f5*(RAND)
+// and MAC-S = f1*(SQNms, AMF*, RAND). SQNms is the UE's highest
+// accepted sequence number.
+func (u *UEContext) BuildAUTS(rnd []byte) ([]byte, error) {
+	if len(rnd) != 16 {
+		return nil, fmt.Errorf("auth: AUTS wants RAND[16]")
+	}
+	sqnB := sqnBytes(u.HighestSQN)
+	akStar, err := u.Mil.F5Star(rnd)
+	if err != nil {
+		return nil, err
+	}
+	_, macS, err := u.Mil.F1(rnd, sqnB, resyncAMF)
+	if err != nil {
+		return nil, err
+	}
+	auts := make([]byte, 0, 14)
+	for i := 0; i < 6; i++ {
+		auts = append(auts, sqnB[i]^akStar[i])
+	}
+	return append(auts, macS...), nil
+}
+
+// ErrBadAUTS reports a resynchronization token that failed to verify.
+var ErrBadAUTS = errors.New("auth: invalid AUTS")
+
+// RecoverSQNms verifies an AUTS token against the subscriber's key set
+// and the RAND it answered, returning the UE's SQNms (TS 33.102
+// §6.3.5, HSS side).
+func RecoverSQNms(m *Milenage, rnd, auts []byte) (uint64, error) {
+	if len(rnd) != 16 || len(auts) != 14 {
+		return 0, fmt.Errorf("%w: wrong lengths", ErrBadAUTS)
+	}
+	akStar, err := m.F5Star(rnd)
+	if err != nil {
+		return 0, err
+	}
+	sqnB := make([]byte, 6)
+	for i := 0; i < 6; i++ {
+		sqnB[i] = auts[i] ^ akStar[i]
+	}
+	_, macS, err := m.F1(rnd, sqnB, resyncAMF)
+	if err != nil {
+		return 0, err
+	}
+	if !hmac.Equal(macS, auts[6:14]) {
+		return 0, ErrBadAUTS
+	}
+	return SQNFromBytes(sqnB), nil
+}
+
+// DeriveKASME computes KASME = HMAC-SHA256(CK‖IK, S) with
+// S = FC(0x10) ‖ SN-id ‖ len ‖ SQN⊕AK ‖ len (TS 33.401 A.2). The
+// serving-network identity binds the key to the network the UE thinks
+// it is talking to.
+func DeriveKASME(ck, ik []byte, snID string, sqnXorAK []byte) []byte {
+	s := kdfString(0x10, []byte(snID), sqnXorAK)
+	mac := hmac.New(sha256.New, append(append([]byte{}, ck...), ik...))
+	mac.Write(s)
+	return mac.Sum(nil)
+}
+
+// Algorithm distinguishers for NAS key derivation (TS 33.401 A.7).
+const (
+	AlgoNASEnc = 0x01
+	AlgoNASInt = 0x02
+)
+
+// DeriveNASKey derives a 16-byte NAS key (encryption or integrity) from
+// KASME for algorithm identity algoID.
+func DeriveNASKey(kasme []byte, algoDistinguisher byte, algoID byte) []byte {
+	s := kdfString(0x15, []byte{algoDistinguisher}, []byte{algoID})
+	mac := hmac.New(sha256.New, kasme)
+	mac.Write(s)
+	return mac.Sum(nil)[16:32] // 128-bit key from the low half
+}
+
+// kdfString assembles the TS 33.220 KDF input string:
+// FC ‖ P0 ‖ L0 ‖ P1 ‖ L1.
+func kdfString(fc byte, p0, p1 []byte) []byte {
+	var b bytes.Buffer
+	b.WriteByte(fc)
+	b.Write(p0)
+	binary.Write(&b, binary.BigEndian, uint16(len(p0)))
+	b.Write(p1)
+	binary.Write(&b, binary.BigEndian, uint16(len(p1)))
+	return b.Bytes()
+}
+
+// NASKeys bundles the derived NAS session keys.
+type NASKeys struct {
+	Enc []byte // K_NASenc
+	Int []byte // K_NASint
+}
+
+// DeriveNASKeys derives both NAS keys using EEA1/EIA1-style algorithm
+// identity 1.
+func DeriveNASKeys(kasme []byte) NASKeys {
+	return NASKeys{
+		Enc: DeriveNASKey(kasme, AlgoNASEnc, 1),
+		Int: DeriveNASKey(kasme, AlgoNASInt, 1),
+	}
+}
+
+// ComputeNASMAC computes the NAS message authentication code used in
+// security-protected NAS transport: HMAC-SHA256 truncated to 4 bytes
+// over count ‖ message. (Real LTE uses EIA1/2/3; an HMAC stands in with
+// the same interface properties.)
+func ComputeNASMAC(kInt []byte, count uint32, msg []byte) []byte {
+	mac := hmac.New(sha256.New, kInt)
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], count)
+	mac.Write(c[:])
+	mac.Write(msg)
+	return mac.Sum(nil)[:4]
+}
+
+// VerifyNASMAC checks a NAS MAC in constant time.
+func VerifyNASMAC(kInt []byte, count uint32, msg, gotMAC []byte) bool {
+	return hmac.Equal(ComputeNASMAC(kInt, count, msg), gotMAC)
+}

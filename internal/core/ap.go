@@ -1,0 +1,319 @@
+// Package core implements the dLTE access point — the paper's primary
+// contribution (§4). One AccessPoint bundles everything a standalone
+// dLTE site needs:
+//
+//   - a local EPC stub (epc.Core with direct breakout and an open HSS)
+//     virtualizing S-GW/P-GW/MME/HSS on the AP itself (§4.1);
+//   - an eNodeB front-end standard clients attach to;
+//   - a registry client for open join and peer discovery (§4.3);
+//   - an X2 coordination agent implementing fair-share and cooperative
+//     modes with its contention-domain neighbors (§4.3).
+//
+// The package also provides the Coordinator logic that turns registry
+// state into contention domains and negotiated airtime shares.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dlte/internal/enb"
+	"dlte/internal/epc"
+	"dlte/internal/geo"
+	"dlte/internal/radio"
+	"dlte/internal/registry"
+	"dlte/internal/simnet"
+	"dlte/internal/spectrum"
+	"dlte/internal/x2"
+)
+
+// X2Port is where APs listen for peer associations.
+const X2Port = 36422
+
+// APConfig shapes one dLTE access point.
+type APConfig struct {
+	// ID is the AP's registry identity (also its SNID).
+	ID string
+	// Position is the site location in scenario coordinates (meters).
+	Position geo.Point
+	// Band is the operating band.
+	Band radio.Band
+	// HeightM and EIRPdBm describe the transmitter for coordination.
+	HeightM, EIRPdBm float64
+	// Mode is the owner's chosen coordination mode.
+	Mode x2.Mode
+	// TAC is the AP's tracking area (each dLTE AP is its own TA).
+	TAC uint16
+	// RegistryAddr is the global registry ("host:port"); empty runs
+	// the AP standalone (the paper's single-site deployment, §5).
+	RegistryAddr string
+	// ProcessingDelay models the stub core's per-signaling-message
+	// service time (see epc.Config); experiments set it equal to the
+	// centralized core's so scaling comparisons isolate sharing.
+	ProcessingDelay time.Duration
+}
+
+// AccessPoint is a running dLTE site.
+type AccessPoint struct {
+	cfg  APConfig
+	host *simnet.Host
+
+	Core  *epc.Core
+	ENB   *enb.ENodeB
+	Agent *x2.Agent
+	reg   *registry.Client
+
+	s1Listener epc.Listener
+	x2Listener x2.Listener
+
+	mu             sync.Mutex
+	shares         map[string]float64 // negotiated airtime by AP ID
+	loads          map[string]x2.LoadInformation
+	peers          []string          // current contention-domain peers
+	hoPrep         map[string]string // IMSI → source AP that prepared us
+	relayGrantBps  uint64
+	relayGrantFrom string
+
+	closed bool
+}
+
+// NewAccessPoint brings up the full AP stack on host: stub core, S1AP
+// loopback, eNodeB, and X2 listener. Join the registry separately with
+// JoinRegistry (so tests can run standalone APs).
+func NewAccessPoint(host *simnet.Host, cfg APConfig) (*AccessPoint, error) {
+	if cfg.ID == "" {
+		cfg.ID = host.Name()
+	}
+	if cfg.Band.Name == "" {
+		cfg.Band = radio.LTEBand5
+	}
+	ap := &AccessPoint{
+		cfg:    cfg,
+		host:   host,
+		shares: map[string]float64{cfg.ID: 1},
+		loads:  make(map[string]x2.LoadInformation),
+		hoPrep: make(map[string]string),
+	}
+
+	core, err := epc.NewCore(host, epc.Config{
+		Name:            cfg.ID,
+		SNID:            cfg.ID,
+		TAC:             cfg.TAC,
+		DirectBreakout:  true,
+		OpenHSS:         true,
+		ProcessingDelay: cfg.ProcessingDelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: stub EPC: %w", err)
+	}
+	ap.Core = core
+
+	s1l, err := host.Listen(epc.S1APPort)
+	if err != nil {
+		core.Close()
+		return nil, fmt.Errorf("core: S1AP listen: %w", err)
+	}
+	ap.s1Listener = s1l
+	go core.ServeS1AP(s1l)
+
+	e, err := enb.New(host, enb.Config{
+		ID:      hashID(cfg.ID),
+		Name:    cfg.ID,
+		TAC:     cfg.TAC,
+		MMEAddr: fmt.Sprintf("%s:%d", host.Name(), epc.S1APPort),
+	})
+	if err != nil {
+		s1l.Close()
+		core.Close()
+		return nil, fmt.Errorf("core: eNodeB: %w", err)
+	}
+	ap.ENB = e
+
+	ap.Agent = x2.NewAgent(cfg.ID, x2.PeerHello{
+		X: cfg.Position.X, Y: cfg.Position.Y,
+		BandName: cfg.Band.Name, Mode: cfg.Mode,
+	}, ap.handleX2)
+	x2l, err := host.Listen(X2Port)
+	if err != nil {
+		e.Close()
+		s1l.Close()
+		core.Close()
+		return nil, fmt.Errorf("core: X2 listen: %w", err)
+	}
+	ap.x2Listener = x2l
+	go ap.Agent.Serve(x2l)
+
+	return ap, nil
+}
+
+// hashID derives a stable numeric eNB ID from the AP name.
+func hashID(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// ID reports the AP identity.
+func (ap *AccessPoint) ID() string { return ap.cfg.ID }
+
+// AirAddr is where UEs attach.
+func (ap *AccessPoint) AirAddr() string { return ap.ENB.AirAddr() }
+
+// Position reports the site location.
+func (ap *AccessPoint) Position() geo.Point { return ap.cfg.Position }
+
+// Mode reports the configured coordination mode.
+func (ap *AccessPoint) Mode() x2.Mode { return ap.cfg.Mode }
+
+// Record builds the AP's registry record.
+func (ap *AccessPoint) Record() registry.APRecord {
+	return registry.APRecord{
+		ID:      ap.cfg.ID,
+		X2Addr:  fmt.Sprintf("%s:%d", ap.host.Name(), X2Port),
+		X:       ap.cfg.Position.X,
+		Y:       ap.cfg.Position.Y,
+		Band:    ap.cfg.Band.Name,
+		EIRPdBm: ap.cfg.EIRPdBm,
+		HeightM: ap.cfg.HeightM,
+		Mode:    ap.cfg.Mode.String(),
+	}
+}
+
+// JoinRegistry connects to the global registry and publishes this AP's
+// record — the open-join step that telecom cores have no analogue for.
+func (ap *AccessPoint) JoinRegistry() error {
+	if ap.cfg.RegistryAddr == "" {
+		return fmt.Errorf("core: no registry configured")
+	}
+	c, err := registry.Dial(ap.host.Dial, ap.cfg.RegistryAddr)
+	if err != nil {
+		return err
+	}
+	ap.mu.Lock()
+	ap.reg = c
+	ap.mu.Unlock()
+	return c.Join(ap.Record())
+}
+
+// SyncSubscriberKeys imports every published open-SIM key from the
+// registry into the stub's HSS, so any published subscriber can attach
+// here (§4.2 key publication).
+func (ap *AccessPoint) SyncSubscriberKeys() (int, error) {
+	ap.mu.Lock()
+	c := ap.reg
+	ap.mu.Unlock()
+	if c == nil {
+		return 0, fmt.Errorf("core: not joined to a registry")
+	}
+	keys, err := c.Keys()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, k := range keys {
+		pub, err := k.Publication()
+		if err != nil {
+			continue
+		}
+		if err := ap.Core.ImportPublishedKey(pub); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// DiscoverPeers queries the registry for same-band APs, computes the
+// RF contention domain this AP belongs to, and opens X2 associations
+// to every domain member. It returns the domain's member IDs
+// (including this AP).
+func (ap *AccessPoint) DiscoverPeers() ([]string, error) {
+	ap.mu.Lock()
+	c := ap.reg
+	ap.mu.Unlock()
+	if c == nil {
+		return nil, fmt.Errorf("core: not joined to a registry")
+	}
+	records, err := c.List(ap.cfg.Band.Name)
+	if err != nil {
+		return nil, err
+	}
+	grants := make([]spectrum.Grant, 0, len(records))
+	byID := make(map[string]registry.APRecord, len(records))
+	for _, r := range records {
+		grants = append(grants, spectrum.Grant{
+			APID: r.ID, Band: r.Band, Position: r.Position(),
+			EIRPdBm: r.EIRPdBm, HeightM: r.HeightM,
+		})
+		byID[r.ID] = r
+	}
+	domains := spectrum.ContentionDomains(grants, radio.Auto{}, spectrum.InterferenceThresholdDBm)
+	domain := spectrum.DomainOf(domains, ap.cfg.ID)
+
+	connected := map[string]bool{}
+	for _, id := range ap.Agent.Peers() {
+		connected[id] = true
+	}
+	for _, member := range domain {
+		if member == ap.cfg.ID || connected[member] {
+			continue
+		}
+		rec := byID[member]
+		if _, err := ap.Agent.Connect(ap.host.Dial, rec.X2Addr); err != nil {
+			continue // unreachable peers are retried at next discovery
+		}
+	}
+	peers := make([]string, 0, len(domain)-1)
+	for _, m := range domain {
+		if m != ap.cfg.ID {
+			peers = append(peers, m)
+		}
+	}
+	ap.mu.Lock()
+	ap.peers = peers
+	ap.mu.Unlock()
+	return domain, nil
+}
+
+// Peers reports the last-discovered contention-domain peers.
+func (ap *AccessPoint) Peers() []string {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	return append([]string{}, ap.peers...)
+}
+
+// Close tears down the AP stack.
+func (ap *AccessPoint) Close() {
+	ap.mu.Lock()
+	if ap.closed {
+		ap.mu.Unlock()
+		return
+	}
+	ap.closed = true
+	reg := ap.reg
+	ap.mu.Unlock()
+	if reg != nil {
+		reg.Leave(ap.cfg.ID)
+		reg.Close()
+	}
+	ap.Agent.Close()
+	ap.x2Listener.Close()
+	ap.ENB.Close()
+	ap.s1Listener.Close()
+	ap.Core.Close()
+}
+
+// waitSettle is a small helper: coordination messages are
+// asynchronous; callers poll with deadlines rather than sleep.
+func waitSettle(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}

@@ -1,0 +1,111 @@
+// Package enb implements the eNodeB: the radio-side server UEs attach
+// through. It speaks a framed air-interface protocol to UEs (standing
+// in for RRC + the data radio bearer), S1AP to its core (local stub or
+// remote EPC — the eNodeB cannot tell, which is the point), and GTP-U
+// for the user plane.
+package enb
+
+import (
+	"errors"
+	"fmt"
+
+	"dlte/internal/wire"
+)
+
+// AirPort is the default port eNodeBs listen on for UE associations.
+const AirPort = 4000
+
+// AirMsgType identifies an air-interface frame.
+type AirMsgType uint8
+
+// Air-interface frame types.
+const (
+	// AirNASUp carries an uplink NAS PDU (RRC UL Information Transfer).
+	AirNASUp AirMsgType = iota + 1
+	// AirNASDown carries a downlink NAS PDU.
+	AirNASDown
+	// AirDataUp carries an uplink user packet (encoded epc.UserPacket).
+	AirDataUp
+	// AirDataDown carries a downlink user packet.
+	AirDataDown
+	// AirRelease ends the radio connection.
+	AirRelease
+	// AirBroadcast is the first downlink frame on every new radio
+	// connection: the SIB-like system information (serving network
+	// identity and tracking area) a UE needs before it can attach.
+	AirBroadcast
+)
+
+// String names the frame type.
+func (t AirMsgType) String() string {
+	switch t {
+	case AirNASUp:
+		return "NASUp"
+	case AirNASDown:
+		return "NASDown"
+	case AirDataUp:
+		return "DataUp"
+	case AirDataDown:
+		return "DataDown"
+	case AirRelease:
+		return "Release"
+	case AirBroadcast:
+		return "Broadcast"
+	default:
+		return fmt.Sprintf("Air(%d)", uint8(t))
+	}
+}
+
+// ErrBadAirFrame reports a malformed air frame.
+var ErrBadAirFrame = errors.New("enb: bad air frame")
+
+// EncodeAir frames one air message.
+func EncodeAir(t AirMsgType, payload []byte) ([]byte, error) {
+	w := wire.NewWriter(1 + 2 + len(payload))
+	w.U8(uint8(t))
+	w.Bytes16(payload)
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeAir parses one air message.
+func DecodeAir(b []byte) (AirMsgType, []byte, error) {
+	r := wire.NewReader(b)
+	t := AirMsgType(r.U8())
+	payload := r.Bytes16()
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadAirFrame, err)
+	}
+	return t, payload, nil
+}
+
+// SystemInfo is the broadcast content of an AirBroadcast frame.
+type SystemInfo struct {
+	// SNID is the serving-network identity bound into KASME.
+	SNID string
+	// TAC is the tracking area code.
+	TAC uint16
+}
+
+// EncodeSystemInfo serializes broadcast system information.
+func EncodeSystemInfo(si SystemInfo) ([]byte, error) {
+	w := wire.NewWriter(3 + len(si.SNID))
+	w.String8(si.SNID)
+	w.U16(si.TAC)
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeSystemInfo parses broadcast system information.
+func DecodeSystemInfo(b []byte) (SystemInfo, error) {
+	r := wire.NewReader(b)
+	si := SystemInfo{SNID: r.String8(), TAC: r.U16()}
+	if err := r.Err(); err != nil {
+		return SystemInfo{}, fmt.Errorf("%w: %v", ErrBadAirFrame, err)
+	}
+	return si, nil
+}

@@ -1,0 +1,283 @@
+package enb
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"dlte/internal/gtp"
+	"dlte/internal/s1ap"
+	"dlte/internal/simnet"
+	"dlte/internal/wire"
+)
+
+// GTPPort is the eNodeB's GTP-U port (distinct from the gateway's so a
+// dLTE stub core can share the AP host).
+const GTPPort = 2153
+
+// Config describes one eNodeB.
+type Config struct {
+	// ID is the eNodeB identity used in S1 setup.
+	ID uint32
+	// Name labels the eNodeB.
+	Name string
+	// TAC is the tracking area code it serves.
+	TAC uint16
+	// MMEAddr is the core's S1AP endpoint ("host:port").
+	MMEAddr string
+	// AirPort overrides the UE-facing listen port (0 = AirPort).
+	AirPort int
+}
+
+// ENodeB bridges UEs (air interface) to a core (S1AP) and the user
+// plane (GTP-U).
+type ENodeB struct {
+	cfg  Config
+	host *simnet.Host
+
+	s1   *s1ap.Conn
+	gtpE *gtp.Endpoint
+	airL *simnet.Listener
+	si   SystemInfo
+
+	mu       sync.Mutex
+	nextUEID uint32
+	byUEID   map[uint32]*ueCtx
+	closed   bool
+}
+
+type ueCtx struct {
+	enbUEID uint32
+	air     *wire.FrameConn
+	raw     net.Conn
+
+	mu        sync.Mutex
+	dlTEID    uint32 // eNodeB-local TEID for downlink
+	ulBound   bool   // uplink tunnel toward the gateway is live
+	ulTEIDloc uint32 // local TEID whose reverse points at the gateway
+}
+
+// New creates an eNodeB on host and connects it to its core: dials
+// S1AP, performs S1 setup, opens the GTP-U endpoint, and starts the
+// air-interface listener.
+func New(host *simnet.Host, cfg Config) (*ENodeB, error) {
+	if cfg.AirPort == 0 {
+		cfg.AirPort = AirPort
+	}
+	if cfg.Name == "" {
+		cfg.Name = "enb-" + host.Name()
+	}
+	e := &ENodeB{cfg: cfg, host: host, byUEID: make(map[uint32]*ueCtx)}
+
+	raw, err := host.Dial(cfg.MMEAddr)
+	if err != nil {
+		return nil, fmt.Errorf("enb: S1AP dial: %w", err)
+	}
+	e.s1 = s1ap.NewConn(raw)
+	if err := e.s1.Send(&s1ap.S1SetupRequest{ENBID: cfg.ID, ENBName: cfg.Name, TAC: cfg.TAC}); err != nil {
+		return nil, fmt.Errorf("enb: S1 setup: %w", err)
+	}
+	resp, err := e.s1.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("enb: S1 setup response: %w", err)
+	}
+	sr, ok := resp.(*s1ap.S1SetupResponse)
+	if !ok {
+		return nil, fmt.Errorf("enb: unexpected %s during S1 setup", resp.Type())
+	}
+	e.si = SystemInfo{SNID: sr.SNID, TAC: sr.ServedTAC}
+
+	pc, err := host.ListenPacket(GTPPort)
+	if err != nil {
+		return nil, fmt.Errorf("enb: GTP: %w", err)
+	}
+	e.gtpE = gtp.NewEndpoint(pc)
+
+	l, err := host.Listen(cfg.AirPort)
+	if err != nil {
+		e.gtpE.Close()
+		return nil, fmt.Errorf("enb: air listen: %w", err)
+	}
+	e.airL = l
+
+	go e.s1Loop()
+	go e.airAccept()
+	return e, nil
+}
+
+// AirAddr is where UEs attach ("host:port").
+func (e *ENodeB) AirAddr() string { return fmt.Sprintf("%s:%d", e.host.Name(), e.cfg.AirPort) }
+
+// GTPAddr is the eNodeB's GTP-U endpoint.
+func (e *ENodeB) GTPAddr() string { return fmt.Sprintf("%s:%d", e.host.Name(), GTPPort) }
+
+// NumUEs reports the number of radio-connected UEs.
+func (e *ENodeB) NumUEs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.byUEID)
+}
+
+func (e *ENodeB) airAccept() {
+	for {
+		c, err := e.airL.Accept()
+		if err != nil {
+			return
+		}
+		go e.serveUE(c)
+	}
+}
+
+func (e *ENodeB) serveUE(raw net.Conn) {
+	fc := wire.NewFrameConn(raw)
+	e.mu.Lock()
+	e.nextUEID++
+	ctx := &ueCtx{enbUEID: e.nextUEID, air: fc, raw: raw}
+	e.byUEID[ctx.enbUEID] = ctx
+	e.mu.Unlock()
+
+	// First downlink frame: broadcast system information, so the UE
+	// knows the serving network before it attaches.
+	if sib, err := EncodeSystemInfo(e.si); err == nil {
+		e.sendAir(ctx, AirBroadcast, sib)
+	}
+
+	defer func() {
+		raw.Close()
+		e.mu.Lock()
+		delete(e.byUEID, ctx.enbUEID)
+		e.mu.Unlock()
+		ctx.mu.Lock()
+		if ctx.dlTEID != 0 {
+			e.gtpE.Release(ctx.dlTEID)
+		}
+		if ctx.ulTEIDloc != 0 {
+			e.gtpE.Release(ctx.ulTEIDloc)
+		}
+		ctx.mu.Unlock()
+	}()
+
+	first := true
+	for {
+		frame, err := fc.Recv()
+		if err != nil {
+			return
+		}
+		t, payload, err := DecodeAir(frame)
+		if err != nil {
+			continue
+		}
+		switch t {
+		case AirNASUp:
+			if first {
+				first = false
+				e.s1.Send(&s1ap.InitialUEMessage{ENBUEID: ctx.enbUEID, NASPDU: payload})
+			} else {
+				e.s1.Send(&s1ap.UplinkNASTransport{ENBUEID: ctx.enbUEID, NASPDU: payload})
+			}
+		case AirDataUp:
+			ctx.mu.Lock()
+			bound := ctx.ulBound
+			teid := ctx.ulTEIDloc
+			ctx.mu.Unlock()
+			if bound {
+				e.gtpE.Send(teid, payload)
+			}
+		case AirRelease:
+			return
+		}
+	}
+}
+
+// s1Loop handles downlink S1AP traffic from the core.
+func (e *ENodeB) s1Loop() {
+	for {
+		msg, err := e.s1.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *s1ap.DownlinkNASTransport:
+			if ctx := e.lookup(m.ENBUEID); ctx != nil {
+				e.sendAir(ctx, AirNASDown, m.NASPDU)
+			}
+		case *s1ap.InitialContextSetupRequest:
+			e.setupContext(m)
+		case *s1ap.UEContextReleaseCommand:
+			if ctx := e.lookup(m.ENBUEID); ctx != nil {
+				e.sendAir(ctx, AirRelease, nil)
+				ctx.raw.Close()
+			}
+			e.s1.Send(&s1ap.UEContextReleaseComplete{ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID})
+		}
+	}
+}
+
+func (e *ENodeB) lookup(enbUEID uint32) *ueCtx {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.byUEID[enbUEID]
+}
+
+func (e *ENodeB) sendAir(ctx *ueCtx, t AirMsgType, payload []byte) {
+	frame, err := EncodeAir(t, payload)
+	if err != nil {
+		return
+	}
+	ctx.air.Send(frame)
+}
+
+// setupContext wires the UE's data path: a downlink TEID delivering to
+// the UE's air connection, and an uplink tunnel toward the gateway.
+func (e *ENodeB) setupContext(m *s1ap.InitialContextSetupRequest) {
+	ctx := e.lookup(m.ENBUEID)
+	if ctx == nil {
+		return
+	}
+	sgwAddr, err := simnet.ParseAddr(m.SGWAddr)
+	if err != nil {
+		return
+	}
+	// Downlink: gateway → eNB TEID → UE air connection.
+	dlTEID := e.gtpE.AllocateTEID(func(payload []byte, _ net.Addr) {
+		e.sendAir(ctx, AirDataDown, payload)
+	})
+	// Uplink: a local TEID whose reverse direction targets the
+	// gateway's session TEID.
+	ulTEID := e.gtpE.AllocateTEID(nil)
+	if err := e.gtpE.Bind(ulTEID, m.SGWTEID, sgwAddr); err != nil {
+		return
+	}
+	ctx.mu.Lock()
+	ctx.dlTEID = dlTEID
+	ctx.ulTEIDloc = ulTEID
+	ctx.ulBound = true
+	ctx.mu.Unlock()
+
+	e.s1.Send(&s1ap.InitialContextSetupResponse{
+		ENBUEID: m.ENBUEID,
+		MMEUEID: m.MMEUEID,
+		ENBAddr: e.GTPAddr(),
+		ENBTEID: dlTEID,
+	})
+}
+
+// Close releases the eNodeB's listeners and endpoints.
+func (e *ENodeB) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	ues := make([]*ueCtx, 0, len(e.byUEID))
+	for _, u := range e.byUEID {
+		ues = append(ues, u)
+	}
+	e.mu.Unlock()
+	for _, u := range ues {
+		u.raw.Close()
+	}
+	e.airL.Close()
+	e.gtpE.Close()
+}

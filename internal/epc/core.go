@@ -1,0 +1,382 @@
+package epc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlte/internal/auth"
+	"dlte/internal/nas"
+	"dlte/internal/s1ap"
+	"dlte/internal/simnet"
+)
+
+// S1APPort is where cores listen for eNodeB associations.
+const S1APPort = 36412
+
+// Config shapes a Core deployment.
+type Config struct {
+	// Name identifies the core (MME name in S1 setup).
+	Name string
+	// SNID is the serving-network identity bound into KASME.
+	SNID string
+	// TAC is the served tracking area.
+	TAC uint16
+	// DirectBreakout marks dLTE semantics in AttachAccept: traffic
+	// exits at this core's host (which, for a stub, is the AP itself).
+	DirectBreakout bool
+	// OpenHSS makes the subscriber store accept published keys — the
+	// dLTE open-core property.
+	OpenHSS bool
+	// ProcessingDelay models the core's per-signaling-message service
+	// time; with one logical signaling processor this caps the core at
+	// 1/ProcessingDelay messages per second, which is what saturates a
+	// shared centralized EPC in experiment E3. Zero disables.
+	ProcessingDelay time.Duration
+	// RequireENBAuthorization closes the core to organic expansion:
+	// only eNodeB IDs registered via AuthorizeENB may associate — the
+	// telecom/private-LTE property the paper contrasts with dLTE's
+	// open registry (§2.1, Table 1).
+	RequireENBAuthorization bool
+}
+
+// Stats are the core's cumulative signaling counters.
+type Stats struct {
+	// SignalingMessages counts S1AP messages processed.
+	SignalingMessages uint64
+	// Attaches counts completed registrations.
+	Attaches uint64
+	// Rejects counts refused or failed registrations.
+	Rejects uint64
+	// Detaches counts completed detaches.
+	Detaches uint64
+}
+
+// Core is an EPC control+user plane: HSS, MME, and gateway. Deploy one
+// per AP for dLTE stubs, or one shared instance for the centralized
+// baseline.
+type Core struct {
+	cfg  Config
+	host *simnet.Host
+	hss  *auth.SubscriberDB
+	gw   *Gateway
+
+	mu         sync.Mutex
+	nextMME    uint32
+	nextGUTI   uint64
+	gutis      map[uint64]string // GUTI → IMSI
+	allowedENB map[uint32]bool
+	procMu     sync.Mutex // serializes the modeled signaling processor
+
+	sigMsgs  atomic.Uint64
+	attaches atomic.Uint64
+	rejects  atomic.Uint64
+	detaches atomic.Uint64
+}
+
+// NewCore creates a core whose gateway lives on host.
+func NewCore(host *simnet.Host, cfg Config) (*Core, error) {
+	if cfg.Name == "" {
+		cfg.Name = "core-" + host.Name()
+	}
+	if cfg.SNID == "" {
+		cfg.SNID = cfg.Name
+	}
+	gw, err := NewGateway(host)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:        cfg,
+		host:       host,
+		hss:        auth.NewSubscriberDB(cfg.OpenHSS),
+		gw:         gw,
+		nextGUTI:   uint64(cfg.TAC)<<32 + 0x100,
+		gutis:      make(map[uint64]string),
+		allowedENB: make(map[uint32]bool),
+	}, nil
+}
+
+// HSS exposes the subscriber store for provisioning.
+func (c *Core) HSS() *auth.SubscriberDB { return c.hss }
+
+// Gateway exposes the user-plane gateway.
+func (c *Core) Gateway() *Gateway { return c.gw }
+
+// Host reports the core's host name.
+func (c *Core) Host() string { return c.host.Name() }
+
+// Provision adds a subscriber to the HSS.
+func (c *Core) Provision(sim auth.SIM) error { return c.hss.Provision(sim) }
+
+// errENBRefused aborts an unauthorized eNodeB association.
+var errENBRefused = errors.New("epc: eNodeB not authorized")
+
+// AuthorizeENB admits an eNodeB ID to a closed core (the operator's
+// manual provisioning step dLTE eliminates).
+func (c *Core) AuthorizeENB(id uint32) {
+	c.mu.Lock()
+	c.allowedENB[id] = true
+	c.mu.Unlock()
+}
+
+// ImportPublishedKey admits an open-SIM publication (dLTE mode only;
+// a closed core refuses, reproducing the paper's §2.1 moat).
+func (c *Core) ImportPublishedKey(p auth.KeyPublication) error {
+	return c.hss.ImportPublished(p.SIM())
+}
+
+// Stats snapshots the signaling counters.
+func (c *Core) Stats() Stats {
+	return Stats{
+		SignalingMessages: c.sigMsgs.Load(),
+		Attaches:          c.attaches.Load(),
+		Rejects:           c.rejects.Load(),
+		Detaches:          c.detaches.Load(),
+	}
+}
+
+// Listener abstracts net.Listener / simnet.Listener for S1AP serving.
+type Listener interface {
+	Accept() (net.Conn, error)
+	Close() error
+}
+
+// ServeS1AP accepts eNodeB associations until the listener closes.
+// Run in a goroutine.
+func (c *Core) ServeS1AP(l Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go c.serveENB(conn)
+	}
+}
+
+// enbConn is one eNodeB association and its UE sessions.
+type enbConn struct {
+	conn     *s1ap.Conn
+	sessions map[uint32]*ueSession // ENBUEID → session
+}
+
+type ueSession struct {
+	nasSession *nas.NetworkSession
+	enbUEID    uint32
+	mmeUEID    uint32
+	imsi       string
+	uplinkTEID uint32
+	registered bool
+	pathBound  bool
+	icsSent    bool
+}
+
+func (c *Core) serveENB(raw net.Conn) {
+	defer raw.Close()
+	ec := &enbConn{conn: s1ap.NewConn(raw), sessions: make(map[uint32]*ueSession)}
+	for {
+		msg, err := ec.conn.Recv()
+		if err != nil {
+			// Association lost: tear down this eNB's sessions.
+			for _, s := range ec.sessions {
+				c.releaseSession(s)
+			}
+			return
+		}
+		c.sigMsgs.Add(1)
+		c.applyProcessingDelay()
+		if err := c.handleS1AP(ec, msg); err != nil {
+			if errors.Is(err, errENBRefused) {
+				return // drop the association: closed core
+			}
+			// Per-UE errors are isolated; the association survives.
+			continue
+		}
+	}
+}
+
+// applyProcessingDelay models the core's signaling processor: one
+// message at a time, each taking ProcessingDelay. Under load, arrivals
+// queue on procMu — the saturation behaviour of a shared EPC.
+func (c *Core) applyProcessingDelay() {
+	if c.cfg.ProcessingDelay <= 0 {
+		return
+	}
+	c.procMu.Lock()
+	time.Sleep(c.cfg.ProcessingDelay)
+	c.procMu.Unlock()
+}
+
+func (c *Core) handleS1AP(ec *enbConn, msg s1ap.Message) error {
+	switch m := msg.(type) {
+	case *s1ap.S1SetupRequest:
+		if c.cfg.RequireENBAuthorization {
+			c.mu.Lock()
+			allowed := c.allowedENB[m.ENBID]
+			c.mu.Unlock()
+			if !allowed {
+				// Closed core: the association is refused outright —
+				// an unauthorized AP cannot extend this network.
+				return errENBRefused
+			}
+		}
+		return ec.conn.Send(&s1ap.S1SetupResponse{MMEName: c.cfg.Name, ServedTAC: c.cfg.TAC, SNID: c.cfg.SNID})
+
+	case *s1ap.InitialUEMessage:
+		s := c.newUESession(m.ENBUEID)
+		ec.sessions[m.ENBUEID] = s
+		return c.feedNAS(ec, s, m.NASPDU)
+
+	case *s1ap.UplinkNASTransport:
+		s, ok := ec.sessions[m.ENBUEID]
+		if !ok {
+			return fmt.Errorf("epc: no session for eNB UE %d", m.ENBUEID)
+		}
+		return c.feedNAS(ec, s, m.NASPDU)
+
+	case *s1ap.InitialContextSetupResponse:
+		s, ok := ec.sessions[m.ENBUEID]
+		if !ok {
+			return fmt.Errorf("epc: no session for eNB UE %d", m.ENBUEID)
+		}
+		addr, err := simnet.ParseAddr(m.ENBAddr)
+		if err != nil {
+			return err
+		}
+		if err := c.gw.BindDownlink(s.imsi, addr, m.ENBTEID); err != nil {
+			return err
+		}
+		s.pathBound = true
+		return nil
+
+	case *s1ap.PathSwitchRequest:
+		// Locate the session by MME UE ID across this association.
+		for _, s := range ec.sessions {
+			if s.mmeUEID == m.MMEUEID {
+				addr, err := simnet.ParseAddr(m.NewENBAddr)
+				if err != nil {
+					return err
+				}
+				if err := c.gw.SwitchPath(s.imsi, addr, m.NewENBTEID); err != nil {
+					return err
+				}
+				return ec.conn.Send(&s1ap.PathSwitchAck{MMEUEID: m.MMEUEID})
+			}
+		}
+		return fmt.Errorf("epc: path switch for unknown MME UE %d", m.MMEUEID)
+
+	case *s1ap.UEContextReleaseComplete:
+		s, ok := ec.sessions[m.ENBUEID]
+		if ok {
+			c.releaseSession(s)
+			delete(ec.sessions, m.ENBUEID)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("epc: unhandled S1AP %s", msg.Type())
+	}
+}
+
+func (c *Core) newUESession(enbUEID uint32) *ueSession {
+	c.mu.Lock()
+	c.nextMME++
+	mmeUEID := c.nextMME
+	c.mu.Unlock()
+
+	s := &ueSession{enbUEID: enbUEID, mmeUEID: mmeUEID}
+	s.nasSession = nas.NewNetworkSession(nas.NetworkConfig{
+		HSS:              c.hss,
+		ServingNetworkID: c.cfg.SNID,
+		TrackingArea:     c.cfg.TAC,
+		DirectBreakout:   c.cfg.DirectBreakout,
+		AllocateIP: func(imsi string) (string, error) {
+			s.imsi = imsi
+			ip, teid, err := c.gw.CreateSession(imsi)
+			if err != nil {
+				return "", err
+			}
+			s.uplinkTEID = teid
+			return ip, nil
+		},
+		AllocateGUTI: func() uint64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.nextGUTI++
+			return c.nextGUTI
+		},
+		KnownGUTI: func(g uint64) bool {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			_, ok := c.gutis[g]
+			return ok
+		},
+	})
+	return s
+}
+
+// feedNAS pushes an uplink NAS PDU into the session's state machine
+// and relays any reply / context-setup downlink.
+func (c *Core) feedNAS(ec *enbConn, s *ueSession, pdu []byte) error {
+	reply, ev, nasErr := s.nasSession.Handle(pdu)
+	s.imsi = s.nasSession.IMSI()
+
+	// Activate the data path as soon as the accept is pending, before
+	// the NAS AttachAccept goes out (mirroring real S1AP, where the
+	// InitialContextSetupRequest carries the accept): the eNodeB's
+	// tunnels are live by the time the UE confirms.
+	if !s.icsSent && s.nasSession.State() == nas.NetAcceptPending && s.uplinkTEID != 0 {
+		s.icsSent = true
+		if err := ec.conn.Send(&s1ap.InitialContextSetupRequest{
+			ENBUEID: s.enbUEID,
+			MMEUEID: s.mmeUEID,
+			SGWAddr: c.gw.GTPAddr(),
+			SGWTEID: s.uplinkTEID,
+			UEAddr:  s.nasSession.IP(),
+		}); err != nil {
+			return err
+		}
+	}
+
+	switch ev.Kind {
+	case nas.EventRegistered:
+		c.attaches.Add(1)
+		s.registered = true
+		c.mu.Lock()
+		c.gutis[ev.GUTI] = ev.IMSI
+		c.mu.Unlock()
+	case nas.EventDetached:
+		c.detaches.Add(1)
+		c.mu.Lock()
+		delete(c.gutis, ev.GUTI)
+		c.mu.Unlock()
+		defer c.releaseSession(s)
+	case nas.EventRejected, nas.EventAuthFailed:
+		c.rejects.Add(1)
+	}
+
+	if reply != nil {
+		if err := ec.conn.Send(&s1ap.DownlinkNASTransport{
+			ENBUEID: s.enbUEID,
+			MMEUEID: s.mmeUEID,
+			NASPDU:  reply,
+		}); err != nil {
+			return err
+		}
+	}
+	// NAS-level failures (bad MAC, replay, unknown messages) are
+	// per-UE; surface them without killing the association.
+	return nasErr
+}
+
+func (c *Core) releaseSession(s *ueSession) {
+	if s.imsi != "" {
+		c.gw.DeleteSession(s.imsi)
+	}
+}
+
+// Close tears down the gateway (S1AP listeners are owned by callers).
+func (c *Core) Close() { c.gw.Close() }

@@ -1,0 +1,224 @@
+package epc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dlte/internal/gtp"
+	"dlte/internal/simnet"
+)
+
+// Gateway is the combined S/P-GW: it terminates GTP-U tunnels from
+// eNodeBs, holds the PDN address pool, and performs NAT-style breakout
+// to the (simulated) Internet — one external datagram socket per UE
+// session, so return traffic maps back to the right tunnel.
+type Gateway struct {
+	host *simnet.Host
+	ep   *gtp.Endpoint
+
+	mu       sync.Mutex
+	sessions map[string]*gwSession // IMSI → session
+	nextIP   int
+	closed   bool
+}
+
+type gwSession struct {
+	imsi      string
+	ueIP      string
+	localTEID uint32
+	ext       *simnet.PacketConn
+	done      chan struct{}
+
+	mu       sync.Mutex
+	enbAddr  net.Addr
+	enbTEID  uint32
+	boundENB bool
+}
+
+// ErrNoSession reports an operation on an unknown subscriber session.
+var ErrNoSession = errors.New("epc: no such session")
+
+// GTPPort is where gateways listen for GTP-U.
+const GTPPort = gtp.Port
+
+// NewGateway opens the gateway's GTP-U endpoint on its host.
+func NewGateway(host *simnet.Host) (*Gateway, error) {
+	pc, err := host.ListenPacket(GTPPort)
+	if err != nil {
+		return nil, fmt.Errorf("epc: gateway: %w", err)
+	}
+	return &Gateway{
+		host:     host,
+		ep:       gtp.NewEndpoint(pc),
+		sessions: make(map[string]*gwSession),
+	}, nil
+}
+
+// Host reports the gateway's host (its GTP-U address is Host():2152).
+func (g *Gateway) Host() string { return g.host.Name() }
+
+// GTPAddr reports the gateway's GTP-U endpoint address string.
+func (g *Gateway) GTPAddr() string { return fmt.Sprintf("%s:%d", g.host.Name(), GTPPort) }
+
+// CreateSession allocates a PDN address and an uplink TEID for imsi.
+// The returned TEID is what the eNodeB must stamp on uplink G-PDUs.
+// A fresh attach supersedes any existing session for the same
+// subscriber (TS 24.301: a new attach implicitly detaches the old
+// context) — without this, a client that lost its radio without
+// detaching could never come back.
+func (g *Gateway) CreateSession(imsi string) (ueIP string, uplinkTEID uint32, err error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return "", 0, errors.New("epc: gateway closed")
+	}
+	if old, ok := g.sessions[imsi]; ok {
+		delete(g.sessions, imsi)
+		g.mu.Unlock()
+		close(old.done)
+		g.ep.Release(old.localTEID)
+		old.ext.Close()
+		g.mu.Lock()
+	}
+	defer g.mu.Unlock()
+	g.nextIP++
+	ip := fmt.Sprintf("10.45.%d.%d", g.nextIP/250, g.nextIP%250+1)
+
+	ext, err := g.host.ListenPacket(0)
+	if err != nil {
+		return "", 0, fmt.Errorf("epc: external socket: %w", err)
+	}
+	s := &gwSession{imsi: imsi, ueIP: ip, ext: ext, done: make(chan struct{})}
+	s.localTEID = g.ep.AllocateTEID(func(payload []byte, _ net.Addr) {
+		g.uplink(s, payload)
+	})
+	g.sessions[imsi] = s
+	go g.downlinkLoop(s)
+	return ip, s.localTEID, nil
+}
+
+// BindDownlink completes the data path: downlink packets for imsi are
+// tunneled to the eNodeB's GTP endpoint enbAddr with enbTEID.
+func (g *Gateway) BindDownlink(imsi string, enbAddr net.Addr, enbTEID uint32) error {
+	g.mu.Lock()
+	s, ok := g.sessions[imsi]
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSession, imsi)
+	}
+	s.mu.Lock()
+	s.enbAddr = enbAddr
+	s.enbTEID = enbTEID
+	s.boundENB = true
+	s.mu.Unlock()
+	// The uplink tunnel's reverse direction targets the eNodeB.
+	return g.ep.Bind(s.localTEID, enbTEID, enbAddr)
+}
+
+// SwitchPath retargets an existing session's downlink to a new eNodeB
+// (the S1 path-switch after an X2 handover in the centralized core).
+func (g *Gateway) SwitchPath(imsi string, enbAddr net.Addr, enbTEID uint32) error {
+	return g.BindDownlink(imsi, enbAddr, enbTEID)
+}
+
+// DeleteSession releases imsi's address, tunnel, and external socket.
+func (g *Gateway) DeleteSession(imsi string) error {
+	g.mu.Lock()
+	s, ok := g.sessions[imsi]
+	if ok {
+		delete(g.sessions, imsi)
+	}
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSession, imsi)
+	}
+	close(s.done)
+	g.ep.Release(s.localTEID)
+	s.ext.Close()
+	return nil
+}
+
+// SessionIP reports the PDN address assigned to imsi.
+func (g *Gateway) SessionIP(imsi string) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sessions[imsi]
+	if !ok {
+		return "", false
+	}
+	return s.ueIP, true
+}
+
+// NumSessions reports live session count.
+func (g *Gateway) NumSessions() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.sessions)
+}
+
+// uplink handles a decapsulated uplink user packet: NAT it out the
+// session's external socket toward its Internet peer.
+func (g *Gateway) uplink(s *gwSession, payload []byte) {
+	p, err := DecodeUserPacket(payload)
+	if err != nil {
+		return
+	}
+	addr, err := simnet.ParseAddr(p.Remote)
+	if err != nil {
+		return
+	}
+	s.ext.WriteTo(p.Payload, addr)
+}
+
+// downlinkLoop forwards Internet return traffic back through the
+// session's tunnel toward the eNodeB.
+func (g *Gateway) downlinkLoop(s *gwSession) {
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		s.ext.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := s.ext.ReadFrom(buf)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		bound := s.boundENB
+		s.mu.Unlock()
+		if !bound {
+			continue // no data path yet; drop like a NAT without state
+		}
+		enc, err := EncodeUserPacket(UserPacket{Remote: from.String(), Payload: buf[:n]})
+		if err != nil {
+			continue
+		}
+		g.ep.Send(s.localTEID, enc)
+	}
+}
+
+// Close tears down all sessions and the GTP endpoint.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	sessions := make([]*gwSession, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		sessions = append(sessions, s)
+	}
+	g.sessions = make(map[string]*gwSession)
+	g.mu.Unlock()
+	for _, s := range sessions {
+		close(s.done)
+		s.ext.Close()
+	}
+	g.ep.Close()
+}

@@ -1,0 +1,52 @@
+// Package epc implements the Evolved Packet Core functions the dLTE
+// paper virtualizes into a per-AP "local core" stub (§4.1): the HSS
+// (subscriber store, here auth.SubscriberDB plus a published-key
+// import path), the MME (NAS orchestration over S1AP), and a combined
+// S/P-GW (GTP-U termination, IP address pool, NAT-style Internet
+// breakout).
+//
+// One Core type serves both deployment shapes the paper contrasts:
+// place it on a distant host serving many eNodeBs and it is the
+// telecom EPC of Figure 1 (left); place one per AP host serving its
+// own eNodeB and it is the dLTE stub of Figure 1 (right). The code
+// path is identical — the measured differences (E2, E3) come purely
+// from where the packets have to travel.
+package epc
+
+import (
+	"fmt"
+
+	"dlte/internal/wire"
+)
+
+// UserPacket is the abstract subscriber IP packet carried through
+// GTP-U tunnels and over the air interface: a remote endpoint plus an
+// opaque payload. (A full IP header adds nothing to the experiments;
+// the remote address is what routing acts on.)
+type UserPacket struct {
+	// Remote is the Internet peer, "host:port".
+	Remote string
+	// Payload is the application data.
+	Payload []byte
+}
+
+// EncodeUserPacket serializes a user packet for tunneling.
+func EncodeUserPacket(p UserPacket) ([]byte, error) {
+	w := wire.NewWriter(8 + len(p.Remote) + len(p.Payload))
+	w.String8(p.Remote)
+	w.Bytes16(p.Payload)
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("epc: encode user packet: %w", err)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeUserPacket parses a tunneled user packet.
+func DecodeUserPacket(b []byte) (UserPacket, error) {
+	r := wire.NewReader(b)
+	p := UserPacket{Remote: r.String8(), Payload: r.Bytes16()}
+	if err := r.Err(); err != nil {
+		return UserPacket{}, fmt.Errorf("epc: decode user packet: %w", err)
+	}
+	return p, nil
+}

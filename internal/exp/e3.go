@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dlte/internal/baseline"
+	"dlte/internal/core"
+	"dlte/internal/geo"
+	"dlte/internal/metrics"
+	"dlte/internal/radio"
+	"dlte/internal/simnet"
+	"dlte/internal/ue"
+	"dlte/internal/x2"
+)
+
+// E3Result quantifies §4.1's scaling claim: one stub per AP scales
+// naturally with AP count, while a shared centralized EPC's signaling
+// processor saturates.
+type E3Result struct {
+	Table *metrics.Table
+	// P99ByArch maps "dlte"/"central" → AP count → p99 attach ms.
+	P99ByArch map[string]map[int]float64
+	// Largest N swept.
+	MaxAPs int
+}
+
+// e3ProcDelay is the modeled per-message core processing time; both
+// architectures get identical processors — dLTE just has one per AP.
+const e3ProcDelay = 2 * time.Millisecond
+
+// uesPerAP is the attach-storm size per site.
+const uesPerAP = 3
+
+// RunE3 runs simultaneous attach storms against dLTE stubs and a
+// shared centralized EPC at increasing AP counts.
+func RunE3(opt Options) (E3Result, error) {
+	res := E3Result{P99ByArch: map[string]map[int]float64{"dlte": {}, "central": {}}}
+	apCounts := []int{1, 2, 4, 8}
+	if opt.Quick {
+		apCounts = []int{1, 4}
+	}
+	res.MaxAPs = apCounts[len(apCounts)-1]
+
+	t := metrics.NewTable("E3 — §4.1: local-core scaling under attach storms",
+		"architecture", "APs", "UEs", "attach p50 ms", "attach p99 ms", "core msgs")
+
+	for _, nAP := range apCounts {
+		p50, p99, msgs, err := runDLTEStorm(nAP, opt.Seed)
+		if err != nil {
+			return res, fmt.Errorf("E3 dlte n=%d: %w", nAP, err)
+		}
+		res.P99ByArch["dlte"][nAP] = p99
+		t.AddRow("dLTE stubs", nAP, nAP*uesPerAP, p50, p99, msgs)
+	}
+	for _, nAP := range apCounts {
+		p50, p99, msgs, err := runCentralStorm(nAP, opt.Seed)
+		if err != nil {
+			return res, fmt.Errorf("E3 central n=%d: %w", nAP, err)
+		}
+		res.P99ByArch["central"][nAP] = p99
+		t.AddRow("telecom LTE", nAP, nAP*uesPerAP, p50, p99, msgs)
+	}
+	res.Table = t
+	opt.emit(t)
+	return res, nil
+}
+
+// runDLTEStorm attaches uesPerAP UEs at each of nAP independent stub
+// APs simultaneously. Each stub carries exactly the same per-message
+// processing cost as the centralized core — the only difference under
+// test is that dLTE has one processor per site instead of one shared.
+func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err error) {
+	s, err := core.NewScenario(defaultWAN, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer s.Close()
+	aps := make([]*core.AccessPoint, 0, nAP)
+	for i := 0; i < nAP; i++ {
+		ap, aerr := s.AddAP(core.APConfig{
+			ID:       fmt.Sprintf("ap%d", i+1),
+			Position: geo.Pt(float64(i)*3000, 0),
+			Band:     radio.LTEBand5, HeightM: 20, EIRPdBm: 58,
+			Mode: x2.ModeFairShare, TAC: uint16(i + 1),
+			ProcessingDelay: e3ProcDelay,
+		})
+		if aerr != nil {
+			return 0, 0, 0, aerr
+		}
+		aps = append(aps, ap)
+	}
+	hist := metrics.NewHistogram()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, ap := range aps {
+		// Pre-provision all this AP's subscribers (published keys).
+		devices := make([]*ue.Device, 0, uesPerAP)
+		for j := 0; j < uesPerAP; j++ {
+			name := fmt.Sprintf("ue-%d-%d", i, j)
+			d, derr := s.AddUE(name, imsiFor(3, i*100+j))
+			if derr != nil {
+				return 0, 0, 0, derr
+			}
+			if cerr := s.ConnectUERadio(name, ap.ID(), ap.Position().Add(1000, 0)); cerr != nil {
+				return 0, 0, 0, cerr
+			}
+			devices = append(devices, d)
+		}
+		if _, kerr := ap.SyncSubscriberKeys(); kerr != nil {
+			return 0, 0, 0, kerr
+		}
+		for _, d := range devices {
+			wg.Add(1)
+			go func(d *ue.Device, ap interface{ AirAddr() string }) {
+				defer wg.Done()
+				r, aerr := d.Attach(ap.AirAddr(), 60*time.Second)
+				mu.Lock()
+				defer mu.Unlock()
+				if aerr != nil && firstErr == nil {
+					firstErr = aerr
+					return
+				}
+				hist.ObserveDuration(r.Duration)
+			}(d, ap)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, 0, firstErr
+	}
+	var msgs uint64
+	for _, ap := range aps {
+		msgs += ap.Core.Stats().SignalingMessages
+	}
+	return hist.Quantile(0.5), hist.Quantile(0.99), msgs, nil
+}
+
+// runCentralStorm attaches the same UE population through one shared
+// EPC whose signaling processor costs e3ProcDelay per message.
+func runCentralStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err error) {
+	n := simnet.New(simnet.Link{Latency: 10 * time.Millisecond}, seed)
+	defer n.Close()
+	central, err := baseline.NewCentralized(n, "epc", baseline.CentralizedConfig{
+		TAC:             1,
+		WANLink:         simnet.Link{Latency: 10 * time.Millisecond},
+		ProcessingDelay: e3ProcDelay,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer central.Close()
+
+	type site struct{ air string }
+	sites := make([]site, 0, nAP)
+	for i := 0; i < nAP; i++ {
+		e, serr := central.AddSite(fmt.Sprintf("cell%d", i))
+		if serr != nil {
+			return 0, 0, 0, serr
+		}
+		sites = append(sites, site{air: e.AirAddr()})
+	}
+
+	hist := metrics.NewHistogram()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range sites {
+		for j := 0; j < uesPerAP; j++ {
+			imsi := imsiFor(4, i*100+j)
+			sim, serr := newProvisionedSIM(central, imsi)
+			if serr != nil {
+				return 0, 0, 0, serr
+			}
+			host, herr := n.AddHost(fmt.Sprintf("ue-%d-%d", i, j))
+			if herr != nil {
+				return 0, 0, 0, herr
+			}
+			n.SetLink(host.Name(), fmt.Sprintf("cell%d", i), simnet.Link{Latency: 5 * time.Millisecond})
+			d, derr := ue.NewDevice(host, sim)
+			if derr != nil {
+				return 0, 0, 0, derr
+			}
+			air := sites[i].air
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r, aerr := d.Attach(air, 120*time.Second)
+				mu.Lock()
+				defer mu.Unlock()
+				if aerr != nil && firstErr == nil {
+					firstErr = aerr
+					return
+				}
+				hist.ObserveDuration(r.Duration)
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, 0, firstErr
+	}
+	return hist.Quantile(0.5), hist.Quantile(0.99), central.Core.Stats().SignalingMessages, nil
+}

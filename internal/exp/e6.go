@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"dlte/internal/metrics"
+	"dlte/internal/radio"
+)
+
+// E6Result quantifies §3.2: the LTE waveform and sub-GHz bands
+// outrange WiFi's ISM-band operation, the uplink asymmetry, and HARQ's
+// weak-signal extension.
+type E6Result struct {
+	ThroughputTable *metrics.Table
+	RangeTable      *metrics.Table
+	// RangeKm maps technology name → max range at 512 kbps downlink.
+	RangeKm map[string]float64
+	// HARQGainKm is the extra LTE band-5 range HARQ buys.
+	HARQGainKm float64
+}
+
+// e6Tech describes one technology under sweep.
+type e6Tech struct {
+	name    string
+	band    radio.Band
+	wifi    bool
+	pathCap float64 // hard range cap (WiFi ACK timeout), 0 = none
+}
+
+func e6Techs() []e6Tech {
+	return []e6Tech{
+		{name: "LTE band 31 (450 MHz)", band: radio.LTEBand31},
+		{name: "LTE band 5 (850 MHz)", band: radio.LTEBand5},
+		{name: "LTE CBRS (3.5 GHz)", band: radio.CBRS},
+		{name: "WiFi 2.4 GHz", band: radio.ISM24, wifi: true, pathCap: radio.WiFiDefaultMaxRangeKm},
+		{name: "WiFi 5.8 GHz", band: radio.ISM58, wifi: true, pathCap: radio.WiFiDefaultMaxRangeKm},
+	}
+}
+
+// e6Throughput computes downlink and uplink goodput for a technology
+// at distance dKm.
+func e6Throughput(tech e6Tech, dKm float64) (dlBps, ulBps float64) {
+	if tech.wifi {
+		dl := radio.Link{Tx: radio.WiFiAccessPoint, Rx: radio.WiFiClient, Band: tech.band}
+		ul := radio.Link{Tx: radio.WiFiClient, Rx: radio.WiFiAccessPoint, Band: tech.band, Uplink: true}
+		return radio.WiFiThroughputBps(dl.SNRdB(dKm), dKm, tech.pathCap),
+			radio.WiFiThroughputBps(ul.SNRdB(dKm), dKm, tech.pathCap)
+	}
+	dl := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: tech.band}
+	ul := radio.Link{Tx: radio.LTEHandset, Rx: radio.LTEBaseStation, Band: tech.band, Uplink: true}
+	bw := tech.band.BandwidthHz()
+	// The uplink schedules a UE over a fraction of the grid; report
+	// full-grid for comparability (single active user).
+	return radio.LTEThroughputBps(dl.SNRdB(dKm), bw, true),
+		radio.LTEThroughputBps(ul.SNRdB(dKm), bw, true)
+}
+
+// RunE6 sweeps throughput vs distance per technology and computes
+// service ranges.
+func RunE6(opt Options) (E6Result, error) {
+	res := E6Result{RangeKm: map[string]float64{}}
+	distances := []float64{0.5, 1, 2, 5, 10, 15, 20, 30}
+	if opt.Quick {
+		distances = []float64{1, 5, 15}
+	}
+
+	t := metrics.NewTable("E6 — §3.2: throughput vs distance by technology",
+		"technology", "km", "downlink Mbps", "uplink Mbps")
+	for _, tech := range e6Techs() {
+		for _, d := range distances {
+			dl, ul := e6Throughput(tech, d)
+			t.AddRow(tech.name, d, Mbps(dl), Mbps(ul))
+		}
+	}
+	res.ThroughputTable = t
+
+	rt := metrics.NewTable("E6b — service range (512 kbps / 2 Mbps downlink)",
+		"technology", "512kbps range km", "2Mbps range km")
+	for _, tech := range e6Techs() {
+		tech := tech
+		rangeAt := func(minBps float64) float64 {
+			cap := radio.LTETimingAdvanceMaxKm
+			if tech.pathCap > 0 {
+				cap = tech.pathCap
+			}
+			return radio.MaxRangeKm(func(d float64) float64 {
+				dl, _ := e6Throughput(tech, d)
+				return dl
+			}, minBps, cap)
+		}
+		r512 := rangeAt(512e3)
+		r2m := rangeAt(2e6)
+		res.RangeKm[tech.name] = r512
+		rt.AddRow(tech.name, r512, r2m)
+	}
+
+	// HARQ ablation: band-5 range with and without HARQ.
+	dlLink := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: radio.LTEBand5}
+	withHARQ := radio.MaxRangeKm(func(d float64) float64 {
+		return radio.LTEThroughputBps(dlLink.SNRdB(d), dlLink.Band.BandwidthHz(), true)
+	}, 128e3, radio.LTETimingAdvanceMaxKm)
+	withoutHARQ := radio.MaxRangeKm(func(d float64) float64 {
+		return radio.LTEThroughputBps(dlLink.SNRdB(d), dlLink.Band.BandwidthHz(), false)
+	}, 128e3, radio.LTETimingAdvanceMaxKm)
+	res.HARQGainKm = withHARQ - withoutHARQ
+	rt.AddRow("LTE b5 HARQ gain (128 kbps edge)", res.HARQGainKm, "")
+	res.RangeTable = rt
+	opt.emit(t, rt)
+	return res, nil
+}

@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"testing"
+)
+
+// Every experiment runs in Quick mode and must reproduce the paper's
+// qualitative shape — these are the repository's headline assertions.
+
+func quick() Options { return Options{Quick: true, Seed: 42} }
+
+func TestE1DesignSpaceShape(t *testing.T) {
+	res, err := RunE1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DLTEOpen {
+		t.Error("dLTE is not open: a newcomer AP failed to join and serve")
+	}
+	if res.TelecomOpen {
+		t.Error("telecom core accepted a rogue eNodeB")
+	}
+	if res.DLTEAggMbps <= res.WiFiAggMbps {
+		t.Errorf("coordinated aggregate %v ≤ CSMA %v", res.DLTEAggMbps, res.WiFiAggMbps)
+	}
+	if res.DLTERangeKm < 5*res.WiFiRangeKm {
+		t.Errorf("LTE range %v < 5× WiFi range %v", res.DLTERangeKm, res.WiFiRangeKm)
+	}
+	if res.Table.NumRows() != 5 {
+		t.Errorf("table rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestE2DataPathShape(t *testing.T) {
+	res, err := RunE2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Breakout beats the tunnel once the EPC sits beyond the AP's own
+	// Internet distance, and the gap grows with distance.
+	var prev float64
+	for _, lat := range []int{20, 80} {
+		rtt := res.CentralRTTms[lat]
+		if rtt <= res.DLTERTTms {
+			t.Errorf("central RTT %v at %dms ≤ dLTE %v", rtt, lat, res.DLTERTTms)
+		}
+		if rtt <= prev {
+			t.Errorf("central RTT not increasing with EPC distance: %v after %v", rtt, prev)
+		}
+		prev = rtt
+	}
+	if res.CentralAttachms <= res.DLTEAttachms {
+		t.Errorf("central attach %v ≤ dLTE attach %v", res.CentralAttachms, res.DLTEAttachms)
+	}
+}
+
+func TestE3CoreScalingShape(t *testing.T) {
+	res, err := RunE3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, dN := res.P99ByArch["dlte"][1], res.P99ByArch["dlte"][res.MaxAPs]
+	c1, cN := res.P99ByArch["central"][1], res.P99ByArch["central"][res.MaxAPs]
+	// The centralized core's p99 grows with scale; dLTE's stays flat
+	// (within noise).
+	if cN <= c1 {
+		t.Errorf("central p99 did not grow: %v → %v", c1, cN)
+	}
+	if dN > 3*d1+50 {
+		t.Errorf("dLTE p99 not flat: %v → %v", d1, dN)
+	}
+	// At max scale, centralized saturation is visible vs dLTE.
+	if cN <= dN {
+		t.Errorf("at %d APs: central p99 %v ≤ dLTE p99 %v", res.MaxAPs, cN, dN)
+	}
+}
+
+func TestE4MobilityShape(t *testing.T) {
+	res, err := RunE4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MST keeps disruption well below the legacy reconnect path, and
+	// both sessions must actually recover.
+	if res.MSTDisruptionMs >= res.LegacyDisruptionMs {
+		t.Errorf("MST disruption %v ≥ legacy %v", res.MSTDisruptionMs, res.LegacyDisruptionMs)
+	}
+	if res.LegacyDisruptionMs >= 10000 {
+		t.Error("legacy session never recovered after the roam")
+	}
+	// And the paper's honest concession: MME-masked handover still
+	// beats dLTE's re-attach (its breakdown under rapid mobility).
+	if res.MSTDisruptionMs <= res.CentralDisruptionMs {
+		t.Logf("note: dLTE roam (%vms) beat the modeled MME handover (%vms)", res.MSTDisruptionMs, res.CentralDisruptionMs)
+	}
+	if res.CrossoverDwellMs == 0 {
+		t.Log("no crossover found in swept dwell range (dLTE roam cheap enough)")
+	}
+	if res.AblationTable == nil || res.AblationTable.NumRows() != 3 {
+		t.Error("transport-feature ablation missing")
+	}
+}
+
+func TestE5SpectrumModesShape(t *testing.T) {
+	res, err := RunE5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency: coordinated LTE beats CSMA WiFi on total throughput.
+	if res.TotalMbps["dLTE fair-share"] <= res.TotalMbps["legacy WiFi (CSMA)"] {
+		t.Errorf("fair-share total %v ≤ WiFi %v",
+			res.TotalMbps["dLTE fair-share"], res.TotalMbps["legacy WiFi (CSMA)"])
+	}
+	// Fairness: coordination rescues the worst-served (cell-edge)
+	// user that uncoordinated reuse-1 starves.
+	if res.MinUserMbps["dLTE fair-share"] <= res.MinUserMbps["selfish LTE (no coordination)"] {
+		t.Errorf("fair-share min-user %v ≤ selfish %v",
+			res.MinUserMbps["dLTE fair-share"], res.MinUserMbps["selfish LTE (no coordination)"])
+	}
+	if res.Jain["dLTE fair-share"] <= res.Jain["selfish LTE (no coordination)"] {
+		t.Errorf("fair-share Jain %v ≤ selfish %v",
+			res.Jain["dLTE fair-share"], res.Jain["selfish LTE (no coordination)"])
+	}
+	// Fair-share at least matches WiFi's fairness.
+	if res.Jain["dLTE fair-share"] < res.Jain["legacy WiFi (CSMA)"]-0.05 {
+		t.Errorf("fair-share Jain %v below WiFi %v", res.Jain["dLTE fair-share"], res.Jain["legacy WiFi (CSMA)"])
+	}
+	// Cooperation recovers aggregate on top of fair-share.
+	if res.TotalMbps["dLTE cooperative"] <= res.TotalMbps["dLTE fair-share"] {
+		t.Errorf("cooperative total %v ≤ fair-share %v",
+			res.TotalMbps["dLTE cooperative"], res.TotalMbps["dLTE fair-share"])
+	}
+}
+
+func TestE6WaveformShape(t *testing.T) {
+	res, err := RunE6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b5 := res.RangeKm["LTE band 5 (850 MHz)"]
+	b31 := res.RangeKm["LTE band 31 (450 MHz)"]
+	wifi := res.RangeKm["WiFi 2.4 GHz"]
+	if b5 < 5*wifi {
+		t.Errorf("band 5 range %v < 5× WiFi %v", b5, wifi)
+	}
+	if b31 < b5 {
+		t.Errorf("450 MHz range %v < 850 MHz range %v", b31, b5)
+	}
+	if res.HARQGainKm <= 0 {
+		t.Errorf("HARQ gain = %v km", res.HARQGainKm)
+	}
+}
+
+func TestE7X2OverheadShape(t *testing.T) {
+	res, err := RunE7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X2 is low-bandwidth: under 10% of even a 256 kbit/s backhaul.
+	if res.FractionOf256k > 0.10 {
+		t.Errorf("X2 consumes %.1f%% of a 256k backhaul", 100*res.FractionOf256k)
+	}
+	// And negotiation still converges over the constrained link.
+	if res.ConvergenceOn256kMs <= 0 {
+		t.Error("negotiation failed over the constrained backhaul")
+	}
+	// Overhead grows with AP count but stays modest.
+	if res.BytesPerSec[4] <= res.BytesPerSec[2] {
+		t.Logf("note: X2 rate did not grow 2→4 APs (%v vs %v)", res.BytesPerSec[2], res.BytesPerSec[4])
+	}
+}
+
+func TestE8DeploymentShape(t *testing.T) {
+	res, err := RunE8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One site covers the town.
+	if res.CoveragePct512k < 90 {
+		t.Errorf("coverage = %.0f%%, want ≥ 90%%", res.CoveragePct512k)
+	}
+	if res.PerHomeMbps <= 0 {
+		t.Error("no per-home capacity")
+	}
+	// OTT messaging works end to end through the live stack.
+	if res.OTTDelivered < 5 {
+		t.Errorf("OTT delivered %d of 6", res.OTTDelivered)
+	}
+}
+
+func TestE9HiddenAndRelayShape(t *testing.T) {
+	res, err := RunE9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegistryMbps <= res.CSMAHiddenMbps {
+		t.Errorf("registry TDM %v ≤ hidden CSMA %v", res.RegistryMbps, res.CSMAHiddenMbps)
+	}
+	if res.HiddenCollisionRate < 0.2 {
+		t.Errorf("hidden collision rate %v suspiciously low", res.HiddenCollisionRate)
+	}
+	if !res.RelayGranted {
+		t.Error("relay grant never arrived during the outage")
+	}
+	if res.OutageDetectedMs <= 0 {
+		t.Error("outage not detected")
+	}
+	if res.RelayMbps <= 0 {
+		t.Error("no relay capacity")
+	}
+}

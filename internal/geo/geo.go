@@ -1,0 +1,212 @@
+// Package geo provides the planar geometry used by the dLTE radio and
+// mobility models: points on a local tangent plane (meters), distances,
+// regions, and client mobility models (static, linear, random waypoint).
+//
+// The dLTE registry stores access-point locations so peers can compute
+// RF contention domains (paper §4.3); the mobility models drive the
+// handover experiments (paper §4.2).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Point is a position on a local tangent plane, in meters. Using planar
+// coordinates keeps propagation math exact at the ≤50 km scales of the
+// paper's rural deployments.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// DistanceTo reports the Euclidean distance in meters between p and q.
+func (p Point) DistanceTo(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{X: p.X + dx, Y: p.Y + dy} }
+
+// Sub returns the vector p−q.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Norm reports the vector length of p treated as a vector from origin.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{X: p.X * k, Y: p.Y * k} }
+
+// String renders the point as "(x, y)" in meters.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Rect is an axis-aligned region used to bound deployments and mobility.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points in any
+// order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)},
+		Max: Point{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)},
+	}
+}
+
+// Contains reports whether p lies inside (or on the edge of) r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p constrained to lie within r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Width reports the X extent of r in meters.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height reports the Y extent of r in meters.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Center reports the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// RandomPoint returns a uniformly distributed point within r using rng.
+func (r Rect) RandomPoint(rng *rand.Rand) Point {
+	return Point{
+		X: r.Min.X + rng.Float64()*r.Width(),
+		Y: r.Min.Y + rng.Float64()*r.Height(),
+	}
+}
+
+// Mobility yields a position as a function of elapsed time. All dLTE
+// mobility experiments advance a Mobility model with a virtual clock so
+// runs are deterministic.
+type Mobility interface {
+	// PositionAt reports the position at elapsed time t since the start
+	// of the scenario. Implementations must be deterministic in t.
+	PositionAt(t time.Duration) Point
+}
+
+// Static is a Mobility that never moves.
+type Static struct {
+	P Point
+}
+
+// PositionAt implements Mobility.
+func (s Static) PositionAt(time.Duration) Point { return s.P }
+
+// Linear moves from Start along Velocity (meters/second) indefinitely.
+// It models the paper's vehicle-on-a-road handover scenario (§4.2).
+type Linear struct {
+	Start    Point
+	Velocity Point // meters per second in X and Y
+}
+
+// PositionAt implements Mobility.
+func (l Linear) PositionAt(t time.Duration) Point {
+	s := t.Seconds()
+	return Point{X: l.Start.X + l.Velocity.X*s, Y: l.Start.Y + l.Velocity.Y*s}
+}
+
+// Waypoint is one leg of a precomputed random-waypoint walk.
+type waypointLeg struct {
+	from, to Point
+	start    time.Duration
+	duration time.Duration
+}
+
+// RandomWaypoint implements the classic random-waypoint model inside a
+// bounding rectangle: pick a destination uniformly, travel at Speed,
+// pause, repeat. Legs are precomputed lazily and cached so PositionAt is
+// deterministic and O(log n) amortized.
+type RandomWaypoint struct {
+	Bounds Rect
+	Speed  float64 // meters per second, must be > 0
+	Pause  time.Duration
+	Seed   int64
+
+	legs []waypointLeg
+	rng  *rand.Rand
+	cur  Point
+	end  time.Duration
+}
+
+// NewRandomWaypoint constructs a seeded random-waypoint walker that
+// starts at a random position inside bounds.
+func NewRandomWaypoint(bounds Rect, speed float64, pause time.Duration, seed int64) *RandomWaypoint {
+	rw := &RandomWaypoint{Bounds: bounds, Speed: speed, Pause: pause, Seed: seed}
+	rw.rng = rand.New(rand.NewSource(seed))
+	rw.cur = bounds.RandomPoint(rw.rng)
+	return rw
+}
+
+// PositionAt implements Mobility.
+func (rw *RandomWaypoint) PositionAt(t time.Duration) Point {
+	for rw.end <= t {
+		rw.extend()
+	}
+	// Binary search would be possible; linear from the back is fine since
+	// queries are mostly monotonic in t.
+	for i := len(rw.legs) - 1; i >= 0; i-- {
+		leg := rw.legs[i]
+		if t >= leg.start {
+			if leg.duration == 0 {
+				return leg.to
+			}
+			frac := float64(t-leg.start) / float64(leg.duration)
+			if frac > 1 {
+				frac = 1
+			}
+			return Point{
+				X: leg.from.X + (leg.to.X-leg.from.X)*frac,
+				Y: leg.from.Y + (leg.to.Y-leg.from.Y)*frac,
+			}
+		}
+	}
+	return rw.cur
+}
+
+func (rw *RandomWaypoint) extend() {
+	dest := rw.Bounds.RandomPoint(rw.rng)
+	dist := rw.cur.DistanceTo(dest)
+	speed := rw.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	travel := time.Duration(dist / speed * float64(time.Second))
+	rw.legs = append(rw.legs, waypointLeg{from: rw.cur, to: dest, start: rw.end, duration: travel})
+	rw.end += travel
+	if rw.Pause > 0 {
+		rw.legs = append(rw.legs, waypointLeg{from: dest, to: dest, start: rw.end, duration: rw.Pause})
+		rw.end += rw.Pause
+	}
+	rw.cur = dest
+}
+
+// GridPoints returns n×m points evenly spaced across r, useful for
+// coverage sweeps. Points are placed at cell centers.
+func GridPoints(r Rect, n, m int) []Point {
+	pts := make([]Point, 0, n*m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			pts = append(pts, Point{
+				X: r.Min.X + (float64(i)+0.5)*r.Width()/float64(n),
+				Y: r.Min.Y + (float64(j)+0.5)*r.Height()/float64(m),
+			})
+		}
+	}
+	return pts
+}

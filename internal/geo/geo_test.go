@@ -1,0 +1,186 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistance(t *testing.T) {
+	if got := Pt(0, 0).DistanceTo(Pt(3, 4)); got != 5 {
+		t.Errorf("distance = %v, want 5", got)
+	}
+	if got := Pt(1, 1).DistanceTo(Pt(1, 1)); got != 0 {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if anyBad(ax, ay, bx, by) {
+			return true
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return math.Abs(a.DistanceTo(b)-b.DistanceTo(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := Pt(rng.Float64()*1e4, rng.Float64()*1e4)
+		b := Pt(rng.Float64()*1e4, rng.Float64()*1e4)
+		c := Pt(rng.Float64()*1e4, rng.Float64()*1e4)
+		if a.DistanceTo(c) > a.DistanceTo(b)+b.DistanceTo(c)+1e-6 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Pt(1, 2).Add(3, 4)
+	if p != Pt(4, 6) {
+		t.Errorf("Add = %v", p)
+	}
+	if d := Pt(5, 5).Sub(Pt(2, 1)); d != Pt(3, 4) {
+		t.Errorf("Sub = %v", d)
+	}
+	if n := Pt(3, 4).Norm(); n != 5 {
+		t.Errorf("Norm = %v", n)
+	}
+	if s := Pt(1, -2).Scale(3); s != Pt(3, -6) {
+		t.Errorf("Scale = %v", s)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(Pt(10, 10), Pt(0, 0)) // corners in reverse order
+	if r.Min != Pt(0, 0) || r.Max != Pt(10, 10) {
+		t.Fatalf("NewRect normalization failed: %+v", r)
+	}
+	if !r.Contains(Pt(5, 5)) || !r.Contains(Pt(0, 10)) {
+		t.Error("Contains failed for interior/edge points")
+	}
+	if r.Contains(Pt(-1, 5)) || r.Contains(Pt(5, 11)) {
+		t.Error("Contains accepted exterior points")
+	}
+	if got := r.Clamp(Pt(-5, 20)); got != Pt(0, 10) {
+		t.Errorf("Clamp = %v, want (0,10)", got)
+	}
+	if r.Width() != 10 || r.Height() != 10 {
+		t.Errorf("dims = %v×%v", r.Width(), r.Height())
+	}
+	if r.Center() != Pt(5, 5) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestRandomPointInBounds(t *testing.T) {
+	r := NewRect(Pt(-100, 50), Pt(100, 250))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := r.RandomPoint(rng)
+		if !r.Contains(p) {
+			t.Fatalf("random point %v outside %+v", p, r)
+		}
+	}
+}
+
+func TestStaticMobility(t *testing.T) {
+	m := Static{P: Pt(7, 8)}
+	if m.PositionAt(0) != Pt(7, 8) || m.PositionAt(time.Hour) != Pt(7, 8) {
+		t.Error("Static moved")
+	}
+}
+
+func TestLinearMobility(t *testing.T) {
+	m := Linear{Start: Pt(0, 0), Velocity: Pt(10, -5)} // m/s
+	p := m.PositionAt(2 * time.Second)
+	if p != Pt(20, -10) {
+		t.Errorf("PositionAt(2s) = %v, want (20,-10)", p)
+	}
+	// Half-second granularity.
+	p = m.PositionAt(500 * time.Millisecond)
+	if math.Abs(p.X-5) > 1e-9 || math.Abs(p.Y+2.5) > 1e-9 {
+		t.Errorf("PositionAt(0.5s) = %v, want (5,-2.5)", p)
+	}
+}
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	bounds := NewRect(Pt(0, 0), Pt(1000, 1000))
+	rw := NewRandomWaypoint(bounds, 15, 2*time.Second, 99)
+	for d := time.Duration(0); d < 10*time.Minute; d += 7 * time.Second {
+		p := rw.PositionAt(d)
+		if !bounds.Contains(p) {
+			t.Fatalf("waypoint walker escaped bounds at %v: %v", d, p)
+		}
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	bounds := NewRect(Pt(0, 0), Pt(500, 500))
+	a := NewRandomWaypoint(bounds, 10, time.Second, 5)
+	b := NewRandomWaypoint(bounds, 10, time.Second, 5)
+	for d := time.Duration(0); d < 3*time.Minute; d += 11 * time.Second {
+		if a.PositionAt(d) != b.PositionAt(d) {
+			t.Fatalf("same-seed walkers diverged at %v", d)
+		}
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	// Positions sampled dt apart can differ by at most speed·dt
+	// (pauses only slow it down).
+	bounds := NewRect(Pt(0, 0), Pt(2000, 2000))
+	const speed = 20.0
+	rw := NewRandomWaypoint(bounds, speed, 0, 3)
+	prev := rw.PositionAt(0)
+	const dt = time.Second
+	for d := dt; d < 5*time.Minute; d += dt {
+		cur := rw.PositionAt(d)
+		if dist := prev.DistanceTo(cur); dist > speed*dt.Seconds()+1e-6 {
+			t.Fatalf("moved %v m in %v (speed %v)", dist, dt, speed)
+		}
+		prev = cur
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(10, 10))
+	pts := GridPoints(r, 2, 2)
+	if len(pts) != 4 {
+		t.Fatalf("len = %d, want 4", len(pts))
+	}
+	want := []Point{{2.5, 2.5}, {2.5, 7.5}, {7.5, 2.5}, {7.5, 7.5}}
+	for _, w := range want {
+		found := false
+		for _, p := range pts {
+			if p == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing grid point %v in %v", w, pts)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := Pt(1.25, -3).String(); got != "(1.2, -3.0)" && got != "(1.3, -3.0)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package gtp implements the GPRS Tunneling Protocol user plane
+// (GTP-U, TS 29.281 subset) that carries subscriber IP packets between
+// the eNodeB and the gateway. In a telecom EPC every user packet rides
+// one of these tunnels to a distant P-GW (paper Fig. 1, left); in dLTE
+// the tunnel terminates a few centimeters away in the AP's local stub
+// and the packet exits directly to the Internet (Fig. 1, right). The
+// experiments measure exactly that difference, so the tunnel layer is
+// real: encode/decode, TEID demux, and per-tunnel forwarding.
+package gtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Port is the registered GTP-U UDP port.
+const Port = 2152
+
+// Errors returned by the GTP layer.
+var (
+	ErrTruncated   = errors.New("gtp: truncated packet")
+	ErrBadVersion  = errors.New("gtp: unsupported version")
+	ErrUnknownTEID = errors.New("gtp: unknown TEID")
+	ErrClosed      = errors.New("gtp: endpoint closed")
+)
+
+// messageTypeGPDU is the G-PDU (encapsulated user data) message type.
+const messageTypeGPDU = 0xFF
+
+// headerLen is the mandatory GTP-U header length.
+const headerLen = 8
+
+// Header is the mandatory part of a GTP-U header.
+type Header struct {
+	// TEID is the receiver-allocated tunnel endpoint identifier.
+	TEID uint32
+	// MessageType distinguishes G-PDUs from path management.
+	MessageType uint8
+}
+
+// Encode prepends a GTP-U header to payload.
+func Encode(teid uint32, payload []byte) []byte {
+	out := make([]byte, headerLen+len(payload))
+	out[0] = 0x30 // version 1, protocol type GTP
+	out[1] = messageTypeGPDU
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], teid)
+	copy(out[headerLen:], payload)
+	return out
+}
+
+// Decode parses a GTP-U packet, returning the header and the payload
+// (a subslice of b).
+func Decode(b []byte) (Header, []byte, error) {
+	if len(b) < headerLen {
+		return Header{}, nil, ErrTruncated
+	}
+	if b[0]>>5 != 1 {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, b[0]>>5)
+	}
+	h := Header{
+		MessageType: b[1],
+		TEID:        binary.BigEndian.Uint32(b[4:8]),
+	}
+	plen := int(binary.BigEndian.Uint16(b[2:4]))
+	if headerLen+plen > len(b) {
+		return Header{}, nil, ErrTruncated
+	}
+	return h, b[headerLen : headerLen+plen], nil
+}
+
+// PacketConn is the datagram surface the endpoint runs over; both
+// net.UDPConn and simnet.PacketConn satisfy it.
+type PacketConn interface {
+	WriteTo(b []byte, addr net.Addr) (int, error)
+	ReadFrom(b []byte) (int, net.Addr, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// Handler consumes a decapsulated user packet arriving on a tunnel.
+type Handler func(payload []byte, from net.Addr)
+
+// Tunnel is one direction pair of a GTP-U bearer.
+type Tunnel struct {
+	// LocalTEID demultiplexes inbound packets at this endpoint.
+	LocalTEID uint32
+	// RemoteTEID is stamped on outbound packets.
+	RemoteTEID uint32
+	// Peer is the remote GTP-U endpoint address.
+	Peer net.Addr
+}
+
+// Endpoint is one GTP-U node: it owns a packet socket, demultiplexes
+// inbound G-PDUs by TEID, and sends outbound G-PDUs per tunnel.
+type Endpoint struct {
+	pc PacketConn
+
+	mu       sync.Mutex
+	nextTEID uint32
+	tunnels  map[uint32]*tunnelState
+	closed   bool
+	done     chan struct{}
+}
+
+type tunnelState struct {
+	t       Tunnel
+	handler Handler
+}
+
+// NewEndpoint wraps pc and starts the demux loop.
+func NewEndpoint(pc PacketConn) *Endpoint {
+	e := &Endpoint{
+		pc:       pc,
+		nextTEID: 1,
+		tunnels:  make(map[uint32]*tunnelState),
+		done:     make(chan struct{}),
+	}
+	go e.readLoop()
+	return e
+}
+
+// AllocateTEID reserves a fresh local TEID with the given inbound
+// handler; the remote side is bound later with Bind (mirroring how
+// S1AP exchanges TEIDs in two messages).
+func (e *Endpoint) AllocateTEID(h Handler) uint32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	teid := e.nextTEID
+	e.nextTEID++
+	e.tunnels[teid] = &tunnelState{t: Tunnel{LocalTEID: teid}, handler: h}
+	return teid
+}
+
+// Bind completes a tunnel: packets sent on localTEID go to peer with
+// remoteTEID.
+func (e *Endpoint) Bind(localTEID, remoteTEID uint32, peer net.Addr) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ts, ok := e.tunnels[localTEID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTEID, localTEID)
+	}
+	ts.t.RemoteTEID = remoteTEID
+	ts.t.Peer = peer
+	return nil
+}
+
+// Release tears down a tunnel.
+func (e *Endpoint) Release(localTEID uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.tunnels, localTEID)
+}
+
+// NumTunnels reports the number of live tunnels.
+func (e *Endpoint) NumTunnels() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.tunnels)
+}
+
+// Send encapsulates payload on the tunnel identified by localTEID.
+func (e *Endpoint) Send(localTEID uint32, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	ts, ok := e.tunnels[localTEID]
+	if !ok || ts.t.Peer == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownTEID, localTEID)
+	}
+	peer, remote := ts.t.Peer, ts.t.RemoteTEID
+	e.mu.Unlock()
+	_, err := e.pc.WriteTo(Encode(remote, payload), peer)
+	return err
+}
+
+// readLoop demultiplexes inbound G-PDUs until Close.
+func (e *Endpoint) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		e.pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := e.pc.ReadFrom(buf)
+		if err != nil {
+			continue // deadline tick or transient; Close exits via done
+		}
+		h, payload, err := Decode(buf[:n])
+		if err != nil || h.MessageType != messageTypeGPDU {
+			continue // malformed or non-G-PDU traffic is dropped
+		}
+		e.mu.Lock()
+		ts, ok := e.tunnels[h.TEID]
+		e.mu.Unlock()
+		if !ok || ts.handler == nil {
+			continue
+		}
+		data := make([]byte, len(payload))
+		copy(data, payload)
+		ts.handler(data, from)
+	}
+}
+
+// Close stops the endpoint and its socket.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	return e.pc.Close()
+}

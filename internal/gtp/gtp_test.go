@@ -1,0 +1,243 @@
+package gtp
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dlte/internal/simnet"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payload := []byte("ip-packet-bytes")
+	pkt := Encode(0xDEADBEEF, payload)
+	h, got, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TEID != 0xDEADBEEF {
+		t.Errorf("TEID = %#x", h.TEID)
+	}
+	if h.MessageType != messageTypeGPDU {
+		t.Errorf("type = %#x", h.MessageType)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(teid uint32, payload []byte) bool {
+		if len(payload) > 0xFFFF {
+			return true
+		}
+		h, got, err := Decode(Encode(teid, payload))
+		return err == nil && h.TEID == teid && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{0x30, 0xFF, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: %v", err)
+	}
+	// Wrong version.
+	bad := Encode(1, []byte("x"))
+	bad[0] = 0x50 // version 2
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Length field promising more than present.
+	short := Encode(1, []byte("hello"))
+	if _, _, err := Decode(short[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated payload: %v", err)
+	}
+}
+
+func newPair(t *testing.T) (*Endpoint, *Endpoint, *simnet.Network) {
+	t.Helper()
+	n := simnet.New(simnet.Link{Latency: time.Millisecond}, 1)
+	t.Cleanup(n.Close)
+	a := n.MustAddHost("enb")
+	b := n.MustAddHost("gw")
+	pa, err := a.ListenPacket(Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.ListenPacket(Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := NewEndpoint(pa)
+	eb := NewEndpoint(pb)
+	t.Cleanup(func() { ea.Close(); eb.Close() })
+	return ea, eb, n
+}
+
+func TestTunnelForwarding(t *testing.T) {
+	enb, gw, _ := newPair(t)
+
+	got := make(chan []byte, 1)
+	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- p })
+	enbTEID := enb.AllocateTEID(nil)
+
+	if err := enb.Bind(enbTEID, gwTEID, simnet.Addr{Host: "gw", Port: Port}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enb.Send(enbTEID, []byte("uplink-ip-packet")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "uplink-ip-packet" {
+			t.Errorf("payload = %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet not delivered")
+	}
+}
+
+func TestBidirectionalTunnel(t *testing.T) {
+	enb, gw, _ := newPair(t)
+
+	up := make(chan []byte, 1)
+	down := make(chan []byte, 1)
+	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { up <- p })
+	enbTEID := enb.AllocateTEID(func(p []byte, _ net.Addr) { down <- p })
+
+	enb.Bind(enbTEID, gwTEID, simnet.Addr{Host: "gw", Port: Port})
+	gw.Bind(gwTEID, enbTEID, simnet.Addr{Host: "enb", Port: Port})
+
+	enb.Send(enbTEID, []byte("up"))
+	gw.Send(gwTEID, []byte("down"))
+	for i := 0; i < 2; i++ {
+		select {
+		case p := <-up:
+			if string(p) != "up" {
+				t.Errorf("uplink = %q", p)
+			}
+		case p := <-down:
+			if string(p) != "down" {
+				t.Errorf("downlink = %q", p)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("tunnel traffic lost")
+		}
+	}
+}
+
+func TestTEIDDemux(t *testing.T) {
+	enb, gw, _ := newPair(t)
+	a := make(chan []byte, 1)
+	b := make(chan []byte, 1)
+	teidA := gw.AllocateTEID(func(p []byte, _ net.Addr) { a <- p })
+	teidB := gw.AllocateTEID(func(p []byte, _ net.Addr) { b <- p })
+	if teidA == teidB {
+		t.Fatal("duplicate TEIDs allocated")
+	}
+
+	ta := enb.AllocateTEID(nil)
+	tb := enb.AllocateTEID(nil)
+	enb.Bind(ta, teidA, simnet.Addr{Host: "gw", Port: Port})
+	enb.Bind(tb, teidB, simnet.Addr{Host: "gw", Port: Port})
+	enb.Send(ta, []byte("for-a"))
+	enb.Send(tb, []byte("for-b"))
+
+	select {
+	case p := <-a:
+		if string(p) != "for-a" {
+			t.Errorf("a got %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("a starved")
+	}
+	select {
+	case p := <-b:
+		if string(p) != "for-b" {
+			t.Errorf("b got %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("b starved")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	enb, _, _ := newPair(t)
+	if err := enb.Send(999, []byte("x")); !errors.Is(err, ErrUnknownTEID) {
+		t.Errorf("unknown TEID: %v", err)
+	}
+	// Allocated but unbound tunnel cannot send.
+	teid := enb.AllocateTEID(nil)
+	if err := enb.Send(teid, []byte("x")); !errors.Is(err, ErrUnknownTEID) {
+		t.Errorf("unbound tunnel: %v", err)
+	}
+	if err := enb.Bind(999, 1, simnet.Addr{Host: "gw", Port: Port}); !errors.Is(err, ErrUnknownTEID) {
+		t.Errorf("bind unknown: %v", err)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	enb, gw, _ := newPair(t)
+	got := make(chan []byte, 1)
+	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- p })
+	enbTEID := enb.AllocateTEID(nil)
+	enb.Bind(enbTEID, gwTEID, simnet.Addr{Host: "gw", Port: Port})
+
+	if gw.NumTunnels() != 1 {
+		t.Errorf("NumTunnels = %d", gw.NumTunnels())
+	}
+	gw.Release(gwTEID)
+	if gw.NumTunnels() != 0 {
+		t.Errorf("NumTunnels after release = %d", gw.NumTunnels())
+	}
+	enb.Send(enbTEID, []byte("late"))
+	select {
+	case <-got:
+		t.Error("released tunnel delivered traffic")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestCloseStopsEndpoint(t *testing.T) {
+	enb, gw, _ := newPair(t)
+	gwTEID := gw.AllocateTEID(nil)
+	enbTEID := enb.AllocateTEID(nil)
+	enb.Bind(enbTEID, gwTEID, simnet.Addr{Host: "gw", Port: Port})
+	if err := enb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enb.Send(enbTEID, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	if err := enb.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestGarbageTrafficIgnored(t *testing.T) {
+	// Non-GTP and unknown-TEID packets must not crash the loop.
+	n := simnet.New(simnet.Link{}, 1)
+	t.Cleanup(n.Close)
+	gwHost := n.MustAddHost("gw")
+	srcHost := n.MustAddHost("src")
+	pgw, _ := gwHost.ListenPacket(Port)
+	gw := NewEndpoint(pgw)
+	t.Cleanup(func() { gw.Close() })
+
+	got := make(chan []byte, 1)
+	gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- p })
+
+	src, _ := srcHost.ListenPacket(0)
+	src.WriteToHost([]byte{1, 2, 3}, "gw", Port)                      // garbage
+	src.WriteToHost(Encode(424242, []byte("wrong-teid")), "gw", Port) // unknown TEID
+	select {
+	case p := <-got:
+		t.Errorf("unexpected delivery: %q", p)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

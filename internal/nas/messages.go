@@ -1,0 +1,367 @@
+// Package nas implements the subset of the LTE Non-Access-Stratum
+// protocol a standard client exercises against an EPC (TS 24.301
+// simplified): attach with mutual AKA, NAS security mode, default
+// bearer establishment, detach, and tracking-area update — plus the
+// integrity protection that makes the dLTE stub core look like a real
+// network to an unmodified handset (paper §4.1).
+//
+// Message codecs follow the gopacket idiom: concrete structs with
+// EncodeTo, and a Decode dispatcher on the leading message-type octet.
+package nas
+
+import (
+	"errors"
+	"fmt"
+
+	"dlte/internal/wire"
+)
+
+// MsgType identifies a NAS message.
+type MsgType uint8
+
+// NAS message types (values are local to this implementation).
+const (
+	TypeAttachRequest MsgType = iota + 1
+	TypeAuthenticationRequest
+	TypeAuthenticationResponse
+	TypeAuthenticationReject
+	TypeSecurityModeCommand
+	TypeSecurityModeComplete
+	TypeAttachAccept
+	TypeAttachComplete
+	TypeAttachReject
+	TypeDetachRequest
+	TypeDetachAccept
+	TypeTAURequest
+	TypeTAUAccept
+	TypeTAUReject
+	TypeSecured // integrity-protected envelope
+	// TypeAuthenticationFailure carries the UE's rejection of a
+	// network challenge — including the AUTS resynchronization token
+	// on SQN failures (TS 24.301 §5.4.2.6).
+	TypeAuthenticationFailure
+)
+
+// String names the message type for logs and tests.
+func (t MsgType) String() string {
+	switch t {
+	case TypeAttachRequest:
+		return "AttachRequest"
+	case TypeAuthenticationRequest:
+		return "AuthenticationRequest"
+	case TypeAuthenticationResponse:
+		return "AuthenticationResponse"
+	case TypeAuthenticationReject:
+		return "AuthenticationReject"
+	case TypeSecurityModeCommand:
+		return "SecurityModeCommand"
+	case TypeSecurityModeComplete:
+		return "SecurityModeComplete"
+	case TypeAttachAccept:
+		return "AttachAccept"
+	case TypeAttachComplete:
+		return "AttachComplete"
+	case TypeAttachReject:
+		return "AttachReject"
+	case TypeDetachRequest:
+		return "DetachRequest"
+	case TypeDetachAccept:
+		return "DetachAccept"
+	case TypeTAURequest:
+		return "TAURequest"
+	case TypeTAUAccept:
+		return "TAUAccept"
+	case TypeTAUReject:
+		return "TAUReject"
+	case TypeSecured:
+		return "Secured"
+	case TypeAuthenticationFailure:
+		return "AuthenticationFailure"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is any NAS message.
+type Message interface {
+	wire.Message
+	// Type reports the message's type octet.
+	Type() MsgType
+}
+
+// ErrUnknownMessage reports an unrecognized type octet.
+var ErrUnknownMessage = errors.New("nas: unknown message type")
+
+// Cause codes for reject messages.
+const (
+	CauseIMSIUnknown   uint8 = 2
+	CauseIllegalUE     uint8 = 3
+	CauseAuthFailure   uint8 = 20
+	CauseCongestion    uint8 = 22
+	CauseNotAuthorized uint8 = 35
+	CauseProtocolError uint8 = 111
+)
+
+// AttachRequest initiates registration. The IMSI is sent in clear on
+// first attach (as in real LTE before a GUTI is assigned).
+type AttachRequest struct {
+	IMSI string
+	// UECapabilities is an opaque capability string.
+	UECapabilities string
+	// FollowOnData requests immediate user-plane resources.
+	FollowOnData bool
+}
+
+// Type implements Message.
+func (AttachRequest) Type() MsgType { return TypeAttachRequest }
+
+// EncodeTo implements wire.Message.
+func (m AttachRequest) EncodeTo(w *wire.Writer) {
+	w.String8(m.IMSI)
+	w.String8(m.UECapabilities)
+	w.Bool(m.FollowOnData)
+}
+
+// AuthenticationRequest carries the AKA challenge.
+type AuthenticationRequest struct {
+	RAND []byte // 16 bytes
+	AUTN []byte // 16 bytes
+}
+
+// Type implements Message.
+func (AuthenticationRequest) Type() MsgType { return TypeAuthenticationRequest }
+
+// EncodeTo implements wire.Message.
+func (m AuthenticationRequest) EncodeTo(w *wire.Writer) {
+	w.Bytes8(m.RAND)
+	w.Bytes8(m.AUTN)
+}
+
+// AuthenticationResponse carries the UE's RES.
+type AuthenticationResponse struct {
+	RES []byte
+}
+
+// Type implements Message.
+func (AuthenticationResponse) Type() MsgType { return TypeAuthenticationResponse }
+
+// EncodeTo implements wire.Message.
+func (m AuthenticationResponse) EncodeTo(w *wire.Writer) { w.Bytes8(m.RES) }
+
+// AuthenticationFailure reports the UE's rejection of the network's
+// challenge. CauseSyncFailure carries AUTS so the HSS can
+// resynchronize its sequence counter and retry.
+type AuthenticationFailure struct {
+	Cause uint8
+	AUTS  []byte // 14 bytes when Cause == CauseSyncFailure
+}
+
+// Type implements Message.
+func (AuthenticationFailure) Type() MsgType { return TypeAuthenticationFailure }
+
+// EncodeTo implements wire.Message.
+func (m AuthenticationFailure) EncodeTo(w *wire.Writer) {
+	w.U8(m.Cause)
+	w.Bytes8(m.AUTS)
+}
+
+// CauseSyncFailure marks an SQN synchronisation failure (TS 24.008
+// cause #21).
+const CauseSyncFailure uint8 = 21
+
+// AuthenticationReject aborts registration after failed AKA.
+type AuthenticationReject struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (AuthenticationReject) Type() MsgType { return TypeAuthenticationReject }
+
+// EncodeTo implements wire.Message.
+func (m AuthenticationReject) EncodeTo(w *wire.Writer) { w.U8(m.Cause) }
+
+// SecurityModeCommand activates NAS security with the chosen
+// algorithm; it is the first integrity-protected downlink message.
+type SecurityModeCommand struct {
+	IntegrityAlg uint8
+	CipherAlg    uint8
+}
+
+// Type implements Message.
+func (SecurityModeCommand) Type() MsgType { return TypeSecurityModeCommand }
+
+// EncodeTo implements wire.Message.
+func (m SecurityModeCommand) EncodeTo(w *wire.Writer) {
+	w.U8(m.IntegrityAlg)
+	w.U8(m.CipherAlg)
+}
+
+// SecurityModeComplete acknowledges security activation.
+type SecurityModeComplete struct{}
+
+// Type implements Message.
+func (SecurityModeComplete) Type() MsgType { return TypeSecurityModeComplete }
+
+// EncodeTo implements wire.Message.
+func (SecurityModeComplete) EncodeTo(*wire.Writer) {}
+
+// AttachAccept completes registration and carries the default EPS
+// bearer: the UE's IP address and bearer identity (ESM folded in, as
+// the combined attach procedure does).
+type AttachAccept struct {
+	// GUTI is the temporary identity assigned to the UE.
+	GUTI uint64
+	// TrackingArea identifies the serving TA.
+	TrackingArea uint16
+	// EBI is the default bearer identity (5..15).
+	EBI uint8
+	// PDNAddress is the UE's assigned IP address, as a string.
+	PDNAddress string
+	// DirectBreakout reports dLTE semantics: traffic exits at the AP
+	// rather than tunneling to a remote PGW (paper Fig. 1).
+	DirectBreakout bool
+}
+
+// Type implements Message.
+func (AttachAccept) Type() MsgType { return TypeAttachAccept }
+
+// EncodeTo implements wire.Message.
+func (m AttachAccept) EncodeTo(w *wire.Writer) {
+	w.U64(m.GUTI)
+	w.U16(m.TrackingArea)
+	w.U8(m.EBI)
+	w.String8(m.PDNAddress)
+	w.Bool(m.DirectBreakout)
+}
+
+// AttachComplete acknowledges the accept.
+type AttachComplete struct{}
+
+// Type implements Message.
+func (AttachComplete) Type() MsgType { return TypeAttachComplete }
+
+// EncodeTo implements wire.Message.
+func (AttachComplete) EncodeTo(*wire.Writer) {}
+
+// AttachReject refuses registration.
+type AttachReject struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (AttachReject) Type() MsgType { return TypeAttachReject }
+
+// EncodeTo implements wire.Message.
+func (m AttachReject) EncodeTo(w *wire.Writer) { w.U8(m.Cause) }
+
+// DetachRequest releases registration (UE- or network-initiated).
+type DetachRequest struct {
+	GUTI uint64
+}
+
+// Type implements Message.
+func (DetachRequest) Type() MsgType { return TypeDetachRequest }
+
+// EncodeTo implements wire.Message.
+func (m DetachRequest) EncodeTo(w *wire.Writer) { w.U64(m.GUTI) }
+
+// DetachAccept acknowledges a detach.
+type DetachAccept struct{}
+
+// Type implements Message.
+func (DetachAccept) Type() MsgType { return TypeDetachAccept }
+
+// EncodeTo implements wire.Message.
+func (DetachAccept) EncodeTo(*wire.Writer) {}
+
+// TAURequest updates the UE's tracking area after idle mobility.
+type TAURequest struct {
+	GUTI         uint64
+	TrackingArea uint16
+}
+
+// Type implements Message.
+func (TAURequest) Type() MsgType { return TypeTAURequest }
+
+// EncodeTo implements wire.Message.
+func (m TAURequest) EncodeTo(w *wire.Writer) {
+	w.U64(m.GUTI)
+	w.U16(m.TrackingArea)
+}
+
+// TAUAccept confirms the tracking-area update.
+type TAUAccept struct {
+	TrackingArea uint16
+}
+
+// Type implements Message.
+func (TAUAccept) Type() MsgType { return TypeTAUAccept }
+
+// EncodeTo implements wire.Message.
+func (m TAUAccept) EncodeTo(w *wire.Writer) { w.U16(m.TrackingArea) }
+
+// TAUReject refuses a tracking-area update (e.g. unknown GUTI, forcing
+// a fresh attach — which is what happens when a dLTE UE roams to an AP
+// with no shared MME state).
+type TAUReject struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (TAUReject) Type() MsgType { return TypeTAUReject }
+
+// EncodeTo implements wire.Message.
+func (m TAUReject) EncodeTo(w *wire.Writer) { w.U8(m.Cause) }
+
+// Marshal serializes any NAS message with its type octet.
+func Marshal(m Message) ([]byte, error) {
+	return wire.Marshal(uint8(m.Type()), m)
+}
+
+// Decode parses a NAS message (which may be a Secured envelope; the
+// caller unwraps it with Open).
+func Decode(b []byte) (Message, error) {
+	r := wire.NewReader(b)
+	t := MsgType(r.U8())
+	var m Message
+	switch t {
+	case TypeAttachRequest:
+		m = &AttachRequest{IMSI: r.String8(), UECapabilities: r.String8(), FollowOnData: r.Bool()}
+	case TypeAuthenticationRequest:
+		m = &AuthenticationRequest{RAND: r.Bytes8(), AUTN: r.Bytes8()}
+	case TypeAuthenticationResponse:
+		m = &AuthenticationResponse{RES: r.Bytes8()}
+	case TypeAuthenticationReject:
+		m = &AuthenticationReject{Cause: r.U8()}
+	case TypeSecurityModeCommand:
+		m = &SecurityModeCommand{IntegrityAlg: r.U8(), CipherAlg: r.U8()}
+	case TypeSecurityModeComplete:
+		m = &SecurityModeComplete{}
+	case TypeAttachAccept:
+		m = &AttachAccept{GUTI: r.U64(), TrackingArea: r.U16(), EBI: r.U8(), PDNAddress: r.String8(), DirectBreakout: r.Bool()}
+	case TypeAttachComplete:
+		m = &AttachComplete{}
+	case TypeAttachReject:
+		m = &AttachReject{Cause: r.U8()}
+	case TypeDetachRequest:
+		m = &DetachRequest{GUTI: r.U64()}
+	case TypeDetachAccept:
+		m = &DetachAccept{}
+	case TypeTAURequest:
+		m = &TAURequest{GUTI: r.U64(), TrackingArea: r.U16()}
+	case TypeTAUAccept:
+		m = &TAUAccept{TrackingArea: r.U16()}
+	case TypeTAUReject:
+		m = &TAUReject{Cause: r.U8()}
+	case TypeSecured:
+		m = &Secured{Count: r.U32(), MAC: r.BytesN(4), Inner: r.Bytes16()}
+	case TypeAuthenticationFailure:
+		m = &AuthenticationFailure{Cause: r.U8(), AUTS: r.Bytes8()}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, t)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("nas: decode %s: %w", t, err)
+	}
+	return m, nil
+}

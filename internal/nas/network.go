@@ -1,0 +1,257 @@
+package nas
+
+import (
+	"fmt"
+
+	"dlte/internal/auth"
+)
+
+// NetworkState is the network-side per-UE EMM state.
+type NetworkState int
+
+// Network-side states.
+const (
+	NetIdle NetworkState = iota
+	NetAuthPending
+	NetSecurityPending
+	NetAcceptPending
+	NetRegistered
+)
+
+// String names the state.
+func (s NetworkState) String() string {
+	switch s {
+	case NetIdle:
+		return "IDLE"
+	case NetAuthPending:
+		return "AUTH-PENDING"
+	case NetSecurityPending:
+		return "SECURITY-PENDING"
+	case NetAcceptPending:
+		return "ACCEPT-PENDING"
+	case NetRegistered:
+		return "REGISTERED"
+	default:
+		return fmt.Sprintf("NetworkState(%d)", int(s))
+	}
+}
+
+// EventKind classifies session events surfaced to the MME.
+type EventKind int
+
+// Session events.
+const (
+	EventNone EventKind = iota
+	// EventRegistered fires when AttachComplete lands: the session is
+	// live and the data path can be activated.
+	EventRegistered
+	// EventDetached fires on detach completion.
+	EventDetached
+	// EventAuthFailed fires when the UE fails authentication.
+	EventAuthFailed
+	// EventRejected fires when the network rejects the UE.
+	EventRejected
+)
+
+// Event is a session state change of interest to the surrounding EPC.
+type Event struct {
+	Kind EventKind
+	IMSI string
+	IP   string
+	GUTI uint64
+}
+
+// NetworkConfig wires a NAS session to its EPC environment.
+type NetworkConfig struct {
+	// HSS is the subscriber store to authenticate against.
+	HSS *auth.SubscriberDB
+	// ServingNetworkID is bound into KASME; in dLTE it names the AP.
+	ServingNetworkID string
+	// TrackingArea is advertised in AttachAccept.
+	TrackingArea uint16
+	// DirectBreakout marks dLTE semantics in AttachAccept.
+	DirectBreakout bool
+	// AllocateIP assigns the UE's PDN address at accept time.
+	AllocateIP func(imsi string) (string, error)
+	// AllocateGUTI assigns a temporary identity.
+	AllocateGUTI func() uint64
+	// KnownGUTI reports whether a GUTI belongs to this MME (for TAU).
+	KnownGUTI func(guti uint64) bool
+}
+
+// NetworkSession is the network-side NAS state machine for one UE.
+type NetworkSession struct {
+	cfg      NetworkConfig
+	state    NetworkState
+	imsi     string
+	vector   auth.Vector
+	sec      SecurityContext
+	guti     uint64
+	ip       string
+	ebi      uint8
+	resynced bool
+}
+
+// NewNetworkSession builds a session.
+func NewNetworkSession(cfg NetworkConfig) *NetworkSession {
+	return &NetworkSession{cfg: cfg}
+}
+
+// State reports the current network-side state.
+func (s *NetworkSession) State() NetworkState { return s.state }
+
+// IMSI reports the peer identity (set after AttachRequest).
+func (s *NetworkSession) IMSI() string { return s.imsi }
+
+// IP reports the assigned PDN address (set at accept).
+func (s *NetworkSession) IP() string { return s.ip }
+
+// GUTI reports the assigned temporary identity.
+func (s *NetworkSession) GUTI() uint64 { return s.guti }
+
+// Handle processes one uplink NAS message, returning the downlink
+// reply (nil if none) and an Event for the surrounding EPC.
+func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
+	msg, err := Decode(b)
+	if err != nil {
+		return nil, Event{}, err
+	}
+	if env, ok := msg.(*Secured); ok {
+		if !s.sec.Active() {
+			return nil, Event{}, fmt.Errorf("nas: protected uplink before security activation")
+		}
+		msg, err = s.sec.Open(env)
+		if err != nil {
+			return nil, Event{}, err
+		}
+	}
+
+	switch m := msg.(type) {
+	case *AttachRequest:
+		s.imsi = m.IMSI
+		if !s.cfg.HSS.Known(auth.IMSI(m.IMSI)) {
+			s.state = NetIdle
+			out, merr := Marshal(&AttachReject{Cause: CauseIMSIUnknown})
+			return out, Event{Kind: EventRejected, IMSI: m.IMSI}, merr
+		}
+		v, verr := s.cfg.HSS.NextVector(auth.IMSI(m.IMSI), s.cfg.ServingNetworkID)
+		if verr != nil {
+			out, merr := Marshal(&AttachReject{Cause: CauseProtocolError})
+			return out, Event{Kind: EventRejected, IMSI: m.IMSI}, joinErr(verr, merr)
+		}
+		s.vector = v
+		s.state = NetAuthPending
+		out, merr := Marshal(&AuthenticationRequest{RAND: v.RAND, AUTN: v.AUTN})
+		return out, Event{}, merr
+
+	case *AuthenticationFailure:
+		if s.state != NetAuthPending {
+			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		}
+		if m.Cause != CauseSyncFailure || s.resynced {
+			// Either an unrecoverable failure or a second resync in one
+			// attach (a loop guard): give up on this UE.
+			s.state = NetIdle
+			out, merr := Marshal(&AttachReject{Cause: CauseAuthFailure})
+			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, merr
+		}
+		if rerr := s.cfg.HSS.Resynchronize(auth.IMSI(s.imsi), s.vector.RAND, m.AUTS); rerr != nil {
+			s.state = NetIdle
+			out, merr := Marshal(&AuthenticationReject{Cause: CauseAuthFailure})
+			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, joinErr(rerr, merr)
+		}
+		s.resynced = true
+		v, verr := s.cfg.HSS.NextVector(auth.IMSI(s.imsi), s.cfg.ServingNetworkID)
+		if verr != nil {
+			out, merr := Marshal(&AttachReject{Cause: CauseProtocolError})
+			return out, Event{Kind: EventRejected, IMSI: s.imsi}, joinErr(verr, merr)
+		}
+		s.vector = v
+		out, merr := Marshal(&AuthenticationRequest{RAND: v.RAND, AUTN: v.AUTN})
+		return out, Event{}, merr
+
+	case *AuthenticationResponse:
+		if s.state != NetAuthPending {
+			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		}
+		if cerr := auth.CheckRES(s.vector, m.RES); cerr != nil {
+			s.state = NetIdle
+			out, merr := Marshal(&AuthenticationReject{Cause: CauseAuthFailure})
+			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, joinErr(cerr, merr)
+		}
+		s.sec.Activate(s.vector.KASME)
+		s.state = NetSecurityPending
+		env, serr := s.sec.Seal(&SecurityModeCommand{IntegrityAlg: 1, CipherAlg: 0})
+		if serr != nil {
+			return nil, Event{}, serr
+		}
+		out, merr := Marshal(env)
+		return out, Event{}, merr
+
+	case *SecurityModeComplete:
+		if s.state != NetSecurityPending {
+			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		}
+		ip, aerr := s.cfg.AllocateIP(s.imsi)
+		if aerr != nil {
+			out, merr := Marshal(&AttachReject{Cause: CauseCongestion})
+			return out, Event{Kind: EventRejected, IMSI: s.imsi}, joinErr(aerr, merr)
+		}
+		s.ip = ip
+		s.guti = s.cfg.AllocateGUTI()
+		s.ebi = 5
+		s.state = NetAcceptPending
+		env, serr := s.sec.Seal(&AttachAccept{
+			GUTI:           s.guti,
+			TrackingArea:   s.cfg.TrackingArea,
+			EBI:            s.ebi,
+			PDNAddress:     s.ip,
+			DirectBreakout: s.cfg.DirectBreakout,
+		})
+		if serr != nil {
+			return nil, Event{}, serr
+		}
+		out, merr := Marshal(env)
+		return out, Event{}, merr
+
+	case *AttachComplete:
+		if s.state != NetAcceptPending {
+			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		}
+		s.state = NetRegistered
+		return nil, Event{Kind: EventRegistered, IMSI: s.imsi, IP: s.ip, GUTI: s.guti}, nil
+
+	case *DetachRequest:
+		if s.state != NetRegistered {
+			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		}
+		s.state = NetIdle
+		env, serr := s.sec.Seal(&DetachAccept{})
+		if serr != nil {
+			return nil, Event{}, serr
+		}
+		out, merr := Marshal(env)
+		return out, Event{Kind: EventDetached, IMSI: s.imsi, GUTI: m.GUTI}, merr
+
+	case *TAURequest:
+		if s.cfg.KnownGUTI != nil && s.cfg.KnownGUTI(m.GUTI) {
+			out, merr := Marshal(&TAUAccept{TrackingArea: m.TrackingArea})
+			return out, Event{}, merr
+		}
+		// Unknown GUTI: this MME has no context for the UE — the
+		// standard response that forces a fresh attach, and the normal
+		// case when roaming between independent dLTE APs.
+		out, merr := Marshal(&TAUReject{Cause: CauseIllegalUE})
+		return out, Event{}, merr
+
+	default:
+		return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, msg.Type(), s.state)
+	}
+}
+
+func joinErr(primary, secondary error) error {
+	if primary != nil {
+		return primary
+	}
+	return secondary
+}

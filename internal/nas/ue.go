@@ -1,0 +1,223 @@
+package nas
+
+import (
+	"errors"
+	"fmt"
+
+	"dlte/internal/auth"
+)
+
+// UEState is the UE-side EMM state.
+type UEState int
+
+// UE states, in attach order.
+const (
+	UEDeregistered UEState = iota
+	UEAttachInitiated
+	UEAuthenticated
+	UESecured
+	UERegistered
+)
+
+// String names the state.
+func (s UEState) String() string {
+	switch s {
+	case UEDeregistered:
+		return "DEREGISTERED"
+	case UEAttachInitiated:
+		return "ATTACH-INITIATED"
+	case UEAuthenticated:
+		return "AUTHENTICATED"
+	case UESecured:
+		return "SECURED"
+	case UERegistered:
+		return "REGISTERED"
+	default:
+		return fmt.Sprintf("UEState(%d)", int(s))
+	}
+}
+
+// ErrUnexpectedMessage reports a NAS message arriving in a state that
+// cannot accept it.
+var ErrUnexpectedMessage = errors.New("nas: unexpected message for state")
+
+// UE is the UE-side NAS state machine. It is message-in/message-out:
+// the caller moves bytes between it and the network (over RRC in the
+// real system, over the simulated air interface here).
+//
+// The UE object persists across attaches to different networks — its
+// SQN state lives in the SIM — which is what lets a dLTE client roam
+// between unrelated APs and re-authenticate at each (paper §4.2).
+type UE struct {
+	sim          auth.SIM
+	ueCtx        auth.UEContext
+	state        UEState
+	sec          SecurityContext
+	snID         string
+	kasme        []byte
+	pendingKASME []byte
+
+	// Registration results, valid in UERegistered.
+	GUTI         uint64
+	IPAddress    string
+	EBI          uint8
+	TrackingArea uint16
+	Breakout     bool
+}
+
+// NewUE builds a UE around a provisioned SIM.
+func NewUE(sim auth.SIM) (*UE, error) {
+	m, err := sim.Milenage()
+	if err != nil {
+		return nil, err
+	}
+	return &UE{sim: sim, ueCtx: auth.UEContext{Mil: m}}, nil
+}
+
+// IMSI reports the UE's identity.
+func (u *UE) IMSI() string { return string(u.sim.IMSI) }
+
+// State reports the current EMM state.
+func (u *UE) State() UEState { return u.state }
+
+// StartAttach resets session state and returns the serialized
+// AttachRequest for the serving network snID.
+func (u *UE) StartAttach(snID string) ([]byte, error) {
+	u.state = UEAttachInitiated
+	u.snID = snID
+	u.sec = SecurityContext{}
+	u.kasme = nil
+	u.GUTI, u.IPAddress, u.EBI = 0, "", 0
+	return Marshal(&AttachRequest{IMSI: string(u.sim.IMSI), UECapabilities: "cat4", FollowOnData: true})
+}
+
+// StartDetach returns a sealed DetachRequest; valid only when
+// registered.
+func (u *UE) StartDetach() ([]byte, error) {
+	if u.state != UERegistered {
+		return nil, fmt.Errorf("%w: detach in %s", ErrUnexpectedMessage, u.state)
+	}
+	env, err := u.sec.Seal(&DetachRequest{GUTI: u.GUTI})
+	if err != nil {
+		return nil, err
+	}
+	return Marshal(env)
+}
+
+// StartTAU returns a Tracking Area Update request for use after idle
+// mobility to an AP that may or may not share MME state.
+func (u *UE) StartTAU(ta uint16) ([]byte, error) {
+	if u.state != UERegistered {
+		return nil, fmt.Errorf("%w: TAU in %s", ErrUnexpectedMessage, u.state)
+	}
+	// TAU is sent in clear here: the target MME may not hold our
+	// security context (it will reject and force re-attach, which is
+	// the dLTE roaming path).
+	return Marshal(&TAURequest{GUTI: u.GUTI, TrackingArea: ta})
+}
+
+// Handle processes one downlink NAS message and returns the uplink
+// reply (nil if none) and whether the attach procedure completed.
+func (u *UE) Handle(b []byte) (reply []byte, done bool, err error) {
+	msg, err := Decode(b)
+	if err != nil {
+		return nil, false, err
+	}
+	if env, ok := msg.(*Secured); ok {
+		if !u.sec.Active() {
+			// First protected message: activate with the pending KASME
+			// (the SMC arrives right after a successful AKA).
+			if u.kasme == nil {
+				return nil, false, fmt.Errorf("nas: protected message before AKA")
+			}
+			u.sec.Activate(u.kasme)
+		}
+		msg, err = u.sec.Open(env)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+
+	switch m := msg.(type) {
+	case *AuthenticationRequest:
+		if u.state != UEAttachInitiated {
+			return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), u.state)
+		}
+		res, aerr := u.ueCtx.Respond(m.RAND, m.AUTN, u.snID)
+		if errors.Is(aerr, auth.ErrSyncFailure) {
+			// SQN out of step (normal after roaming a published-key
+			// SIM across independent cores): return AUTS so the HSS
+			// can resynchronize, and await a fresh challenge.
+			auts, berr := u.ueCtx.BuildAUTS(m.RAND)
+			if berr != nil {
+				return nil, false, berr
+			}
+			out, merr := Marshal(&AuthenticationFailure{Cause: CauseSyncFailure, AUTS: auts})
+			return out, false, merr
+		}
+		if aerr != nil {
+			// The network failed OUR authentication of IT — mutual auth
+			// protects the client even on an open dLTE AP.
+			return nil, false, aerr
+		}
+		u.kasme = res.KASME
+		u.state = UEAuthenticated
+		out, merr := Marshal(&AuthenticationResponse{RES: res.RES})
+		return out, false, merr
+
+	case *SecurityModeCommand:
+		if u.state != UEAuthenticated {
+			return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), u.state)
+		}
+		u.state = UESecured
+		env, serr := u.sec.Seal(&SecurityModeComplete{})
+		if serr != nil {
+			return nil, false, serr
+		}
+		out, merr := Marshal(env)
+		return out, false, merr
+
+	case *AttachAccept:
+		if u.state != UESecured {
+			return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), u.state)
+		}
+		u.GUTI = m.GUTI
+		u.TrackingArea = m.TrackingArea
+		u.EBI = m.EBI
+		u.IPAddress = m.PDNAddress
+		u.Breakout = m.DirectBreakout
+		u.state = UERegistered
+		env, serr := u.sec.Seal(&AttachComplete{})
+		if serr != nil {
+			return nil, false, serr
+		}
+		out, merr := Marshal(env)
+		return out, true, merr
+
+	case *AttachReject:
+		u.state = UEDeregistered
+		return nil, false, fmt.Errorf("nas: attach rejected, cause %d", m.Cause)
+
+	case *AuthenticationReject:
+		u.state = UEDeregistered
+		return nil, false, fmt.Errorf("nas: authentication rejected, cause %d", m.Cause)
+
+	case *DetachAccept:
+		u.state = UEDeregistered
+		u.GUTI, u.IPAddress = 0, ""
+		return nil, true, nil
+
+	case *TAUAccept:
+		u.TrackingArea = m.TrackingArea
+		return nil, true, nil
+
+	case *TAUReject:
+		// Unknown GUTI at this AP: fall back to a fresh attach — the
+		// dLTE roaming path (each AP is its own network).
+		u.state = UEDeregistered
+		return nil, false, fmt.Errorf("nas: TAU rejected, cause %d", m.Cause)
+
+	default:
+		return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, msg.Type(), u.state)
+	}
+}

@@ -1,0 +1,229 @@
+package phy
+
+import (
+	"math/rand"
+)
+
+// DCF timing constants (802.11n 2.4 GHz OFDM, microseconds). The
+// simulation advances in slot ticks; frame and overhead durations are
+// rounded up to whole slots.
+const (
+	dcfSlotUs     = 9
+	dcfDIFSUs     = 28
+	dcfSIFSUs     = 10
+	dcfAckUs      = 44 // ACK at basic rate incl. preamble
+	dcfPreambleUs = 20
+	dcfCWMin      = 15
+	dcfCWMax      = 1023
+	dcfRetryLimit = 7
+)
+
+// DCFStation is one contending WiFi transmitter, sending to the shared
+// access point.
+type DCFStation struct {
+	// ID labels the station in results.
+	ID string
+	// RateBps is the PHY rate the station's link supports.
+	RateBps float64
+	// PayloadBytes per frame (0 = 1500).
+	PayloadBytes int
+	// Saturated stations always have a frame queued. Unsaturated
+	// support is not modeled; the paper's contention claims concern
+	// saturation throughput.
+	Saturated bool
+}
+
+// DCFConfig describes a contention domain around one receiver.
+type DCFConfig struct {
+	Stations []DCFStation
+	// Sense[i][j] reports whether station i can carrier-sense station
+	// j's transmissions. Nil means full sensing (no hidden terminals).
+	// The matrix need not be symmetric.
+	Sense [][]bool
+	// Seed drives backoff randomness.
+	Seed int64
+}
+
+// DCFResult reports a DCF simulation outcome.
+type DCFResult struct {
+	// PerStationBps is goodput delivered to the AP per station.
+	PerStationBps map[string]float64
+	// TotalBps is aggregate goodput.
+	TotalBps float64
+	// Attempts and Collisions count transmission attempts and the
+	// attempts that ended corrupted at the AP.
+	Attempts, Collisions int
+	// CollisionRate is Collisions/Attempts (0 when no attempts).
+	CollisionRate float64
+	// BusyAirtimeFraction is the fraction of time the AP-observed
+	// medium carried at least one transmission.
+	BusyAirtimeFraction float64
+}
+
+type dcfStationState struct {
+	cfg          DCFStation
+	backoff      int // remaining backoff slots
+	cw           int
+	retries      int
+	txRemaining  int  // slots left in current transmission
+	txCorrupted  bool // another audible-to-AP TX overlapped
+	frameSlots   int
+	payloadBits  float64
+	deliveredBit float64
+}
+
+func (s *dcfStationState) newBackoff(rng *rand.Rand) {
+	s.backoff = rng.Intn(s.cw + 1)
+}
+
+// SimulateDCF runs the slotted CSMA/CA contention process for the given
+// number of seconds of virtual time and reports per-station goodput.
+// Stations outside each other's sensing range (hidden terminals) count
+// their backoff down during each other's transmissions and collide at
+// the AP — the failure mode the dLTE registry eliminates (§4.3).
+func SimulateDCF(cfg DCFConfig, seconds float64, _ ...struct{}) DCFResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(cfg.Stations)
+	states := make([]*dcfStationState, n)
+	for i, st := range cfg.Stations {
+		payload := st.PayloadBytes
+		if payload == 0 {
+			payload = 1500
+		}
+		frameUs := dcfPreambleUs + dcfSIFSUs + dcfAckUs + dcfDIFSUs
+		if st.RateBps > 0 {
+			frameUs += int(float64(payload*8) / st.RateBps * 1e6)
+		}
+		slots := (frameUs + dcfSlotUs - 1) / dcfSlotUs
+		if slots < 1 {
+			slots = 1
+		}
+		s := &dcfStationState{
+			cfg:         st,
+			cw:          dcfCWMin,
+			frameSlots:  slots,
+			payloadBits: float64(payload * 8),
+		}
+		s.newBackoff(rng)
+		states[i] = s
+	}
+	senses := func(i, j int) bool {
+		if cfg.Sense == nil {
+			return true
+		}
+		return cfg.Sense[i][j]
+	}
+
+	totalSlots := int(seconds * 1e6 / dcfSlotUs)
+	attempts, collisions, busySlots := 0, 0, 0
+	result := DCFResult{PerStationBps: make(map[string]float64, n)}
+
+	for slot := 0; slot < totalSlots; slot++ {
+		// Phase 1: stations with expired backoff and an idle medium (as
+		// they sense it at slot start) begin transmitting. Eligibility
+		// is computed against slot-start state so that two stations
+		// whose backoff expired in the same slot both transmit — the
+		// same-slot collision at the heart of CSMA/CA.
+		var starting []int
+		for i, s := range states {
+			if s.txRemaining > 0 || !s.cfg.Saturated || s.backoff > 0 {
+				continue
+			}
+			idle := true
+			for j, o := range states {
+				if j != i && o.txRemaining > 0 && senses(i, j) {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				starting = append(starting, i)
+			}
+		}
+		for _, i := range starting {
+			states[i].txRemaining = states[i].frameSlots
+			states[i].txCorrupted = false
+			attempts++
+		}
+
+		// Phase 2: collision detection at the AP — any overlap of
+		// transmissions (the AP hears everyone) corrupts all involved.
+		active := 0
+		for _, s := range states {
+			if s.txRemaining > 0 {
+				active++
+			}
+		}
+		if active > 0 {
+			busySlots++
+		}
+		if active > 1 {
+			for _, s := range states {
+				if s.txRemaining > 0 {
+					s.txCorrupted = true
+				}
+			}
+		}
+
+		// Phase 3: advance transmissions and count down backoff for
+		// stations that sense an idle medium.
+		for i, s := range states {
+			if s.txRemaining > 0 {
+				s.txRemaining--
+				if s.txRemaining == 0 {
+					if s.txCorrupted {
+						collisions++
+						s.retries++
+						if s.retries > dcfRetryLimit {
+							s.retries = 0
+							s.cw = dcfCWMin
+						} else if s.cw < dcfCWMax {
+							s.cw = min(2*(s.cw+1)-1, dcfCWMax)
+						}
+					} else {
+						s.deliveredBit += s.payloadBits
+						s.retries = 0
+						s.cw = dcfCWMin
+					}
+					s.newBackoff(rng)
+				}
+				continue
+			}
+			if !s.cfg.Saturated || s.backoff == 0 {
+				continue
+			}
+			idle := true
+			for j, o := range states {
+				if j != i && o.txRemaining > 0 && senses(i, j) {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				s.backoff--
+			}
+		}
+	}
+
+	for _, s := range states {
+		bps := s.deliveredBit / seconds
+		result.PerStationBps[s.cfg.ID] = bps
+		result.TotalBps += bps
+	}
+	result.Attempts = attempts
+	result.Collisions = collisions
+	if attempts > 0 {
+		result.CollisionRate = float64(collisions) / float64(attempts)
+	}
+	if totalSlots > 0 {
+		result.BusyAirtimeFraction = float64(busySlots) / float64(totalSlots)
+	}
+	return result
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

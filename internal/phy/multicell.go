@@ -1,0 +1,210 @@
+package phy
+
+import "dlte/internal/radio"
+
+// MultiCellMode selects how neighboring co-channel cells share the
+// medium — the three operating points of the paper's §4.3 story.
+type MultiCellMode int
+
+const (
+	// Uncoordinated cells transmit whenever they have traffic and
+	// interfere with each other, like independent selfish deployments.
+	Uncoordinated MultiCellMode = iota
+	// FairShare is dLTE's default mode: peers negotiate the bare
+	// minimum fair time split over X2, so transmissions are orthogonal
+	// but the split ignores load.
+	FairShare
+	// Cooperative is dLTE's opt-in mode: peers jointly assign each
+	// client to the best AP and size airtime shares by load.
+	Cooperative
+)
+
+// String names the mode for experiment tables.
+func (m MultiCellMode) String() string {
+	switch m {
+	case Uncoordinated:
+		return "uncoordinated"
+	case FairShare:
+		return "fair-share"
+	case Cooperative:
+		return "cooperative"
+	default:
+		return "unknown"
+	}
+}
+
+// MultiUser is a client in a multi-cell scenario. SINR values are
+// supplied by the caller (computed from radio geometry) for the two
+// interference regimes the modes create.
+type MultiUser struct {
+	// ID labels the user.
+	ID string
+	// DemandBps caps useful throughput (0 = full buffer).
+	DemandBps float64
+	// SINRInterfered[c] is the user's SINR toward cell c while all
+	// other cells transmit concurrently (uncoordinated mode).
+	SINRInterfered []float64
+	// SINROrthogonal[c] is the user's SINR toward cell c when
+	// transmissions are time-orthogonal (fair-share / cooperative).
+	SINROrthogonal []float64
+	// Home, if ≥ 0, pins the user to a cell (its subscription AP) in
+	// modes without cooperative reassignment; -1 lets the user attach
+	// to the strongest signal.
+	Home int
+}
+
+// MultiCellConfig configures a co-channel multi-cell simulation.
+type MultiCellConfig struct {
+	// NumCells is the number of co-channel cells.
+	NumCells int
+	// ChannelMHz is each cell's channel width.
+	ChannelMHz float64
+	// Mode selects the sharing regime.
+	Mode MultiCellMode
+	// TTIs is the simulation length per cell.
+	TTIs int
+	// HARQ and FastFading are passed through to the cell simulations.
+	HARQ, FastFading bool
+	// Seed drives fading.
+	Seed int64
+}
+
+// MultiCellResult reports the outcome across all cells.
+type MultiCellResult struct {
+	// PerUserBps maps user ID to delivered throughput.
+	PerUserBps map[string]float64
+	// TotalBps is the aggregate across cells.
+	TotalBps float64
+	// Assignment maps user ID to the serving cell index.
+	Assignment map[string]int
+	// CellShare is each cell's airtime fraction.
+	CellShare []float64
+	// Handovers counts users served by a cell other than Home — the
+	// cross-AP assignments only cooperative mode can make.
+	Handovers int
+}
+
+// SimulateMultiCell runs the selected sharing mode and reports per-user
+// throughput. It reproduces the E5 comparison: uncoordinated cells
+// suffer inter-cell interference, fair-share trades peak rate for
+// orthogonality, cooperative additionally load-balances clients.
+func SimulateMultiCell(cfg MultiCellConfig, users []MultiUser) MultiCellResult {
+	res := MultiCellResult{
+		PerUserBps: make(map[string]float64, len(users)),
+		Assignment: make(map[string]int, len(users)),
+		CellShare:  make([]float64, cfg.NumCells),
+	}
+	if cfg.NumCells == 0 {
+		return res
+	}
+
+	sinrFor := func(u MultiUser, c int) float64 {
+		if cfg.Mode == Uncoordinated {
+			return u.SINRInterfered[c]
+		}
+		return u.SINROrthogonal[c]
+	}
+
+	// Client-to-cell assignment.
+	assign := make([]int, len(users))
+	switch cfg.Mode {
+	case Cooperative:
+		// Greedy joint assignment: order-independent enough for the
+		// experiment — each user picks the cell maximizing its expected
+		// rate discounted by current load.
+		load := make([]int, cfg.NumCells)
+		for i, u := range users {
+			best, bestVal := 0, -1.0
+			for c := 0; c < cfg.NumCells; c++ {
+				eff, _ := radio.LTEEfficiency(u.SINROrthogonal[c], cfg.HARQ)
+				val := eff / float64(load[c]+1)
+				if val > bestVal {
+					bestVal = val
+					best = c
+				}
+			}
+			assign[i] = best
+			load[best]++
+		}
+	default:
+		// Users stay on their home AP (or strongest signal if roaming
+		// is unpinned). Without cooperation there is no cross-AP
+		// handoff: a client of AP a cannot be served by AP b.
+		for i, u := range users {
+			if u.Home >= 0 {
+				assign[i] = u.Home
+				continue
+			}
+			best, bestSINR := 0, sinrFor(u, 0)
+			for c := 1; c < cfg.NumCells; c++ {
+				if s := sinrFor(u, c); s > bestSINR {
+					bestSINR = s
+					best = c
+				}
+			}
+			assign[i] = best
+		}
+	}
+
+	// Airtime shares.
+	switch cfg.Mode {
+	case Uncoordinated:
+		for c := range res.CellShare {
+			res.CellShare[c] = 1 // everyone transmits always
+		}
+	case FairShare:
+		for c := range res.CellShare {
+			res.CellShare[c] = 1 / float64(cfg.NumCells)
+		}
+	case Cooperative:
+		// Load-proportional shares; empty cells cede their airtime.
+		counts := make([]int, cfg.NumCells)
+		total := 0
+		for _, c := range assign {
+			counts[c]++
+			total++
+		}
+		for c := range res.CellShare {
+			if total > 0 {
+				res.CellShare[c] = float64(counts[c]) / float64(total)
+			}
+		}
+	}
+
+	// Per-cell scheduler runs.
+	for c := 0; c < cfg.NumCells; c++ {
+		var cellUsers []LTEUser
+		for i, u := range users {
+			if assign[i] != c {
+				continue
+			}
+			cellUsers = append(cellUsers, LTEUser{
+				ID:        u.ID,
+				SINRdB:    sinrFor(u, c),
+				DemandBps: u.DemandBps,
+			})
+		}
+		if len(cellUsers) == 0 {
+			continue
+		}
+		r := SimulateLTECell(LTECellConfig{
+			ChannelMHz:    cfg.ChannelMHz,
+			Scheduler:     ProportionalFair{},
+			HARQ:          cfg.HARQ,
+			FastFading:    cfg.FastFading,
+			Seed:          cfg.Seed + int64(c),
+			ShareFraction: res.CellShare[c],
+		}, cellUsers, cfg.TTIs)
+		for id, bps := range r.PerUserBps {
+			res.PerUserBps[id] = bps
+			res.TotalBps += bps
+		}
+	}
+	for i, u := range users {
+		res.Assignment[u.ID] = assign[i]
+		if u.Home >= 0 && assign[i] != u.Home {
+			res.Handovers++
+		}
+	}
+	return res
+}

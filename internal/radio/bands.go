@@ -1,0 +1,81 @@
+// Package radio models the RF layer the dLTE paper argues about
+// (§3.2): frequency bands and their propagation, link budgets, and the
+// SNR→rate mappings of the LTE and WiFi waveforms. The models are
+// analytic (free-space and Okumura-Hata path loss, 3GPP CQI and 802.11n
+// MCS tables) and deterministic, which is what the paper's claims —
+// range, asymmetric uplink, HARQ at weak signal — depend on.
+package radio
+
+// Band describes a frequency allocation usable by an access network.
+// The catalog below covers the bands the paper names: LTE band 5
+// (850 MHz), band 30 area TV whitespace (800 MHz), band 31 (450 MHz),
+// the CBRS midband (3.5 GHz), and the 2.4/5 GHz ISM bands WiFi uses.
+type Band struct {
+	// Name is a short human-readable label.
+	Name string
+	// LTEBand is the 3GPP band number, or 0 for non-3GPP allocations.
+	LTEBand int
+	// DownlinkMHz and UplinkMHz are carrier center frequencies. ISM
+	// bands are TDD-like: both directions share the same frequency.
+	DownlinkMHz, UplinkMHz float64
+	// Licensed reports whether transmitters must hold a (possibly
+	// lightweight) license, which is what makes them discoverable
+	// through the dLTE registry.
+	Licensed bool
+	// MaxEIRPdBm is the regulatory limit on base-station EIRP.
+	MaxEIRPdBm float64
+	// ChannelWidthMHz is the nominal channel bandwidth used here.
+	ChannelWidthMHz float64
+}
+
+// The band catalog. Regulatory EIRP numbers follow typical rural/US
+// practice: licensed cellular bands allow far higher EIRP than ISM.
+var (
+	// LTEBand5 is the 850 MHz cellular band the paper's Papua
+	// deployment uses (§5).
+	LTEBand5 = Band{
+		Name: "LTE band 5 (850 MHz)", LTEBand: 5,
+		DownlinkMHz: 881.5, UplinkMHz: 836.5,
+		Licensed: true, MaxEIRPdBm: 62, ChannelWidthMHz: 10,
+	}
+	// LTEBand30 stands in for the repurposed 800 MHz TV whitespace
+	// allocation the paper mentions.
+	LTEBand30 = Band{
+		Name: "LTE band 30 (800 MHz TVWS)", LTEBand: 30,
+		DownlinkMHz: 800, UplinkMHz: 790,
+		Licensed: true, MaxEIRPdBm: 60, ChannelWidthMHz: 10,
+	}
+	// LTEBand31 is the 450 MHz band, the longest-range option named.
+	LTEBand31 = Band{
+		Name: "LTE band 31 (450 MHz)", LTEBand: 31,
+		DownlinkMHz: 462.5, UplinkMHz: 452.5,
+		Licensed: true, MaxEIRPdBm: 60, ChannelWidthMHz: 5,
+	}
+	// CBRS is the 3.5 GHz Citizens Broadband Radio Service midband,
+	// licensed on demand through a Spectrum Access System (§4.3).
+	CBRS = Band{
+		Name: "CBRS (3.5 GHz)", LTEBand: 48,
+		DownlinkMHz: 3600, UplinkMHz: 3600,
+		Licensed: true, MaxEIRPdBm: 47, ChannelWidthMHz: 20,
+	}
+	// ISM24 is the 2.4 GHz unlicensed band legacy WiFi lives in.
+	ISM24 = Band{
+		Name: "ISM 2.4 GHz", LTEBand: 0,
+		DownlinkMHz: 2437, UplinkMHz: 2437,
+		Licensed: false, MaxEIRPdBm: 36, ChannelWidthMHz: 20,
+	}
+	// ISM58 is the 5.8 GHz unlicensed band.
+	ISM58 = Band{
+		Name: "ISM 5.8 GHz", LTEBand: 0,
+		DownlinkMHz: 5785, UplinkMHz: 5785,
+		Licensed: false, MaxEIRPdBm: 36, ChannelWidthMHz: 20,
+	}
+)
+
+// Catalog lists all built-in bands, lowest frequency first.
+func Catalog() []Band {
+	return []Band{LTEBand31, LTEBand30, LTEBand5, ISM24, CBRS, ISM58}
+}
+
+// BandwidthHz reports the channel bandwidth in Hz.
+func (b Band) BandwidthHz() float64 { return b.ChannelWidthMHz * 1e6 }

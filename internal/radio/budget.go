@@ -1,0 +1,122 @@
+package radio
+
+import "math"
+
+// ThermalNoiseDBmPerHz is kT at 290 K in dBm/Hz.
+const ThermalNoiseDBmPerHz = -174.0
+
+// NoiseFloorDBm reports the receiver noise floor for the given
+// bandwidth and noise figure.
+func NoiseFloorDBm(bandwidthHz, noiseFigureDB float64) float64 {
+	return ThermalNoiseDBmPerHz + 10*math.Log10(bandwidthHz) + noiseFigureDB
+}
+
+// DBmToMilliwatts converts dBm to linear milliwatts.
+func DBmToMilliwatts(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattsToDBm converts linear milliwatts to dBm. Zero or negative
+// power maps to -inf dBm.
+func MilliwattsToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// SumPowersDBm adds powers expressed in dBm in the linear domain,
+// as needed for interference aggregation.
+func SumPowersDBm(dbms ...float64) float64 {
+	var mw float64
+	for _, p := range dbms {
+		if !math.IsInf(p, -1) {
+			mw += DBmToMilliwatts(p)
+		}
+	}
+	return MilliwattsToDBm(mw)
+}
+
+// Station describes one end of a radio link.
+type Station struct {
+	// TxPowerDBm is conducted transmit power.
+	TxPowerDBm float64
+	// AntennaGainDBi applies to both transmit and receive.
+	AntennaGainDBi float64
+	// HeightM is antenna height above ground.
+	HeightM float64
+	// NoiseFigureDB is the receiver noise figure.
+	NoiseFigureDB float64
+	// PAPRBackoffDB models the power-amplifier backoff the waveform
+	// requires: OFDM uplinks back off ~3 dB more than SC-FDMA, which
+	// is LTE's uplink advantage the paper cites (§3.2).
+	PAPRBackoffDB float64
+}
+
+// EIRPdBm reports effective isotropic radiated power after waveform
+// backoff.
+func (s Station) EIRPdBm() float64 {
+	return s.TxPowerDBm + s.AntennaGainDBi - s.PAPRBackoffDB
+}
+
+// Link is a directional radio link budget calculator.
+type Link struct {
+	// Tx and Rx are the two stations; direction is Tx→Rx.
+	Tx, Rx Station
+	// Band supplies the carrier frequency and channel bandwidth.
+	Band Band
+	// Uplink selects the uplink carrier frequency.
+	Uplink bool
+	// PathLoss is the propagation model; nil means Auto{}.
+	PathLoss PathLoss
+}
+
+func (l Link) freqMHz() float64 {
+	if l.Uplink {
+		return l.Band.UplinkMHz
+	}
+	return l.Band.DownlinkMHz
+}
+
+func (l Link) model() PathLoss {
+	if l.PathLoss == nil {
+		return Auto{}
+	}
+	return l.PathLoss
+}
+
+// RxPowerDBm reports received signal power at distance dKm.
+func (l Link) RxPowerDBm(dKm float64) float64 {
+	loss := l.model().LossDB(dKm, l.freqMHz(), l.Tx.HeightM, l.Rx.HeightM)
+	return l.Tx.EIRPdBm() + l.Rx.AntennaGainDBi - loss
+}
+
+// SNRdB reports the signal-to-noise ratio at distance dKm across the
+// band's full channel bandwidth.
+func (l Link) SNRdB(dKm float64) float64 {
+	return l.RxPowerDBm(dKm) - NoiseFloorDBm(l.Band.BandwidthHz(), l.Rx.NoiseFigureDB)
+}
+
+// SINRdB reports signal-to-interference-plus-noise given co-channel
+// interferer powers (dBm at the receiver).
+func (l Link) SINRdB(dKm float64, interferersDBm ...float64) float64 {
+	noise := NoiseFloorDBm(l.Band.BandwidthHz(), l.Rx.NoiseFigureDB)
+	denom := SumPowersDBm(append([]float64{noise}, interferersDBm...)...)
+	return l.RxPowerDBm(dKm) - denom
+}
+
+// Default station profiles used throughout the experiments. They model
+// the hardware classes in the paper: a rural LTE basestation on a grain
+// silo with a 15 dBi sector antenna (§5), an LTE handset, a WiFi AP,
+// and a WiFi client.
+var (
+	// LTEBaseStation matches the paper's deployment: commercial eNodeB
+	// with 15 dBi antennas on an elevated structure.
+	LTEBaseStation = Station{TxPowerDBm: 43, AntennaGainDBi: 15, HeightM: 20, NoiseFigureDB: 5}
+	// LTEHandset is a class-3 UE (23 dBm) whose SC-FDMA uplink needs
+	// no extra PAPR backoff.
+	LTEHandset = Station{TxPowerDBm: 23, AntennaGainDBi: 0, HeightM: 1.5, NoiseFigureDB: 7, PAPRBackoffDB: 0}
+	// WiFiAccessPoint is a high-power outdoor AP at ISM limits.
+	WiFiAccessPoint = Station{TxPowerDBm: 28, AntennaGainDBi: 8, HeightM: 10, NoiseFigureDB: 6}
+	// WiFiClient is a typical embedded client whose OFDM uplink backs
+	// off ~3 dB for PAPR.
+	WiFiClient = Station{TxPowerDBm: 18, AntennaGainDBi: 0, HeightM: 1.5, NoiseFigureDB: 7, PAPRBackoffDB: 3}
+)

@@ -1,0 +1,175 @@
+package radio
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// PathLoss converts geometry to attenuation. Implementations must be
+// deterministic so coverage experiments reproduce exactly.
+//
+// Path loss is reciprocal: models interpret the two antenna heights by
+// physical role (the higher antenna is the "base" in Hata terms), not
+// by transmit direction, so uplink and downlink see the same loss.
+type PathLoss interface {
+	// LossDB reports the path loss in dB for a link of dKm kilometers
+	// at fMHz between antennas at heights h1M and h2M meters (order
+	// irrelevant).
+	LossDB(dKm, fMHz, h1M, h2M float64) float64
+}
+
+// splitHeights orders the two antenna heights into Hata's base
+// (higher) and mobile (lower) roles, clamping to the models' floors.
+func splitHeights(h1M, h2M float64) (hb, hm float64) {
+	hb, hm = h1M, h2M
+	if hm > hb {
+		hb, hm = hm, hb
+	}
+	return math.Max(hb, 1), math.Max(hm, 1)
+}
+
+// minPathDistanceKm clamps distances so the models stay finite at the
+// antenna (10 m).
+const minPathDistanceKm = 0.01
+
+// RadioHorizonKm reports the 4/3-earth radio horizon between antennas
+// at heights h1M and h2M: ≈ 4.12·(√h1 + √h2) km. Beyond it, terrestrial
+// links fail regardless of the path-loss model's extrapolation; the
+// contention-domain analysis uses it as a hard audibility cutoff.
+func RadioHorizonKm(h1M, h2M float64) float64 {
+	return 4.12 * (math.Sqrt(math.Max(h1M, 0)) + math.Sqrt(math.Max(h2M, 0)))
+}
+
+// FreeSpace is ideal free-space path loss (FSPL), the lower bound for
+// any real link. Used for short line-of-sight links and sanity checks.
+type FreeSpace struct{}
+
+// LossDB implements PathLoss: 32.44 + 20·log10(d_km) + 20·log10(f_MHz).
+func (FreeSpace) LossDB(dKm, fMHz, _, _ float64) float64 {
+	d := math.Max(dKm, minPathDistanceKm)
+	return 32.44 + 20*math.Log10(d) + 20*math.Log10(fMHz)
+}
+
+// HataOpen is the Okumura-Hata model for open (rural) areas — the
+// environment the paper targets. Officially valid for 150–1500 MHz; for
+// higher frequencies use COST231 (or Auto, which switches).
+type HataOpen struct{}
+
+// LossDB implements PathLoss.
+func (HataOpen) LossDB(dKm, fMHz, h1M, h2M float64) float64 {
+	u := hataUrban(dKm, fMHz, h1M, h2M)
+	lf := math.Log10(fMHz)
+	open := u - 4.78*lf*lf + 18.33*lf - 40.94
+	// Hata can dip below free space at short range; clamp to FSPL.
+	return math.Max(open, FreeSpace{}.LossDB(dKm, fMHz, h1M, h2M))
+}
+
+// HataSuburban is Okumura-Hata with the suburban correction, used for
+// the town-scale deployment experiment.
+type HataSuburban struct{}
+
+// LossDB implements PathLoss.
+func (HataSuburban) LossDB(dKm, fMHz, h1M, h2M float64) float64 {
+	u := hataUrban(dKm, fMHz, h1M, h2M)
+	lf := math.Log10(fMHz / 28)
+	sub := u - 2*lf*lf - 5.4
+	return math.Max(sub, FreeSpace{}.LossDB(dKm, fMHz, h1M, h2M))
+}
+
+// hataUrban is the Hata urban reference loss all corrections start
+// from, using the small/medium-city mobile antenna correction.
+func hataUrban(dKm, fMHz, h1M, h2M float64) float64 {
+	d := math.Max(dKm, minPathDistanceKm)
+	hb, hm := splitHeights(h1M, h2M)
+	lf := math.Log10(fMHz)
+	ahm := (1.1*lf-0.7)*hm - (1.56*lf - 0.8)
+	return 69.55 + 26.16*lf - 13.82*math.Log10(hb) - ahm +
+		(44.9-6.55*math.Log10(hb))*math.Log10(d)
+}
+
+// COST231 extends Hata to 1500–2000 MHz (and is conventionally
+// extrapolated above that for system studies, as we do for 2.4/3.5/5.8
+// GHz). The C constant is 0 for suburban/open and 3 for metropolitan.
+type COST231 struct {
+	// Metropolitan selects the dense-city correction constant.
+	Metropolitan bool
+}
+
+// LossDB implements PathLoss.
+func (m COST231) LossDB(dKm, fMHz, h1M, h2M float64) float64 {
+	d := math.Max(dKm, minPathDistanceKm)
+	hb, hm := splitHeights(h1M, h2M)
+	lf := math.Log10(fMHz)
+	ahm := (1.1*lf-0.7)*hm - (1.56*lf - 0.8)
+	c := 0.0
+	if m.Metropolitan {
+		c = 3
+	}
+	loss := 46.3 + 33.9*lf - 13.82*math.Log10(hb) - ahm +
+		(44.9-6.55*math.Log10(hb))*math.Log10(d) + c
+	return math.Max(loss, FreeSpace{}.LossDB(dKm, fMHz, h1M, h2M))
+}
+
+// Auto selects Hata (open) below 1500 MHz and COST231 above, matching
+// the models' validity ranges. This is the default for experiments that
+// sweep across bands.
+type Auto struct {
+	// Suburban selects the suburban Hata correction instead of open
+	// area for sub-1500 MHz frequencies.
+	Suburban bool
+}
+
+// LossDB implements PathLoss.
+func (a Auto) LossDB(dKm, fMHz, h1M, h2M float64) float64 {
+	if fMHz < 1500 {
+		if a.Suburban {
+			return HataSuburban{}.LossDB(dKm, fMHz, h1M, h2M)
+		}
+		return HataOpen{}.LossDB(dKm, fMHz, h1M, h2M)
+	}
+	return COST231{}.LossDB(dKm, fMHz, h1M, h2M)
+}
+
+// Shadowing adds deterministic log-normal shadowing on top of a median
+// path-loss model. The shadowing sample is a pure function of the
+// quantized link endpoints, so repeated queries for the same geometry
+// agree and coverage maps are reproducible.
+type Shadowing struct {
+	// Median is the underlying path-loss model.
+	Median PathLoss
+	// SigmaDB is the log-normal standard deviation (typically 6–8 dB
+	// outdoors). Zero disables shadowing.
+	SigmaDB float64
+	// Seed decorrelates different experiments.
+	Seed int64
+}
+
+// LossDB implements PathLoss.
+func (s Shadowing) LossDB(dKm, fMHz, h1M, h2M float64) float64 {
+	base := s.Median.LossDB(dKm, fMHz, h1M, h2M)
+	if s.SigmaDB <= 0 {
+		return base
+	}
+	return base + s.SigmaDB*gaussianFromKey(s.Seed, dKm, fMHz)
+}
+
+// gaussianFromKey derives a standard-normal sample deterministically
+// from the link geometry using a hash and the Box-Muller transform.
+func gaussianFromKey(seed int64, dKm, fMHz float64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(seed))
+	put(math.Float64bits(math.Round(dKm * 1e4))) // 0.1 m quantization
+	put(math.Float64bits(fMHz))
+	x := h.Sum64()
+	// Two uniform samples from the 64-bit hash.
+	u1 := float64(x>>33+1) / float64(1<<31+1)
+	u2 := float64(x&0xFFFFFFFF+1) / float64(1<<32+1)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,318 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFSPLKnownValue(t *testing.T) {
+	// 1 km at 2400 MHz: 32.44 + 0 + 20·log10(2400) ≈ 100.04 dB.
+	got := FreeSpace{}.LossDB(1, 2400, 30, 1.5)
+	if math.Abs(got-100.04) > 0.1 {
+		t.Errorf("FSPL(1km, 2.4GHz) = %v, want ≈100.04", got)
+	}
+}
+
+func TestFSPLDistanceScaling(t *testing.T) {
+	// Doubling distance adds 6.02 dB.
+	f := FreeSpace{}
+	d1 := f.LossDB(2, 900, 30, 1.5) - f.LossDB(1, 900, 30, 1.5)
+	if math.Abs(d1-6.02) > 0.01 {
+		t.Errorf("doubling distance added %v dB, want 6.02", d1)
+	}
+}
+
+func TestPathLossMonotonicInDistance(t *testing.T) {
+	models := map[string]PathLoss{
+		"fspl":     FreeSpace{},
+		"hata":     HataOpen{},
+		"suburban": HataSuburban{},
+		"cost231":  COST231{},
+		"auto":     Auto{},
+	}
+	for name, m := range models {
+		prev := -math.MaxFloat64
+		for d := 0.05; d < 50; d *= 1.5 {
+			loss := m.LossDB(d, 850, 20, 1.5)
+			if loss < prev {
+				t.Errorf("%s: loss decreased with distance at %v km", name, d)
+			}
+			prev = loss
+		}
+	}
+}
+
+func TestPathLossIncreasesWithFrequency(t *testing.T) {
+	// The paper's core propagation claim: lower bands carry farther.
+	for _, d := range []float64{1, 5, 10} {
+		l850 := Auto{}.LossDB(d, 850, 20, 1.5)
+		l2400 := Auto{}.LossDB(d, 2437, 20, 1.5)
+		if l2400 <= l850 {
+			t.Errorf("at %v km: 2.4 GHz loss %v ≤ 850 MHz loss %v", d, l2400, l850)
+		}
+	}
+}
+
+func TestHataAboveFreeSpace(t *testing.T) {
+	// Any terrestrial model must lose at least free-space.
+	f := func(d, freq float64) bool {
+		d = 0.05 + math.Mod(math.Abs(d), 40)
+		freq = 400 + math.Mod(math.Abs(freq), 1000)
+		return HataOpen{}.LossDB(d, freq, 20, 1.5) >= FreeSpace{}.LossDB(d, freq, 20, 1.5)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTallerTowerHelps(t *testing.T) {
+	low := HataOpen{}.LossDB(10, 850, 10, 1.5)
+	high := HataOpen{}.LossDB(10, 850, 40, 1.5)
+	if high >= low {
+		t.Errorf("40m tower loss %v ≥ 10m tower loss %v", high, low)
+	}
+}
+
+func TestAutoModelSwitch(t *testing.T) {
+	// Below 1500 MHz Auto matches Hata; above it matches COST231.
+	if got, want := (Auto{}).LossDB(5, 850, 20, 1.5), (HataOpen{}).LossDB(5, 850, 20, 1.5); got != want {
+		t.Errorf("auto@850 = %v, hata = %v", got, want)
+	}
+	if got, want := (Auto{}).LossDB(5, 2400, 20, 1.5), (COST231{}).LossDB(5, 2400, 20, 1.5); got != want {
+		t.Errorf("auto@2400 = %v, cost231 = %v", got, want)
+	}
+	if got, want := (Auto{Suburban: true}).LossDB(5, 850, 20, 1.5), (HataSuburban{}).LossDB(5, 850, 20, 1.5); got != want {
+		t.Errorf("auto-suburban@850 = %v, want %v", got, want)
+	}
+}
+
+func TestShadowingDeterministic(t *testing.T) {
+	s := Shadowing{Median: HataOpen{}, SigmaDB: 8, Seed: 42}
+	a := s.LossDB(3.123, 850, 20, 1.5)
+	b := s.LossDB(3.123, 850, 20, 1.5)
+	if a != b {
+		t.Errorf("shadowing not deterministic: %v vs %v", a, b)
+	}
+	// Different geometry gives (almost surely) different shadowing.
+	c := s.LossDB(3.9, 850, 20, 1.5) - HataOpen{}.LossDB(3.9, 850, 20, 1.5)
+	d := s.LossDB(7.1, 850, 20, 1.5) - HataOpen{}.LossDB(7.1, 850, 20, 1.5)
+	if c == d {
+		t.Errorf("shadowing identical at different distances: %v", c)
+	}
+	// Zero sigma disables shadowing.
+	z := Shadowing{Median: HataOpen{}, SigmaDB: 0, Seed: 42}
+	if z.LossDB(3, 850, 20, 1.5) != (HataOpen{}).LossDB(3, 850, 20, 1.5) {
+		t.Error("zero-sigma shadowing altered the median")
+	}
+}
+
+func TestShadowingStatistics(t *testing.T) {
+	// Mean ≈ 0, sd ≈ sigma over many geometry keys.
+	s := Shadowing{Median: FreeSpace{}, SigmaDB: 8, Seed: 7}
+	var sum, sumsq float64
+	n := 0
+	for d := 0.1; d < 100; d += 0.05 {
+		dev := s.LossDB(d, 850, 20, 1.5) - FreeSpace{}.LossDB(d, 850, 20, 1.5)
+		sum += dev
+		sumsq += dev * dev
+		n++
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean) > 1 {
+		t.Errorf("shadowing mean = %v, want ≈0", mean)
+	}
+	if math.Abs(sd-8) > 1.5 {
+		t.Errorf("shadowing sd = %v, want ≈8", sd)
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// 10 MHz, NF 5: -174 + 70 + 5 = -99 dBm.
+	got := NoiseFloorDBm(10e6, 5)
+	if math.Abs(got-(-99)) > 0.01 {
+		t.Errorf("noise floor = %v, want -99", got)
+	}
+}
+
+func TestPowerConversions(t *testing.T) {
+	if got := DBmToMilliwatts(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("0 dBm = %v mW", got)
+	}
+	if got := DBmToMilliwatts(30); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("30 dBm = %v mW", got)
+	}
+	if got := MilliwattsToDBm(100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("100 mW = %v dBm", got)
+	}
+	if !math.IsInf(MilliwattsToDBm(0), -1) {
+		t.Error("0 mW should be -inf dBm")
+	}
+}
+
+func TestSumPowersDBm(t *testing.T) {
+	// Two equal powers sum to +3.01 dB.
+	got := SumPowersDBm(10, 10)
+	if math.Abs(got-13.01) > 0.01 {
+		t.Errorf("10+10 dBm = %v, want 13.01", got)
+	}
+	// -inf contributes nothing.
+	if got := SumPowersDBm(10, math.Inf(-1)); math.Abs(got-10) > 1e-9 {
+		t.Errorf("10 + (-inf) dBm = %v, want 10", got)
+	}
+}
+
+func TestLinkBudgetSymmetryClaim(t *testing.T) {
+	// The paper's asymmetry story: downlink (43 dBm base) reaches much
+	// farther than a hypothetical symmetric uplink; SC-FDMA's backoff
+	// advantage gives LTE uplink ~3 dB over a WiFi-style OFDM client.
+	dl := Link{Tx: LTEBaseStation, Rx: LTEHandset, Band: LTEBand5}
+	ul := Link{Tx: LTEHandset, Rx: LTEBaseStation, Band: LTEBand5, Uplink: true}
+	if dl.SNRdB(5) <= ul.SNRdB(5) {
+		t.Errorf("downlink SNR %v ≤ uplink SNR %v at 5 km", dl.SNRdB(5), ul.SNRdB(5))
+	}
+	wifiUL := Link{Tx: WiFiClient, Rx: WiFiAccessPoint, Band: LTEBand5, Uplink: true}
+	lteClientEIRP := LTEHandset.EIRPdBm()
+	wifiClientEIRP := WiFiClient.EIRPdBm()
+	if lteClientEIRP-wifiClientEIRP < 3 {
+		t.Errorf("LTE handset EIRP advantage = %v dB, want ≥ 3 (power + PAPR)", lteClientEIRP-wifiClientEIRP)
+	}
+	_ = wifiUL
+}
+
+func TestSINRWithInterference(t *testing.T) {
+	l := Link{Tx: LTEBaseStation, Rx: LTEHandset, Band: LTEBand5}
+	clean := l.SINRdB(3)
+	// An interferer equal to the noise floor costs ~3 dB.
+	nf := NoiseFloorDBm(l.Band.BandwidthHz(), LTEHandset.NoiseFigureDB)
+	dirty := l.SINRdB(3, nf)
+	if diff := clean - dirty; math.Abs(diff-3.01) > 0.1 {
+		t.Errorf("equal-to-noise interferer cost %v dB, want ≈3", diff)
+	}
+	snr := l.SNRdB(3)
+	if math.Abs(clean-snr) > 1e-9 {
+		t.Errorf("SINR with no interferers %v != SNR %v", clean, snr)
+	}
+}
+
+func TestLTEEfficiencyTable(t *testing.T) {
+	// At very high SNR we reach CQI 15.
+	eff, cqi := LTEEfficiency(30, false)
+	if cqi != 15 || math.Abs(eff-5.5547) > 1e-9 {
+		t.Errorf("30 dB: eff=%v cqi=%d", eff, cqi)
+	}
+	// Just above CQI1 threshold.
+	eff, cqi = LTEEfficiency(-6.5, false)
+	if cqi != 1 || eff != 0.1523 {
+		t.Errorf("-6.5 dB: eff=%v cqi=%d", eff, cqi)
+	}
+	// Below threshold without HARQ: dead.
+	if eff, cqi := LTEEfficiency(-7, false); eff != 0 || cqi != 0 {
+		t.Errorf("-7 dB no harq: eff=%v cqi=%d", eff, cqi)
+	}
+	// Below threshold with HARQ: degraded but alive.
+	eff, cqi = LTEEfficiency(-9, true)
+	if cqi != 1 || eff <= 0 || eff >= 0.1523 {
+		t.Errorf("-9 dB harq: eff=%v cqi=%d", eff, cqi)
+	}
+	// Below the HARQ floor: dead.
+	if eff, _ := LTEEfficiency(-12, true); eff != 0 {
+		t.Errorf("-12 dB harq: eff=%v, want 0", eff)
+	}
+}
+
+func TestLTEEfficiencyMonotonic(t *testing.T) {
+	prev := -1.0
+	for snr := -15.0; snr < 35; snr += 0.25 {
+		eff, _ := LTEEfficiency(snr, true)
+		if eff < prev {
+			t.Fatalf("LTE efficiency decreased at %v dB", snr)
+		}
+		prev = eff
+	}
+}
+
+func TestWiFiRateTable(t *testing.T) {
+	if rate, mcs := WiFiRate(30); rate != 65e6 || mcs != 7 {
+		t.Errorf("30 dB: %v/%d", rate, mcs)
+	}
+	if rate, mcs := WiFiRate(5); rate != 6.5e6 || mcs != 0 {
+		t.Errorf("5 dB: %v/%d", rate, mcs)
+	}
+	if rate, mcs := WiFiRate(4.9); rate != 0 || mcs != -1 {
+		t.Errorf("4.9 dB: %v/%d, want dead link", rate, mcs)
+	}
+}
+
+func TestWiFiRangeCap(t *testing.T) {
+	// Even at perfect SNR, WiFi dies past the ACK-timeout range.
+	if got := WiFiThroughputBps(40, 3, WiFiDefaultMaxRangeKm); got != 0 {
+		t.Errorf("WiFi at 3 km (cap 2) = %v, want 0", got)
+	}
+	if got := WiFiThroughputBps(40, 1, WiFiDefaultMaxRangeKm); got <= 0 {
+		t.Errorf("WiFi at 1 km = %v, want > 0", got)
+	}
+}
+
+func TestLTEOutrangesWiFiHeadline(t *testing.T) {
+	// E6's headline shape, asserted as a unit test: at 512 kbps
+	// minimum service, LTE band 5 reaches ≥ 5× the range of WiFi 2.4.
+	lteDL := Link{Tx: LTEBaseStation, Rx: LTEHandset, Band: LTEBand5}
+	wifiDL := Link{Tx: WiFiAccessPoint, Rx: WiFiClient, Band: ISM24}
+	const minBps = 512e3
+	lteRange := MaxRangeKm(func(d float64) float64 {
+		return LTEThroughputBps(lteDL.SNRdB(d), lteDL.Band.BandwidthHz(), true)
+	}, minBps, LTETimingAdvanceMaxKm)
+	wifiRange := MaxRangeKm(func(d float64) float64 {
+		return WiFiThroughputBps(wifiDL.SNRdB(d), d, WiFiDefaultMaxRangeKm)
+	}, minBps, WiFiDefaultMaxRangeKm)
+	if wifiRange <= 0 || lteRange < 5*wifiRange {
+		t.Errorf("LTE range %v km vs WiFi range %v km: want ≥5×", lteRange, wifiRange)
+	}
+}
+
+func TestMaxRangeKmEdges(t *testing.T) {
+	// Link dead everywhere.
+	if got := MaxRangeKm(func(float64) float64 { return 0 }, 1, 10); got != 0 {
+		t.Errorf("dead link range = %v", got)
+	}
+	// Link alive everywhere returns the cap.
+	if got := MaxRangeKm(func(float64) float64 { return 1e9 }, 1, 10); got != 10 {
+		t.Errorf("always-alive range = %v", got)
+	}
+	// Bisection converges on a threshold function.
+	got := MaxRangeKm(func(d float64) float64 {
+		if d < 3.25 {
+			return 100
+		}
+		return 0
+	}, 1, 10)
+	if math.Abs(got-3.25) > 1e-6 {
+		t.Errorf("bisection = %v, want 3.25", got)
+	}
+}
+
+func TestCatalogOrdering(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 5 {
+		t.Fatalf("catalog too small: %d", len(cat))
+	}
+	for i := 1; i < len(cat); i++ {
+		if cat[i].DownlinkMHz < cat[i-1].DownlinkMHz {
+			t.Errorf("catalog not sorted by frequency at %d", i)
+		}
+	}
+	for _, b := range cat {
+		if b.BandwidthHz() != b.ChannelWidthMHz*1e6 {
+			t.Errorf("%s: BandwidthHz mismatch", b.Name)
+		}
+	}
+}
+
+func TestEIRPBackoff(t *testing.T) {
+	s := Station{TxPowerDBm: 20, AntennaGainDBi: 5, PAPRBackoffDB: 3}
+	if got := s.EIRPdBm(); got != 22 {
+		t.Errorf("EIRP = %v, want 22", got)
+	}
+}

@@ -1,0 +1,164 @@
+package radio
+
+import "math"
+
+// cqiEntry maps a minimum SINR to the 3GPP CQI spectral efficiency.
+type cqiEntry struct {
+	minSNRdB   float64
+	efficiency float64 // bits/s/Hz
+	cqi        int
+}
+
+// lteCQITable is the 3GPP 36.213 CQI table with the conventional SINR
+// switching thresholds from link-level studies.
+var lteCQITable = []cqiEntry{
+	{-6.7, 0.1523, 1},
+	{-4.7, 0.2344, 2},
+	{-2.3, 0.3770, 3},
+	{0.2, 0.6016, 4},
+	{2.4, 0.8770, 5},
+	{4.3, 1.1758, 6},
+	{5.9, 1.4766, 7},
+	{8.1, 1.9141, 8},
+	{10.3, 2.4063, 9},
+	{11.7, 2.7305, 10},
+	{14.1, 3.3223, 11},
+	{16.3, 3.9023, 12},
+	{18.7, 4.5234, 13},
+	{21.0, 5.1152, 14},
+	{22.7, 5.5547, 15},
+}
+
+// lteHARQFloorDB is the lowest SINR at which HARQ soft combining still
+// sustains the minimum rate (with up to 3 retransmissions, chase
+// combining buys ~4.8 dB below the CQI-1 threshold).
+const lteHARQFloorDB = -11.5
+
+// LTEEfficiency reports the LTE spectral efficiency (bits/s/Hz) and CQI
+// achieved at the given SINR. With harq enabled, operation extends
+// below the CQI-1 threshold at proportionally reduced efficiency —
+// the "hybrid ARQ increases throughput under weak signal conditions"
+// behaviour the paper leans on for rural links (§3.2). Returns 0,0 when
+// the link cannot close.
+func LTEEfficiency(sinrDB float64, harq bool) (bpsPerHz float64, cqi int) {
+	best := cqiEntry{}
+	for _, e := range lteCQITable {
+		if sinrDB >= e.minSNRdB {
+			best = e
+		} else {
+			break
+		}
+	}
+	if best.cqi != 0 {
+		return best.efficiency, best.cqi
+	}
+	if !harq || sinrDB < lteHARQFloorDB {
+		return 0, 0
+	}
+	// Below CQI 1 with HARQ: each ~1.6 dB of deficit costs one
+	// combining retransmission, halving goodput is too pessimistic for
+	// chase combining; scale linearly in the dB deficit instead.
+	deficit := lteCQITable[0].minSNRdB - sinrDB // 0..4.8
+	frac := 1 - deficit/(lteCQITable[0].minSNRdB-lteHARQFloorDB)
+	return lteCQITable[0].efficiency * math.Max(frac, 0.1), 1
+}
+
+// LTEThroughputBps reports achievable LTE throughput over bandwidthHz,
+// applying a 25% control/reference-signal overhead.
+func LTEThroughputBps(sinrDB, bandwidthHz float64, harq bool) float64 {
+	eff, _ := LTEEfficiency(sinrDB, harq)
+	const overhead = 0.75
+	return eff * bandwidthHz * overhead
+}
+
+// wifiMCSEntry maps minimum SINR to an 802.11n single-stream 20 MHz
+// long-GI PHY rate.
+type wifiMCSEntry struct {
+	minSNRdB float64
+	rateBps  float64
+	mcs      int
+}
+
+var wifiMCSTable = []wifiMCSEntry{
+	{5, 6.5e6, 0},
+	{8, 13e6, 1},
+	{11, 19.5e6, 2},
+	{14, 26e6, 3},
+	{17, 39e6, 4},
+	{21, 52e6, 5},
+	{23, 58.5e6, 6},
+	{25, 65e6, 7},
+}
+
+// wifiMinSNRdB is the association floor: below MCS 0's requirement the
+// client cannot hold the link at all (802.11 has no HARQ; plain ARQ
+// retransmissions do not lower the decodable SNR).
+const wifiMinSNRdB = 5.0
+
+// WiFiRate reports the 802.11n PHY rate (bits/s) and MCS index at the
+// given SINR for a 20 MHz single-stream link, or 0,-1 when the link
+// cannot associate.
+func WiFiRate(sinrDB float64) (rateBps float64, mcs int) {
+	if sinrDB < wifiMinSNRdB {
+		return 0, -1
+	}
+	best := wifiMCSTable[0]
+	for _, e := range wifiMCSTable {
+		if sinrDB >= e.minSNRdB {
+			best = e
+		} else {
+			break
+		}
+	}
+	return best.rateBps, best.mcs
+}
+
+// WiFiMACEfficiency is the fraction of PHY rate delivered as goodput by
+// the DCF MAC for a single uncontended station (preambles, SIFS/DIFS,
+// ACKs). Contention effects are modeled separately in internal/phy.
+const WiFiMACEfficiency = 0.6
+
+// WiFiThroughputBps reports uncontended WiFi goodput at the given SINR,
+// with the distance cap applied: beyond maxRangeKm the default 802.11
+// ACK/slot timing cannot be satisfied and the link fails regardless of
+// SNR. Stock equipment allows roughly 1–2 km; long-range tuning
+// stretches this (pass a larger cap to model tuned deployments).
+func WiFiThroughputBps(sinrDB, dKm, maxRangeKm float64) float64 {
+	if dKm > maxRangeKm {
+		return 0
+	}
+	rate, _ := WiFiRate(sinrDB)
+	return rate * WiFiMACEfficiency
+}
+
+// WiFiDefaultMaxRangeKm is the ACK-timeout-limited range of untuned
+// 802.11 equipment.
+const WiFiDefaultMaxRangeKm = 2.0
+
+// LTETimingAdvanceMaxKm is the cell range limit imposed by the LTE
+// random-access timing advance field (~100 km), far beyond any link
+// budget here — included so experiments can show the protocol is not
+// the binding constraint (§3.2).
+const LTETimingAdvanceMaxKm = 100.0
+
+// MaxRangeKm computes the largest distance at which the link still
+// delivers at least minBps, by bisection over [0.01, hardCapKm].
+// Returns 0 if the link fails even at the minimum distance.
+func MaxRangeKm(throughputAt func(dKm float64) float64, minBps, hardCapKm float64) float64 {
+	lo, hi := minPathDistanceKm, hardCapKm
+	if throughputAt(lo) < minBps {
+		return 0
+	}
+	if throughputAt(hi) >= minBps {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if throughputAt(mid) >= minBps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

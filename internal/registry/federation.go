@@ -1,0 +1,141 @@
+package registry
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Federation implements the paper's "federated system similar to the
+// DNS" registry design (§4.3): independent registry operators peer
+// with each other and periodically pull each other's AP records and
+// key publications, so no single operator is a point of control — the
+// same decentralization story as the access network itself.
+//
+// Merging is last-writer-wins per record ID; removal does not
+// propagate (records age out of a real federation via expiry, which
+// the dLTE architecture tolerates because contention-domain data only
+// needs to be approximately fresh — experiment E9a quantifies the cost
+// of staleness).
+type Federation struct {
+	store *Store
+	dial  func(addr string) (net.Conn, error)
+
+	mu       sync.Mutex
+	peers    map[string]*federationPeer
+	closed   bool
+	syncs    uint64
+	failures uint64
+}
+
+type federationPeer struct {
+	addr   string
+	cancel chan struct{}
+}
+
+// NewFederation wires a local store to a dial function (net.Dial for
+// real deployments, simnet Host.Dial in scenarios).
+func NewFederation(store *Store, dial func(addr string) (net.Conn, error)) *Federation {
+	return &Federation{store: store, dial: dial, peers: make(map[string]*federationPeer)}
+}
+
+// AddPeer starts pulling from the registry at addr every interval.
+// Adding the same address twice replaces the previous schedule.
+func (f *Federation) AddPeer(addr string, interval time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	if old, ok := f.peers[addr]; ok {
+		close(old.cancel)
+	}
+	p := &federationPeer{addr: addr, cancel: make(chan struct{})}
+	f.peers[addr] = p
+	go f.pullLoop(p, interval)
+}
+
+// RemovePeer stops pulling from addr.
+func (f *Federation) RemovePeer(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p, ok := f.peers[addr]; ok {
+		close(p.cancel)
+		delete(f.peers, addr)
+	}
+}
+
+// SyncOnce performs one immediate pull from addr, merging the remote
+// registry's AP records and key publications into the local store.
+// It returns the number of records merged.
+func (f *Federation) SyncOnce(addr string) (int, error) {
+	c, err := Dial(f.dial, addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	merged := 0
+	records, err := c.List("")
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range records {
+		if err := f.store.Join(r); err == nil {
+			merged++
+		}
+	}
+	keys, err := c.Keys()
+	if err != nil {
+		return merged, err
+	}
+	for _, k := range keys {
+		if err := f.store.PublishKey(k); err == nil {
+			merged++
+		}
+	}
+	f.mu.Lock()
+	f.syncs++
+	f.mu.Unlock()
+	return merged, nil
+}
+
+func (f *Federation) pullLoop(p *federationPeer, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	// Immediate first pull, then periodic.
+	if _, err := f.SyncOnce(p.addr); err != nil {
+		f.mu.Lock()
+		f.failures++
+		f.mu.Unlock()
+	}
+	for {
+		select {
+		case <-p.cancel:
+			return
+		case <-t.C:
+			if _, err := f.SyncOnce(p.addr); err != nil {
+				f.mu.Lock()
+				f.failures++
+				f.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Stats reports successful syncs and failed pull attempts.
+func (f *Federation) Stats() (syncs, failures uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs, f.failures
+}
+
+// Close stops all pull loops.
+func (f *Federation) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	for addr, p := range f.peers {
+		close(p.cancel)
+		delete(f.peers, addr)
+	}
+}

@@ -1,0 +1,129 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"dlte/internal/auth"
+	"dlte/internal/simnet"
+)
+
+// fedWorld brings up two independent registry operators on a simnet.
+func fedWorld(t *testing.T) (*simnet.Network, *Store, *Store) {
+	t.Helper()
+	n := simnet.New(simnet.Link{Latency: 2 * time.Millisecond}, 1)
+	t.Cleanup(n.Close)
+	storeA, storeB := NewStore(), NewStore()
+	for name, st := range map[string]*Store{"reg-a": storeA, "reg-b": storeB} {
+		host := n.MustAddHost(name)
+		l, err := host.Listen(8400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go NewServer(st).Serve(l)
+	}
+	return n, storeA, storeB
+}
+
+func TestFederationSyncOnce(t *testing.T) {
+	n, storeA, storeB := fedWorld(t)
+	storeB.Join(rec("remote-ap", 9000, 0))
+	sim, _ := auth.NewSIM("001010000000601")
+	storeB.PublishKey(NewKeyRecord(auth.KeyPublication{IMSI: sim.IMSI, K: sim.K, OPc: sim.OPc}))
+
+	hostA, _ := n.Host("reg-a")
+	fed := NewFederation(storeA, hostA.Dial)
+	t.Cleanup(fed.Close)
+	merged, err := fed.SyncOnce("reg-b:8400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 2 {
+		t.Errorf("merged = %d, want 2 (one AP record + one key)", merged)
+	}
+	if _, ok := storeA.Get("remote-ap"); !ok {
+		t.Error("remote AP record not merged")
+	}
+	if _, ok := storeA.FetchKey(string(sim.IMSI)); !ok {
+		t.Error("remote key not merged")
+	}
+	if syncs, fails := fed.Stats(); syncs != 1 || fails != 0 {
+		t.Errorf("stats = %d/%d", syncs, fails)
+	}
+}
+
+func TestFederationPeriodicPull(t *testing.T) {
+	n, storeA, storeB := fedWorld(t)
+	hostA, _ := n.Host("reg-a")
+	fed := NewFederation(storeA, hostA.Dial)
+	t.Cleanup(fed.Close)
+	fed.AddPeer("reg-b:8400", 30*time.Millisecond)
+
+	// A record added at B after peering shows up at A within a few
+	// pull intervals.
+	storeB.Join(rec("late-ap", 1, 1))
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := storeA.Get("late-ap"); ok {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("late record never federated")
+}
+
+func TestFederationBidirectional(t *testing.T) {
+	n, storeA, storeB := fedWorld(t)
+	hostA, _ := n.Host("reg-a")
+	hostB, _ := n.Host("reg-b")
+	fedA := NewFederation(storeA, hostA.Dial)
+	fedB := NewFederation(storeB, hostB.Dial)
+	t.Cleanup(func() { fedA.Close(); fedB.Close() })
+
+	storeA.Join(rec("ap-of-a", 0, 0))
+	storeB.Join(rec("ap-of-b", 5000, 0))
+	if _, err := fedA.SyncOnce("reg-b:8400"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fedB.SyncOnce("reg-a:8400"); err != nil {
+		t.Fatal(err)
+	}
+	// Both operators now serve the union — an AP querying either
+	// registry discovers the full contention domain.
+	if len(storeA.List("")) != 2 || len(storeB.List("")) != 2 {
+		t.Errorf("union not reached: a=%d b=%d", len(storeA.List("")), len(storeB.List("")))
+	}
+}
+
+func TestFederationPeerFailure(t *testing.T) {
+	n, storeA, _ := fedWorld(t)
+	hostA, _ := n.Host("reg-a")
+	fed := NewFederation(storeA, hostA.Dial)
+	t.Cleanup(fed.Close)
+	if _, err := fed.SyncOnce("ghost:8400"); err == nil {
+		t.Fatal("sync to nonexistent peer succeeded")
+	}
+	// Periodic pulls from a dead peer count failures but do not crash.
+	fed.AddPeer("ghost:8400", 20*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, fails := fed.Stats(); fails >= 2 {
+			fed.RemovePeer("ghost:8400")
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("failures never recorded")
+}
+
+func TestFederationAddPeerAfterClose(t *testing.T) {
+	n, storeA, _ := fedWorld(t)
+	hostA, _ := n.Host("reg-a")
+	fed := NewFederation(storeA, hostA.Dial)
+	fed.Close()
+	fed.AddPeer("reg-b:8400", time.Millisecond) // must be a no-op
+	time.Sleep(30 * time.Millisecond)
+	if syncs, _ := fed.Stats(); syncs != 0 {
+		t.Error("closed federation synced")
+	}
+}

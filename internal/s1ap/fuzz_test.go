@@ -1,0 +1,48 @@
+package s1ap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics: S1AP frames arrive over the backhaul; the
+// decoder must fail cleanly on arbitrary input.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %x: %v", b, r)
+			}
+		}()
+		msg, err := Decode(b)
+		if err == nil && msg != nil {
+			if _, merr := Marshal(msg); merr != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeEveryTypeRandomTail hits each decoder arm with junk.
+func TestDecodeEveryTypeRandomTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for typ := byte(TypeS1SetupRequest); typ <= byte(TypePathSwitchAck); typ++ {
+		for i := 0; i < 200; i++ {
+			tail := make([]byte, rng.Intn(64))
+			rng.Read(tail)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("type %d panicked: %v", typ, r)
+					}
+				}()
+				Decode(append([]byte{typ}, tail...))
+			}()
+		}
+	}
+}

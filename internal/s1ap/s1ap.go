@@ -1,0 +1,325 @@
+// Package s1ap implements the subset of the S1 Application Protocol
+// (TS 36.413 simplified) that connects an eNodeB to an MME: S1 setup,
+// NAS transport in both directions, initial context setup (which
+// carries the GTP-U tunnel endpoints), and UE context release. In a
+// telecom EPC this protocol crosses a WAN to the operator's core; in
+// dLTE it runs over loopback inside the AP — the same code path either
+// way, which is how the E2/E3 experiments isolate the architecture
+// difference.
+package s1ap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dlte/internal/wire"
+)
+
+// MsgType identifies an S1AP message.
+type MsgType uint8
+
+// S1AP message types.
+const (
+	TypeS1SetupRequest MsgType = iota + 1
+	TypeS1SetupResponse
+	TypeInitialUEMessage
+	TypeDownlinkNASTransport
+	TypeUplinkNASTransport
+	TypeInitialContextSetupRequest
+	TypeInitialContextSetupResponse
+	TypeUEContextReleaseCommand
+	TypeUEContextReleaseComplete
+	TypePathSwitchRequest
+	TypePathSwitchAck
+)
+
+// String names the type.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TypeS1SetupRequest:              "S1SetupRequest",
+		TypeS1SetupResponse:             "S1SetupResponse",
+		TypeInitialUEMessage:            "InitialUEMessage",
+		TypeDownlinkNASTransport:        "DownlinkNASTransport",
+		TypeUplinkNASTransport:          "UplinkNASTransport",
+		TypeInitialContextSetupRequest:  "InitialContextSetupRequest",
+		TypeInitialContextSetupResponse: "InitialContextSetupResponse",
+		TypeUEContextReleaseCommand:     "UEContextReleaseCommand",
+		TypeUEContextReleaseComplete:    "UEContextReleaseComplete",
+		TypePathSwitchRequest:           "PathSwitchRequest",
+		TypePathSwitchAck:               "PathSwitchAck",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("S1AP(%d)", uint8(t))
+}
+
+// Message is any S1AP message.
+type Message interface {
+	wire.Message
+	Type() MsgType
+}
+
+// ErrUnknownMessage reports an unrecognized type octet.
+var ErrUnknownMessage = errors.New("s1ap: unknown message type")
+
+// S1SetupRequest introduces an eNodeB to an MME.
+type S1SetupRequest struct {
+	ENBID   uint32
+	ENBName string
+	TAC     uint16
+}
+
+// Type implements Message.
+func (S1SetupRequest) Type() MsgType { return TypeS1SetupRequest }
+
+// EncodeTo implements wire.Message.
+func (m S1SetupRequest) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBID)
+	w.String8(m.ENBName)
+	w.U16(m.TAC)
+}
+
+// S1SetupResponse accepts the eNodeB.
+type S1SetupResponse struct {
+	MMEName string
+	// ServedTAC echoes the tracking area the MME serves.
+	ServedTAC uint16
+	// SNID is the serving-network identity the eNodeB must broadcast;
+	// UEs bind it into KASME during AKA.
+	SNID string
+}
+
+// Type implements Message.
+func (S1SetupResponse) Type() MsgType { return TypeS1SetupResponse }
+
+// EncodeTo implements wire.Message.
+func (m S1SetupResponse) EncodeTo(w *wire.Writer) {
+	w.String8(m.MMEName)
+	w.U16(m.ServedTAC)
+	w.String8(m.SNID)
+}
+
+// InitialUEMessage carries the first uplink NAS PDU of a new UE.
+type InitialUEMessage struct {
+	ENBUEID uint32
+	NASPDU  []byte
+}
+
+// Type implements Message.
+func (InitialUEMessage) Type() MsgType { return TypeInitialUEMessage }
+
+// EncodeTo implements wire.Message.
+func (m InitialUEMessage) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.Bytes16(m.NASPDU)
+}
+
+// DownlinkNASTransport carries a NAS PDU toward the UE.
+type DownlinkNASTransport struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	NASPDU  []byte
+}
+
+// Type implements Message.
+func (DownlinkNASTransport) Type() MsgType { return TypeDownlinkNASTransport }
+
+// EncodeTo implements wire.Message.
+func (m DownlinkNASTransport) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.Bytes16(m.NASPDU)
+}
+
+// UplinkNASTransport carries a NAS PDU from the UE.
+type UplinkNASTransport struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	NASPDU  []byte
+}
+
+// Type implements Message.
+func (UplinkNASTransport) Type() MsgType { return TypeUplinkNASTransport }
+
+// EncodeTo implements wire.Message.
+func (m UplinkNASTransport) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.Bytes16(m.NASPDU)
+}
+
+// InitialContextSetupRequest activates the UE's data path: it tells
+// the eNodeB where the gateway terminates the uplink GTP-U tunnel.
+type InitialContextSetupRequest struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	// SGWAddr is the gateway's GTP-U endpoint ("host:port").
+	SGWAddr string
+	// SGWTEID is the uplink TEID allocated by the gateway.
+	SGWTEID uint32
+	// UEAddr is the PDN address assigned to the UE.
+	UEAddr string
+}
+
+// Type implements Message.
+func (InitialContextSetupRequest) Type() MsgType { return TypeInitialContextSetupRequest }
+
+// EncodeTo implements wire.Message.
+func (m InitialContextSetupRequest) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.String8(m.SGWAddr)
+	w.U32(m.SGWTEID)
+	w.String8(m.UEAddr)
+}
+
+// InitialContextSetupResponse returns the eNodeB's downlink tunnel end.
+type InitialContextSetupResponse struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	// ENBAddr is the eNodeB's GTP-U endpoint ("host:port").
+	ENBAddr string
+	// ENBTEID is the downlink TEID allocated by the eNodeB.
+	ENBTEID uint32
+}
+
+// Type implements Message.
+func (InitialContextSetupResponse) Type() MsgType { return TypeInitialContextSetupResponse }
+
+// EncodeTo implements wire.Message.
+func (m InitialContextSetupResponse) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.String8(m.ENBAddr)
+	w.U32(m.ENBTEID)
+}
+
+// UEContextReleaseCommand tears down a UE's S1 context.
+type UEContextReleaseCommand struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	Cause   uint8
+}
+
+// Type implements Message.
+func (UEContextReleaseCommand) Type() MsgType { return TypeUEContextReleaseCommand }
+
+// EncodeTo implements wire.Message.
+func (m UEContextReleaseCommand) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U8(m.Cause)
+}
+
+// UEContextReleaseComplete acknowledges the release.
+type UEContextReleaseComplete struct {
+	ENBUEID uint32
+	MMEUEID uint32
+}
+
+// Type implements Message.
+func (UEContextReleaseComplete) Type() MsgType { return TypeUEContextReleaseComplete }
+
+// EncodeTo implements wire.Message.
+func (m UEContextReleaseComplete) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+}
+
+// PathSwitchRequest asks the MME to move a UE's downlink tunnel to a
+// new eNodeB after an X2 handover (used by the centralized baseline).
+type PathSwitchRequest struct {
+	MMEUEID uint32
+	// NewENBAddr/NewENBTEID are the target eNodeB's tunnel endpoint.
+	NewENBAddr string
+	NewENBTEID uint32
+}
+
+// Type implements Message.
+func (PathSwitchRequest) Type() MsgType { return TypePathSwitchRequest }
+
+// EncodeTo implements wire.Message.
+func (m PathSwitchRequest) EncodeTo(w *wire.Writer) {
+	w.U32(m.MMEUEID)
+	w.String8(m.NewENBAddr)
+	w.U32(m.NewENBTEID)
+}
+
+// PathSwitchAck confirms the tunnel move.
+type PathSwitchAck struct {
+	MMEUEID uint32
+}
+
+// Type implements Message.
+func (PathSwitchAck) Type() MsgType { return TypePathSwitchAck }
+
+// EncodeTo implements wire.Message.
+func (m PathSwitchAck) EncodeTo(w *wire.Writer) { w.U32(m.MMEUEID) }
+
+// Marshal serializes a message with its type octet.
+func Marshal(m Message) ([]byte, error) { return wire.Marshal(uint8(m.Type()), m) }
+
+// Decode parses an S1AP message.
+func Decode(b []byte) (Message, error) {
+	r := wire.NewReader(b)
+	t := MsgType(r.U8())
+	var m Message
+	switch t {
+	case TypeS1SetupRequest:
+		m = &S1SetupRequest{ENBID: r.U32(), ENBName: r.String8(), TAC: r.U16()}
+	case TypeS1SetupResponse:
+		m = &S1SetupResponse{MMEName: r.String8(), ServedTAC: r.U16(), SNID: r.String8()}
+	case TypeInitialUEMessage:
+		m = &InitialUEMessage{ENBUEID: r.U32(), NASPDU: r.Bytes16()}
+	case TypeDownlinkNASTransport:
+		m = &DownlinkNASTransport{ENBUEID: r.U32(), MMEUEID: r.U32(), NASPDU: r.Bytes16()}
+	case TypeUplinkNASTransport:
+		m = &UplinkNASTransport{ENBUEID: r.U32(), MMEUEID: r.U32(), NASPDU: r.Bytes16()}
+	case TypeInitialContextSetupRequest:
+		m = &InitialContextSetupRequest{ENBUEID: r.U32(), MMEUEID: r.U32(), SGWAddr: r.String8(), SGWTEID: r.U32(), UEAddr: r.String8()}
+	case TypeInitialContextSetupResponse:
+		m = &InitialContextSetupResponse{ENBUEID: r.U32(), MMEUEID: r.U32(), ENBAddr: r.String8(), ENBTEID: r.U32()}
+	case TypeUEContextReleaseCommand:
+		m = &UEContextReleaseCommand{ENBUEID: r.U32(), MMEUEID: r.U32(), Cause: r.U8()}
+	case TypeUEContextReleaseComplete:
+		m = &UEContextReleaseComplete{ENBUEID: r.U32(), MMEUEID: r.U32()}
+	case TypePathSwitchRequest:
+		m = &PathSwitchRequest{MMEUEID: r.U32(), NewENBAddr: r.String8(), NewENBTEID: r.U32()}
+	case TypePathSwitchAck:
+		m = &PathSwitchAck{MMEUEID: r.U32()}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, t)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("s1ap: decode %s: %w", t, err)
+	}
+	return m, nil
+}
+
+// Conn frames S1AP messages over a reliable stream.
+type Conn struct {
+	fc *wire.FrameConn
+}
+
+// NewConn wraps a stream (net.Conn or simnet.Conn).
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{fc: wire.NewFrameConn(rw)} }
+
+// Send writes one message. Safe for concurrent use.
+func (c *Conn) Send(m Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	return c.fc.Send(b)
+}
+
+// Recv reads the next message.
+func (c *Conn) Recv() (Message, error) {
+	b, err := c.fc.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}

@@ -1,0 +1,218 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// chunk is a batch of stream bytes due for delivery at a wall-clock
+// instant (its send time plus the link delay at send time).
+type chunk struct {
+	data []byte
+	at   time.Time
+}
+
+// halfPipe is one direction of a stream connection. Bytes written are
+// delivered after the link delay; the byte stream is reliable and
+// ordered (it models TCP riding the simulated link).
+type halfPipe struct {
+	mu      sync.Mutex
+	queue   chan chunk
+	pending []byte // unread remainder of the last delivered chunk
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func newHalfPipe() *halfPipe {
+	return &halfPipe{
+		queue:  make(chan chunk, 4096),
+		closed: make(chan struct{}),
+	}
+}
+
+func (p *halfPipe) close() {
+	p.once.Do(func() { close(p.closed) })
+}
+
+// Conn is a simnet stream connection implementing net.Conn.
+type Conn struct {
+	network *Network
+	local   Addr
+	remote  Addr
+	// rx is the pipe this side reads from; tx is the pipe it writes to.
+	rx, tx *halfPipe
+
+	readDeadline  deadline
+	writeDeadline deadline
+}
+
+type deadline struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (d *deadline) set(t time.Time) {
+	d.mu.Lock()
+	d.t = t
+	d.mu.Unlock()
+}
+
+func (d *deadline) get() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.t
+}
+
+// newConnPair wires two Conns back to back across the network's links.
+func newConnPair(n *Network, local, remote Addr) (*Conn, *Conn) {
+	aToB := newHalfPipe()
+	bToA := newHalfPipe()
+	a := &Conn{network: n, local: local, remote: remote, rx: bToA, tx: aToB}
+	b := &Conn{network: n, local: remote, remote: local, rx: aToB, tx: bToA}
+	return a, b
+}
+
+// Read implements net.Conn. It blocks until data is deliverable (its
+// link delay has elapsed), the peer closes, or the read deadline fires.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.rx.mu.Lock()
+	if len(c.rx.pending) > 0 {
+		n := copy(b, c.rx.pending)
+		c.rx.pending = c.rx.pending[n:]
+		c.rx.mu.Unlock()
+		return n, nil
+	}
+	c.rx.mu.Unlock()
+
+	var timer *time.Timer
+	var deadlineC <-chan time.Time
+	if dl := c.readDeadline.get(); !dl.IsZero() {
+		wait := time.Until(dl)
+		if wait <= 0 {
+			return 0, ErrDeadline
+		}
+		timer = time.NewTimer(wait)
+		deadlineC = timer.C
+		defer timer.Stop()
+	}
+
+	select {
+	case ch := <-c.rx.queue:
+		c.holdUntil(ch.at, deadlineC)
+		c.rx.mu.Lock()
+		n := copy(b, ch.data)
+		if n < len(ch.data) {
+			c.rx.pending = ch.data[n:]
+		}
+		c.rx.mu.Unlock()
+		return n, nil
+	case <-c.rx.closed:
+		// Drain anything queued before the close won the race.
+		select {
+		case ch := <-c.rx.queue:
+			c.holdUntil(ch.at, deadlineC)
+			c.rx.mu.Lock()
+			n := copy(b, ch.data)
+			if n < len(ch.data) {
+				c.rx.pending = ch.data[n:]
+			}
+			c.rx.mu.Unlock()
+			return n, nil
+		default:
+			return 0, io.EOF
+		}
+	case <-deadlineC:
+		return 0, ErrDeadline
+	}
+}
+
+// holdUntil sleeps until the delivery instant at, or returns early if
+// the deadline channel fires (the data stays consumed: real kernels
+// would have buffered it, and our single-reader protocols never rely on
+// post-deadline re-reads).
+func (c *Conn) holdUntil(at time.Time, deadlineC <-chan time.Time) {
+	wait := time.Until(at)
+	if wait <= 0 {
+		return
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-deadlineC:
+	}
+}
+
+// Write implements net.Conn. Bytes are queued with the link delay
+// computed at write time; writes fail if the link is down or the peer
+// has closed.
+func (c *Conn) Write(b []byte) (int, error) {
+	select {
+	case <-c.tx.closed:
+		return 0, ErrClosed
+	default:
+	}
+	delay, up := c.network.delayFor(c.local.Host, c.remote.Host, len(b), false)
+	if !up {
+		return 0, ErrLinkDown
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+	ch := chunk{data: data, at: time.Now().Add(delay)}
+
+	var deadlineC <-chan time.Time
+	if dl := c.writeDeadline.get(); !dl.IsZero() {
+		wait := time.Until(dl)
+		if wait <= 0 {
+			return 0, ErrDeadline
+		}
+		t := time.NewTimer(wait)
+		deadlineC = t.C
+		defer t.Stop()
+	}
+
+	select {
+	case c.tx.queue <- ch:
+		return len(b), nil
+	case <-c.tx.closed:
+		return 0, ErrClosed
+	case <-deadlineC:
+		return 0, ErrDeadline
+	}
+}
+
+// Close implements net.Conn. It closes both directions, so the peer's
+// pending Read returns io.EOF after draining delivered data.
+func (c *Conn) Close() error {
+	c.tx.close()
+	c.rx.close()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn. Deadlines apply to operations
+// started after the call; they do not interrupt a blocked operation.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.readDeadline.set(t)
+	c.writeDeadline.set(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.readDeadline.set(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.writeDeadline.set(t)
+	return nil
+}

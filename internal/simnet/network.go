@@ -1,0 +1,239 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors returned by Network operations.
+var (
+	ErrHostExists   = errors.New("simnet: host already exists")
+	ErrNoHost       = errors.New("simnet: no such host")
+	ErrPortInUse    = errors.New("simnet: port in use")
+	ErrConnRefused  = errors.New("simnet: connection refused")
+	ErrClosed       = errors.New("simnet: closed")
+	ErrLinkDown     = errors.New("simnet: link down")
+	ErrDeadline     = errors.New("simnet: deadline exceeded")
+	ErrPacketTooBig = errors.New("simnet: packet exceeds MTU")
+)
+
+// Link describes one direction of connectivity between two hosts.
+type Link struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per packet.
+	Jitter time.Duration
+	// BandwidthBps is the serialization rate in bits/second; 0 means
+	// unlimited.
+	BandwidthBps float64
+	// Loss is the independent per-packet drop probability in [0, 1).
+	// Loss applies to packet sends only; stream bytes are reliable
+	// (they model TCP over the link).
+	Loss float64
+	// Down drops everything: packet sends vanish, stream writes fail.
+	Down bool
+}
+
+// MTU is the maximum datagram size the packet layer accepts, matching a
+// typical tunnel-friendly Internet path.
+const MTU = 1400
+
+// Network is an in-memory internetwork of named hosts. The zero value
+// is not usable; call New.
+type Network struct {
+	mu          sync.Mutex
+	hosts       map[string]*Host
+	links       map[[2]string]*linkState
+	defaultLink Link
+	rng         *rand.Rand
+	closed      bool
+}
+
+type linkState struct {
+	cfg Link
+	// busyUntil models serialization: the time the link's transmitter
+	// becomes free. Protected by Network.mu.
+	busyUntil time.Time
+}
+
+// New creates a Network whose links default to the given Link
+// parameters and whose randomness is seeded for reproducibility.
+func New(defaultLink Link, seed int64) *Network {
+	return &Network{
+		hosts:       make(map[string]*Host),
+		links:       make(map[[2]string]*linkState),
+		defaultLink: defaultLink,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddHost creates a host with the given name (its address). Names must
+// be unique within the network.
+func (n *Network) AddHost(name string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.hosts[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrHostExists, name)
+	}
+	h := &Host{
+		net:       n,
+		name:      name,
+		listeners: make(map[int]*Listener),
+		pktConns:  make(map[int]*PacketConn),
+		ephemeral: 49152,
+	}
+	n.hosts[name] = h
+	return h, nil
+}
+
+// MustAddHost is AddHost that panics on error; intended for scenario
+// construction in tests and examples where names are static.
+func (n *Network) MustAddHost(name string) *Host {
+	h, err := n.AddHost(name)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Host returns the named host, if present.
+func (n *Network) Host(name string) (*Host, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	return h, ok
+}
+
+// SetLink configures both directions between hosts a and b.
+func (n *Network) SetLink(a, b string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{a, b}] = &linkState{cfg: l}
+	n.links[[2]string{b, a}] = &linkState{cfg: l}
+}
+
+// SetLinkOneWay configures only the a→b direction.
+func (n *Network) SetLinkOneWay(a, b string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{a, b}] = &linkState{cfg: l}
+}
+
+// SetLinkDown marks both directions between a and b up or down,
+// preserving the other link parameters. Used for failure injection.
+func (n *Network) SetLinkDown(a, b string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, key := range [][2]string{{a, b}, {b, a}} {
+		ls, ok := n.links[key]
+		if !ok {
+			cfg := n.defaultLink
+			ls = &linkState{cfg: cfg}
+			n.links[key] = ls
+		}
+		ls.cfg.Down = down
+	}
+}
+
+// linkFor returns the directional link state from src to dst, creating
+// a default entry on first use so busyUntil tracking is stable.
+func (n *Network) linkFor(src, dst string) *linkState {
+	key := [2]string{src, dst}
+	ls, ok := n.links[key]
+	if !ok {
+		ls = &linkState{cfg: n.defaultLink}
+		n.links[key] = ls
+	}
+	return ls
+}
+
+// delayFor computes the delivery delay for size bytes from src to dst at
+// the current wall-clock instant, advancing the link's serialization
+// state. It returns ok=false when the link is down or the packet is
+// randomly lost (lossy true enables random loss).
+func (n *Network) delayFor(src, dst string, size int, lossy bool) (time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls := n.linkFor(src, dst)
+	cfg := ls.cfg
+	if cfg.Down {
+		return 0, false
+	}
+	if lossy && cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
+		return 0, false
+	}
+	now := time.Now()
+	var txTime time.Duration
+	if cfg.BandwidthBps > 0 {
+		txTime = time.Duration(float64(size*8) / cfg.BandwidthBps * float64(time.Second))
+	}
+	start := now
+	if ls.busyUntil.After(now) {
+		start = ls.busyUntil
+	}
+	ls.busyUntil = start.Add(txTime)
+	delay := start.Add(txTime).Sub(now) + cfg.Latency
+	if cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+	}
+	return delay, true
+}
+
+// linkUp reports whether the src→dst direction is currently up.
+func (n *Network) linkUp(src, dst string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.linkFor(src, dst).cfg.Down
+}
+
+// Close tears down the network: all listeners, conns, and packet conns
+// are closed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.Unlock()
+	for _, h := range hosts {
+		h.closeAll()
+	}
+}
+
+// Addr is the net.Addr implementation for simnet endpoints.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// Network implements net.Addr.
+func (a Addr) Network() string { return "sim" }
+
+// String implements net.Addr, rendering "host:port".
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// ParseAddr splits "host:port". The host part may itself contain no
+// colons (simnet host names are flat identifiers).
+func ParseAddr(s string) (Addr, error) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			port := 0
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil {
+				return Addr{}, fmt.Errorf("simnet: bad address %q: %w", s, err)
+			}
+			return Addr{Host: s[:i], Port: port}, nil
+		}
+	}
+	return Addr{}, fmt.Errorf("simnet: bad address %q: missing port", s)
+}

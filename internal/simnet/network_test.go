@@ -1,0 +1,443 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestNet(t *testing.T, link Link) *Network {
+	t.Helper()
+	n := New(link, 1)
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestAddHostDuplicate(t *testing.T) {
+	n := newTestNet(t, Link{})
+	if _, err := n.AddHost("ap1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost("ap1"); !errors.Is(err, ErrHostExists) {
+		t.Fatalf("want ErrHostExists, got %v", err)
+	}
+	if _, ok := n.Host("ap1"); !ok {
+		t.Error("Host lookup failed")
+	}
+	if _, ok := n.Host("nope"); ok {
+		t.Error("Host lookup found ghost")
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	a, err := ParseAddr("registry:8400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Host != "registry" || a.Port != 8400 {
+		t.Errorf("parsed %+v", a)
+	}
+	if a.String() != "registry:8400" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.Network() != "sim" {
+		t.Errorf("Network = %q", a.Network())
+	}
+	if _, err := ParseAddr("noport"); err == nil {
+		t.Error("expected error for missing port")
+	}
+	if _, err := ParseAddr("host:abc"); err == nil {
+		t.Error("expected error for bad port")
+	}
+}
+
+func TestStreamEcho(t *testing.T) {
+	n := newTestNet(t, Link{Latency: time.Millisecond})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	l, err := b.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c)
+	}()
+
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello dlte")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("echo = %q", got)
+	}
+	c.Close()
+	wg.Wait()
+}
+
+func TestStreamLatency(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	n := newTestNet(t, Link{Latency: lat})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	l, _ := b.Listen(80)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c)
+	}()
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	c.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 2*lat {
+		t.Errorf("RTT %v < 2×latency %v", rtt, 2*lat)
+	}
+	if rtt > 2*lat+150*time.Millisecond {
+		t.Errorf("RTT %v implausibly large", rtt)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	n.MustAddHost("b")
+	if _, err := a.Dial("ghost:80"); !errors.Is(err, ErrNoHost) {
+		t.Errorf("want ErrNoHost, got %v", err)
+	}
+	if _, err := a.Dial("b:80"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("want ErrConnRefused, got %v", err)
+	}
+	if _, err := a.Dial("bad-addr"); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestListenPortInUse(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	if _, err := a.Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Listen(80); !errors.Is(err, ErrPortInUse) {
+		t.Errorf("want ErrPortInUse, got %v", err)
+	}
+	// Ephemeral allocation avoids used ports.
+	l2, err := a.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Addr().(Addr).Port == 80 {
+		t.Error("ephemeral allocated bound port")
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	l, _ := b.Listen(80)
+	accepted := make(chan io.ReadWriteCloser, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := srv.Read(buf)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Errorf("read after close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	l, _ := b.Listen(80)
+	go l.Accept()
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 1)
+	start := time.Now()
+	_, err = c.Read(buf)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline took %v", elapsed)
+	}
+	// Expired deadline fails immediately.
+	c.SetDeadline(time.Now().Add(-time.Second))
+	if _, err := c.Read(buf); !errors.Is(err, ErrDeadline) {
+		t.Errorf("want immediate ErrDeadline, got %v", err)
+	}
+}
+
+func TestLinkDownStream(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	l, _ := b.Listen(80)
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkDown("a", "b", true)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("want ErrLinkDown on write, got %v", err)
+	}
+	if _, err := a.Dial("b:80"); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("want ErrLinkDown on dial, got %v", err)
+	}
+	// Restore and verify recovery.
+	n.SetLinkDown("a", "b", false)
+	if _, err := a.Dial("b:80"); err != nil {
+		t.Errorf("dial after restore: %v", err)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	n := newTestNet(t, Link{Latency: time.Millisecond})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	pa, err := a.ListenPacket(2152)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.ListenPacket(2152)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pa.WriteToHost([]byte("gtp"), "b", 2152); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	pb.SetReadDeadline(time.Now().Add(time.Second))
+	nr, from, err := pb.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "gtp" {
+		t.Errorf("payload = %q", buf[:nr])
+	}
+	if from.(Addr).Host != "a" {
+		t.Errorf("from = %v", from)
+	}
+}
+
+func TestPacketLossTotal(t *testing.T) {
+	n := newTestNet(t, Link{Loss: 1.0})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	pa, _ := a.ListenPacket(1000)
+	pb, _ := b.ListenPacket(1000)
+	for i := 0; i < 20; i++ {
+		pa.WriteToHost([]byte("x"), "b", 1000)
+	}
+	pb.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := pb.ReadFrom(make([]byte, 8)); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expected all packets lost, got %v", err)
+	}
+}
+
+func TestPacketLossPartial(t *testing.T) {
+	n := newTestNet(t, Link{Loss: 0.5})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	pa, _ := a.ListenPacket(1000)
+	pb, _ := b.ListenPacket(1000)
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		pa.WriteToHost([]byte("x"), "b", 1000)
+	}
+	received := 0
+	buf := make([]byte, 8)
+	for {
+		pb.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		if _, _, err := pb.ReadFrom(buf); err != nil {
+			break
+		}
+		received++
+	}
+	// With p=0.5 and n=400, expect ~200; 120–280 is ±8σ.
+	if received < 120 || received > 280 {
+		t.Errorf("received %d of %d at 50%% loss", received, sent)
+	}
+}
+
+func TestPacketMTU(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	pa, _ := a.ListenPacket(1000)
+	if _, err := pa.WriteToHost(make([]byte, MTU+1), "a", 1000); !errors.Is(err, ErrPacketTooBig) {
+		t.Errorf("want ErrPacketTooBig, got %v", err)
+	}
+}
+
+func TestPacketToUnknownDropsSilently(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	pa, _ := a.ListenPacket(1000)
+	if _, err := pa.WriteToHost([]byte("x"), "ghost", 1); err != nil {
+		t.Errorf("write to unknown host should drop silently: %v", err)
+	}
+	if _, err := pa.WriteToHost([]byte("x"), "a", 9); err != nil {
+		t.Errorf("write to unbound port should drop silently: %v", err)
+	}
+}
+
+func TestPacketLinkDownDropsSilently(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	pa, _ := a.ListenPacket(1000)
+	pb, _ := b.ListenPacket(1000)
+	n.SetLinkDown("a", "b", true)
+	if _, err := pa.WriteToHost([]byte("x"), "b", 1000); err != nil {
+		t.Fatalf("packet on down link should drop, not error: %v", err)
+	}
+	pb.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := pb.ReadFrom(make([]byte, 8)); !errors.Is(err, ErrDeadline) {
+		t.Error("packet delivered across down link")
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 80 kbit/s link: a 1000-byte message takes 100 ms to serialize.
+	n := newTestNet(t, Link{BandwidthBps: 80_000})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	l, _ := b.Listen(80)
+	done := make(chan time.Time, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.ReadFull(c, make([]byte, 1000))
+		done <- time.Now()
+	}()
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	c.Write(make([]byte, 1000))
+	end := <-done
+	if d := end.Sub(start); d < 90*time.Millisecond {
+		t.Errorf("1000B over 80kbps arrived in %v, want ≥ ~100ms", d)
+	}
+}
+
+func TestClosedPacketConnWrite(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	pa, _ := a.ListenPacket(1000)
+	pa.Close()
+	if _, err := pa.WriteToHost([]byte("x"), "a", 1000); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	if _, _, err := pa.ReadFrom(make([]byte, 8)); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed on read, got %v", err)
+	}
+	// Port is reusable after close.
+	if _, err := a.ListenPacket(1000); err != nil {
+		t.Errorf("rebind after close: %v", err)
+	}
+}
+
+func TestNetworkClose(t *testing.T) {
+	n := New(Link{}, 1)
+	a := n.MustAddHost("a")
+	l, _ := a.Listen(80)
+	n.Close()
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Errorf("accept after network close = %v", err)
+	}
+	if _, err := n.AddHost("b"); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddHost after close = %v", err)
+	}
+	n.Close() // idempotent
+}
+
+func TestConnAddrs(t *testing.T) {
+	n := newTestNet(t, Link{})
+	a := n.MustAddHost("a")
+	b := n.MustAddHost("b")
+	l, _ := b.Listen(80)
+	go l.Accept()
+	c, err := a.Dial("b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.LocalAddr().(Addr).Host != "a" {
+		t.Errorf("LocalAddr = %v", c.LocalAddr())
+	}
+	ra := c.RemoteAddr().(Addr)
+	if ra.Host != "b" || ra.Port != 80 {
+		t.Errorf("RemoteAddr = %v", ra)
+	}
+}

@@ -1,0 +1,143 @@
+package simnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// datagram is one queued packet with its delivery instant.
+type datagram struct {
+	data []byte
+	from Addr
+	at   time.Time
+}
+
+// PacketConn is a simnet datagram socket. It implements the
+// net.PacketConn read/write surface used by the GTP-U and mobility
+// transport layers: unreliable, unordered-within-jitter, loss- and
+// latency-afflicted delivery.
+type PacketConn struct {
+	host  *Host
+	addr  Addr
+	inbox chan datagram
+
+	readDeadline deadline
+	closeOnce    sync.Once
+	done         chan struct{}
+}
+
+// LocalAddr reports the socket's bound address.
+func (p *PacketConn) LocalAddr() net.Addr { return p.addr }
+
+// WriteTo sends a datagram to addr ("host:port" or an Addr). Sends on a
+// down link or lost by the link's loss process are silently dropped, as
+// with UDP. Sends to unknown hosts or unbound ports are also dropped
+// (real networks emit ICMP; our protocols treat both as loss).
+func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	select {
+	case <-p.done:
+		return 0, ErrClosed
+	default:
+	}
+	if len(b) > MTU {
+		return 0, fmt.Errorf("%w: %d > %d", ErrPacketTooBig, len(b), MTU)
+	}
+	var a Addr
+	switch v := addr.(type) {
+	case Addr:
+		a = v
+	case *Addr:
+		a = *v
+	default:
+		parsed, err := ParseAddr(addr.String())
+		if err != nil {
+			return 0, err
+		}
+		a = parsed
+	}
+
+	p.host.net.mu.Lock()
+	remote, ok := p.host.net.hosts[a.Host]
+	p.host.net.mu.Unlock()
+	if !ok {
+		return len(b), nil // silently dropped, like UDP into a black hole
+	}
+	remote.mu.Lock()
+	dst, ok := remote.pktConns[a.Port]
+	remote.mu.Unlock()
+	if !ok {
+		return len(b), nil
+	}
+
+	delay, deliver := p.host.net.delayFor(p.host.name, a.Host, len(b), true)
+	if !deliver {
+		return len(b), nil // lost or link down
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+	dg := datagram{data: data, from: p.addr, at: time.Now().Add(delay)}
+	select {
+	case dst.inbox <- dg:
+	default:
+		// Receiver queue overflow models receive-buffer drops.
+	}
+	return len(b), nil
+}
+
+// WriteToHost is WriteTo with a pre-parsed destination.
+func (p *PacketConn) WriteToHost(b []byte, host string, port int) (int, error) {
+	return p.WriteTo(b, Addr{Host: host, Port: port})
+}
+
+// ReadFrom receives the next datagram, blocking until one is
+// deliverable, the socket closes, or the read deadline fires.
+func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	var deadlineC <-chan time.Time
+	if dl := p.readDeadline.get(); !dl.IsZero() {
+		wait := time.Until(dl)
+		if wait <= 0 {
+			return 0, nil, ErrDeadline
+		}
+		t := time.NewTimer(wait)
+		deadlineC = t.C
+		defer t.Stop()
+	}
+	select {
+	case dg := <-p.inbox:
+		if wait := time.Until(dg.at); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-deadlineC:
+				t.Stop()
+				// The datagram is consumed either way; a real kernel
+				// would have buffered it past the deadline too.
+			}
+			t.Stop()
+		}
+		n := copy(b, dg.data)
+		return n, dg.from, nil
+	case <-p.done:
+		return 0, nil, ErrClosed
+	case <-deadlineC:
+		return 0, nil, ErrDeadline
+	}
+}
+
+// SetReadDeadline bounds future ReadFrom calls. It does not interrupt a
+// blocked ReadFrom.
+func (p *PacketConn) SetReadDeadline(t time.Time) error {
+	p.readDeadline.set(t)
+	return nil
+}
+
+// Close releases the socket.
+func (p *PacketConn) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.host.removePacketConn(p.addr.Port)
+	})
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package simnet provides the two simulation substrates every dLTE
+// experiment runs on:
+//
+//   - Scheduler: a single-threaded virtual-time discrete-event engine
+//     used by the radio/PHY simulations (airtime, contention, HARQ),
+//     where wall-clock time is irrelevant and determinism is mandatory.
+//
+//   - Network: an in-memory packet/stream network with per-link latency,
+//     bandwidth, loss, and failure injection, exposing net.Conn-style
+//     endpoints so the real protocol stacks (NAS, S1AP, GTP, X2,
+//     registry, transport) run unmodified over simulated WANs and over
+//     real sockets.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback inside a Scheduler run.
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic virtual-time event loop. It is not safe
+// for concurrent use: all events run on the caller's goroutine, in
+// timestamp order with FIFO tie-breaking.
+type Scheduler struct {
+	now  time.Duration
+	seq  uint64
+	heap eventHeap
+}
+
+// NewScheduler returns a Scheduler at virtual time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past runs
+// the event at the current time (it will still fire after all events
+// already due). The returned Event may be used to cancel.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run at t, t+period, t+2·period, … until the
+// returned Event is canceled.
+func (s *Scheduler) Every(start, period time.Duration, fn func()) *Event {
+	// The controlling event is re-armed from inside each firing; Cancel
+	// marks the shared control struct dead so the chain stops.
+	ctl := &Event{}
+	var arm func(t time.Duration)
+	arm = func(t time.Duration) {
+		s.At(t, func() {
+			if ctl.dead {
+				return
+			}
+			fn()
+			arm(t + period)
+		})
+	}
+	arm(start)
+	return ctl
+}
+
+// Step runs the single next event, if any, advancing virtual time to it.
+// It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	for s.heap.Len() > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil runs events in order until the queue is empty or the next
+// event is later than t, then advances time to exactly t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for s.heap.Len() > 0 {
+		e := s.heap[0]
+		if e.dead {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		heap.Pop(&s.heap)
+		s.now = e.at
+		e.fn()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Run drains the event queue completely. Use RunUntil for simulations
+// with self-perpetuating periodic events.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending reports the number of live queued events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,251 @@
+// Package spectrum implements the lightweight licensing layer the dLTE
+// paper builds discovery on (§4.3): a geolocated license database in
+// the style of the CBRS Spectrum Access System, plus the
+// contention-domain computation that turns "who is licensed where"
+// into "who must coordinate with whom". Because every transmitter in
+// the band is registered, hidden terminals are eliminated by
+// construction — experiment E9 quantifies exactly that.
+package spectrum
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dlte/internal/geo"
+	"dlte/internal/radio"
+)
+
+// Grant is one geolocated spectrum license.
+type Grant struct {
+	// APID is the licensee (a dLTE AP identity).
+	APID string
+	// Band names the licensed band (radio.Band.Name).
+	Band string
+	// Position is the transmitter location.
+	Position geo.Point
+	// EIRPdBm is the licensed radiated power.
+	EIRPdBm float64
+	// HeightM is the antenna height used for interference analysis.
+	HeightM float64
+	// Expires is the grant's expiry instant (zero = non-expiring).
+	Expires time.Time
+}
+
+// Database errors.
+var (
+	ErrDuplicateGrant = errors.New("spectrum: AP already holds a grant in this band")
+	ErrNoGrant        = errors.New("spectrum: no such grant")
+	ErrDenied         = errors.New("spectrum: grant denied")
+)
+
+// Database is an open license store: any conforming AP may register,
+// which is the paper's openness requirement. Admission only fails when
+// the request would raise interference at a protected incumbent above
+// the limit.
+type Database struct {
+	mu     sync.RWMutex
+	grants map[string]Grant // key: apID|band
+	// Incumbents are protected receivers (e.g. an existing licensee's
+	// coverage point) that new grants must not degrade.
+	incumbents []Incumbent
+	// PathLoss is the model used for interference analysis; nil means
+	// radio.Auto{}.
+	PathLoss radio.PathLoss
+}
+
+// Incumbent is a protected reception point with an interference limit.
+type Incumbent struct {
+	Band     string
+	Position geo.Point
+	HeightM  float64
+	// MaxInterferenceDBm is the aggregate co-channel power allowed at
+	// the incumbent.
+	MaxInterferenceDBm float64
+}
+
+// NewDatabase returns an empty license database.
+func NewDatabase() *Database {
+	return &Database{grants: make(map[string]Grant)}
+}
+
+func grantKey(apID, band string) string { return apID + "|" + band }
+
+func (db *Database) model() radio.PathLoss {
+	if db.PathLoss == nil {
+		return radio.Auto{}
+	}
+	return db.PathLoss
+}
+
+// AddIncumbent registers a protected receiver.
+func (db *Database) AddIncumbent(inc Incumbent) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.incumbents = append(db.incumbents, inc)
+}
+
+// Request evaluates and (if admissible) records a grant, SAS-style.
+// now supplies the current time for expiry handling.
+func (db *Database) Request(g Grant, now time.Time) error {
+	if g.APID == "" || g.Band == "" {
+		return fmt.Errorf("%w: missing AP or band", ErrDenied)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.grants[grantKey(g.APID, g.Band)]; ok {
+		return fmt.Errorf("%w: %s/%s", ErrDuplicateGrant, g.APID, g.Band)
+	}
+	band, ok := bandByName(g.Band)
+	if !ok {
+		return fmt.Errorf("%w: unknown band %q", ErrDenied, g.Band)
+	}
+	if g.EIRPdBm > band.MaxEIRPdBm {
+		return fmt.Errorf("%w: EIRP %.1f exceeds band limit %.1f", ErrDenied, g.EIRPdBm, band.MaxEIRPdBm)
+	}
+	for _, inc := range db.incumbents {
+		if inc.Band != g.Band {
+			continue
+		}
+		dKm := g.Position.DistanceTo(inc.Position) / 1000
+		loss := db.model().LossDB(dKm, band.DownlinkMHz, g.HeightM, inc.HeightM)
+		if rx := g.EIRPdBm - loss; rx > inc.MaxInterferenceDBm {
+			return fmt.Errorf("%w: would put %.1f dBm at protected incumbent (limit %.1f)",
+				ErrDenied, rx, inc.MaxInterferenceDBm)
+		}
+	}
+	db.grants[grantKey(g.APID, g.Band)] = g
+	return nil
+}
+
+// Release removes a grant.
+func (db *Database) Release(apID, band string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := grantKey(apID, band)
+	if _, ok := db.grants[key]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoGrant, apID, band)
+	}
+	delete(db.grants, key)
+	return nil
+}
+
+// Active lists unexpired grants in a band, sorted by APID for
+// determinism.
+func (db *Database) Active(band string, now time.Time) []Grant {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Grant
+	for _, g := range db.grants {
+		if g.Band != band {
+			continue
+		}
+		if !g.Expires.IsZero() && now.After(g.Expires) {
+			continue
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].APID < out[j].APID })
+	return out
+}
+
+// InRegion lists active grants in a band whose transmitters fall
+// inside r.
+func (db *Database) InRegion(band string, r geo.Rect, now time.Time) []Grant {
+	var out []Grant
+	for _, g := range db.Active(band, now) {
+		if r.Contains(g.Position) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func bandByName(name string) (radio.Band, bool) {
+	for _, b := range radio.Catalog() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return radio.Band{}, false
+}
+
+// InterferenceThresholdDBm is the received-power level above which two
+// transmitters are considered to share a contention domain: roughly a
+// 10 MHz LTE noise floor, so anything audible above noise coordinates.
+const InterferenceThresholdDBm = -100
+
+// ContentionDomains partitions a band's active grants into groups of
+// mutually audible transmitters (connected components of the
+// interference graph). APs in the same domain must coordinate; APs in
+// different domains can reuse the spectrum freely.
+func ContentionDomains(grants []Grant, model radio.PathLoss, thresholdDBm float64) [][]string {
+	if model == nil {
+		model = radio.Auto{}
+	}
+	n := len(grants)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if grants[i].Band != grants[j].Band {
+				continue
+			}
+			band, ok := bandByName(grants[i].Band)
+			if !ok {
+				continue
+			}
+			dKm := grants[i].Position.DistanceTo(grants[j].Position) / 1000
+			// Beyond the radio horizon the towers cannot hear each
+			// other no matter what the statistical model extrapolates.
+			if dKm > radio.RadioHorizonKm(grants[i].HeightM, grants[j].HeightM) {
+				continue
+			}
+			loss := model.LossDB(dKm, band.DownlinkMHz, grants[i].HeightM, grants[j].HeightM)
+			// Audible in either direction joins the domain.
+			if grants[i].EIRPdBm-loss > thresholdDBm || grants[j].EIRPdBm-loss > thresholdDBm {
+				union(i, j)
+			}
+		}
+	}
+
+	groups := make(map[int][]string)
+	for i, g := range grants {
+		root := find(i)
+		groups[root] = append(groups[root], g.APID)
+	}
+	var out [][]string
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// DomainOf returns the contention-domain members containing apID, or
+// nil if the AP holds no grant in the set.
+func DomainOf(domains [][]string, apID string) []string {
+	for _, d := range domains {
+		for _, m := range d {
+			if m == apID {
+				return d
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package spectrum
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dlte/internal/geo"
+	"dlte/internal/radio"
+)
+
+var now = time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+
+func grant(ap string, x, y float64) Grant {
+	return Grant{
+		APID: ap, Band: radio.LTEBand5.Name,
+		Position: geo.Pt(x, y), EIRPdBm: 58, HeightM: 20,
+	}
+}
+
+func TestRequestAndActive(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Request(grant("ap1", 0, 0), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Request(grant("ap2", 5000, 0), now); err != nil {
+		t.Fatal(err)
+	}
+	active := db.Active(radio.LTEBand5.Name, now)
+	if len(active) != 2 || active[0].APID != "ap1" || active[1].APID != "ap2" {
+		t.Fatalf("active = %+v", active)
+	}
+	if got := db.Active(radio.ISM24.Name, now); len(got) != 0 {
+		t.Errorf("wrong-band active = %v", got)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Request(Grant{}, now); !errors.Is(err, ErrDenied) {
+		t.Errorf("empty grant: %v", err)
+	}
+	g := grant("ap1", 0, 0)
+	g.Band = "made-up band"
+	if err := db.Request(g, now); !errors.Is(err, ErrDenied) {
+		t.Errorf("unknown band: %v", err)
+	}
+	g = grant("ap1", 0, 0)
+	g.EIRPdBm = 99
+	if err := db.Request(g, now); !errors.Is(err, ErrDenied) {
+		t.Errorf("EIRP over limit: %v", err)
+	}
+	// Duplicate.
+	if err := db.Request(grant("ap1", 0, 0), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Request(grant("ap1", 100, 0), now); !errors.Is(err, ErrDuplicateGrant) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestIncumbentProtection(t *testing.T) {
+	db := NewDatabase()
+	db.AddIncumbent(Incumbent{
+		Band: radio.LTEBand5.Name, Position: geo.Pt(0, 0), HeightM: 10,
+		MaxInterferenceDBm: -85,
+	})
+	// Right on top of the incumbent: denied.
+	if err := db.Request(grant("close", 500, 0), now); !errors.Is(err, ErrDenied) {
+		t.Errorf("close grant: %v", err)
+	}
+	// Far away: admitted.
+	if err := db.Request(grant("far", 80_000, 0), now); err != nil {
+		t.Errorf("far grant denied: %v", err)
+	}
+	// Other bands ignore this incumbent.
+	g := Grant{APID: "wifi", Band: radio.ISM24.Name, Position: geo.Pt(500, 0), EIRPdBm: 30, HeightM: 10}
+	if err := db.Request(g, now); err != nil {
+		t.Errorf("other-band grant denied: %v", err)
+	}
+}
+
+func TestReleaseAndExpiry(t *testing.T) {
+	db := NewDatabase()
+	g := grant("ap1", 0, 0)
+	g.Expires = now.Add(time.Hour)
+	if err := db.Request(g, now); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Active(g.Band, now)) != 1 {
+		t.Fatal("grant not active")
+	}
+	if len(db.Active(g.Band, now.Add(2*time.Hour))) != 0 {
+		t.Error("expired grant still active")
+	}
+	if err := db.Release("ap1", g.Band); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Release("ap1", g.Band); !errors.Is(err, ErrNoGrant) {
+		t.Errorf("double release: %v", err)
+	}
+}
+
+func TestInRegion(t *testing.T) {
+	db := NewDatabase()
+	db.Request(grant("in", 1000, 1000), now)
+	db.Request(grant("out", 50_000, 50_000), now)
+	rect := geo.NewRect(geo.Pt(0, 0), geo.Pt(10_000, 10_000))
+	got := db.InRegion(radio.LTEBand5.Name, rect, now)
+	if len(got) != 1 || got[0].APID != "in" {
+		t.Errorf("InRegion = %+v", got)
+	}
+}
+
+func TestContentionDomains(t *testing.T) {
+	// Three APs: two 3 km apart (audible), one 200 km away (isolated).
+	grants := []Grant{
+		grant("a", 0, 0),
+		grant("b", 3000, 0),
+		grant("far", 200_000, 0),
+	}
+	domains := ContentionDomains(grants, radio.Auto{}, InterferenceThresholdDBm)
+	if len(domains) != 2 {
+		t.Fatalf("domains = %v", domains)
+	}
+	ab := DomainOf(domains, "a")
+	if len(ab) != 2 || ab[0] != "a" || ab[1] != "b" {
+		t.Errorf("a's domain = %v", ab)
+	}
+	if d := DomainOf(domains, "far"); len(d) != 1 || d[0] != "far" {
+		t.Errorf("far's domain = %v", d)
+	}
+	if d := DomainOf(domains, "ghost"); d != nil {
+		t.Errorf("ghost domain = %v", d)
+	}
+}
+
+func TestContentionDomainsTransitive(t *testing.T) {
+	// Chain a—b—c where a and c are mutually inaudible but both hear
+	// b: all three share one domain (coordination is transitive).
+	grants := []Grant{
+		grant("a", 0, 0),
+		grant("b", 14_000, 0),
+		grant("c", 28_000, 0),
+	}
+	domains := ContentionDomains(grants, radio.Auto{}, -85)
+	if len(domains) != 1 || len(domains[0]) != 3 {
+		t.Fatalf("chain domains = %v", domains)
+	}
+}
+
+func TestContentionDomainsBandIsolation(t *testing.T) {
+	a := grant("a", 0, 0)
+	b := Grant{APID: "b", Band: radio.ISM24.Name, Position: geo.Pt(100, 0), EIRPdBm: 30, HeightM: 10}
+	domains := ContentionDomains([]Grant{a, b}, radio.Auto{}, InterferenceThresholdDBm)
+	if len(domains) != 2 {
+		t.Fatalf("cross-band domains merged: %v", domains)
+	}
+}
+
+func TestContentionDomainsEmpty(t *testing.T) {
+	if d := ContentionDomains(nil, nil, InterferenceThresholdDBm); len(d) != 0 {
+		t.Errorf("empty = %v", d)
+	}
+}

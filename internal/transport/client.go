@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is the client end of an MST session.
+type Client struct {
+	*session
+	mode Mode
+
+	mu       sync.Mutex
+	token    []byte // resume token from the last ACCEPT
+	accepted chan struct{}
+	accOnce  sync.Once
+	done     chan struct{}
+	doneOnce sync.Once
+	curPC    PacketConn
+	serverAt net.Addr
+	readerWG sync.WaitGroup
+}
+
+// DialConfig shapes a client dial.
+type DialConfig struct {
+	// Mode must match the server's.
+	Mode Mode
+	// ResumeToken, when set in Migratory mode, enables 0-RTT resume:
+	// Dial returns immediately and data flows in the first flight.
+	ResumeToken []byte
+	// Timeout bounds the handshake.
+	Timeout time.Duration
+}
+
+// Dial opens a session to server over pc.
+func Dial(pc PacketConn, server net.Addr, cfg DialConfig) (*Client, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 3 * time.Second
+	}
+	cid := randomU64()
+	c := &Client{
+		session:  newSession(pc, server, cid),
+		mode:     cfg.Mode,
+		accepted: make(chan struct{}),
+		done:     make(chan struct{}),
+		curPC:    pc,
+		serverAt: server,
+	}
+	c.readerWG.Add(1)
+	go c.readLoop(pc)
+	go c.retransmitLoop()
+
+	hello := Packet{Type: PktHello, CID: cid, Token: cfg.ResumeToken}
+	if err := c.writeCtl(hello); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	if cfg.Mode == Migratory && len(cfg.ResumeToken) > 0 {
+		// 0-RTT: the session is usable immediately; the ACCEPT (and
+		// fresh token) arrives asynchronously.
+		go c.awaitAcceptRetry(hello, cfg.Timeout)
+		return c, nil
+	}
+	if err := c.awaitAcceptRetry(hello, cfg.Timeout); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// awaitAcceptRetry retransmits the HELLO until ACCEPT or timeout.
+func (c *Client) awaitAcceptRetry(hello Packet, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		select {
+		case <-c.accepted:
+			return nil
+		case <-c.done:
+			return ErrClosed
+		case <-time.After(rto):
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: handshake", ErrTimeout)
+			}
+			c.writeCtl(hello)
+		}
+	}
+}
+
+// Token returns the latest resume token (nil before first ACCEPT).
+func (c *Client) Token() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.token == nil {
+		return nil
+	}
+	out := make([]byte, len(c.token))
+	copy(out, c.token)
+	return out
+}
+
+// Send transmits a payload reliably.
+func (c *Client) Send(payload []byte) error { return c.send(payload) }
+
+// Recv delivers the next in-order server payload.
+func (c *Client) Recv(timeout time.Duration) ([]byte, error) { return c.recv(timeout) }
+
+// Stats reports transfer counters.
+func (c *Client) Stats() SessionStats { return c.stats() }
+
+// Migrate moves the session onto a new packet socket (a new IP
+// address after an AP change). In Migratory mode the session simply
+// continues: in-flight data retransmits via the new path and the
+// server re-binds on the first arriving packet. In Legacy mode the
+// server will RESET the connection — the TCP behaviour.
+func (c *Client) Migrate(newPC PacketConn) {
+	c.mu.Lock()
+	old := c.curPC
+	c.curPC = newPC
+	server := c.serverAt
+	c.mu.Unlock()
+
+	c.session.migrate(newPC, server)
+	c.readerWG.Add(1)
+	go c.readLoop(newPC)
+	if old != nil {
+		old.Close() // unblocks the old reader
+	}
+	// Nudge the new path immediately so the server re-binds without
+	// waiting for the next data or RTO.
+	c.retransmitTick()
+}
+
+func (c *Client) writeCtl(p Packet) error {
+	c.mu.Lock()
+	pc, server := c.curPC, c.serverAt
+	c.mu.Unlock()
+	b, err := EncodePacket(p)
+	if err != nil {
+		return err
+	}
+	_, err = pc.WriteTo(b, server)
+	return err
+}
+
+func (c *Client) readLoop(pc PacketConn) {
+	defer c.readerWG.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			// A closed (migrated-away-from) socket ends this reader.
+			c.mu.Lock()
+			stale := c.curPC != pc
+			c.mu.Unlock()
+			if stale {
+				return
+			}
+			continue
+		}
+		p, err := DecodePacket(buf[:n])
+		if err != nil || p.CID != c.cid {
+			continue
+		}
+		switch p.Type {
+		case PktChallenge:
+			c.writeCtl(Packet{Type: PktConfirm, CID: c.cid, Seq: p.Seq})
+		case PktAccept:
+			c.mu.Lock()
+			c.token = append([]byte{}, p.Token...)
+			c.mu.Unlock()
+			c.accOnce.Do(func() { close(c.accepted) })
+		case PktData:
+			ack := c.handleData(p)
+			c.writeCtl(Packet{Type: PktAck, CID: c.cid, Ack: ack})
+		case PktAck:
+			c.handleAck(p.Ack)
+		case PktReset:
+			c.markReset()
+		case PktClose:
+			c.closeSession()
+		}
+	}
+}
+
+func (c *Client) retransmitLoop() {
+	tick := time.NewTicker(rto / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+			c.retransmitTick()
+		}
+	}
+}
+
+// Close ends the session and releases the socket.
+func (c *Client) Close() {
+	c.doneOnce.Do(func() {
+		c.writeCtl(Packet{Type: PktClose, CID: c.cid})
+		close(c.done)
+		c.closeSession()
+		c.mu.Lock()
+		pc := c.curPC
+		c.mu.Unlock()
+		if pc != nil {
+			pc.Close()
+		}
+		c.readerWG.Wait()
+	})
+}

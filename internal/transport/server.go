@@ -1,0 +1,348 @@
+package transport
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net"
+	"sync"
+	"time"
+)
+
+// ServerConfig shapes an MST server.
+type ServerConfig struct {
+	// Mode selects migratory (MST) or legacy (TCP-like) semantics.
+	Mode Mode
+	// Handler runs once per accepted session, on its own goroutine.
+	Handler func(*ServerSession)
+}
+
+// Server accepts MST sessions on one packet socket.
+type Server struct {
+	pc  PacketConn
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	sessions map[uint64]*ServerSession
+	tokens   map[string]bool // valid resume tokens
+	cookies  map[uint64]uint64
+	closed   bool
+	done     chan struct{}
+
+	resumes atomic64
+	fresh   atomic64
+	resets  atomic64
+}
+
+// atomic64 is a tiny mutex-free counter (single writer contention is
+// irrelevant here; a mutexed uint64 keeps it simple and race-free).
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) inc() {
+	a.mu.Lock()
+	a.v++
+	a.mu.Unlock()
+}
+
+func (a *atomic64) get() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// ServerSession is the server's end of one session.
+type ServerSession struct {
+	*session
+	srv     *Server
+	boundTo string // legacy: the locked source address
+	resumed bool
+}
+
+// Send transmits a payload to the client (reliable).
+func (ss *ServerSession) Send(payload []byte) error { return ss.send(payload) }
+
+// Recv delivers the next in-order client payload.
+func (ss *ServerSession) Recv(timeout time.Duration) ([]byte, error) { return ss.recv(timeout) }
+
+// Stats reports transfer counters.
+func (ss *ServerSession) Stats() SessionStats { return ss.stats() }
+
+// Resumed reports whether this session was 0-RTT resumed.
+func (ss *ServerSession) Resumed() bool { return ss.resumed }
+
+// NewServer starts a server on pc.
+func NewServer(pc PacketConn, cfg ServerConfig) *Server {
+	s := &Server{
+		pc:       pc,
+		cfg:      cfg,
+		sessions: make(map[uint64]*ServerSession),
+		tokens:   make(map[string]bool),
+		cookies:  make(map[uint64]uint64),
+		done:     make(chan struct{}),
+	}
+	go s.readLoop()
+	go s.retransmitLoop()
+	return s
+}
+
+// ServerStats reports server-level counters.
+type ServerStats struct {
+	// FreshHandshakes and Resumes count session establishments by
+	// kind; Resets counts RESETs sent (legacy address violations and
+	// unknown CIDs).
+	FreshHandshakes, Resumes, Resets uint64
+	// ActiveSessions is the current session count.
+	ActiveSessions int
+}
+
+// Stats snapshots server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return ServerStats{
+		FreshHandshakes: s.fresh.get(),
+		Resumes:         s.resumes.get(),
+		Resets:          s.resets.get(),
+		ActiveSessions:  n,
+	}
+}
+
+func (s *Server) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		s.pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			continue
+		}
+		p, err := DecodePacket(buf[:n])
+		if err != nil {
+			continue
+		}
+		s.handle(p, from)
+	}
+}
+
+func (s *Server) handle(p Packet, from net.Addr) {
+	switch p.Type {
+	case PktHello:
+		s.handleHello(p, from)
+	case PktConfirm:
+		s.handleConfirm(p, from)
+	case PktData:
+		s.handleData(p, from)
+	case PktAck:
+		if ss := s.lookup(p.CID); ss != nil {
+			ss.handleAck(p.Ack)
+		}
+	case PktClose:
+		s.mu.Lock()
+		ss := s.sessions[p.CID]
+		delete(s.sessions, p.CID)
+		s.mu.Unlock()
+		if ss != nil {
+			ss.closeSession()
+			s.writeTo(Packet{Type: PktClose, CID: p.CID}, from)
+		}
+	}
+}
+
+func (s *Server) lookup(cid uint64) *ServerSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[cid]
+}
+
+func (s *Server) handleHello(p Packet, from net.Addr) {
+	s.mu.Lock()
+	if ss, ok := s.sessions[p.CID]; ok {
+		// Duplicate HELLO: re-ACK with the session's token.
+		s.mu.Unlock()
+		s.writeTo(Packet{Type: PktAccept, CID: p.CID, Token: s.issueToken()}, from)
+		_ = ss
+		return
+	}
+	s.mu.Unlock()
+
+	if s.cfg.Mode == Legacy {
+		// TCP-like: an extra round trip before acceptance. Duplicate
+		// HELLOs (handshake retransmissions) must re-send the same
+		// cookie, or a slow path's in-flight CONFIRM would be
+		// invalidated.
+		s.mu.Lock()
+		cookie, ok := s.cookies[p.CID]
+		if !ok {
+			cookie = randomU64()
+			s.cookies[p.CID] = cookie
+		}
+		s.mu.Unlock()
+		s.writeTo(Packet{Type: PktChallenge, CID: p.CID, Seq: cookie}, from)
+		return
+	}
+
+	// Migratory: resume tokens skip straight to an active session; a
+	// fresh HELLO is accepted after this single flight (1 RTT).
+	resumed := false
+	if len(p.Token) > 0 {
+		key := hex.EncodeToString(p.Token)
+		s.mu.Lock()
+		if s.tokens[key] {
+			delete(s.tokens, key) // single use
+			resumed = true
+		}
+		s.mu.Unlock()
+	}
+	s.accept(p.CID, from, resumed)
+}
+
+func (s *Server) handleConfirm(p Packet, from net.Addr) {
+	s.mu.Lock()
+	if _, established := s.sessions[p.CID]; established {
+		// A duplicate CONFIRM from handshake retransmissions: the
+		// session is already up; re-ACK rather than reset it.
+		s.mu.Unlock()
+		s.writeTo(Packet{Type: PktAccept, CID: p.CID, Token: s.issueToken()}, from)
+		return
+	}
+	cookie, ok := s.cookies[p.CID]
+	if ok && cookie == p.Seq {
+		delete(s.cookies, p.CID)
+		s.mu.Unlock()
+		s.accept(p.CID, from, false)
+		return
+	}
+	s.mu.Unlock()
+	s.resets.inc()
+	s.writeTo(Packet{Type: PktReset, CID: p.CID}, from)
+}
+
+func (s *Server) accept(cid uint64, from net.Addr, resumed bool) {
+	ss := &ServerSession{
+		session: newSession(s.pc, from, cid),
+		srv:     s,
+		boundTo: from.String(),
+		resumed: resumed,
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, dup := s.sessions[cid]; dup {
+		s.mu.Unlock()
+		s.writeTo(Packet{Type: PktAccept, CID: cid, Token: s.issueToken()}, from)
+		return
+	}
+	s.sessions[cid] = ss
+	s.mu.Unlock()
+
+	if resumed {
+		s.resumes.inc()
+	} else {
+		s.fresh.inc()
+	}
+	s.writeTo(Packet{Type: PktAccept, CID: cid, Token: s.issueToken()}, from)
+	if s.cfg.Handler != nil {
+		go s.cfg.Handler(ss)
+	}
+}
+
+func (s *Server) handleData(p Packet, from net.Addr) {
+	ss := s.lookup(p.CID)
+	if ss == nil {
+		s.resets.inc()
+		s.writeTo(Packet{Type: PktReset, CID: p.CID}, from)
+		return
+	}
+	if s.cfg.Mode == Legacy && from.String() != ss.boundTo {
+		// The TCP failure mode: a packet from a new address does not
+		// belong to this connection.
+		s.resets.inc()
+		s.writeTo(Packet{Type: PktReset, CID: p.CID}, from)
+		return
+	}
+	if s.cfg.Mode == Migratory && from.String() != ss.peerAddr().String() {
+		// Path migration: re-bind the session to the client's new
+		// address.
+		ss.migrate(nil, from)
+	}
+	ack := ss.handleData(p)
+	s.writeTo(Packet{Type: PktAck, CID: p.CID, Ack: ack}, ss.peerAddr())
+}
+
+func (s *Server) writeTo(p Packet, to net.Addr) {
+	b, err := EncodePacket(p)
+	if err != nil {
+		return
+	}
+	s.pc.WriteTo(b, to)
+}
+
+func (s *Server) issueToken() []byte {
+	tok := make([]byte, 16)
+	rand.Read(tok)
+	s.mu.Lock()
+	s.tokens[hex.EncodeToString(tok)] = true
+	s.mu.Unlock()
+	return tok
+}
+
+func (s *Server) retransmitLoop() {
+	tick := time.NewTicker(rto / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			sessions := make([]*ServerSession, 0, len(s.sessions))
+			for _, ss := range s.sessions {
+				sessions = append(sessions, ss)
+			}
+			s.mu.Unlock()
+			for _, ss := range sessions {
+				ss.retransmitTick()
+			}
+		}
+	}
+}
+
+// Close stops the server and all sessions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*ServerSession, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.sessions = make(map[uint64]*ServerSession)
+	s.mu.Unlock()
+	close(s.done)
+	for _, ss := range sessions {
+		ss.closeSession()
+	}
+	s.pc.Close()
+}
+
+func randomU64() uint64 {
+	var b [8]byte
+	rand.Read(b[:])
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// PacketConn is the datagram surface MST runs over (simnet.PacketConn
+// or net.UDPConn).
+type PacketConn interface {
+	WriteTo(b []byte, addr net.Addr) (int, error)
+	ReadFrom(b []byte) (int, net.Addr, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// Session errors.
+var (
+	ErrClosed      = errors.New("transport: session closed")
+	ErrReset       = errors.New("transport: session reset by peer")
+	ErrTimeout     = errors.New("transport: timeout")
+	ErrNotAccepted = errors.New("transport: handshake incomplete")
+)
+
+// rto is the retransmission timeout for unacked data.
+const rto = 60 * time.Millisecond
+
+// maxWindow bounds unacknowledged packets in flight.
+const maxWindow = 64
+
+// session is the shared reliable engine used by both ends: sequenced
+// sends with cumulative acks and RTO retransmission, in-order
+// delivery, and a swappable (path-migratable) socket/peer.
+type session struct {
+	mu     sync.Mutex
+	pc     PacketConn
+	peer   net.Addr
+	cid    uint64
+	closed bool
+	reset  bool
+
+	// Send state.
+	nextSeq  uint64
+	sendBase uint64 // lowest unacked
+	inflight map[uint64]*inflightPkt
+	sendCond *sync.Cond
+
+	// Receive state.
+	expected uint64
+	pending  map[uint64][]byte
+	incoming chan []byte
+
+	// Stats.
+	sent, retransmits, delivered uint64
+}
+
+type inflightPkt struct {
+	payload []byte
+	lastTx  time.Time
+}
+
+func newSession(pc PacketConn, peer net.Addr, cid uint64) *session {
+	s := &session{
+		pc:       pc,
+		peer:     peer,
+		cid:      cid,
+		inflight: make(map[uint64]*inflightPkt),
+		pending:  make(map[uint64][]byte),
+		incoming: make(chan []byte, 1024),
+	}
+	s.sendCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// CID reports the session's connection ID.
+func (s *session) CID() uint64 { return s.cid }
+
+// send transmits one payload reliably.
+func (s *session) send(payload []byte) error {
+	s.mu.Lock()
+	for !s.closed && !s.reset && len(s.inflight) >= maxWindow {
+		s.sendCond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.reset {
+		s.mu.Unlock()
+		return ErrReset
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	s.inflight[seq] = &inflightPkt{payload: data, lastTx: time.Now()}
+	s.sent++
+	pc, peer := s.pc, s.peer
+	s.mu.Unlock()
+
+	return s.writePacket(pc, peer, Packet{Type: PktData, CID: s.cid, Seq: seq})
+}
+
+func (s *session) writePacket(pc PacketConn, peer net.Addr, p Packet) error {
+	if p.Type == PktData {
+		s.mu.Lock()
+		if pkt, ok := s.inflight[p.Seq]; ok {
+			p.Payload = pkt.payload
+		}
+		p.Ack = s.expected
+		s.mu.Unlock()
+	}
+	b, err := EncodePacket(p)
+	if err != nil {
+		return err
+	}
+	_, err = pc.WriteTo(b, peer)
+	return err
+}
+
+// recv delivers the next in-order payload.
+func (s *session) recv(timeout time.Duration) ([]byte, error) {
+	select {
+	case b, ok := <-s.incoming:
+		if !ok {
+			s.mu.Lock()
+			reset := s.reset
+			s.mu.Unlock()
+			if reset {
+				return nil, ErrReset
+			}
+			return nil, ErrClosed
+		}
+		return b, nil
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// handleData processes an inbound DATA packet, delivering in order and
+// returning the cumulative ack to send.
+func (s *session) handleData(p Packet) uint64 {
+	s.mu.Lock()
+	s.applyAckLocked(p.Ack)
+	if p.Seq >= s.expected {
+		if _, dup := s.pending[p.Seq]; !dup {
+			data := make([]byte, len(p.Payload))
+			copy(data, p.Payload)
+			s.pending[p.Seq] = data
+		}
+	}
+	var deliver [][]byte
+	for {
+		d, ok := s.pending[s.expected]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.expected)
+		s.expected++
+		deliver = append(deliver, d)
+	}
+	ack := s.expected
+	s.delivered += uint64(len(deliver))
+	// Deliver under the lock (sends are non-blocking) so a concurrent
+	// close cannot close the channel mid-send.
+	if !s.closed && !s.reset {
+		for _, d := range deliver {
+			select {
+			case s.incoming <- d:
+			default: // receiver not draining; drop like a full buffer
+			}
+		}
+	}
+	s.mu.Unlock()
+	return ack
+}
+
+// handleAck processes a cumulative acknowledgment.
+func (s *session) handleAck(ack uint64) {
+	s.mu.Lock()
+	s.applyAckLocked(ack)
+	s.mu.Unlock()
+}
+
+func (s *session) applyAckLocked(ack uint64) {
+	freed := false
+	for seq := range s.inflight {
+		if seq < ack {
+			delete(s.inflight, seq)
+			freed = true
+		}
+	}
+	if ack > s.sendBase {
+		s.sendBase = ack
+	}
+	if freed {
+		s.sendCond.Broadcast()
+	}
+}
+
+// retransmitTick resends any packet older than the RTO. Returns the
+// number retransmitted.
+func (s *session) retransmitTick() int {
+	s.mu.Lock()
+	if s.closed || s.reset {
+		s.mu.Unlock()
+		return 0
+	}
+	now := time.Now()
+	var stale []uint64
+	for seq, pkt := range s.inflight {
+		if now.Sub(pkt.lastTx) >= rto {
+			pkt.lastTx = now
+			stale = append(stale, seq)
+		}
+	}
+	s.retransmits += uint64(len(stale))
+	pc, peer := s.pc, s.peer
+	s.mu.Unlock()
+
+	for _, seq := range stale {
+		s.writePacket(pc, peer, Packet{Type: PktData, CID: s.cid, Seq: seq})
+	}
+	return len(stale)
+}
+
+// migrate swaps the session onto a new socket/peer (client side) or
+// re-binds the peer address (server side, on CID match).
+func (s *session) migrate(pc PacketConn, peer net.Addr) {
+	s.mu.Lock()
+	if pc != nil {
+		s.pc = pc
+	}
+	if peer != nil {
+		s.peer = peer
+	}
+	s.mu.Unlock()
+}
+
+// peerAddr reports the current peer binding.
+func (s *session) peerAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer
+}
+
+// markReset flags the session as reset by the peer and wakes everyone.
+func (s *session) markReset() {
+	s.mu.Lock()
+	if s.reset || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.reset = true
+	close(s.incoming)
+	s.sendCond.Broadcast()
+	s.mu.Unlock()
+}
+
+// closeSession ends the session locally.
+func (s *session) closeSession() {
+	s.mu.Lock()
+	if s.closed || s.reset {
+		s.closed = true
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.incoming)
+	s.sendCond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SessionStats reports transfer counters.
+type SessionStats struct {
+	Sent, Retransmits, Delivered uint64
+}
+
+func (s *session) stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{Sent: s.sent, Retransmits: s.retransmits, Delivered: s.delivered}
+}

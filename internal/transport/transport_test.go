@@ -1,0 +1,422 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dlte/internal/simnet"
+)
+
+// echoHandler bounces every payload back.
+func echoHandler(ss *ServerSession) {
+	for {
+		b, err := ss.Recv(5 * time.Second)
+		if err != nil {
+			return
+		}
+		if err := ss.Send(b); err != nil {
+			return
+		}
+	}
+}
+
+type rig struct {
+	net    *simnet.Network
+	server *Server
+	addr   simnet.Addr
+}
+
+func newRig(t *testing.T, mode Mode, latency time.Duration) *rig {
+	t.Helper()
+	r := &rig{}
+	r.net = simnet.New(simnet.Link{Latency: latency}, 1)
+	t.Cleanup(r.net.Close)
+	srvHost := r.net.MustAddHost("server")
+	pc, err := srvHost.ListenPacket(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.server = NewServer(pc, ServerConfig{Mode: mode, Handler: echoHandler})
+	t.Cleanup(r.server.Close)
+	r.addr = simnet.Addr{Host: "server", Port: 7000}
+	return r
+}
+
+func (r *rig) clientPC(t *testing.T, hostName string) *simnet.PacketConn {
+	t.Helper()
+	host, ok := r.net.Host(hostName)
+	if !ok {
+		host = r.net.MustAddHost(hostName)
+	}
+	pc, err := host.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+func TestPacketCodecRoundTrip(t *testing.T) {
+	p := Packet{Type: PktData, CID: 77, Seq: 9, Ack: 5, Token: []byte{1, 2}, Payload: []byte("pay")}
+	b, err := EncodePacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CID != 77 || got.Seq != 9 || got.Ack != 5 || string(got.Payload) != "pay" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := DecodePacket([]byte{1, 2}); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("short packet: %v", err)
+	}
+}
+
+func TestModeAndTypeStrings(t *testing.T) {
+	if Migratory.String() != "migratory" || Legacy.String() != "legacy" {
+		t.Error("mode names")
+	}
+	for p := PktHello; p <= PktClose; p++ {
+		if len(p.String()) == 0 {
+			t.Errorf("no name for %d", p)
+		}
+	}
+}
+
+func TestEchoMigratory(t *testing.T) {
+	r := newRig(t, Migratory, 2*time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue1"), r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		msg := []byte(fmt.Sprintf("msg-%d", i))
+		if err := c.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(msg) {
+			t.Fatalf("echo %d = %q", i, got)
+		}
+	}
+	if tok := c.Token(); len(tok) == 0 {
+		t.Error("no resume token after handshake")
+	}
+	st := r.server.Stats()
+	if st.FreshHandshakes != 1 || st.Resumes != 0 {
+		t.Errorf("server stats = %+v", st)
+	}
+}
+
+func TestEchoLegacy(t *testing.T) {
+	r := newRig(t, Legacy, 2*time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue1"), r.addr, DialConfig{Mode: Legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Recv(2 * time.Second); err != nil || string(got) != "hello" {
+		t.Fatalf("echo = %q err=%v", got, err)
+	}
+}
+
+func TestLegacyHandshakeSlower(t *testing.T) {
+	// Legacy costs 2 RTTs, migratory 1: with 20 ms one-way latency
+	// the difference is measurable.
+	const lat = 20 * time.Millisecond
+	rl := newRig(t, Legacy, lat)
+	rm := newRig(t, Migratory, lat)
+
+	start := time.Now()
+	cm, err := Dial(rm.clientPC(t, "ue1"), rm.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cm.Close()
+	dm := time.Since(start)
+
+	start = time.Now()
+	cl, err := Dial(rl.clientPC(t, "ue1"), rl.addr, DialConfig{Mode: Legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	dl := time.Since(start)
+
+	if dl <= dm {
+		t.Errorf("legacy handshake %v not slower than migratory %v", dl, dm)
+	}
+	if dl < 3*lat { // 2 RTT = 4×lat, allow timing slop
+		t.Errorf("legacy handshake %v implausibly fast for 2 RTT", dl)
+	}
+}
+
+func TestZeroRTTResume(t *testing.T) {
+	r := newRig(t, Migratory, 10*time.Millisecond)
+	c1, err := Dial(r.clientPC(t, "ue1"), r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := c1.Token()
+	c1.Close()
+
+	// Resume: Dial returns without a round trip and data flows in the
+	// first flight.
+	start := time.Now()
+	c2, err := Dial(r.clientPC(t, "ue1b"), r.addr, DialConfig{Mode: Migratory, ResumeToken: tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	dialTime := time.Since(start)
+	if dialTime > 5*time.Millisecond {
+		t.Errorf("0-RTT dial took %v", dialTime)
+	}
+	if err := c2.Send([]byte("early-data")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c2.Recv(2 * time.Second); err != nil || string(got) != "early-data" {
+		t.Fatalf("0-RTT echo = %q err=%v", got, err)
+	}
+	// Wait for the async ACCEPT to land before checking stats.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.server.Stats().Resumes == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := r.server.Stats(); st.Resumes != 1 {
+		t.Errorf("resumes = %d", st.Resumes)
+	}
+}
+
+func TestMigrationContinuesSession(t *testing.T) {
+	r := newRig(t, Migratory, 2*time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue-old"), r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Recv(2 * time.Second); err != nil || string(got) != "before" {
+		t.Fatalf("pre-migration echo: %q %v", got, err)
+	}
+
+	// Move to a new host (new IP address), same session.
+	c.Migrate(r.clientPC(t, "ue-new"))
+	if err := c.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Recv(2 * time.Second); err != nil || string(got) != "after" {
+		t.Fatalf("post-migration echo: %q %v", got, err)
+	}
+	// Still the same server session: one fresh handshake, no resets.
+	st := r.server.Stats()
+	if st.FreshHandshakes != 1 || st.Resets != 0 || st.ActiveSessions != 1 {
+		t.Errorf("server stats after migration = %+v", st)
+	}
+}
+
+func TestLegacyMigrationResets(t *testing.T) {
+	r := newRig(t, Legacy, 2*time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue-old"), r.addr, DialConfig{Mode: Legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Recv(time.Second)
+
+	c.Migrate(r.clientPC(t, "ue-new"))
+	// The next send from the new address draws a RESET; subsequent
+	// operations fail with ErrReset.
+	c.Send([]byte("y"))
+	deadline := time.Now().Add(3 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if lastErr = c.Send([]byte("z")); errors.Is(lastErr, ErrReset) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !errors.Is(lastErr, ErrReset) {
+		t.Fatalf("legacy migration: want ErrReset, got %v", lastErr)
+	}
+	if st := r.server.Stats(); st.Resets == 0 {
+		t.Error("server sent no RESETs")
+	}
+}
+
+func TestLegacyHighLatencyHandshake(t *testing.T) {
+	// Regression: at RTTs well above the retransmission timeout, the
+	// client's duplicate HELLOs/CONFIRMs must not reset the session
+	// (cookies must be stable and post-establishment CONFIRMs re-ACK).
+	r := newRig(t, Legacy, 100*time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue1"), r.addr, DialConfig{Mode: Legacy, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("slow-path")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv(5 * time.Second)
+	if err != nil || string(got) != "slow-path" {
+		t.Fatalf("echo over 200ms RTT: %q %v", got, err)
+	}
+	// Late handshake duplicates may add RESET-free re-ACKs only.
+	time.Sleep(300 * time.Millisecond)
+	if err := c.Send([]byte("still-alive")); err != nil {
+		t.Fatalf("session died after handshake dups: %v", err)
+	}
+	if _, err := c.Recv(5 * time.Second); err != nil {
+		t.Fatalf("post-dup echo: %v", err)
+	}
+}
+
+func TestReliabilityUnderLoss(t *testing.T) {
+	r := newRig(t, Migratory, time.Millisecond)
+	// 20% loss both ways between client and server.
+	r.net.MustAddHost("lossy")
+	r.net.SetLink("lossy", "server", simnet.Link{Latency: time.Millisecond, Loss: 0.2})
+	host, _ := r.net.Host("lossy")
+	pc, _ := host.ListenPacket(0)
+	c, err := Dial(pc, r.addr, DialConfig{Mode: Migratory, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 50
+	go func() {
+		for i := 0; i < n; i++ {
+			c.Send([]byte{byte(i)})
+		}
+	}()
+	seen := make(map[byte]bool)
+	deadline := time.Now().Add(20 * time.Second)
+	for len(seen) < n && time.Now().Before(deadline) {
+		b, err := c.Recv(2 * time.Second)
+		if err != nil {
+			continue
+		}
+		seen[b[0]] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d/%d under 20%% loss", len(seen), n)
+	}
+	if st := c.Stats(); st.Retransmits == 0 {
+		t.Error("no retransmissions under loss — reliability untested")
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	r := newRig(t, Migratory, time.Millisecond)
+	// Jitter reorders packets.
+	r.net.MustAddHost("jittery")
+	r.net.SetLink("jittery", "server", simnet.Link{Latency: time.Millisecond, Jitter: 4 * time.Millisecond})
+	host, _ := r.net.Host("jittery")
+	pc, _ := host.ListenPacket(0)
+	c, err := Dial(pc, r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 30
+	go func() {
+		for i := 0; i < n; i++ {
+			c.Send([]byte{byte(i)})
+		}
+	}()
+	prev := -1
+	for i := 0; i < n; i++ {
+		b, err := c.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if int(b[0]) != prev+1 {
+			t.Fatalf("out of order: got %d after %d", b[0], prev)
+		}
+		prev = int(b[0])
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	n := simnet.New(simnet.Link{}, 1)
+	t.Cleanup(n.Close)
+	h := n.MustAddHost("client")
+	pc, _ := h.ListenPacket(0)
+	// No server at all.
+	_, err := Dial(pc, simnet.Addr{Host: "ghost", Port: 1}, DialConfig{Mode: Migratory, Timeout: 300 * time.Millisecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	r := newRig(t, Migratory, time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue1"), r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	if _, err := c.Recv(50 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after close: %v", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestTokenSingleUse(t *testing.T) {
+	r := newRig(t, Migratory, time.Millisecond)
+	c1, err := Dial(r.clientPC(t, "ue1"), r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := c1.Token()
+	c1.Close()
+
+	c2, err := Dial(r.clientPC(t, "ue2"), r.addr, DialConfig{Mode: Migratory, ResumeToken: tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	waitStats := func(f func(ServerStats) bool) ServerStats {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if st := r.server.Stats(); f(st) {
+				return st
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return r.server.Stats()
+	}
+	waitStats(func(st ServerStats) bool { return st.Resumes == 1 })
+
+	// Replaying the same token falls back to a fresh handshake, not a
+	// second resume.
+	c3, err := Dial(r.clientPC(t, "ue3"), r.addr, DialConfig{Mode: Migratory, ResumeToken: tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	st := waitStats(func(st ServerStats) bool { return st.FreshHandshakes >= 2 })
+	if st.Resumes != 1 {
+		t.Errorf("token reuse produced a resume: %+v", st)
+	}
+}

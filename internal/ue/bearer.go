@@ -1,0 +1,89 @@
+package ue
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"dlte/internal/simnet"
+)
+
+// BearerConn adapts an attached Device's default bearer to the
+// net.PacketConn-style surface the mobility transport (internal/
+// transport) runs over. Datagrams written here ride the air interface
+// and the architecture's data path (GTP tunnel or direct breakout) to
+// their Internet destination; reads deliver downlink packets.
+//
+// A single BearerConn stays valid across re-attaches of the underlying
+// Device — which is exactly how experiment E4 models an application
+// whose socket survives while the network underneath changes.
+type BearerConn struct {
+	dev *Device
+
+	mu       sync.Mutex
+	deadline time.Time
+	closed   bool
+}
+
+// Bearer returns a packet surface over the device's default bearer.
+func (d *Device) Bearer() *BearerConn { return &BearerConn{dev: d} }
+
+// WriteTo sends payload to addr via the bearer.
+func (b *BearerConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return 0, ErrNotAttached
+	}
+	if err := b.dev.Send(addr.String(), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadFrom delivers the next downlink packet. It honors the read
+// deadline; with none set it waits up to a long default.
+func (b *BearerConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	b.mu.Lock()
+	dl := b.deadline
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return 0, nil, ErrNotAttached
+	}
+	timeout := time.Hour
+	if !dl.IsZero() {
+		timeout = time.Until(dl)
+		if timeout <= 0 {
+			return 0, nil, ErrTimeout
+		}
+	}
+	pkt, err := b.dev.Recv(timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := copy(p, pkt.Payload)
+	from, perr := simnet.ParseAddr(pkt.Remote)
+	if perr != nil {
+		from = simnet.Addr{Host: pkt.Remote}
+	}
+	return n, from, nil
+}
+
+// SetReadDeadline bounds future ReadFrom calls.
+func (b *BearerConn) SetReadDeadline(t time.Time) error {
+	b.mu.Lock()
+	b.deadline = t
+	b.mu.Unlock()
+	return nil
+}
+
+// Close marks the bearer surface closed (the Device itself is managed
+// separately — a migrating client closes sockets, not its radio).
+func (b *BearerConn) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return nil
+}

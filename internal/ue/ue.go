@@ -1,0 +1,370 @@
+// Package ue implements the user equipment: a software handset with a
+// SIM that attaches to any eNodeB over the air interface, runs the NAS
+// state machine, and moves user traffic once registered. Because the
+// signaling contract is exactly the standard one, the same Device
+// attaches to a dLTE stub core and to a centralized telecom EPC — the
+// client-compatibility property the paper's local cores hinge on
+// (§4.1).
+package ue
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dlte/internal/auth"
+	"dlte/internal/enb"
+	"dlte/internal/epc"
+	"dlte/internal/nas"
+	"dlte/internal/simnet"
+	"dlte/internal/wire"
+)
+
+// Errors from device operations.
+var (
+	ErrNotAttached = errors.New("ue: not attached")
+	ErrTimeout     = errors.New("ue: timeout")
+	ErrDetachedMid = errors.New("ue: connection lost")
+)
+
+// AttachResult reports a completed registration.
+type AttachResult struct {
+	// IP is the PDN address the network assigned.
+	IP string
+	// GUTI is the temporary identity.
+	GUTI uint64
+	// DirectBreakout echoes the network's architecture flag.
+	DirectBreakout bool
+	// Duration is the measured attach latency (first message to
+	// AttachComplete sent).
+	Duration time.Duration
+}
+
+// Device is one UE.
+type Device struct {
+	host *simnet.Host
+	sim  auth.SIM
+	nue  *nas.UE
+
+	mu       sync.Mutex
+	raw      net.Conn
+	air      *wire.FrameConn
+	attached bool
+	result   AttachResult
+
+	rx        chan epc.UserPacket
+	nasEvents chan nasEvent
+	sysInfo   chan enb.SystemInfo
+	readerWG  sync.WaitGroup
+}
+
+type nasEvent struct {
+	pdu []byte
+	err error
+}
+
+// NewDevice creates a UE on the given host with the given SIM. The
+// NAS/SIM state (SQN) persists across attaches, as in a real handset.
+func NewDevice(host *simnet.Host, sim auth.SIM) (*Device, error) {
+	nue, err := nas.NewUE(sim)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{host: host, sim: sim, nue: nue}, nil
+}
+
+// IMSI reports the device identity.
+func (d *Device) IMSI() string { return string(d.sim.IMSI) }
+
+// Publication returns the open-SIM key publication for this device —
+// what a dLTE user uploads to the registry (§4.2).
+func (d *Device) Publication() auth.KeyPublication {
+	return auth.KeyPublication{IMSI: d.sim.IMSI, K: d.sim.K, OPc: d.sim.OPc}
+}
+
+// Attached reports whether the device currently holds a registration.
+func (d *Device) Attached() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.attached
+}
+
+// IP reports the current PDN address ("" when detached).
+func (d *Device) IP() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.attached {
+		return ""
+	}
+	return d.result.IP
+}
+
+// Attach connects to the AP at airAddr and runs the full registration
+// handshake, returning the result with measured latency. Any previous
+// association is dropped first (dLTE roaming is break-before-make).
+func (d *Device) Attach(airAddr string, timeout time.Duration) (AttachResult, error) {
+	d.dropConnLocked()
+
+	start := time.Now()
+	raw, err := d.host.Dial(airAddr)
+	if err != nil {
+		return AttachResult{}, fmt.Errorf("ue: air dial: %w", err)
+	}
+	air := wire.NewFrameConn(raw)
+
+	d.mu.Lock()
+	d.raw = raw
+	d.air = air
+	d.rx = make(chan epc.UserPacket, 256)
+	d.nasEvents = make(chan nasEvent, 16)
+	d.sysInfo = make(chan enb.SystemInfo, 1)
+	d.mu.Unlock()
+
+	d.readerWG.Add(1)
+	go d.readLoop(raw, air)
+
+	// Cell search: wait for the broadcast system information to learn
+	// the serving network identity before attaching.
+	var si enb.SystemInfo
+	select {
+	case si = <-d.sysInfo:
+	case <-time.After(timeout):
+		d.dropConnLocked()
+		return AttachResult{}, fmt.Errorf("%w: no system information", ErrTimeout)
+	}
+
+	pdu, err := d.nue.StartAttach(si.SNID)
+	if err != nil {
+		return AttachResult{}, err
+	}
+	if err := d.sendAir(enb.AirNASUp, pdu); err != nil {
+		return AttachResult{}, err
+	}
+
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev := <-d.nasEvents:
+			if ev.err != nil {
+				return AttachResult{}, ev.err
+			}
+			reply, done, err := d.nue.Handle(ev.pdu)
+			if err != nil {
+				return AttachResult{}, err
+			}
+			if reply != nil {
+				if err := d.sendAir(enb.AirNASUp, reply); err != nil {
+					return AttachResult{}, err
+				}
+			}
+			if done {
+				res := AttachResult{
+					IP:             d.nue.IPAddress,
+					GUTI:           d.nue.GUTI,
+					DirectBreakout: d.nue.Breakout,
+					Duration:       time.Since(start),
+				}
+				d.mu.Lock()
+				d.attached = true
+				d.result = res
+				d.mu.Unlock()
+				return res, nil
+			}
+		case <-deadline:
+			d.dropConnLocked()
+			return AttachResult{}, fmt.Errorf("%w: attach after %v", ErrTimeout, timeout)
+		}
+	}
+}
+
+// Detach runs the detach handshake and drops the radio connection.
+func (d *Device) Detach(timeout time.Duration) error {
+	d.mu.Lock()
+	attached := d.attached
+	d.mu.Unlock()
+	if !attached {
+		return ErrNotAttached
+	}
+	pdu, err := d.nue.StartDetach()
+	if err != nil {
+		return err
+	}
+	if err := d.sendAir(enb.AirNASUp, pdu); err != nil {
+		return err
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev := <-d.nasEvents:
+			if ev.err != nil {
+				return ev.err
+			}
+			_, done, err := d.nue.Handle(ev.pdu)
+			if err != nil {
+				return err
+			}
+			if done {
+				d.dropConnLocked()
+				return nil
+			}
+		case <-deadline:
+			return fmt.Errorf("%w: detach after %v", ErrTimeout, timeout)
+		}
+	}
+}
+
+// Send transmits an uplink user packet to remote ("host:port").
+func (d *Device) Send(remote string, payload []byte) error {
+	d.mu.Lock()
+	attached := d.attached
+	d.mu.Unlock()
+	if !attached {
+		return ErrNotAttached
+	}
+	enc, err := epc.EncodeUserPacket(epc.UserPacket{Remote: remote, Payload: payload})
+	if err != nil {
+		return err
+	}
+	return d.sendAir(enb.AirDataUp, enc)
+}
+
+// Recv waits for the next downlink user packet.
+func (d *Device) Recv(timeout time.Duration) (epc.UserPacket, error) {
+	d.mu.Lock()
+	rx := d.rx
+	d.mu.Unlock()
+	if rx == nil {
+		return epc.UserPacket{}, ErrNotAttached
+	}
+	select {
+	case p, ok := <-rx:
+		if !ok {
+			return epc.UserPacket{}, ErrDetachedMid
+		}
+		return p, nil
+	case <-time.After(timeout):
+		return epc.UserPacket{}, fmt.Errorf("%w: recv after %v", ErrTimeout, timeout)
+	}
+}
+
+// Echo sends payload to remote and waits for one downlink packet —
+// the basic RTT probe the experiments use. Retries the send every
+// retryEvery until timeout (covers the brief window before the data
+// path is fully bound).
+func (d *Device) Echo(remote string, payload []byte, retryEvery, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := d.Send(remote, payload); err != nil {
+			return 0, err
+		}
+		wait := retryEvery
+		if rem := time.Until(deadline); rem < wait {
+			wait = rem
+		}
+		if wait <= 0 {
+			return 0, fmt.Errorf("%w: echo after %v", ErrTimeout, timeout)
+		}
+		if _, err := d.Recv(wait); err == nil {
+			return time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("%w: echo after %v", ErrTimeout, timeout)
+		}
+	}
+}
+
+func (d *Device) sendAir(t enb.AirMsgType, payload []byte) error {
+	d.mu.Lock()
+	air := d.air
+	d.mu.Unlock()
+	if air == nil {
+		return ErrNotAttached
+	}
+	frame, err := enb.EncodeAir(t, payload)
+	if err != nil {
+		return err
+	}
+	return air.Send(frame)
+}
+
+func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
+	defer d.readerWG.Done()
+	for {
+		frame, err := air.Recv()
+		if err != nil {
+			d.mu.Lock()
+			if d.raw == raw {
+				d.attached = false
+				close(d.rx)
+				d.rx = nil
+			}
+			d.mu.Unlock()
+			return
+		}
+		t, payload, err := enb.DecodeAir(frame)
+		if err != nil {
+			continue
+		}
+		switch t {
+		case enb.AirBroadcast:
+			if si, err := enb.DecodeSystemInfo(payload); err == nil {
+				d.mu.Lock()
+				ch := d.sysInfo
+				d.mu.Unlock()
+				select {
+				case ch <- si:
+				default:
+				}
+			}
+		case enb.AirNASDown:
+			d.mu.Lock()
+			ch := d.nasEvents
+			d.mu.Unlock()
+			select {
+			case ch <- nasEvent{pdu: payload}:
+			default:
+			}
+		case enb.AirDataDown:
+			p, err := epc.DecodeUserPacket(payload)
+			if err != nil {
+				continue
+			}
+			d.mu.Lock()
+			ch := d.rx
+			d.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- p:
+				default: // receiver not draining; drop like a full buffer
+				}
+			}
+		case enb.AirRelease:
+			raw.Close()
+		}
+	}
+}
+
+// dropConnLocked closes any existing radio connection and waits for
+// its reader to finish.
+func (d *Device) dropConnLocked() {
+	d.mu.Lock()
+	raw := d.raw
+	d.raw = nil
+	d.air = nil
+	d.attached = false
+	if d.rx != nil {
+		// Leave channel to the reader's close path; just detach it.
+		d.rx = nil
+	}
+	d.mu.Unlock()
+	if raw != nil {
+		raw.Close()
+		d.readerWG.Wait()
+	}
+}
+
+// Close releases the device.
+func (d *Device) Close() { d.dropConnLocked() }

@@ -1,0 +1,200 @@
+package ue_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dlte/internal/auth"
+	"dlte/internal/core"
+	"dlte/internal/geo"
+	"dlte/internal/radio"
+	"dlte/internal/simnet"
+	"dlte/internal/transport"
+	"dlte/internal/ue"
+	"dlte/internal/x2"
+)
+
+func newWorld(t *testing.T) (*core.Scenario, *core.AccessPoint, *core.AccessPoint) {
+	t.Helper()
+	s, err := core.NewScenario(simnet.Link{Latency: 2 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ap1, err := s.AddAP(core.APConfig{ID: "ap1", Position: geo.Pt(0, 0), Band: radio.LTEBand5, Mode: x2.ModeCooperative, TAC: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap2, err := s.AddAP(core.APConfig{ID: "ap2", Position: geo.Pt(3000, 0), Band: radio.LTEBand5, Mode: x2.ModeCooperative, TAC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ap1, ap2
+}
+
+func attachUE(t *testing.T, s *core.Scenario, ap *core.AccessPoint, name, imsi string) *ue.Device {
+	t.Helper()
+	d, err := s.AddUE(name, auth.IMSI(imsi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.SyncSubscriberKeys(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectUERadio(name, ap.ID(), geo.Pt(1000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Attach(ap.AirAddr(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceLifecycleGuards(t *testing.T) {
+	n := simnet.New(simnet.Link{}, 1)
+	t.Cleanup(n.Close)
+	host := n.MustAddHost("u")
+	sim, _ := auth.NewSIM("001010000000401")
+	d, err := ue.NewDevice(host, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if d.Attached() || d.IP() != "" {
+		t.Error("fresh device claims attachment")
+	}
+	if err := d.Send("x:1", []byte("y")); !errors.Is(err, ue.ErrNotAttached) {
+		t.Errorf("send detached: %v", err)
+	}
+	if _, err := d.Recv(10 * time.Millisecond); !errors.Is(err, ue.ErrNotAttached) {
+		t.Errorf("recv detached: %v", err)
+	}
+	if err := d.Detach(time.Second); !errors.Is(err, ue.ErrNotAttached) {
+		t.Errorf("detach detached: %v", err)
+	}
+	if _, err := d.Attach("nowhere:4000", time.Second); err == nil {
+		t.Error("attach to nowhere succeeded")
+	}
+	if d.IMSI() != "001010000000401" {
+		t.Errorf("IMSI = %s", d.IMSI())
+	}
+	pub := d.Publication()
+	if len(pub.K) != 16 || len(pub.OPc) != 16 {
+		t.Error("publication malformed")
+	}
+}
+
+func TestBearerConnOverDataPath(t *testing.T) {
+	s, ap1, _ := newWorld(t)
+	// OTT host with an MST echo server.
+	ottHost := s.Net.MustAddHost("ott")
+	pc, err := ottHost.ListenPacket(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer(pc, transport.ServerConfig{
+		Mode: transport.Migratory,
+		Handler: func(ss *transport.ServerSession) {
+			for {
+				b, err := ss.Recv(5 * time.Second)
+				if err != nil {
+					return
+				}
+				if ss.Send(b) != nil {
+					return
+				}
+			}
+		},
+	})
+	t.Cleanup(srv.Close)
+
+	d := attachUE(t, s, ap1, "ue1", "001010000000402")
+	bearer := d.Bearer()
+	c, err := transport.Dial(bearer, simnet.Addr{Host: "ott", Port: 7000},
+		transport.DialConfig{Mode: transport.Migratory, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("MST over bearer: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send([]byte("through-the-bearer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv(5 * time.Second)
+	if err != nil || string(got) != "through-the-bearer" {
+		t.Fatalf("echo = %q %v", got, err)
+	}
+}
+
+func TestBearerSurvivesRoam(t *testing.T) {
+	// The E4 core mechanic: the MST session rides across a re-attach
+	// to a different AP (new breakout address) without the application
+	// reconnecting.
+	s, ap1, ap2 := newWorld(t)
+	ottHost := s.Net.MustAddHost("ott")
+	pc, _ := ottHost.ListenPacket(7000)
+	srv := transport.NewServer(pc, transport.ServerConfig{
+		Mode: transport.Migratory,
+		Handler: func(ss *transport.ServerSession) {
+			for {
+				b, err := ss.Recv(5 * time.Second)
+				if err != nil {
+					return
+				}
+				if ss.Send(b) != nil {
+					return
+				}
+			}
+		},
+	})
+	t.Cleanup(srv.Close)
+
+	d := attachUE(t, s, ap1, "roamer", "001010000000403")
+	if err := s.ConnectUERadio("roamer", "ap2", geo.Pt(2000, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := transport.Dial(d.Bearer(), simnet.Addr{Host: "ott", Port: 7000},
+		transport.DialConfig{Mode: transport.Migratory, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Send([]byte("before"))
+	if got, err := c.Recv(5 * time.Second); err != nil || string(got) != "before" {
+		t.Fatalf("pre-roam echo: %q %v", got, err)
+	}
+
+	// Roam: target was prepared over X2; re-attach.
+	if _, err := ap2.SyncSubscriberKeys(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Attach(ap2.AirAddr(), 5*time.Second); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	// Session continues with no application-level reconnect.
+	if err := c.Send([]byte("after")); err != nil {
+		t.Fatalf("post-roam send: %v", err)
+	}
+	got, err := c.Recv(5 * time.Second)
+	if err != nil || string(got) != "after" {
+		t.Fatalf("post-roam echo: %q %v", got, err)
+	}
+	if st := srv.Stats(); st.FreshHandshakes != 1 || st.Resets != 0 {
+		t.Errorf("server saw %+v; migration should not re-handshake", st)
+	}
+}
+
+func TestBearerDeadline(t *testing.T) {
+	s, ap1, _ := newWorld(t)
+	d := attachUE(t, s, ap1, "ue1", "001010000000404")
+	b := d.Bearer()
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := b.ReadFrom(make([]byte, 16)); err == nil {
+		t.Error("deadline read returned data from nowhere")
+	}
+	b.Close()
+	if _, err := b.WriteTo([]byte("x"), simnet.Addr{Host: "ott", Port: 1}); !errors.Is(err, ue.ErrNotAttached) {
+		t.Errorf("write after close: %v", err)
+	}
+}

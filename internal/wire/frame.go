@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// MaxFrameSize bounds a single length-prefixed frame. Control-plane
+// messages in dLTE are small; the bound protects stream peers from
+// hostile or corrupted length prefixes.
+const MaxFrameSize = 1 << 20
+
+// WriteFrame writes a uint32 length prefix followed by payload to w.
+// It is safe for one concurrent writer per stream; callers multiplexing
+// a stream should use a FrameConn.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: frame length %d", ErrOverflow, len(payload))
+	}
+	var hdr [4]byte
+	hdr[0] = byte(len(payload) >> 24)
+	hdr[1] = byte(len(payload) >> 16)
+	hdr[2] = byte(len(payload) >> 8)
+	hdr[3] = byte(len(payload))
+	// Single Write call keeps the frame atomic when the underlying
+	// writer serializes writes (as net.Conn does).
+	buf := make([]byte, 4+len(payload))
+	copy(buf, hdr[:])
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: frame length %d", ErrOverflow, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// FrameConn wraps an io.ReadWriter with framed, mutex-serialized message
+// exchange. Protocol packages (S1AP, X2, registry) layer their message
+// codecs on top of it.
+type FrameConn struct {
+	rw io.ReadWriter
+
+	wmu sync.Mutex
+	rmu sync.Mutex
+}
+
+// NewFrameConn wraps rw.
+func NewFrameConn(rw io.ReadWriter) *FrameConn { return &FrameConn{rw: rw} }
+
+// Send writes one frame. Safe for concurrent use.
+func (c *FrameConn) Send(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.rw, payload)
+}
+
+// Recv reads one frame. Safe for concurrent use, though protocols here
+// use a single reader goroutine.
+func (c *FrameConn) Recv() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return ReadFrame(c.rw)
+}
+
+// Message is implemented by every protocol message that can serialize
+// itself. Decode counterparts are per-package functions dispatching on a
+// message-type byte, gopacket-style.
+type Message interface {
+	// EncodeTo appends the message body (excluding any type tag the
+	// enclosing protocol adds) to w.
+	EncodeTo(w *Writer)
+}
+
+// Marshal encodes a type tag followed by the message body.
+func Marshal(msgType uint8, m Message) ([]byte, error) {
+	w := NewWriter(64)
+	w.U8(msgType)
+	m.EncodeTo(w)
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// mathFloat64bits and mathFloat64frombits avoid importing math in
+// wire.go for two conversions; they live here beside other helpers.
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,215 @@
+// Package wire is the binary codec toolkit shared by every dLTE protocol
+// package (NAS, S1AP, GTP, X2, the registry protocol, and the mobility
+// transport). It follows the gopacket serialization idiom: concrete
+// message structs implement Encode/Decode against cursor types that
+// track errors internally, so codecs read as straight-line field lists
+// and a single error check suffices at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports that a decode ran out of bytes.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrOverflow reports that a length field exceeded its encodable range.
+var ErrOverflow = errors.New("wire: field overflow")
+
+// Writer appends big-endian fields to a buffer. The zero value is ready
+// to use. Writer never fails; length-prefixed fields validate their
+// ranges and record the first error for Err.
+type Writer struct {
+	buf []byte
+	err error
+}
+
+// NewWriter returns a Writer with capacity preallocated to sizeHint.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded buffer. The buffer remains owned by the
+// Writer until the caller stops using it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len reports the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Err returns the first recorded encoding error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// F64 appends a float64 as its IEEE-754 bits, big-endian.
+func (w *Writer) F64(v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], mathFloat64bits(v))
+	w.buf = append(w.buf, b[:]...)
+}
+
+// Bytes0 appends raw bytes with no length prefix.
+func (w *Writer) Bytes0(b []byte) { w.buf = append(w.buf, b...) }
+
+// Bytes8 appends a uint8 length prefix followed by b. Records
+// ErrOverflow if len(b) > 255.
+func (w *Writer) Bytes8(b []byte) {
+	if len(b) > 0xFF {
+		w.fail(fmt.Errorf("%w: bytes8 length %d", ErrOverflow, len(b)))
+		return
+	}
+	w.U8(uint8(len(b)))
+	w.Bytes0(b)
+}
+
+// Bytes16 appends a uint16 length prefix followed by b. Records
+// ErrOverflow if len(b) > 65535.
+func (w *Writer) Bytes16(b []byte) {
+	if len(b) > 0xFFFF {
+		w.fail(fmt.Errorf("%w: bytes16 length %d", ErrOverflow, len(b)))
+		return
+	}
+	w.U16(uint16(len(b)))
+	w.Bytes0(b)
+}
+
+// String8 appends a uint8 length prefix followed by the string bytes.
+func (w *Writer) String8(s string) { w.Bytes8([]byte(s)) }
+
+// String16 appends a uint16 length prefix followed by the string bytes.
+func (w *Writer) String16(s string) { w.Bytes16([]byte(s)) }
+
+// Bool appends 1 for true, 0 for false.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Reader consumes big-endian fields from a buffer, tracking the first
+// error internally so decoders can read every field unconditionally and
+// check Err once at the end (values read after an error are zero).
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first recorded decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many unread bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Rest consumes and returns all remaining bytes.
+func (r *Reader) Rest() []byte {
+	b := r.buf[r.off:]
+	r.off = len(r.buf)
+	return b
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 {
+	return mathFloat64frombits(r.U64())
+}
+
+// BytesN reads exactly n raw bytes (no prefix), returning a copy.
+func (r *Reader) BytesN(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Bytes8 reads a uint8 length prefix then that many bytes (copied).
+func (r *Reader) Bytes8() []byte { return r.BytesN(int(r.U8())) }
+
+// Bytes16 reads a uint16 length prefix then that many bytes (copied).
+func (r *Reader) Bytes16() []byte { return r.BytesN(int(r.U16())) }
+
+// String8 reads a uint8 length-prefixed string.
+func (r *Reader) String8() string { return string(r.Bytes8()) }
+
+// String16 reads a uint16 length-prefixed string.
+func (r *Reader) String16() string { return string(r.Bytes16()) }
+
+// Bool reads one byte, nonzero meaning true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }

@@ -1,0 +1,261 @@
+package x2
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dlte/internal/wire"
+)
+
+// Handler receives inbound X2 messages from a connected peer. Handlers
+// run on the peer's reader goroutine; reply via Agent.Send.
+type Handler func(peerID string, msg Message)
+
+// Listener abstracts the accept side (net.Listener or
+// simnet.Listener).
+type Listener interface {
+	Accept() (net.Conn, error)
+	Close() error
+}
+
+// ErrNoPeer reports a send to an unconnected peer.
+var ErrNoPeer = errors.New("x2: no such peer")
+
+// Agent maintains X2 associations with neighboring APs over the
+// Internet backhaul: the dial/hello handshake, message dispatch, and
+// coordination-traffic accounting (bytes in both directions, used to
+// size X2 against backhaul constraints — experiment E7).
+type Agent struct {
+	id     string
+	hello  PeerHello
+	handle Handler
+
+	mu     sync.Mutex
+	peers  map[string]*peerConn
+	closed bool
+
+	bytesTx atomic.Uint64
+	bytesRx atomic.Uint64
+	msgsTx  atomic.Uint64
+	msgsRx  atomic.Uint64
+}
+
+type peerConn struct {
+	id   string
+	fc   *wire.FrameConn
+	raw  net.Conn
+	mode Mode
+}
+
+// NewAgent creates an agent for AP id. hello is sent on every new
+// association (its APID is forced to id). handler receives all
+// non-handshake messages.
+func NewAgent(id string, hello PeerHello, handler Handler) *Agent {
+	hello.APID = id
+	return &Agent{id: id, hello: hello, handle: handler, peers: make(map[string]*peerConn)}
+}
+
+// ID reports the agent's AP identity.
+func (a *Agent) ID() string { return a.id }
+
+// Serve accepts inbound associations until the listener closes. Call
+// in a goroutine.
+func (a *Agent) Serve(l Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go a.acceptPeer(c)
+	}
+}
+
+func (a *Agent) acceptPeer(c net.Conn) {
+	fc := wire.NewFrameConn(c)
+	b, err := fc.Recv()
+	if err != nil {
+		c.Close()
+		return
+	}
+	a.bytesRx.Add(uint64(len(b) + 4))
+	msg, err := Decode(b)
+	if err != nil {
+		c.Close()
+		return
+	}
+	hello, ok := msg.(*PeerHello)
+	if !ok {
+		c.Close()
+		return
+	}
+	ackBytes, err := Marshal(&PeerHelloAck{APID: a.id, Mode: a.hello.Mode})
+	if err != nil || fc.Send(ackBytes) != nil {
+		c.Close()
+		return
+	}
+	a.bytesTx.Add(uint64(len(ackBytes) + 4))
+	pc := &peerConn{id: hello.APID, fc: fc, raw: c, mode: hello.Mode}
+	if !a.register(pc) {
+		c.Close()
+		return
+	}
+	a.readLoop(pc)
+}
+
+// Connect dials a peer's X2 endpoint and performs the hello exchange.
+// dial is the host's dial function (simnet Host.Dial or a net.Dialer
+// wrapper); addr is "host:port".
+func (a *Agent) Connect(dial func(addr string) (net.Conn, error), addr string) (string, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return "", fmt.Errorf("x2: connect %s: %w", addr, err)
+	}
+	fc := wire.NewFrameConn(c)
+	helloBytes, err := Marshal(&a.hello)
+	if err != nil {
+		c.Close()
+		return "", err
+	}
+	if err := fc.Send(helloBytes); err != nil {
+		c.Close()
+		return "", fmt.Errorf("x2: hello: %w", err)
+	}
+	a.bytesTx.Add(uint64(len(helloBytes) + 4))
+	b, err := fc.Recv()
+	if err != nil {
+		c.Close()
+		return "", fmt.Errorf("x2: hello ack: %w", err)
+	}
+	a.bytesRx.Add(uint64(len(b) + 4))
+	msg, err := Decode(b)
+	if err != nil {
+		c.Close()
+		return "", err
+	}
+	ack, ok := msg.(*PeerHelloAck)
+	if !ok {
+		c.Close()
+		return "", fmt.Errorf("x2: unexpected %s in handshake", msg.Type())
+	}
+	pc := &peerConn{id: ack.APID, fc: fc, raw: c, mode: ack.Mode}
+	if !a.register(pc) {
+		c.Close()
+		return "", fmt.Errorf("x2: agent closed")
+	}
+	go a.readLoop(pc)
+	return ack.APID, nil
+}
+
+func (a *Agent) register(pc *peerConn) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return false
+	}
+	if old, ok := a.peers[pc.id]; ok {
+		old.raw.Close()
+	}
+	a.peers[pc.id] = pc
+	return true
+}
+
+func (a *Agent) readLoop(pc *peerConn) {
+	for {
+		b, err := pc.fc.Recv()
+		if err != nil {
+			a.mu.Lock()
+			if cur, ok := a.peers[pc.id]; ok && cur == pc {
+				delete(a.peers, pc.id)
+			}
+			a.mu.Unlock()
+			return
+		}
+		a.bytesRx.Add(uint64(len(b) + 4))
+		a.msgsRx.Add(1)
+		msg, err := Decode(b)
+		if err != nil {
+			continue // tolerate unknown extensions from newer peers
+		}
+		if a.handle != nil {
+			a.handle(pc.id, msg)
+		}
+	}
+}
+
+// Send delivers a message to the named peer.
+func (a *Agent) Send(peerID string, m Message) error {
+	a.mu.Lock()
+	pc, ok := a.peers[peerID]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoPeer, peerID)
+	}
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := pc.fc.Send(b); err != nil {
+		return err
+	}
+	a.bytesTx.Add(uint64(len(b) + 4))
+	a.msgsTx.Add(1)
+	return nil
+}
+
+// Broadcast sends a message to every connected peer, returning the
+// first error (all peers are still attempted).
+func (a *Agent) Broadcast(m Message) error {
+	var first error
+	for _, id := range a.Peers() {
+		if err := a.Send(id, m); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Peers lists the IDs of connected peers.
+func (a *Agent) Peers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.peers))
+	for id := range a.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// PeerMode reports the mode a peer declared at handshake.
+func (a *Agent) PeerMode(peerID string) (Mode, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pc, ok := a.peers[peerID]
+	if !ok {
+		return ModeSelfish, false
+	}
+	return pc.mode, true
+}
+
+// Traffic reports cumulative coordination traffic: bytes and messages
+// sent and received (including handshakes and framing overhead).
+func (a *Agent) Traffic() (txBytes, rxBytes, txMsgs, rxMsgs uint64) {
+	return a.bytesTx.Load(), a.bytesRx.Load(), a.msgsTx.Load(), a.msgsRx.Load()
+}
+
+// Close drops all peer associations.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	a.closed = true
+	peers := make([]*peerConn, 0, len(a.peers))
+	for _, pc := range a.peers {
+		peers = append(peers, pc)
+	}
+	a.peers = make(map[string]*peerConn)
+	a.mu.Unlock()
+	for _, pc := range peers {
+		pc.raw.Close()
+	}
+}

@@ -1,0 +1,94 @@
+package x2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics: X2 peers are other administrative domains —
+// the paper's whole point — so their bytes are untrusted by
+// definition.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %x: %v", b, r)
+			}
+		}()
+		msg, err := Decode(b)
+		if err == nil && msg != nil {
+			if _, merr := Marshal(msg); merr != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeEveryTypeRandomTail hits each decoder arm with junk,
+// including the variable-length ShareUpdate.
+func TestDecodeEveryTypeRandomTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for typ := byte(TypePeerHello); typ <= byte(TypeRelayData); typ++ {
+		for i := 0; i < 200; i++ {
+			tail := make([]byte, rng.Intn(80))
+			rng.Read(tail)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("type %d panicked: %v", typ, r)
+					}
+				}()
+				Decode(append([]byte{typ}, tail...))
+			}()
+		}
+	}
+}
+
+// TestShareUpdateRoundTripProperty checks the only variable-length X2
+// codec against arbitrary valid inputs.
+func TestShareUpdateRoundTripProperty(t *testing.T) {
+	f := func(ids []string, fracs []uint16) bool {
+		n := len(ids)
+		if len(fracs) < n {
+			n = len(fracs)
+		}
+		if n > 200 {
+			n = 200
+		}
+		su := &ShareUpdate{}
+		for i := 0; i < n; i++ {
+			id := ids[i]
+			if len(id) > 255 {
+				id = id[:255]
+			}
+			su.APIDs = append(su.APIDs, id)
+			su.Fractions = append(su.Fractions, fracs[i])
+		}
+		b, err := Marshal(su)
+		if err != nil {
+			return true // over-limit encodings may fail cleanly
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		g := got.(*ShareUpdate)
+		if len(g.APIDs) != len(su.APIDs) {
+			return false
+		}
+		for i := range g.APIDs {
+			if g.APIDs[i] != su.APIDs[i] || g.Fractions[i] != su.Fractions[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
