@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every experiment benchmark: catches perf collapses
+# (a virtual-clock regression shows up as seconds, not milliseconds).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Determinism smoke: two same-seed runs must be byte-identical.
+smoke: build
+	$(GO) build -o /tmp/dlte-sim-smoke ./cmd/dlte-sim
+	/tmp/dlte-sim-smoke -exp E4 -quick 2>/dev/null > /tmp/dlte-smoke-1.txt
+	/tmp/dlte-sim-smoke -exp E4 -quick 2>/dev/null > /tmp/dlte-smoke-2.txt
+	cmp /tmp/dlte-smoke-1.txt /tmp/dlte-smoke-2.txt
+	rm -f /tmp/dlte-sim-smoke /tmp/dlte-smoke-1.txt /tmp/dlte-smoke-2.txt
+
+check: vet build race bench smoke

@@ -37,7 +37,7 @@ func main() {
 	}
 
 	step("booting the simulated internetwork (10 ms WAN) and global registry")
-	s, err := core.NewScenario(simnet.Link{Latency: 10 * time.Millisecond}, 1)
+	s, err := core.NewWallScenario(simnet.Link{Latency: 10 * time.Millisecond}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

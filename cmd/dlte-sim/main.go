@@ -61,7 +61,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		// Wall time goes to stderr: stdout (the tables) is deterministic
+		// for a given seed, and stays byte-comparable across runs.
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", r.id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9 or all)\n", *expFlag)

@@ -31,7 +31,7 @@ func main() {
 }
 
 func run(mode transport.Mode) error {
-	s, err := core.NewScenario(simnet.Link{Latency: 10 * time.Millisecond}, 7)
+	s, err := core.NewWallScenario(simnet.Link{Latency: 10 * time.Millisecond}, 7)
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,7 @@ import (
 func main() {
 	// A simulated internetwork: every host pair defaults to a 10 ms
 	// one-way WAN link. The scenario starts the global registry.
-	s, err := core.NewScenario(simnet.Link{Latency: 10 * time.Millisecond}, 1)
+	s, err := core.NewWallScenario(simnet.Link{Latency: 10 * time.Millisecond}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

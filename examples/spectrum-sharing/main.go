@@ -25,7 +25,7 @@ import (
 func main() {
 	// --- The live signaling part: two APs discover each other through
 	// the registry and negotiate shares over X2.
-	s, err := core.NewScenario(simnet.Link{Latency: 10 * time.Millisecond}, 3)
+	s, err := core.NewWallScenario(simnet.Link{Latency: 10 * time.Millisecond}, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

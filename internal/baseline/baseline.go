@@ -72,7 +72,7 @@ func NewCentralized(n *simnet.Network, coreName string, cfg CentralizedConfig) (
 		core.Close()
 		return nil, err
 	}
-	go core.ServeS1AP(l)
+	n.Clock().Go(func() { core.ServeS1AP(l) })
 	return &Centralized{
 		cfg: cfg, net: n, Core: core, epcHost: host,
 		sites: make(map[string]*enb.ENodeB),

@@ -115,7 +115,7 @@ func NewAccessPoint(host *simnet.Host, cfg APConfig) (*AccessPoint, error) {
 		return nil, fmt.Errorf("core: S1AP listen: %w", err)
 	}
 	ap.s1Listener = s1l
-	go core.ServeS1AP(s1l)
+	host.Clock().Go(func() { core.ServeS1AP(s1l) })
 
 	e, err := enb.New(host, enb.Config{
 		ID:      hashID(cfg.ID),
@@ -142,7 +142,7 @@ func NewAccessPoint(host *simnet.Host, cfg APConfig) (*AccessPoint, error) {
 		return nil, fmt.Errorf("core: X2 listen: %w", err)
 	}
 	ap.x2Listener = x2l
-	go ap.Agent.Serve(x2l)
+	host.Clock().Go(func() { ap.Agent.Serve(x2l) })
 
 	return ap, nil
 }
@@ -306,14 +306,15 @@ func (ap *AccessPoint) Close() {
 }
 
 // waitSettle is a small helper: coordination messages are
-// asynchronous; callers poll with deadlines rather than sleep.
-func waitSettle(timeout time.Duration, cond func() bool) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+// asynchronous; callers poll on the world's clock with deadlines
+// rather than sleep.
+func waitSettle(clk simnet.Clock, timeout time.Duration, cond func() bool) bool {
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		if cond() {
 			return true
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 	return cond()
 }

@@ -57,7 +57,7 @@ func TestOpenJoinAndDiscovery(t *testing.T) {
 		t.Fatalf("ap1 peers = %v", peers)
 	}
 	// The X2 association is live in both directions.
-	if !waitSettle(2*time.Second, func() bool { return len(ap2.Agent.Peers()) == 1 }) {
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool { return len(ap2.Agent.Peers()) == 1 }) {
 		t.Fatal("ap2 never saw the association")
 	}
 }
@@ -80,7 +80,7 @@ func TestFairShareNegotiation(t *testing.T) {
 	}
 	// Peers adopt the broadcast pattern (quantized to 1/10000 on the
 	// wire).
-	ok := waitSettle(2*time.Second, func() bool {
+	ok := waitSettle(s.Clock(), 2*time.Second, func() bool {
 		return math.Abs(ap2.Share()-1.0/3) < 1e-3 && math.Abs(ap3.Share()-1.0/3) < 1e-3
 	})
 	if !ok {
@@ -163,7 +163,7 @@ func TestCooperativeSharesFollowLoad(t *testing.T) {
 	if _, err := ap1.DiscoverPeers(); err != nil {
 		t.Fatal(err)
 	}
-	if !waitSettle(2*time.Second, func() bool { return len(ap2.Agent.Peers()) == 1 }) {
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool { return len(ap2.Agent.Peers()) == 1 }) {
 		t.Fatal("association not established")
 	}
 
@@ -192,14 +192,14 @@ func TestCooperativeSharesFollowLoad(t *testing.T) {
 	if err := ap1.AdvertiseLoad(); err != nil {
 		t.Fatal(err)
 	}
-	ok := waitSettle(2*time.Second, func() bool {
+	ok := waitSettle(s.Clock(), 2*time.Second, func() bool {
 		share, err := ap1.NegotiateShares()
 		return err == nil && share > 0.9
 	})
 	if !ok {
 		t.Fatalf("cooperative share for loaded AP = %v, want ≈1 (3 UEs vs 0)", ap1.Share())
 	}
-	if !waitSettle(2*time.Second, func() bool { return ap2.Share() < 0.1 }) {
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool { return ap2.Share() < 0.1 }) {
 		t.Errorf("idle AP share = %v, want ≈0", ap2.Share())
 	}
 }
@@ -211,7 +211,7 @@ func TestRoamingWithHandoverPrep(t *testing.T) {
 	if _, err := ap1.DiscoverPeers(); err != nil {
 		t.Fatal(err)
 	}
-	if !waitSettle(2*time.Second, func() bool { return len(ap2.Agent.Peers()) == 1 }) {
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool { return len(ap2.Agent.Peers()) == 1 }) {
 		t.Fatal("association not established")
 	}
 
@@ -235,7 +235,7 @@ func TestRoamingWithHandoverPrep(t *testing.T) {
 	if err := ap1.PrepareHandover("ap2", d.Publication(), -101.5); err != nil {
 		t.Fatal(err)
 	}
-	if !waitSettle(2*time.Second, func() bool {
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool {
 		_, ok := ap2.HandoverPrepared(d.IMSI())
 		return ok
 	}) {
@@ -259,7 +259,7 @@ func TestRoamingWithHandoverPrep(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Source cleans up its session.
-	if !waitSettle(2*time.Second, func() bool {
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool {
 		return ap1.Core.Gateway().NumSessions() == 0
 	}) {
 		t.Errorf("source sessions = %d, want 0", ap1.Core.Gateway().NumSessions())
@@ -283,10 +283,11 @@ func TestAttachSurvivesRadioFlap(t *testing.T) {
 	}
 
 	// Cut the link shortly after the attach starts.
-	go func() {
-		time.Sleep(20 * time.Millisecond)
+	clk := s.Clock()
+	clk.Go(func() {
+		clk.Sleep(20 * time.Millisecond)
 		s.Net.SetLinkDown("flappy", "ap1", true)
-	}()
+	})
 	if _, err := d.Attach(ap.AirAddr(), 700*time.Millisecond); err == nil {
 		t.Log("attach won the race against the flap (acceptable)")
 	}

@@ -32,26 +32,47 @@ type Scenario struct {
 const RegistryAddr = "registry:8400"
 
 // NewScenario builds the simulated internetwork with the given default
-// (WAN) link parameters and starts the registry.
+// (WAN) link parameters and starts the registry. The scenario runs on
+// a VirtualClock owned by its network: simulated latencies cost no
+// wall time, and same-seed runs are deterministic. The calling
+// goroutine is the clock's registered driver — helper goroutines it
+// spawns must use Clock().Go, and out-of-band waits must be bracketed
+// with Clock().Block/Unblock (see simnet.Clock).
 func NewScenario(wan simnet.Link, seed int64) (*Scenario, error) {
+	return buildScenario(simnet.NewVirtualNetwork(wan, seed))
+}
+
+// NewWallScenario is NewScenario on wall-clock time, for interactive
+// demos whose pacing should match real time.
+func NewWallScenario(wan simnet.Link, seed int64) (*Scenario, error) {
+	return buildScenario(simnet.New(wan, seed))
+}
+
+func buildScenario(n *simnet.Network) (*Scenario, error) {
 	s := &Scenario{
-		Net:      simnet.New(wan, seed),
+		Net:      n,
 		Registry: registry.NewStore(),
 		aps:      make(map[string]*AccessPoint),
 		ues:      make(map[string]*ue.Device),
 	}
 	regHost, err := s.Net.AddHost("registry")
 	if err != nil {
+		s.Net.Close()
 		return nil, err
 	}
 	l, err := regHost.Listen(RegistryPort)
 	if err != nil {
+		s.Net.Close()
 		return nil, err
 	}
 	s.regListener = l
-	go registry.NewServer(s.Registry).Serve(l)
+	srv := registry.NewServer(s.Registry)
+	s.Net.Clock().Go(func() { srv.Serve(l) })
 	return s, nil
 }
+
+// Clock returns the clock the scenario's world runs on.
+func (s *Scenario) Clock() simnet.Clock { return s.Net.Clock() }
 
 // AddAP creates a host named cfg.ID, brings up a dLTE AP on it, and
 // joins it to the registry.

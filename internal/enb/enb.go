@@ -100,8 +100,8 @@ func New(host *simnet.Host, cfg Config) (*ENodeB, error) {
 	}
 	e.airL = l
 
-	go e.s1Loop()
-	go e.airAccept()
+	host.Clock().Go(e.s1Loop)
+	host.Clock().Go(e.airAccept)
 	return e, nil
 }
 
@@ -124,7 +124,7 @@ func (e *ENodeB) airAccept() {
 		if err != nil {
 			return
 		}
-		go e.serveUE(c)
+		e.host.Clock().Go(func() { e.serveUE(c) })
 	}
 }
 

@@ -153,7 +153,7 @@ func (c *Core) ServeS1AP(l Listener) {
 		if err != nil {
 			return
 		}
-		go c.serveENB(conn)
+		simnet.ClockOf(conn).Go(func() { c.serveENB(conn) })
 	}
 }
 
@@ -176,6 +176,7 @@ type ueSession struct {
 
 func (c *Core) serveENB(raw net.Conn) {
 	defer raw.Close()
+	clk := simnet.ClockOf(raw)
 	ec := &enbConn{conn: s1ap.NewConn(raw), sessions: make(map[uint32]*ueSession)}
 	for {
 		msg, err := ec.conn.Recv()
@@ -187,7 +188,7 @@ func (c *Core) serveENB(raw net.Conn) {
 			return
 		}
 		c.sigMsgs.Add(1)
-		c.applyProcessingDelay()
+		c.applyProcessingDelay(clk)
 		if err := c.handleS1AP(ec, msg); err != nil {
 			if errors.Is(err, errENBRefused) {
 				return // drop the association: closed core
@@ -200,13 +201,18 @@ func (c *Core) serveENB(raw net.Conn) {
 
 // applyProcessingDelay models the core's signaling processor: one
 // message at a time, each taking ProcessingDelay. Under load, arrivals
-// queue on procMu — the saturation behaviour of a shared EPC.
-func (c *Core) applyProcessingDelay() {
+// queue on procMu — the saturation behaviour of a shared EPC. The
+// mutex wait is bracketed with Block/Unblock so a VirtualClock sees
+// the queued goroutines as parked and lets the holder's Sleep advance
+// virtual time.
+func (c *Core) applyProcessingDelay(clk simnet.Clock) {
 	if c.cfg.ProcessingDelay <= 0 {
 		return
 	}
+	clk.Block()
 	c.procMu.Lock()
-	time.Sleep(c.cfg.ProcessingDelay)
+	clk.Unblock()
+	clk.Sleep(c.cfg.ProcessingDelay)
 	c.procMu.Unlock()
 }
 

@@ -96,7 +96,7 @@ func (g *Gateway) CreateSession(imsi string) (ueIP string, uplinkTEID uint32, er
 		g.uplink(s, payload)
 	})
 	g.sessions[imsi] = s
-	go g.downlinkLoop(s)
+	g.host.Clock().Go(func() { g.downlinkLoop(s) })
 	return ip, s.localTEID, nil
 }
 
@@ -176,6 +176,7 @@ func (g *Gateway) uplink(s *gwSession, payload []byte) {
 // downlinkLoop forwards Internet return traffic back through the
 // session's tunnel toward the eNodeB.
 func (g *Gateway) downlinkLoop(s *gwSession) {
+	clk := g.host.Clock()
 	buf := make([]byte, 64*1024)
 	for {
 		select {
@@ -183,7 +184,7 @@ func (g *Gateway) downlinkLoop(s *gwSession) {
 			return
 		default:
 		}
-		s.ext.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		s.ext.SetReadDeadline(clk.Now().Add(200 * time.Millisecond))
 		n, from, err := s.ext.ReadFrom(buf)
 		if err != nil {
 			continue

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentsDeterministic is the regression gate for the virtual
+// clock's core promise: two runs with the same seed produce
+// byte-identical result tables. E2 exercises the full attach + data
+// path; E4 adds roaming, retransmission, and 0-RTT resume — the flows
+// that historically exposed scheduling races (ack-vs-delivery wire
+// order, map-ordered retransmits, cross-world goroutine leaks).
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func() []byte {
+		var buf bytes.Buffer
+		opt := Options{Quick: true, Seed: 42, Out: &buf}
+		if _, err := RunE2(opt); err != nil {
+			t.Fatalf("E2: %v", err)
+		}
+		if _, err := RunE4(opt); err != nil {
+			t.Fatalf("E4: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a := run()
+	b := run()
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		hiA, hiB := i+120, i+120
+		if hiA > len(a) {
+			hiA = len(a)
+		}
+		if hiB > len(b) {
+			hiB = len(b)
+		}
+		t.Fatalf("same-seed runs diverge at byte %d:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			i, a[lo:hiA], b[lo:hiB])
+	}
+}

@@ -49,7 +49,7 @@ func RunE1(opt Options) (E1Result, error) {
 	_ = aps
 
 	// --- Openness, telecom/private LTE: a rogue eNodeB is refused.
-	n2 := simnet.New(simnet.Link{Latency: 5 * time.Millisecond}, opt.Seed)
+	n2 := simnet.NewVirtualNetwork(simnet.Link{Latency: 5 * time.Millisecond}, opt.Seed)
 	defer n2.Close()
 	telco, err := baseline.NewCentralized(n2, "telco", baseline.CentralizedConfig{
 		TAC: 1, WANLink: simnet.Link{Latency: 5 * time.Millisecond},

@@ -66,7 +66,7 @@ func RunE2(opt Options) (E2Result, error) {
 
 	// --- Centralized: sweep the EPC's distance.
 	for _, lat := range epcLatencies {
-		n := simnet.New(simnet.Link{Latency: 10 * time.Millisecond}, opt.Seed)
+		n := simnet.NewVirtualNetwork(simnet.Link{Latency: 10 * time.Millisecond}, opt.Seed)
 		central, err := baseline.NewCentralized(n, "epc", baseline.CentralizedConfig{
 			TAC: 1, WANLink: simnet.Link{Latency: time.Duration(lat) * time.Millisecond},
 		})

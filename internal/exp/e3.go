@@ -114,7 +114,9 @@ func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err e
 		}
 		for _, d := range devices {
 			wg.Add(1)
-			go func(d *ue.Device, ap interface{ AirAddr() string }) {
+			d := d
+			ap := ap
+			s.Clock().Go(func() {
 				defer wg.Done()
 				r, aerr := d.Attach(ap.AirAddr(), 60*time.Second)
 				mu.Lock()
@@ -124,10 +126,13 @@ func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err e
 					return
 				}
 				hist.ObserveDuration(r.Duration)
-			}(d, ap)
+			})
 		}
 	}
+	clk := s.Clock()
+	clk.Block()
 	wg.Wait()
+	clk.Unblock()
 	if firstErr != nil {
 		return 0, 0, 0, firstErr
 	}
@@ -141,7 +146,7 @@ func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err e
 // runCentralStorm attaches the same UE population through one shared
 // EPC whose signaling processor costs e3ProcDelay per message.
 func runCentralStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err error) {
-	n := simnet.New(simnet.Link{Latency: 10 * time.Millisecond}, seed)
+	n := simnet.NewVirtualNetwork(simnet.Link{Latency: 10 * time.Millisecond}, seed)
 	defer n.Close()
 	central, err := baseline.NewCentralized(n, "epc", baseline.CentralizedConfig{
 		TAC:             1,
@@ -185,7 +190,7 @@ func runCentralStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, er
 			}
 			air := sites[i].air
 			wg.Add(1)
-			go func() {
+			n.Clock().Go(func() {
 				defer wg.Done()
 				r, aerr := d.Attach(air, 120*time.Second)
 				mu.Lock()
@@ -195,10 +200,13 @@ func runCentralStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, er
 					return
 				}
 				hist.ObserveDuration(r.Duration)
-			}()
+			})
 		}
 	}
+	clk := n.Clock()
+	clk.Block()
 	wg.Wait()
+	clk.Unblock()
 	if firstErr != nil {
 		return 0, 0, 0, firstErr
 	}

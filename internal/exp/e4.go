@@ -167,36 +167,43 @@ func runRoam(seed int64, ottOneWayMs int, mode transport.Mode) (roamOutcome, err
 	}
 	defer cli.Close()
 
+	clk := s.Clock()
 	// Probe loop: send seq, count echoes, track the largest gap.
 	const probePeriod = 10 * time.Millisecond
 	echoes := make(chan time.Time, 1024)
-	go func() {
+	clk.Go(func() {
 		for {
 			if _, rerr := cli.Recv(5 * time.Second); rerr != nil {
 				return
 			}
 			select {
-			case echoes <- time.Now():
+			case echoes <- clk.Now():
 			default:
 			}
 		}
-	}()
+	})
 	stop := make(chan struct{})
-	go func(stopCh chan struct{}) {
-		t := time.NewTicker(probePeriod)
-		defer t.Stop()
-		for {
-			select {
-			case <-stopCh:
-				return
-			case <-t.C:
-				cli.Send([]byte("probe"))
+	probeLoop := func(stopCh chan struct{}, c *transport.Client) func() {
+		return func() {
+			t := clk.NewTicker(probePeriod)
+			defer t.Stop()
+			for {
+				clk.Block()
+				select {
+				case <-stopCh:
+					clk.Unblock()
+					return
+				case <-t.C:
+					clk.Unblock()
+					c.Send([]byte("probe"))
+				}
 			}
 		}
-	}(stop)
+	}
+	clk.Go(probeLoop(stop, cli))
 
 	// Warm up, then roam.
-	drainUntil(echoes, 400*time.Millisecond)
+	drainUntil(clk, echoes, 400*time.Millisecond)
 	aps[0].PrepareHandover("ap2", d.Publication(), -101)
 	// Flush any echo that slipped in between warm-up and the roam so
 	// the first item on the channel is genuinely post-roam.
@@ -208,7 +215,7 @@ func runRoam(seed int64, ottOneWayMs int, mode transport.Mode) (roamOutcome, err
 		}
 		break
 	}
-	lastBefore := time.Now()
+	lastBefore := clk.Now()
 	if _, err := d.Attach(aps[1].AirAddr(), 15*time.Second); err != nil {
 		close(stop)
 		return out, fmt.Errorf("re-attach: %w", err)
@@ -217,12 +224,12 @@ func runRoam(seed int64, ottOneWayMs int, mode transport.Mode) (roamOutcome, err
 	// Legacy transports die at the roam: detect RESET and redial (the
 	// application-level reconnect TCP forces).
 	if mode == transport.Legacy {
-		deadline := time.Now().Add(5 * time.Second)
-		for time.Now().Before(deadline) {
+		deadline := clk.Now().Add(5 * time.Second)
+		for clk.Now().Before(deadline) {
 			if err := cli.Send([]byte("probe")); err != nil {
 				break // reset observed
 			}
-			time.Sleep(5 * time.Millisecond)
+			clk.Sleep(5 * time.Millisecond)
 		}
 		// Tear the dead connection down completely before redialing:
 		// its reader would otherwise keep consuming bearer packets
@@ -238,24 +245,29 @@ func runRoam(seed int64, ottOneWayMs int, mode transport.Mode) (roamOutcome, err
 		}
 		defer cli2.Close()
 		cli2.Send([]byte("probe"))
-		go func() {
+		clk.Go(func() {
 			for {
 				if _, rerr := cli2.Recv(5 * time.Second); rerr != nil {
 					return
 				}
 				select {
-				case echoes <- time.Now():
+				case echoes <- clk.Now():
 				default:
 				}
 			}
-		}()
+		})
 	}
 
 	// First echo after the roam bounds the disruption.
 	var firstAfter time.Time
+	giveUp := clk.NewTimer(10 * time.Second)
+	clk.Block()
 	select {
 	case firstAfter = <-echoes:
-	case <-time.After(10 * time.Second):
+		clk.Unblock()
+		giveUp.Stop()
+	case <-giveUp.C:
+		clk.Unblock()
 		close(stop)
 		out.survived = false
 		out.disruptionMs = 10000
@@ -270,12 +282,16 @@ func runRoam(seed int64, ottOneWayMs int, mode transport.Mode) (roamOutcome, err
 }
 
 // drainUntil consumes echo timestamps for the given duration.
-func drainUntil(ch chan time.Time, d time.Duration) {
-	deadline := time.After(d)
+func drainUntil(clk simnet.Clock, ch chan time.Time, d time.Duration) {
+	deadline := clk.NewTimer(d)
+	defer deadline.Stop()
 	for {
+		clk.Block()
 		select {
 		case <-ch:
-		case <-deadline:
+			clk.Unblock()
+		case <-deadline.C:
+			clk.Unblock()
 			return
 		}
 	}

@@ -105,7 +105,8 @@ func runResumeRoam(seed int64, ottOneWayMs int, resume bool) (float64, error) {
 	token := cli.Token()
 
 	// Roam: close the session, re-attach, resume.
-	start := time.Now()
+	clk := s.Clock()
+	start := clk.Now()
 	cli.Close()
 	if _, err := d.Attach(aps[1].AirAddr(), 15*time.Second); err != nil {
 		return 0, fmt.Errorf("re-attach: %w", err)
@@ -126,5 +127,5 @@ func runResumeRoam(seed int64, ottOneWayMs int, resume bool) (float64, error) {
 	if _, err := cli2.Recv(10 * time.Second); err != nil {
 		return 0, fmt.Errorf("post-resume echo: %w", err)
 	}
-	return ms(time.Since(start)), nil
+	return ms(clk.Since(start)), nil
 }

@@ -101,15 +101,16 @@ func measureX2Rate(n, rounds int, period time.Duration, seed int64) (float64, er
 		tx0 += t
 		rx0 += r
 	}
-	start := time.Now()
+	clk := s.Clock()
+	start := clk.Now()
 	for i := 0; i < rounds; i++ {
 		for _, ap := range aps {
 			ap.AdvertiseLoad()
 		}
 		aps[0].NegotiateShares()
-		time.Sleep(period)
+		clk.Sleep(period)
 	}
-	elapsed := time.Since(start).Seconds()
+	elapsed := clk.Since(start).Seconds()
 	var tx1, rx1 uint64
 	for _, ap := range aps {
 		t, r, _, _ := ap.Agent.Traffic()
@@ -134,16 +135,17 @@ func measureConvergence(backhaul simnet.Link, seed int64) (float64, error) {
 	if _, err := aps[0].DiscoverPeers(); err != nil {
 		return 0, err
 	}
-	start := time.Now()
+	clk := s.Clock()
+	start := clk.Now()
 	if _, err := aps[0].NegotiateShares(); err != nil {
 		return 0, err
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(10 * time.Second)
+	for clk.Now().Before(deadline) {
 		if s := aps[1].Share(); s > 0.49 && s < 0.51 {
-			return ms(time.Since(start)), nil
+			return ms(clk.Since(start)), nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 	return 0, fmt.Errorf("shares never converged")
 }

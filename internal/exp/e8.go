@@ -142,14 +142,15 @@ func runOTTMessaging(seed int64) (int, error) {
 		return 0, err
 	}
 	// Wait until both registrations land at the relay.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	clk := s.Clock()
+	deadline := clk.Now().Add(5 * time.Second)
+	for clk.Now().Before(deadline) {
 		_, aOK := relay.Registered("alice")
 		_, bOK := relay.Registered("bob")
 		if aOK && bOK {
 			break
 		}
-		time.Sleep(10 * time.Millisecond)
+		clk.Sleep(10 * time.Millisecond)
 	}
 
 	delivered := 0

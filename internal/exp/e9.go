@@ -137,7 +137,8 @@ func runRelayOutage(seed int64) (granted bool, detectMs float64, err error) {
 
 	// Cut ap1's backhaul toward the Internet (OTT and registry), but
 	// not the dedicated inter-AP path.
-	cut := time.Now()
+	clk := s.Clock()
+	cut := clk.Now()
 	s.Net.SetLinkDown("ap1", "ott", true)
 	s.Net.SetLinkDown("ap1", "registry", true)
 
@@ -146,19 +147,19 @@ func runRelayOutage(seed int64) (granted bool, detectMs float64, err error) {
 	if echoErr == nil {
 		return false, 0, fmt.Errorf("echo survived a cut backhaul")
 	}
-	detectMs = ms(time.Since(cut))
+	detectMs = ms(clk.Since(cut))
 
 	// Relay negotiation over X2 (the ap1↔ap2 path is unaffected).
 	if err := aps[0].RequestRelay("ap2", 5e6); err != nil {
 		return false, detectMs, err
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(3 * time.Second)
+	for clk.Now().Before(deadline) {
 		if bps, from := aps[0].RelayGrant(); bps > 0 && from == "ap2" {
 			granted = true
 			break
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 	return granted, detectMs, nil
 }

@@ -15,6 +15,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"dlte/internal/simnet"
 )
 
 // Port is the registered GTP-U UDP port.
@@ -98,7 +100,8 @@ type Tunnel struct {
 // Endpoint is one GTP-U node: it owns a packet socket, demultiplexes
 // inbound G-PDUs by TEID, and sends outbound G-PDUs per tunnel.
 type Endpoint struct {
-	pc PacketConn
+	pc  PacketConn
+	clk simnet.Clock
 
 	mu       sync.Mutex
 	nextTEID uint32
@@ -116,11 +119,12 @@ type tunnelState struct {
 func NewEndpoint(pc PacketConn) *Endpoint {
 	e := &Endpoint{
 		pc:       pc,
+		clk:      simnet.ClockOf(pc),
 		nextTEID: 1,
 		tunnels:  make(map[uint32]*tunnelState),
 		done:     make(chan struct{}),
 	}
-	go e.readLoop()
+	e.clk.Go(e.readLoop)
 	return e
 }
 
@@ -191,7 +195,7 @@ func (e *Endpoint) readLoop() {
 			return
 		default:
 		}
-		e.pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		e.pc.SetReadDeadline(e.clk.Now().Add(200 * time.Millisecond))
 		n, from, err := e.pc.ReadFrom(buf)
 		if err != nil {
 			continue // deadline tick or transient; Close exits via done

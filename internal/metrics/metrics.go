@@ -83,14 +83,20 @@ func (h *Histogram) StdDev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
-// Min reports the smallest sample, or 0 with no samples.
+// Min reports the smallest sample. With no samples it returns the
+// zero sentinel 0 (indistinguishable from a true 0 sample; check
+// Count first when that matters).
 func (h *Histogram) Min() float64 { return h.Quantile(0) }
 
-// Max reports the largest sample, or 0 with no samples.
+// Max reports the largest sample. With no samples it returns the zero
+// sentinel 0 (indistinguishable from a true 0 sample; check Count
+// first when that matters).
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
-// Quantile reports the q-quantile (0 ≤ q ≤ 1) using nearest-rank
-// interpolation. It returns 0 with no samples.
+// Quantile reports the q-quantile (0 ≤ q ≤ 1) using linear
+// interpolation between the two nearest order statistics (the same
+// estimator as numpy's default). With no samples it returns the zero
+// sentinel 0 (check Count first when a true 0 sample is possible).
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -42,11 +42,12 @@ func NewEchoServer(host *simnet.Host, port int) (*EchoServer, error) {
 		return nil, fmt.Errorf("ott: echo: %w", err)
 	}
 	s := &EchoServer{pc: pc, done: make(chan struct{})}
-	go s.loop()
+	pc.Clock().Go(s.loop)
 	return s, nil
 }
 
 func (s *EchoServer) loop() {
+	clk := s.pc.Clock()
 	buf := make([]byte, 64*1024)
 	for {
 		select {
@@ -54,7 +55,7 @@ func (s *EchoServer) loop() {
 			return
 		default:
 		}
-		s.pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		s.pc.SetReadDeadline(clk.Now().Add(200 * time.Millisecond))
 		n, from, err := s.pc.ReadFrom(buf)
 		if err != nil {
 			continue
@@ -191,11 +192,12 @@ func NewRelay(host *simnet.Host, port int) (*Relay, error) {
 		return nil, fmt.Errorf("ott: relay: %w", err)
 	}
 	r := &Relay{pc: pc, done: make(chan struct{}), boxes: make(map[string]net.Addr)}
-	go r.loop()
+	pc.Clock().Go(r.loop)
 	return r, nil
 }
 
 func (r *Relay) loop() {
+	clk := r.pc.Clock()
 	buf := make([]byte, 64*1024)
 	for {
 		select {
@@ -203,7 +205,7 @@ func (r *Relay) loop() {
 			return
 		default:
 		}
-		r.pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		r.pc.SetReadDeadline(clk.Now().Add(200 * time.Millisecond))
 		n, from, err := r.pc.ReadFrom(buf)
 		if err != nil || n < 2 {
 			continue

@@ -24,6 +24,7 @@ import (
 
 	"dlte/internal/auth"
 	"dlte/internal/geo"
+	"dlte/internal/simnet"
 	"dlte/internal/wire"
 )
 
@@ -241,7 +242,7 @@ func (s *Server) Serve(l Listener) {
 		if err != nil {
 			return
 		}
-		go s.serveConn(c)
+		simnet.ClockOf(c).Go(func() { s.serveConn(c) })
 	}
 }
 
@@ -411,8 +412,9 @@ func (c *Client) Keys() ([]KeyRecord, error) {
 // WaitForRevision polls List until the server's revision reaches at
 // least rev or the timeout elapses; used by tests and scenario setup.
 func (c *Client) WaitForRevision(rev uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	clk := simnet.ClockOf(c.c)
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		resp, err := c.roundTrip(request{Op: "list"})
 		if err != nil {
 			return err
@@ -420,7 +422,7 @@ func (c *Client) WaitForRevision(rev uint64, timeout time.Duration) error {
 		if resp.Revision >= rev {
 			return nil
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 	return errors.New("registry: revision wait timed out")
 }

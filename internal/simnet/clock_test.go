@@ -1,0 +1,213 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// clockConformance runs the Clock-contract checks shared by both
+// implementations. Durations are kept small so the wall-clock variant
+// stays fast; assertions use one-sided bounds (at least d elapsed) so
+// wall scheduling slop cannot flake them.
+func clockConformance(t *testing.T, clk Clock) {
+	t.Helper()
+
+	// Sleep advances Now by at least d.
+	start := clk.Now()
+	clk.Sleep(10 * time.Millisecond)
+	if got := clk.Since(start); got < 10*time.Millisecond {
+		t.Errorf("Sleep(10ms) advanced only %v", got)
+	}
+
+	// Until/Since are consistent around Now.
+	future := clk.Now().Add(time.Second)
+	if u := clk.Until(future); u <= 0 || u > time.Second {
+		t.Errorf("Until(+1s) = %v", u)
+	}
+
+	// NewTimer fires once, roughly on time, and a second receive would
+	// block (buffered chan of one send).
+	start = clk.Now()
+	tm := clk.NewTimer(15 * time.Millisecond)
+	clk.Block()
+	at := <-tm.C
+	clk.Unblock()
+	if at.Sub(start) < 15*time.Millisecond {
+		t.Errorf("timer fired early: %v", at.Sub(start))
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire reported true")
+	}
+
+	// Stop before fire prevents delivery.
+	tm2 := clk.NewTimer(time.Hour)
+	if !tm2.Stop() {
+		t.Error("Stop before fire reported false")
+	}
+
+	// After is a one-shot convenience for NewTimer.
+	start = clk.Now()
+	clk.Block()
+	<-clk.After(5 * time.Millisecond)
+	clk.Unblock()
+	if got := clk.Since(start); got < 5*time.Millisecond {
+		t.Errorf("After(5ms) returned after only %v", got)
+	}
+
+	// Ticker fires repeatedly with at least the period between ticks.
+	tk := clk.NewTicker(5 * time.Millisecond)
+	start = clk.Now()
+	for i := 0; i < 3; i++ {
+		clk.Block()
+		<-tk.C
+		clk.Unblock()
+	}
+	tk.Stop()
+	if got := clk.Since(start); got < 15*time.Millisecond {
+		t.Errorf("3 ticks of 5ms took only %v", got)
+	}
+
+	// Go runs the function; Block/Unblock bracket foreign waits.
+	done := make(chan struct{})
+	clk.Go(func() {
+		clk.Sleep(time.Millisecond)
+		close(done)
+	})
+	clk.Block()
+	<-done
+	clk.Unblock()
+
+	// Timer order: two timers armed together fire earliest-first.
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	arm := func(id int, d time.Duration) {
+		clk.Go(func() {
+			defer wg.Done()
+			clk.Sleep(d)
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		})
+	}
+	arm(2, 40*time.Millisecond)
+	arm(1, 20*time.Millisecond)
+	clk.Block()
+	wg.Wait()
+	clk.Unblock()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("wake order = %v, want [1 2]", order)
+	}
+}
+
+func TestWallClockConformance(t *testing.T) {
+	clockConformance(t, Wall)
+}
+
+func TestVirtualClockConformance(t *testing.T) {
+	clk := NewVirtual()
+	defer clk.Close()
+	clockConformance(t, clk)
+}
+
+func TestVirtualClockExactness(t *testing.T) {
+	// Virtual time is exact, not approximate: a sleep advances the
+	// clock by precisely its duration, regardless of wall time.
+	clk := NewVirtual()
+	defer clk.Close()
+	start := clk.Now()
+	clk.Sleep(3 * time.Hour) // costs microseconds of wall time
+	if got := clk.Since(start); got != 3*time.Hour {
+		t.Fatalf("Sleep(3h) advanced %v", got)
+	}
+}
+
+func TestVirtualClockDeterministicTimeline(t *testing.T) {
+	// Same program, two runs: identical sequence of fire instants.
+	run := func() []time.Duration {
+		clk := NewVirtual()
+		defer clk.Close()
+		epoch := clk.Now()
+		var mu sync.Mutex
+		var log []time.Duration
+		var wg sync.WaitGroup
+		for _, d := range []time.Duration{70, 10, 40, 10, 99} {
+			d := d * time.Millisecond
+			wg.Add(1)
+			clk.Go(func() {
+				defer wg.Done()
+				clk.Sleep(d)
+				mu.Lock()
+				log = append(log, clk.Since(epoch))
+				mu.Unlock()
+			})
+		}
+		clk.Block()
+		wg.Wait()
+		clk.Unblock()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timelines diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestVirtualClockCloseReleasesSleepers(t *testing.T) {
+	clk := NewVirtual()
+	released := make(chan struct{})
+	clk.Go(func() {
+		clk.Sleep(24 * time.Hour)
+		close(released)
+	})
+	// Give the sleeper a moment to park, then close.
+	time.Sleep(10 * time.Millisecond)
+	clk.Close()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not release a parked sleeper")
+	}
+}
+
+func TestVirtualClockStopAfterClose(t *testing.T) {
+	// Regression: Timer.Stop after Close used to call heap.Remove with
+	// a stale index into the already-cleared heap and panic.
+	clk := NewVirtual()
+	tm := clk.NewTimer(time.Hour)
+	tk := clk.NewTicker(time.Hour)
+	clk.Close()
+	tm.Stop()
+	tk.Stop()
+	clk.Close() // double Close is a no-op
+	// Clock calls after Close stay safe.
+	clk.Sleep(time.Hour)
+	t2 := clk.NewTimer(time.Hour)
+	t2.Stop()
+}
+
+func TestClockOf(t *testing.T) {
+	n := NewVirtualNetwork(Link{}, 1)
+	defer n.Close()
+	h := n.MustAddHost("a")
+	pc, err := h.ListenPacket(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ClockOf(pc) != n.Clock() {
+		t.Error("ClockOf(PacketConn) did not inherit the network clock")
+	}
+	if ClockOf(42) != Wall {
+		t.Error("ClockOf(non-clocked) != Wall")
+	}
+	if ClockOf(nil) != Wall {
+		t.Error("ClockOf(nil) != Wall")
+	}
+}

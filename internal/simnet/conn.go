@@ -7,11 +7,14 @@ import (
 	"time"
 )
 
-// chunk is a batch of stream bytes due for delivery at a wall-clock
-// instant (its send time plus the link delay at send time).
+// chunk is a batch of stream bytes due for delivery at a clock
+// instant (its send time plus the link delay at send time). Under a
+// VirtualClock, bar holds the delivery barrier keeping virtual time
+// from jumping past the delivery before the receiver parks on it.
 type chunk struct {
 	data []byte
 	at   time.Time
+	bar  *vbarrier
 }
 
 // halfPipe is one direction of a stream connection. Bytes written are
@@ -86,54 +89,70 @@ func (c *Conn) Read(b []byte) (int, error) {
 	}
 	c.rx.mu.Unlock()
 
-	var timer *time.Timer
+	clk := c.network.clock
+
+	// Fast path: a chunk is already queued; no need to park.
+	select {
+	case ch := <-c.rx.queue:
+		return c.deliver(ch, b, nil), nil
+	default:
+	}
+
+	var timer *Timer
 	var deadlineC <-chan time.Time
 	if dl := c.readDeadline.get(); !dl.IsZero() {
-		wait := time.Until(dl)
+		wait := clk.Until(dl)
 		if wait <= 0 {
 			return 0, ErrDeadline
 		}
-		timer = time.NewTimer(wait)
+		timer = clk.NewTimer(wait)
 		deadlineC = timer.C
 		defer timer.Stop()
 	}
 
+	clk.Block()
 	select {
 	case ch := <-c.rx.queue:
-		c.holdUntil(ch.at, deadlineC)
-		c.rx.mu.Lock()
-		n := copy(b, ch.data)
-		if n < len(ch.data) {
-			c.rx.pending = ch.data[n:]
-		}
-		c.rx.mu.Unlock()
-		return n, nil
+		clk.Unblock()
+		return c.deliver(ch, b, deadlineC), nil
 	case <-c.rx.closed:
+		clk.Unblock()
 		// Drain anything queued before the close won the race.
 		select {
 		case ch := <-c.rx.queue:
-			c.holdUntil(ch.at, deadlineC)
-			c.rx.mu.Lock()
-			n := copy(b, ch.data)
-			if n < len(ch.data) {
-				c.rx.pending = ch.data[n:]
-			}
-			c.rx.mu.Unlock()
-			return n, nil
+			return c.deliver(ch, b, deadlineC), nil
 		default:
 			return 0, io.EOF
 		}
 	case <-deadlineC:
+		clk.Unblock()
 		return 0, ErrDeadline
 	}
 }
 
-// holdUntil sleeps until the delivery instant at, or returns early if
-// the deadline channel fires (the data stays consumed: real kernels
-// would have buffered it, and our single-reader protocols never rely on
+// deliver waits out the chunk's remaining link delay, then copies its
+// bytes into b, stashing any remainder as pending.
+func (c *Conn) deliver(ch chunk, b []byte, deadlineC <-chan time.Time) int {
+	c.holdUntil(ch, deadlineC)
+	c.rx.mu.Lock()
+	n := copy(b, ch.data)
+	if n < len(ch.data) {
+		c.rx.pending = ch.data[n:]
+	}
+	c.rx.mu.Unlock()
+	return n
+}
+
+// holdUntil sleeps until the delivery instant, or returns early if the
+// deadline channel fires (the data stays consumed: real kernels would
+// have buffered it, and our single-reader protocols never rely on
 // post-deadline re-reads).
-func (c *Conn) holdUntil(at time.Time, deadlineC <-chan time.Time) {
-	wait := time.Until(at)
+func (c *Conn) holdUntil(ch chunk, deadlineC <-chan time.Time) {
+	if vc, ok := c.network.clock.(*VirtualClock); ok {
+		vc.holdDelivery(ch.bar, ch.at, deadlineC)
+		return
+	}
+	wait := time.Until(ch.at)
 	if wait <= 0 {
 		return
 	}
@@ -158,28 +177,55 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if !up {
 		return 0, ErrLinkDown
 	}
+	clk := c.network.clock
 	data := make([]byte, len(b))
 	copy(data, b)
-	ch := chunk{data: data, at: time.Now().Add(delay)}
+	ch := chunk{data: data, at: clk.Now().Add(delay)}
+	if vc, ok := clk.(*VirtualClock); ok {
+		ch.bar = vc.addBarrier(ch.at)
+	}
+
+	// Fast path: queue has room.
+	select {
+	case c.tx.queue <- ch:
+		return len(b), nil
+	default:
+	}
 
 	var deadlineC <-chan time.Time
 	if dl := c.writeDeadline.get(); !dl.IsZero() {
-		wait := time.Until(dl)
+		wait := clk.Until(dl)
 		if wait <= 0 {
+			c.releaseBarrier(ch.bar)
 			return 0, ErrDeadline
 		}
-		t := time.NewTimer(wait)
+		t := clk.NewTimer(wait)
 		deadlineC = t.C
 		defer t.Stop()
 	}
 
+	clk.Block()
 	select {
 	case c.tx.queue <- ch:
+		clk.Unblock()
 		return len(b), nil
 	case <-c.tx.closed:
+		clk.Unblock()
+		c.releaseBarrier(ch.bar)
 		return 0, ErrClosed
 	case <-deadlineC:
+		clk.Unblock()
+		c.releaseBarrier(ch.bar)
 		return 0, ErrDeadline
+	}
+}
+
+func (c *Conn) releaseBarrier(b *vbarrier) {
+	if b == nil {
+		return
+	}
+	if vc, ok := c.network.clock.(*VirtualClock); ok {
+		vc.releaseBarrier(b)
 	}
 }
 
@@ -188,8 +234,12 @@ func (c *Conn) Write(b []byte) (int, error) {
 func (c *Conn) Close() error {
 	c.tx.close()
 	c.rx.close()
+	c.network.dropConn(c)
 	return nil
 }
+
+// Clock returns the clock governing this connection's network.
+func (c *Conn) Clock() Clock { return c.network.clock }
 
 // LocalAddr implements net.Conn.
 func (c *Conn) LocalAddr() net.Addr { return c.local }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 )
 
 // Host is a named endpoint in a Network. A host can listen for stream
@@ -27,6 +26,9 @@ func (h *Host) Name() string { return h.name }
 
 // Network returns the Network the host belongs to.
 func (h *Host) Network() *Network { return h.net }
+
+// Clock returns the clock governing the host's network.
+func (h *Host) Clock() Clock { return h.net.clock }
 
 func (h *Host) allocEphemeralLocked() int {
 	for {
@@ -100,21 +102,32 @@ func (h *Host) Dial(addr string) (net.Conn, error) {
 
 	local := Addr{Host: h.name, Port: localPort}
 	cliConn, srvConn := newConnPair(h.net, local, a)
+	h.net.addConn(cliConn)
+	h.net.addConn(srvConn)
 
 	delay, up := h.net.delayFor(h.name, a.Host, 64, false)
 	if !up {
 		return nil, fmt.Errorf("dial %s: %w", addr, ErrLinkDown)
 	}
-	go func() {
+	clk := h.net.clock
+	clk.Go(func() {
 		if delay > 0 {
-			time.Sleep(delay)
+			clk.Sleep(delay)
 		}
 		select {
 		case l.accept <- srvConn:
 		case <-l.done:
 			cliConn.Close()
+		default:
+			clk.Block()
+			select {
+			case l.accept <- srvConn:
+			case <-l.done:
+				cliConn.Close()
+			}
+			clk.Unblock()
 		}
-	}()
+	})
 	return cliConn, nil
 }
 
@@ -189,10 +202,21 @@ func (l *Listener) Accept() (net.Conn, error) {
 	select {
 	case c := <-l.accept:
 		return c, nil
+	default:
+	}
+	clk := l.host.net.clock
+	clk.Block()
+	defer clk.Unblock()
+	select {
+	case c := <-l.accept:
+		return c, nil
 	case <-l.done:
 		return nil, ErrClosed
 	}
 }
+
+// Clock returns the clock governing the listener's network.
+func (l *Listener) Clock() Clock { return l.host.net.clock }
 
 // Addr reports the listening address.
 func (l *Listener) Addr() net.Addr { return l.addr }

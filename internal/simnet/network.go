@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -44,9 +45,12 @@ const MTU = 1400
 // Network is an in-memory internetwork of named hosts. The zero value
 // is not usable; call New.
 type Network struct {
+	clock       Clock
+	ownedVC     *VirtualClock // closed with the network when it created the clock
 	mu          sync.Mutex
 	hosts       map[string]*Host
 	links       map[[2]string]*linkState
+	conns       map[*Conn]struct{} // live stream conns, closed with the network
 	defaultLink Link
 	rng         *rand.Rand
 	closed      bool
@@ -60,15 +64,41 @@ type linkState struct {
 }
 
 // New creates a Network whose links default to the given Link
-// parameters and whose randomness is seeded for reproducibility.
+// parameters and whose randomness is seeded for reproducibility. The
+// network runs on wall-clock time; use NewWithClock or
+// NewVirtualNetwork for discrete-event time.
 func New(defaultLink Link, seed int64) *Network {
+	return NewWithClock(defaultLink, seed, Wall)
+}
+
+// NewWithClock creates a Network whose time (link delays, deadlines,
+// delivery instants) is governed by clk.
+func NewWithClock(defaultLink Link, seed int64, clk Clock) *Network {
+	if clk == nil {
+		clk = Wall
+	}
 	return &Network{
+		clock:       clk,
 		hosts:       make(map[string]*Host),
 		links:       make(map[[2]string]*linkState),
+		conns:       make(map[*Conn]struct{}),
 		defaultLink: defaultLink,
 		rng:         rand.New(rand.NewSource(seed)),
 	}
 }
+
+// NewVirtualNetwork creates a Network on a fresh VirtualClock owned by
+// the network: Close shuts the clock down too. The calling goroutine
+// is the clock's registered driver (see NewVirtual).
+func NewVirtualNetwork(defaultLink Link, seed int64) *Network {
+	vc := NewVirtual()
+	n := NewWithClock(defaultLink, seed, vc)
+	n.ownedVC = vc
+	return n
+}
+
+// Clock returns the clock governing this network's time.
+func (n *Network) Clock() Clock { return n.clock }
 
 // AddHost creates a host with the given name (its address). Names must
 // be unique within the network.
@@ -153,11 +183,12 @@ func (n *Network) linkFor(src, dst string) *linkState {
 	return ls
 }
 
-// delayFor computes the delivery delay for size bytes from src to dst at
-// the current wall-clock instant, advancing the link's serialization
+// delayFor computes the delivery delay for size bytes from src to dst
+// at the current clock instant, advancing the link's serialization
 // state. It returns ok=false when the link is down or the packet is
 // randomly lost (lossy true enables random loss).
 func (n *Network) delayFor(src, dst string, size int, lossy bool) (time.Duration, bool) {
+	now := n.clock.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	ls := n.linkFor(src, dst)
@@ -168,7 +199,6 @@ func (n *Network) delayFor(src, dst string, size int, lossy bool) (time.Duration
 	if lossy && cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
 		return 0, false
 	}
-	now := time.Now()
 	var txTime time.Duration
 	if cfg.BandwidthBps > 0 {
 		txTime = time.Duration(float64(size*8) / cfg.BandwidthBps * float64(time.Second))
@@ -183,6 +213,22 @@ func (n *Network) delayFor(src, dst string, size int, lossy bool) (time.Duration
 		delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
 	}
 	return delay, true
+}
+
+// addConn registers a live stream conn so Close can tear it down:
+// readers parked on an orphaned conn would otherwise outlive the
+// network (and its clock) forever.
+func (n *Network) addConn(c *Conn) {
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+// dropConn removes a conn closed by its owner.
+func (n *Network) dropConn(c *Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
 }
 
 // linkUp reports whether the src→dst direction is currently up.
@@ -205,9 +251,19 @@ func (n *Network) Close() {
 	for _, h := range n.hosts {
 		hosts = append(hosts, h)
 	}
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
 	n.mu.Unlock()
 	for _, h := range hosts {
 		h.closeAll()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if n.ownedVC != nil {
+		n.ownedVC.Close()
 	}
 }
 
@@ -224,13 +280,24 @@ func (a Addr) Network() string { return "sim" }
 func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
 
 // ParseAddr splits "host:port". The host part may itself contain no
-// colons (simnet host names are flat identifiers).
+// colons (simnet host names are flat identifiers). The port must be a
+// bare decimal integer in [0, 65535]; trailing garbage is rejected.
 func ParseAddr(s string) (Addr, error) {
 	for i := len(s) - 1; i >= 0; i-- {
 		if s[i] == ':' {
-			port := 0
-			if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil {
-				return Addr{}, fmt.Errorf("simnet: bad address %q: %w", s, err)
+			portStr := s[i+1:]
+			if portStr == "" {
+				return Addr{}, fmt.Errorf("simnet: bad address %q: empty port", s)
+			}
+			for _, c := range portStr {
+				// Digits only: Atoi alone would admit signs ("+80").
+				if c < '0' || c > '9' {
+					return Addr{}, fmt.Errorf("simnet: bad address %q: invalid port %q", s, portStr)
+				}
+			}
+			port, err := strconv.Atoi(portStr)
+			if err != nil || port > 65535 {
+				return Addr{}, fmt.Errorf("simnet: bad address %q: port %q out of range", s, portStr)
 			}
 			return Addr{Host: s[:i], Port: port}, nil
 		}

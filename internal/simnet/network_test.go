@@ -33,24 +33,44 @@ func TestAddHostDuplicate(t *testing.T) {
 }
 
 func TestParseAddr(t *testing.T) {
-	a, err := ParseAddr("registry:8400")
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"registry:8400", Addr{Host: "registry", Port: 8400}, true},
+		{"ap1:0", Addr{Host: "ap1", Port: 0}, true},
+		{"ap1:65535", Addr{Host: "ap1", Port: 65535}, true},
+		{":80", Addr{Host: "", Port: 80}, true},
+		{"a:b:8080", Addr{Host: "a:b", Port: 8080}, true}, // last colon splits
+		{"noport", Addr{}, false},
+		{"", Addr{}, false},
+		{"host:", Addr{}, false},
+		{"host:abc", Addr{}, false},
+		{"host:80x", Addr{}, false},  // trailing garbage
+		{"host: 80", Addr{}, false},  // embedded space
+		{"host:+80", Addr{}, false},  // sign rejected
+		{"host:-1", Addr{}, false},   // negative
+		{"host:65536", Addr{}, false}, // out of range
+		{"host:999999999999999999999", Addr{}, false}, // overflow
 	}
-	if a.Host != "registry" || a.Port != 8400 {
-		t.Errorf("parsed %+v", a)
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseAddr(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %+v, want %+v", c.in, got, c.want)
+		}
 	}
+
+	a := Addr{Host: "registry", Port: 8400}
 	if a.String() != "registry:8400" {
 		t.Errorf("String = %q", a.String())
 	}
 	if a.Network() != "sim" {
 		t.Errorf("Network = %q", a.Network())
-	}
-	if _, err := ParseAddr("noport"); err == nil {
-		t.Error("expected error for missing port")
-	}
-	if _, err := ParseAddr("host:abc"); err == nil {
-		t.Error("expected error for bad port")
 	}
 }
 

@@ -7,11 +7,14 @@ import (
 	"time"
 )
 
-// datagram is one queued packet with its delivery instant.
+// datagram is one queued packet with its delivery instant. Under a
+// VirtualClock, bar keeps virtual time from jumping past the delivery
+// before the receiver parks on it.
 type datagram struct {
 	data []byte
 	from Addr
 	at   time.Time
+	bar  *vbarrier
 }
 
 // PacketConn is a simnet datagram socket. It implements the
@@ -75,13 +78,21 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	if !deliver {
 		return len(b), nil // lost or link down
 	}
+	clk := p.host.net.clock
 	data := make([]byte, len(b))
 	copy(data, b)
-	dg := datagram{data: data, from: p.addr, at: time.Now().Add(delay)}
+	dg := datagram{data: data, from: p.addr, at: clk.Now().Add(delay)}
+	vc, virtual := clk.(*VirtualClock)
+	if virtual {
+		dg.bar = vc.addBarrier(dg.at)
+	}
 	select {
 	case dst.inbox <- dg:
 	default:
 		// Receiver queue overflow models receive-buffer drops.
+		if virtual {
+			vc.releaseBarrier(dg.bar)
+		}
 	}
 	return len(b), nil
 }
@@ -94,37 +105,65 @@ func (p *PacketConn) WriteToHost(b []byte, host string, port int) (int, error) {
 // ReadFrom receives the next datagram, blocking until one is
 // deliverable, the socket closes, or the read deadline fires.
 func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	clk := p.host.net.clock
+
+	// Fast path: a datagram is already queued; no need to park.
+	select {
+	case dg := <-p.inbox:
+		p.holdUntil(dg, nil)
+		n := copy(b, dg.data)
+		return n, dg.from, nil
+	default:
+	}
+
 	var deadlineC <-chan time.Time
 	if dl := p.readDeadline.get(); !dl.IsZero() {
-		wait := time.Until(dl)
+		wait := clk.Until(dl)
 		if wait <= 0 {
 			return 0, nil, ErrDeadline
 		}
-		t := time.NewTimer(wait)
+		t := clk.NewTimer(wait)
 		deadlineC = t.C
 		defer t.Stop()
 	}
+	clk.Block()
 	select {
 	case dg := <-p.inbox:
-		if wait := time.Until(dg.at); wait > 0 {
-			t := time.NewTimer(wait)
-			select {
-			case <-t.C:
-			case <-deadlineC:
-				t.Stop()
-				// The datagram is consumed either way; a real kernel
-				// would have buffered it past the deadline too.
-			}
-			t.Stop()
-		}
+		clk.Unblock()
+		p.holdUntil(dg, deadlineC)
 		n := copy(b, dg.data)
 		return n, dg.from, nil
 	case <-p.done:
+		clk.Unblock()
 		return 0, nil, ErrClosed
 	case <-deadlineC:
+		clk.Unblock()
 		return 0, nil, ErrDeadline
 	}
 }
+
+// holdUntil waits out the datagram's remaining link delay. The
+// datagram is consumed even if the deadline fires first; a real kernel
+// would have buffered it past the deadline too.
+func (p *PacketConn) holdUntil(dg datagram, deadlineC <-chan time.Time) {
+	if vc, ok := p.host.net.clock.(*VirtualClock); ok {
+		vc.holdDelivery(dg.bar, dg.at, deadlineC)
+		return
+	}
+	wait := time.Until(dg.at)
+	if wait <= 0 {
+		return
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-deadlineC:
+	}
+}
+
+// Clock returns the clock governing this socket's network.
+func (p *PacketConn) Clock() Clock { return p.host.net.clock }
 
 // SetReadDeadline bounds future ReadFrom calls. It does not interrupt a
 // blocked ReadFrom.

@@ -24,13 +24,22 @@ type Event struct {
 	fn   func()
 	dead bool
 	idx  int
+	// armed is the currently queued link of an Every chain; Cancel on
+	// the chain's control event kills it so the heap does not
+	// accumulate dead periodic events.
+	armed *Event
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+	if e == nil {
+		return
+	}
+	e.dead = true
+	if e.armed != nil {
+		e.armed.dead = true
+		e.armed = nil
 	}
 }
 
@@ -61,6 +70,7 @@ func (h *eventHeap) Pop() interface{} {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1
 	*h = old[:n-1]
 	return e
 }
@@ -102,15 +112,19 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 // returned Event is canceled.
 func (s *Scheduler) Every(start, period time.Duration, fn func()) *Event {
 	// The controlling event is re-armed from inside each firing; Cancel
-	// marks the shared control struct dead so the chain stops.
+	// marks both the control struct and the queued chain link dead, so
+	// Pending stays accurate and the heap holds no zombie events.
 	ctl := &Event{}
 	var arm func(t time.Duration)
 	arm = func(t time.Duration) {
-		s.At(t, func() {
+		ctl.armed = s.At(t, func() {
 			if ctl.dead {
 				return
 			}
 			fn()
+			if ctl.dead {
+				return // fn canceled the chain; do not re-arm
+			}
 			arm(t + period)
 		})
 	}

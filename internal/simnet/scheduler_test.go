@@ -156,3 +156,48 @@ func TestSchedulerManyEventsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestSchedulerEveryCancelLeavesNoZombie(t *testing.T) {
+	// Regression: Cancel used to kill only the control struct, leaving
+	// the queued chain link alive in the heap — Pending reported ghost
+	// events and RunUntil kept popping them.
+	s := NewScheduler()
+	ctl := s.Every(time.Second, time.Second, func() {})
+	s.RunUntil(2500 * time.Millisecond)
+	ctl.Cancel()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after cancel = %d, want 0", got)
+	}
+	if s.Step() {
+		t.Fatal("Step ran a canceled chain event")
+	}
+}
+
+func TestSchedulerEveryCancelFromInsideFn(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var ctl *Event
+	ctl = s.Every(time.Second, time.Second, func() {
+		count++
+		if count == 3 {
+			ctl.Cancel()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if count != 3 {
+		t.Fatalf("fired %d times, want 3 (self-cancel ignored)", count)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after self-cancel = %d, want 0", got)
+	}
+}
+
+func TestSchedulerCancelNilAndDouble(t *testing.T) {
+	s := NewScheduler()
+	var nilEvent *Event
+	nilEvent.Cancel() // must not panic
+	e := s.After(time.Second, func() { t.Fatal("canceled event fired") })
+	e.Cancel()
+	e.Cancel() // double cancel is a no-op
+	s.RunUntil(2 * time.Second)
+}

@@ -1,0 +1,485 @@
+package simnet
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// VirtualClock is a deterministic discrete-event Clock. It tracks how
+// many registered goroutines are runnable ("busy"); when that count
+// reaches zero the world is quiescent — everyone is parked in a clock
+// wait (Sleep, a Timer in a select, a Block-bracketed channel op) —
+// and a background advancer jumps virtual time straight to the next
+// timer's expiry and fires it. Simulated latencies therefore cost
+// microseconds of wall time instead of their face value, and two runs
+// with the same seed see the same virtual timeline.
+//
+// Delivery barriers close the one race quiescence counting cannot see:
+// a packet already handed to a receiver's queue whose receiving
+// goroutine has not been rescheduled yet. The sender registers the
+// delivery instant as a barrier; the advancer never jumps past the
+// earliest barrier until the receiver has swapped it for a real timer
+// (holdDelivery) or the barrier's instant has been reached.
+//
+// The zero value is not usable; call NewVirtual. The goroutine that
+// creates the clock is the initial registered goroutine and must be
+// the one driving the simulation.
+type VirtualClock struct {
+	mu   sync.Mutex
+	cond *sync.Cond // wakes the advancer; waited on only by it
+
+	base time.Time     // fixed epoch virtual instants are rendered from
+	now  time.Duration // virtual time since base
+
+	busy     int // registered goroutines currently runnable
+	gen      uint64
+	seq      uint64
+	timers   waiterHeap
+	barriers barrierHeap
+	closed   bool
+
+	live atomic.Int64 // goroutines spawned via Go that have not returned
+}
+
+// vwaiter is one scheduled wakeup. Exactly one of wake/ch is set:
+// wake is a parked goroutine (the advancer transfers the busy slot to
+// it before closing the channel); ch is a Timer/Ticker target whose
+// receiver, if any, accounts for itself via Block/Unblock.
+type vwaiter struct {
+	at     time.Duration
+	seq    uint64
+	idx    int
+	wake   chan struct{}
+	ch     chan time.Time
+	period time.Duration // > 0 re-arms (Ticker)
+}
+
+type waiterHeap []*vwaiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *waiterHeap) Push(x interface{}) {
+	w := x.(*vwaiter)
+	w.idx = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.idx = -1
+	*h = old[:n-1]
+	return w
+}
+
+// vbarrier marks an in-flight delivery the clock may not jump past.
+type vbarrier struct {
+	at  time.Duration
+	idx int
+}
+
+type barrierHeap []*vbarrier
+
+func (h barrierHeap) Len() int           { return len(h) }
+func (h barrierHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h barrierHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *barrierHeap) Push(x interface{}) {
+	b := x.(*vbarrier)
+	b.idx = len(*h)
+	*h = append(*h, b)
+}
+func (h *barrierHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	old[n-1] = nil
+	b.idx = -1
+	*h = old[:n-1]
+	return b
+}
+
+// virtualEpoch is the fixed origin of every VirtualClock. It is
+// deliberately far from the real date so a wall-clock deadline leaking
+// into a virtual world is obvious (it lands decades in the future and
+// never fires early).
+var virtualEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtual returns a VirtualClock at its epoch with the calling
+// goroutine registered as the single runnable driver.
+func NewVirtual() *VirtualClock {
+	c := &VirtualClock{base: virtualEpoch, busy: 1}
+	c.cond = sync.NewCond(&c.mu)
+	go c.advance()
+	return c
+}
+
+// Close shuts the clock down: the advancer exits and every parked
+// sleeper is released (their sleeps end early). Further clock calls
+// are safe no-ops; Now keeps returning the final virtual time.
+//
+// Close then waits (bounded) for goroutines spawned via Go to return,
+// so a subsequent world starts on a quiet scheduler — leftover churn
+// from a dying world would otherwise perturb the next clock's settle
+// loop and with it run-to-run determinism.
+func (c *VirtualClock) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, w := range c.timers {
+		w.idx = -1
+		if w.wake != nil {
+			close(w.wake)
+		}
+	}
+	for _, b := range c.barriers {
+		b.idx = -1
+	}
+	c.timers = nil
+	c.barriers = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for i := 0; c.live.Load() > 0 && time.Now().Before(deadline); i++ {
+		if i < 100 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Now implements Clock. Virtual time only moves while every
+// registered goroutine is parked, so between two clock waits a
+// goroutine always observes a single consistent instant.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base.Add(c.now)
+}
+
+// Since implements Clock.
+func (c *VirtualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Until implements Clock.
+func (c *VirtualClock) Until(t time.Time) time.Duration { return t.Sub(c.Now()) }
+
+// Sleep implements Clock: the goroutine parks and virtual time will
+// reach now+d before it runs again.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	if c.closed || d <= 0 {
+		c.mu.Unlock()
+		runtime.Gosched()
+		return
+	}
+	w := c.pushWaiterLocked(d, nil)
+	c.busy--
+	if c.busy == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	<-w.wake // the advancer transfers our busy slot back before closing
+}
+
+// pushWaiterLocked schedules a wakeup d from now. A nil ch makes a
+// parked-goroutine waiter (wake channel), otherwise ch is the fire
+// target.
+func (c *VirtualClock) pushWaiterLocked(d time.Duration, ch chan time.Time) *vwaiter {
+	c.seq++
+	w := &vwaiter{at: c.now + d, seq: c.seq, ch: ch}
+	if ch == nil {
+		w.wake = make(chan struct{})
+	}
+	heap.Push(&c.timers, w)
+	return w
+}
+
+// NewTimer implements Clock.
+func (c *VirtualClock) NewTimer(d time.Duration) *Timer {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return &Timer{C: ch, stop: func() bool { return false }}
+	}
+	if d <= 0 {
+		ch <- c.base.Add(c.now)
+		c.mu.Unlock()
+		return &Timer{C: ch, stop: func() bool { return false }}
+	}
+	w := c.pushWaiterLocked(d, ch)
+	if c.busy == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	return &Timer{C: ch, stop: func() bool { return c.removeWaiter(w) }}
+}
+
+// After implements Clock.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time { return c.NewTimer(d).C }
+
+// NewTicker implements Clock.
+func (c *VirtualClock) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("simnet: non-positive Ticker period")
+	}
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return &Ticker{C: ch, stop: func() {}}
+	}
+	w := c.pushWaiterLocked(d, ch)
+	w.period = d
+	if c.busy == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	return &Ticker{C: ch, stop: func() { c.removeWaiter(w) }}
+}
+
+func (c *VirtualClock) removeWaiter(w *vwaiter) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.idx < 0 {
+		return false
+	}
+	heap.Remove(&c.timers, w.idx)
+	return true
+}
+
+// Go implements Clock: fn runs registered, so virtual time stands
+// still while it is runnable.
+func (c *VirtualClock) Go(fn func()) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		go fn()
+		return
+	}
+	c.busy++
+	c.gen++
+	c.live.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.busy--
+			if c.busy == 0 {
+				c.cond.Broadcast()
+			}
+			c.mu.Unlock()
+			c.live.Add(-1)
+		}()
+		fn()
+	}()
+}
+
+// Block implements Clock.
+func (c *VirtualClock) Block() {
+	c.mu.Lock()
+	c.busy--
+	if c.busy == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Unblock implements Clock.
+func (c *VirtualClock) Unblock() {
+	c.mu.Lock()
+	c.busy++
+	c.gen++
+	c.mu.Unlock()
+}
+
+// addBarrier registers an in-flight delivery due at the given instant.
+// It returns nil (no barrier needed) when at is not in the virtual
+// future.
+func (c *VirtualClock) addBarrier(at time.Time) *vbarrier {
+	d := at.Sub(c.base)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || d <= c.now {
+		return nil
+	}
+	b := &vbarrier{at: d}
+	heap.Push(&c.barriers, b)
+	return b
+}
+
+// releaseBarrier drops a barrier whose delivery was consumed or
+// abandoned (packet dropped on queue overflow, write aborted).
+func (c *VirtualClock) releaseBarrier(b *vbarrier) {
+	if b == nil {
+		return
+	}
+	c.mu.Lock()
+	if b.idx >= 0 {
+		heap.Remove(&c.barriers, b.idx)
+		if c.busy == 0 {
+			c.cond.Broadcast()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// holdDelivery parks the calling goroutine until virtual time reaches
+// the delivery instant at, atomically swapping the delivery's barrier
+// for a timed waiter so the advancer can neither jump past the
+// delivery nor stall on its barrier. A receive on abortC (a read
+// deadline on the same clock) ends the hold early.
+func (c *VirtualClock) holdDelivery(b *vbarrier, at time.Time, abortC <-chan time.Time) {
+	d := at.Sub(c.base)
+	c.mu.Lock()
+	if b != nil && b.idx >= 0 {
+		heap.Remove(&c.barriers, b.idx)
+	}
+	if c.closed || d <= c.now {
+		c.mu.Unlock()
+		return
+	}
+	c.seq++
+	w := &vwaiter{at: d, seq: c.seq, wake: make(chan struct{})}
+	heap.Push(&c.timers, w)
+	c.busy--
+	if c.busy == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-w.wake:
+		// Fired: the advancer transferred our busy slot back.
+	case <-abortC:
+		c.mu.Lock()
+		if w.idx >= 0 {
+			// Not fired yet: reclaim our own busy slot.
+			heap.Remove(&c.timers, w.idx)
+			c.busy++
+			c.gen++
+		}
+		// Otherwise the waiter fired concurrently and the busy slot
+		// was already transferred to us.
+		c.mu.Unlock()
+	}
+}
+
+// Pending reports the number of scheduled wakeups (timers and
+// tickers). Intended for tests.
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// stabilizeRounds bounds the advancer's settle loop: how many yield
+// rounds of unchanged state it requires before trusting that no woken
+// goroutine is still on a run queue waiting to declare itself busy.
+const stabilizeRounds = 12
+
+// advance is the clock's background engine. Whenever the world is
+// quiescent (busy == 0) and wakeups or barriers are scheduled, it
+// settles the Go scheduler, then moves virtual time one step: to the
+// earliest barrier (making that delivery current so its receiver can
+// run) or the earliest timer (firing it).
+func (c *VirtualClock) advance() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return
+		}
+		if c.busy > 0 || (len(c.timers) == 0 && len(c.barriers) == 0) {
+			c.cond.Wait()
+			continue
+		}
+		if !c.settleLocked() {
+			continue // someone became runnable; re-evaluate
+		}
+		c.stepLocked()
+	}
+}
+
+// settleLocked gives runnable-but-unscheduled goroutines (a receiver
+// whose channel was just filled, a select whose timer just fired) a
+// chance to run and re-register as busy before time moves. It reports
+// whether the world stayed quiescent throughout.
+func (c *VirtualClock) settleLocked() bool {
+	gen := c.gen
+	for i := 0; i < stabilizeRounds; i++ {
+		c.mu.Unlock()
+		runtime.Gosched()
+		c.mu.Lock()
+		if c.closed || c.busy > 0 || c.gen != gen {
+			return false
+		}
+	}
+	return true
+}
+
+// stepLocked advances virtual time by one event.
+func (c *VirtualClock) stepLocked() {
+	// Barriers already in the past never hold time back.
+	for len(c.barriers) > 0 && c.barriers[0].at <= c.now {
+		heap.Pop(&c.barriers)
+	}
+	nextTimer := time.Duration(-1)
+	if len(c.timers) > 0 {
+		nextTimer = c.timers[0].at
+	}
+	if len(c.barriers) > 0 && (nextTimer < 0 || c.barriers[0].at < nextTimer) {
+		// An in-flight delivery is due first: advance to its instant
+		// only. Its receiver (if one is parked on the queue) has been
+		// runnable since the enqueue and will be caught by the next
+		// settle round; a queue nobody reads stops capping time once
+		// matured.
+		b := heap.Pop(&c.barriers).(*vbarrier)
+		if b.at > c.now {
+			c.now = b.at
+		}
+		return
+	}
+	if nextTimer < 0 {
+		return
+	}
+	w := heap.Pop(&c.timers).(*vwaiter)
+	if w.at > c.now {
+		c.now = w.at
+	}
+	if w.wake != nil {
+		c.busy++ // transfer a busy slot to the woken sleeper
+		close(w.wake)
+		return
+	}
+	select {
+	case w.ch <- c.base.Add(c.now):
+	default: // ticker receiver lagging; skip the tick like time.Ticker
+	}
+	if w.period > 0 {
+		w.at += w.period
+		heap.Push(&c.timers, w)
+	}
+}

@@ -49,8 +49,8 @@ func Dial(pc PacketConn, server net.Addr, cfg DialConfig) (*Client, error) {
 		serverAt: server,
 	}
 	c.readerWG.Add(1)
-	go c.readLoop(pc)
-	go c.retransmitLoop()
+	c.clk.Go(func() { c.readLoop(pc) })
+	c.clk.Go(c.retransmitLoop)
 
 	hello := Packet{Type: PktHello, CID: cid, Token: cfg.ResumeToken}
 	if err := c.writeCtl(hello); err != nil {
@@ -61,7 +61,7 @@ func Dial(pc PacketConn, server net.Addr, cfg DialConfig) (*Client, error) {
 	if cfg.Mode == Migratory && len(cfg.ResumeToken) > 0 {
 		// 0-RTT: the session is usable immediately; the ACCEPT (and
 		// fresh token) arrives asynchronously.
-		go c.awaitAcceptRetry(hello, cfg.Timeout)
+		c.clk.Go(func() { c.awaitAcceptRetry(hello, cfg.Timeout) })
 		return c, nil
 	}
 	if err := c.awaitAcceptRetry(hello, cfg.Timeout); err != nil {
@@ -73,15 +73,22 @@ func Dial(pc PacketConn, server net.Addr, cfg DialConfig) (*Client, error) {
 
 // awaitAcceptRetry retransmits the HELLO until ACCEPT or timeout.
 func (c *Client) awaitAcceptRetry(hello Packet, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := c.clk.Now().Add(timeout)
 	for {
+		t := c.clk.NewTimer(rto)
+		c.clk.Block()
 		select {
 		case <-c.accepted:
+			c.clk.Unblock()
+			t.Stop()
 			return nil
 		case <-c.done:
+			c.clk.Unblock()
+			t.Stop()
 			return ErrClosed
-		case <-time.After(rto):
-			if time.Now().After(deadline) {
+		case <-t.C:
+			c.clk.Unblock()
+			if c.clk.Now().After(deadline) {
 				return fmt.Errorf("%w: handshake", ErrTimeout)
 			}
 			c.writeCtl(hello)
@@ -124,7 +131,7 @@ func (c *Client) Migrate(newPC PacketConn) {
 
 	c.session.migrate(newPC, server)
 	c.readerWG.Add(1)
-	go c.readLoop(newPC)
+	c.clk.Go(func() { c.readLoop(newPC) })
 	if old != nil {
 		old.Close() // unblocks the old reader
 	}
@@ -154,7 +161,7 @@ func (c *Client) readLoop(pc PacketConn) {
 			return
 		default:
 		}
-		pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		pc.SetReadDeadline(c.clk.Now().Add(200 * time.Millisecond))
 		n, _, err := pc.ReadFrom(buf)
 		if err != nil {
 			// A closed (migrated-away-from) socket ends this reader.
@@ -179,8 +186,10 @@ func (c *Client) readLoop(pc PacketConn) {
 			c.mu.Unlock()
 			c.accOnce.Do(func() { close(c.accepted) })
 		case PktData:
-			ack := c.handleData(p)
+			// Ack first, deliver second: see ingestData.
+			ack, deliver, freed := c.ingestData(p)
 			c.writeCtl(Packet{Type: PktAck, CID: c.cid, Ack: ack})
+			c.finishData(deliver, freed)
 		case PktAck:
 			c.handleAck(p.Ack)
 		case PktReset:
@@ -192,13 +201,16 @@ func (c *Client) readLoop(pc PacketConn) {
 }
 
 func (c *Client) retransmitLoop() {
-	tick := time.NewTicker(rto / 2)
+	tick := c.clk.NewTicker(rto / 2)
 	defer tick.Stop()
 	for {
+		c.clk.Block()
 		select {
 		case <-c.done:
+			c.clk.Unblock()
 			return
 		case <-tick.C:
+			c.clk.Unblock()
 			c.retransmitTick()
 		}
 	}
@@ -216,6 +228,8 @@ func (c *Client) Close() {
 		if pc != nil {
 			pc.Close()
 		}
+		c.clk.Block()
 		c.readerWG.Wait()
+		c.clk.Unblock()
 	})
 }

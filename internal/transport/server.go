@@ -4,8 +4,11 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"dlte/internal/simnet"
 )
 
 // ServerConfig shapes an MST server.
@@ -20,6 +23,7 @@ type ServerConfig struct {
 type Server struct {
 	pc  PacketConn
 	cfg ServerConfig
+	clk simnet.Clock
 
 	mu       sync.Mutex
 	sessions map[uint64]*ServerSession
@@ -77,13 +81,14 @@ func NewServer(pc PacketConn, cfg ServerConfig) *Server {
 	s := &Server{
 		pc:       pc,
 		cfg:      cfg,
+		clk:      simnet.ClockOf(pc),
 		sessions: make(map[uint64]*ServerSession),
 		tokens:   make(map[string]bool),
 		cookies:  make(map[uint64]uint64),
 		done:     make(chan struct{}),
 	}
-	go s.readLoop()
-	go s.retransmitLoop()
+	s.clk.Go(s.readLoop)
+	s.clk.Go(s.retransmitLoop)
 	return s
 }
 
@@ -118,7 +123,7 @@ func (s *Server) readLoop() {
 			return
 		default:
 		}
-		s.pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		s.pc.SetReadDeadline(s.clk.Now().Add(200 * time.Millisecond))
 		n, from, err := s.pc.ReadFrom(buf)
 		if err != nil {
 			continue
@@ -251,7 +256,7 @@ func (s *Server) accept(cid uint64, from net.Addr, resumed bool) {
 	}
 	s.writeTo(Packet{Type: PktAccept, CID: cid, Token: s.issueToken()}, from)
 	if s.cfg.Handler != nil {
-		go s.cfg.Handler(ss)
+		s.clk.Go(func() { s.cfg.Handler(ss) })
 	}
 }
 
@@ -274,8 +279,10 @@ func (s *Server) handleData(p Packet, from net.Addr) {
 		// address.
 		ss.migrate(nil, from)
 	}
-	ack := ss.handleData(p)
+	// Ack first, deliver second: see session.ingestData.
+	ack, deliver, freed := ss.ingestData(p)
 	s.writeTo(Packet{Type: PktAck, CID: p.CID, Ack: ack}, ss.peerAddr())
+	ss.finishData(deliver, freed)
 }
 
 func (s *Server) writeTo(p Packet, to net.Addr) {
@@ -296,19 +303,25 @@ func (s *Server) issueToken() []byte {
 }
 
 func (s *Server) retransmitLoop() {
-	tick := time.NewTicker(rto / 2)
+	tick := s.clk.NewTicker(rto / 2)
 	defer tick.Stop()
 	for {
+		s.clk.Block()
 		select {
 		case <-s.done:
+			s.clk.Unblock()
 			return
 		case <-tick.C:
+			s.clk.Unblock()
 			s.mu.Lock()
 			sessions := make([]*ServerSession, 0, len(s.sessions))
 			for _, ss := range s.sessions {
 				sessions = append(sessions, ss)
 			}
 			s.mu.Unlock()
+			// CID order, not map order: retransmission wire order must
+			// not depend on Go's randomized map iteration.
+			sort.Slice(sessions, func(i, j int) bool { return sessions[i].cid < sessions[j].cid })
 			for _, ss := range sessions {
 				ss.retransmitTick()
 			}

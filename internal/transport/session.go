@@ -3,8 +3,11 @@ package transport
 import (
 	"errors"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"dlte/internal/simnet"
 )
 
 // PacketConn is the datagram surface MST runs over (simnet.PacketConn
@@ -34,6 +37,11 @@ const maxWindow = 64
 // sends with cumulative acks and RTO retransmission, in-order
 // delivery, and a swappable (path-migratable) socket/peer.
 type session struct {
+	// clk governs all session timing (RTO, handshake timers, recv
+	// timeouts). It is derived from the socket at creation: virtual
+	// over simnet, wall over real UDP.
+	clk simnet.Clock
+
 	mu     sync.Mutex
 	pc     PacketConn
 	peer   net.Addr
@@ -63,6 +71,7 @@ type inflightPkt struct {
 
 func newSession(pc PacketConn, peer net.Addr, cid uint64) *session {
 	s := &session{
+		clk:      simnet.ClockOf(pc),
 		pc:       pc,
 		peer:     peer,
 		cid:      cid,
@@ -81,7 +90,9 @@ func (s *session) CID() uint64 { return s.cid }
 func (s *session) send(payload []byte) error {
 	s.mu.Lock()
 	for !s.closed && !s.reset && len(s.inflight) >= maxWindow {
+		s.clk.Block()
 		s.sendCond.Wait()
+		s.clk.Unblock()
 	}
 	if s.closed {
 		s.mu.Unlock()
@@ -95,7 +106,7 @@ func (s *session) send(payload []byte) error {
 	s.nextSeq++
 	data := make([]byte, len(payload))
 	copy(data, payload)
-	s.inflight[seq] = &inflightPkt{payload: data, lastTx: time.Now()}
+	s.inflight[seq] = &inflightPkt{payload: data, lastTx: s.clk.Now()}
 	s.sent++
 	pc, peer := s.pc, s.peer
 	s.mu.Unlock()
@@ -122,28 +133,49 @@ func (s *session) writePacket(pc PacketConn, peer net.Addr, p Packet) error {
 
 // recv delivers the next in-order payload.
 func (s *session) recv(timeout time.Duration) ([]byte, error) {
+	// Fast path: a payload is already buffered.
 	select {
 	case b, ok := <-s.incoming:
-		if !ok {
-			s.mu.Lock()
-			reset := s.reset
-			s.mu.Unlock()
-			if reset {
-				return nil, ErrReset
-			}
-			return nil, ErrClosed
-		}
-		return b, nil
-	case <-time.After(timeout):
+		return s.recvResult(b, ok)
+	default:
+	}
+	t := s.clk.NewTimer(timeout)
+	defer t.Stop()
+	s.clk.Block()
+	defer s.clk.Unblock()
+	select {
+	case b, ok := <-s.incoming:
+		return s.recvResult(b, ok)
+	case <-t.C:
 		return nil, ErrTimeout
 	}
 }
 
-// handleData processes an inbound DATA packet, delivering in order and
-// returning the cumulative ack to send.
-func (s *session) handleData(p Packet) uint64 {
+func (s *session) recvResult(b []byte, ok bool) ([]byte, error) {
+	if !ok {
+		s.mu.Lock()
+		reset := s.reset
+		s.mu.Unlock()
+		if reset {
+			return nil, ErrReset
+		}
+		return nil, ErrClosed
+	}
+	return b, nil
+}
+
+// ingestData absorbs an inbound DATA packet: it applies the
+// piggybacked ack and advances the in-order receive state, but wakes
+// nobody. The caller puts the returned cumulative ack on the wire
+// first and only then calls finishData — so any goroutine this packet
+// unblocks (the app reading a payload, a sender freed by the ack)
+// enqueues its response strictly after our ack. Keeping that wire
+// order fixed is what makes same-seed runs byte-identical: waking the
+// app before acking lets its reply race the ack for the link's
+// serialization slot.
+func (s *session) ingestData(p Packet) (ack uint64, deliver [][]byte, freed bool) {
 	s.mu.Lock()
-	s.applyAckLocked(p.Ack)
+	freed = s.applyAckLocked(p.Ack)
 	if p.Seq >= s.expected {
 		if _, dup := s.pending[p.Seq]; !dup {
 			data := make([]byte, len(p.Payload))
@@ -151,7 +183,6 @@ func (s *session) handleData(p Packet) uint64 {
 			s.pending[p.Seq] = data
 		}
 	}
-	var deliver [][]byte
 	for {
 		d, ok := s.pending[s.expected]
 		if !ok {
@@ -161,8 +192,16 @@ func (s *session) handleData(p Packet) uint64 {
 		s.expected++
 		deliver = append(deliver, d)
 	}
-	ack := s.expected
+	ack = s.expected
 	s.delivered += uint64(len(deliver))
+	s.mu.Unlock()
+	return ack, deliver, freed
+}
+
+// finishData completes ingestData: payloads reach the receiver and
+// window-blocked senders wake, after the ack is already on the wire.
+func (s *session) finishData(deliver [][]byte, freed bool) {
+	s.mu.Lock()
 	// Deliver under the lock (sends are non-blocking) so a concurrent
 	// close cannot close the channel mid-send.
 	if !s.closed && !s.reset {
@@ -173,18 +212,24 @@ func (s *session) handleData(p Packet) uint64 {
 			}
 		}
 	}
+	if freed {
+		s.sendCond.Broadcast()
+	}
 	s.mu.Unlock()
-	return ack
 }
 
 // handleAck processes a cumulative acknowledgment.
 func (s *session) handleAck(ack uint64) {
 	s.mu.Lock()
-	s.applyAckLocked(ack)
+	if s.applyAckLocked(ack) {
+		s.sendCond.Broadcast()
+	}
 	s.mu.Unlock()
 }
 
-func (s *session) applyAckLocked(ack uint64) {
+// applyAckLocked discards acked inflight packets and reports whether
+// window space was freed. The caller decides when to broadcast.
+func (s *session) applyAckLocked(ack uint64) bool {
 	freed := false
 	for seq := range s.inflight {
 		if seq < ack {
@@ -195,9 +240,7 @@ func (s *session) applyAckLocked(ack uint64) {
 	if ack > s.sendBase {
 		s.sendBase = ack
 	}
-	if freed {
-		s.sendCond.Broadcast()
-	}
+	return freed
 }
 
 // retransmitTick resends any packet older than the RTO. Returns the
@@ -208,7 +251,7 @@ func (s *session) retransmitTick() int {
 		s.mu.Unlock()
 		return 0
 	}
-	now := time.Now()
+	now := s.clk.Now()
 	var stale []uint64
 	for seq, pkt := range s.inflight {
 		if now.Sub(pkt.lastTx) >= rto {
@@ -220,6 +263,11 @@ func (s *session) retransmitTick() int {
 	pc, peer := s.pc, s.peer
 	s.mu.Unlock()
 
+	// Resend in sequence order: inflight is a map, and letting Go's
+	// randomized iteration order pick the wire order would make
+	// same-seed runs diverge (link serialization and cumulative-ack
+	// progression both depend on arrival order).
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
 	for _, seq := range stale {
 		s.writePacket(pc, peer, Packet{Type: PktData, CID: s.cid, Seq: seq})
 	}

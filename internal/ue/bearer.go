@@ -28,6 +28,10 @@ type BearerConn struct {
 // Bearer returns a packet surface over the device's default bearer.
 func (d *Device) Bearer() *BearerConn { return &BearerConn{dev: d} }
 
+// Clock returns the clock governing the device's network, letting
+// transport sessions over a bearer inherit virtual time (simnet.ClockOf).
+func (b *BearerConn) Clock() simnet.Clock { return b.dev.host.Clock() }
+
 // WriteTo sends payload to addr via the bearer.
 func (b *BearerConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	b.mu.Lock()
@@ -54,7 +58,7 @@ func (b *BearerConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	}
 	timeout := time.Hour
 	if !dl.IsZero() {
-		timeout = time.Until(dl)
+		timeout = b.dev.host.Clock().Until(dl)
 		if timeout <= 0 {
 			return 0, nil, ErrTimeout
 		}

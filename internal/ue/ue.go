@@ -107,7 +107,8 @@ func (d *Device) IP() string {
 func (d *Device) Attach(airAddr string, timeout time.Duration) (AttachResult, error) {
 	d.dropConnLocked()
 
-	start := time.Now()
+	clk := d.host.Clock()
+	start := clk.Now()
 	raw, err := d.host.Dial(airAddr)
 	if err != nil {
 		return AttachResult{}, fmt.Errorf("ue: air dial: %w", err)
@@ -123,14 +124,21 @@ func (d *Device) Attach(airAddr string, timeout time.Duration) (AttachResult, er
 	d.mu.Unlock()
 
 	d.readerWG.Add(1)
-	go d.readLoop(raw, air)
+	clk.Go(func() { d.readLoop(raw, air) })
+
+	deadlineT := clk.NewTimer(timeout)
+	defer deadlineT.Stop()
+	deadline := deadlineT.C
 
 	// Cell search: wait for the broadcast system information to learn
 	// the serving network identity before attaching.
 	var si enb.SystemInfo
+	clk.Block()
 	select {
 	case si = <-d.sysInfo:
-	case <-time.After(timeout):
+		clk.Unblock()
+	case <-deadline:
+		clk.Unblock()
 		d.dropConnLocked()
 		return AttachResult{}, fmt.Errorf("%w: no system information", ErrTimeout)
 	}
@@ -143,38 +151,41 @@ func (d *Device) Attach(airAddr string, timeout time.Duration) (AttachResult, er
 		return AttachResult{}, err
 	}
 
-	deadline := time.After(timeout)
 	for {
+		var ev nasEvent
+		clk.Block()
 		select {
-		case ev := <-d.nasEvents:
-			if ev.err != nil {
-				return AttachResult{}, ev.err
-			}
-			reply, done, err := d.nue.Handle(ev.pdu)
-			if err != nil {
-				return AttachResult{}, err
-			}
-			if reply != nil {
-				if err := d.sendAir(enb.AirNASUp, reply); err != nil {
-					return AttachResult{}, err
-				}
-			}
-			if done {
-				res := AttachResult{
-					IP:             d.nue.IPAddress,
-					GUTI:           d.nue.GUTI,
-					DirectBreakout: d.nue.Breakout,
-					Duration:       time.Since(start),
-				}
-				d.mu.Lock()
-				d.attached = true
-				d.result = res
-				d.mu.Unlock()
-				return res, nil
-			}
+		case ev = <-d.nasEvents:
+			clk.Unblock()
 		case <-deadline:
+			clk.Unblock()
 			d.dropConnLocked()
 			return AttachResult{}, fmt.Errorf("%w: attach after %v", ErrTimeout, timeout)
+		}
+		if ev.err != nil {
+			return AttachResult{}, ev.err
+		}
+		reply, done, err := d.nue.Handle(ev.pdu)
+		if err != nil {
+			return AttachResult{}, err
+		}
+		if reply != nil {
+			if err := d.sendAir(enb.AirNASUp, reply); err != nil {
+				return AttachResult{}, err
+			}
+		}
+		if done {
+			res := AttachResult{
+				IP:             d.nue.IPAddress,
+				GUTI:           d.nue.GUTI,
+				DirectBreakout: d.nue.Breakout,
+				Duration:       clk.Since(start),
+			}
+			d.mu.Lock()
+			d.attached = true
+			d.result = res
+			d.mu.Unlock()
+			return res, nil
 		}
 	}
 }
@@ -194,23 +205,29 @@ func (d *Device) Detach(timeout time.Duration) error {
 	if err := d.sendAir(enb.AirNASUp, pdu); err != nil {
 		return err
 	}
-	deadline := time.After(timeout)
+	clk := d.host.Clock()
+	deadlineT := clk.NewTimer(timeout)
+	defer deadlineT.Stop()
 	for {
+		var ev nasEvent
+		clk.Block()
 		select {
-		case ev := <-d.nasEvents:
-			if ev.err != nil {
-				return ev.err
-			}
-			_, done, err := d.nue.Handle(ev.pdu)
-			if err != nil {
-				return err
-			}
-			if done {
-				d.dropConnLocked()
-				return nil
-			}
-		case <-deadline:
+		case ev = <-d.nasEvents:
+			clk.Unblock()
+		case <-deadlineT.C:
+			clk.Unblock()
 			return fmt.Errorf("%w: detach after %v", ErrTimeout, timeout)
+		}
+		if ev.err != nil {
+			return ev.err
+		}
+		_, done, err := d.nue.Handle(ev.pdu)
+		if err != nil {
+			return err
+		}
+		if done {
+			d.dropConnLocked()
+			return nil
 		}
 	}
 }
@@ -238,13 +255,27 @@ func (d *Device) Recv(timeout time.Duration) (epc.UserPacket, error) {
 	if rx == nil {
 		return epc.UserPacket{}, ErrNotAttached
 	}
+	// Fast path: a packet is already buffered.
 	select {
 	case p, ok := <-rx:
 		if !ok {
 			return epc.UserPacket{}, ErrDetachedMid
 		}
 		return p, nil
-	case <-time.After(timeout):
+	default:
+	}
+	clk := d.host.Clock()
+	t := clk.NewTimer(timeout)
+	defer t.Stop()
+	clk.Block()
+	defer clk.Unblock()
+	select {
+	case p, ok := <-rx:
+		if !ok {
+			return epc.UserPacket{}, ErrDetachedMid
+		}
+		return p, nil
+	case <-t.C:
 		return epc.UserPacket{}, fmt.Errorf("%w: recv after %v", ErrTimeout, timeout)
 	}
 }
@@ -254,23 +285,24 @@ func (d *Device) Recv(timeout time.Duration) (epc.UserPacket, error) {
 // retryEvery until timeout (covers the brief window before the data
 // path is fully bound).
 func (d *Device) Echo(remote string, payload []byte, retryEvery, timeout time.Duration) (time.Duration, error) {
-	start := time.Now()
-	deadline := time.Now().Add(timeout)
+	clk := d.host.Clock()
+	start := clk.Now()
+	deadline := start.Add(timeout)
 	for {
 		if err := d.Send(remote, payload); err != nil {
 			return 0, err
 		}
 		wait := retryEvery
-		if rem := time.Until(deadline); rem < wait {
+		if rem := clk.Until(deadline); rem < wait {
 			wait = rem
 		}
 		if wait <= 0 {
 			return 0, fmt.Errorf("%w: echo after %v", ErrTimeout, timeout)
 		}
 		if _, err := d.Recv(wait); err == nil {
-			return time.Since(start), nil
+			return clk.Since(start), nil
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return 0, fmt.Errorf("%w: echo after %v", ErrTimeout, timeout)
 		}
 	}
@@ -362,7 +394,10 @@ func (d *Device) dropConnLocked() {
 	d.mu.Unlock()
 	if raw != nil {
 		raw.Close()
+		clk := d.host.Clock()
+		clk.Block()
 		d.readerWG.Wait()
+		clk.Unblock()
 	}
 }
 

@@ -189,7 +189,7 @@ func TestBearerDeadline(t *testing.T) {
 	s, ap1, _ := newWorld(t)
 	d := attachUE(t, s, ap1, "ue1", "001010000000404")
 	b := d.Bearer()
-	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	b.SetReadDeadline(s.Clock().Now().Add(30 * time.Millisecond))
 	if _, _, err := b.ReadFrom(make([]byte, 16)); err == nil {
 		t.Error("deadline read returned data from nowhere")
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dlte/internal/simnet"
 	"dlte/internal/wire"
 )
 
@@ -69,7 +70,7 @@ func (a *Agent) Serve(l Listener) {
 		if err != nil {
 			return
 		}
-		go a.acceptPeer(c)
+		simnet.ClockOf(c).Go(func() { a.acceptPeer(c) })
 	}
 }
 
@@ -145,7 +146,7 @@ func (a *Agent) Connect(dial func(addr string) (net.Conn, error), addr string) (
 		c.Close()
 		return "", fmt.Errorf("x2: agent closed")
 	}
-	go a.readLoop(pc)
+	simnet.ClockOf(c).Go(func() { a.readLoop(pc) })
 	return ack.APID, nil
 }
 
