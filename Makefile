@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke check
+.PHONY: all build vet test race bench bench-json smoke determinism-smoke check
 
 all: check
 
@@ -21,6 +21,11 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
+# Benchmark artifact: every benchmark (experiments + simnet hot paths)
+# three times with allocation stats, as go test -json event stream.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 -json ./... | tee BENCH_PR2.json
+
 # Determinism smoke: two same-seed runs must be byte-identical.
 smoke: build
 	$(GO) build -o /tmp/dlte-sim-smoke ./cmd/dlte-sim
@@ -29,4 +34,13 @@ smoke: build
 	cmp /tmp/dlte-smoke-1.txt /tmp/dlte-smoke-2.txt
 	rm -f /tmp/dlte-sim-smoke /tmp/dlte-smoke-1.txt /tmp/dlte-smoke-2.txt
 
-check: vet build race bench smoke
+# Parallelism determinism smoke: the full quick sweep must render
+# byte-identical tables fully serial (-p 1) and fully concurrent (-p 8).
+determinism-smoke: build
+	$(GO) build -o /tmp/dlte-sim-det ./cmd/dlte-sim
+	/tmp/dlte-sim-det -quick -p 1 2>/dev/null > /tmp/dlte-det-p1.txt
+	/tmp/dlte-sim-det -quick -p 8 2>/dev/null > /tmp/dlte-det-p8.txt
+	cmp /tmp/dlte-det-p1.txt /tmp/dlte-det-p8.txt
+	rm -f /tmp/dlte-sim-det /tmp/dlte-det-p1.txt /tmp/dlte-det-p8.txt
+
+check: vet build race bench smoke determinism-smoke

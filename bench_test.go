@@ -15,6 +15,7 @@ func benchOpts() exp.Options { return exp.Options{Quick: true, Seed: 42} }
 
 // BenchmarkE1DesignSpace regenerates Table 1 (design-space quadrant).
 func BenchmarkE1DesignSpace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE1(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -24,6 +25,7 @@ func BenchmarkE1DesignSpace(b *testing.B) {
 
 // BenchmarkE2DataPath regenerates Figure 1 (breakout vs tunnel).
 func BenchmarkE2DataPath(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE2(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -33,6 +35,7 @@ func BenchmarkE2DataPath(b *testing.B) {
 
 // BenchmarkE3CoreScaling regenerates the §4.1 scaling comparison.
 func BenchmarkE3CoreScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE3(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -42,6 +45,7 @@ func BenchmarkE3CoreScaling(b *testing.B) {
 
 // BenchmarkE4Mobility regenerates the §4.2 roam-disruption study.
 func BenchmarkE4Mobility(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE4(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -51,6 +55,7 @@ func BenchmarkE4Mobility(b *testing.B) {
 
 // BenchmarkE5SpectrumModes regenerates the §4.3 sharing comparison.
 func BenchmarkE5SpectrumModes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE5(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -60,6 +65,7 @@ func BenchmarkE5SpectrumModes(b *testing.B) {
 
 // BenchmarkE6Waveform regenerates the §3.2 range/throughput tables.
 func BenchmarkE6Waveform(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE6(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -69,6 +75,7 @@ func BenchmarkE6Waveform(b *testing.B) {
 
 // BenchmarkE7X2Overhead regenerates the §4.3 coordination-cost study.
 func BenchmarkE7X2Overhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE7(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -78,6 +85,7 @@ func BenchmarkE7X2Overhead(b *testing.B) {
 
 // BenchmarkE8Deployment regenerates the §5 town-deployment study.
 func BenchmarkE8Deployment(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE8(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -88,6 +96,7 @@ func BenchmarkE8Deployment(b *testing.B) {
 // BenchmarkE9HiddenAndRelay regenerates the §4.3 hidden-terminal and
 // §7 relay studies.
 func BenchmarkE9HiddenAndRelay(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.RunE9(benchOpts()); err != nil {
 			b.Fatal(err)

@@ -7,12 +7,20 @@
 //
 //	dlte-sim -exp E2            # one experiment
 //	dlte-sim -exp all -quick    # everything, reduced sweeps
+//	dlte-sim -p 8               # run worlds on 8 workers (default: NumCPU)
+//
+// Experiments (and the independent simulation worlds inside each
+// sweep) execute concurrently up to -p workers, but stdout is always
+// emitted in experiment order and is byte-identical for a given seed
+// at any -p, including -p 1 (see DESIGN.md §7).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,34 +48,76 @@ func runners() []runner {
 	}
 }
 
+// job is one experiment scheduled on the run's worker budget. Each
+// renders into its own buffer; the main goroutine prints buffers in
+// experiment order as they complete, so concurrent execution never
+// reorders or interleaves stdout.
+type job struct {
+	r    runner
+	buf  bytes.Buffer
+	err  error
+	took time.Duration
+	done chan struct{}
+}
+
 func main() {
 	expFlag := flag.String("exp", "all", "experiment to run: E1..E9 or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweeps (CI-sized)")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	par := flag.Int("p", runtime.NumCPU(), "max concurrent simulation worlds (1 = fully serial)")
 	flag.Parse()
 
-	opt := exp.Options{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	if *par < 1 {
+		*par = 1
+	}
 	want := strings.ToUpper(*expFlag)
-
-	matched := false
+	var jobs []*job
 	for _, r := range runners() {
 		if want != "ALL" && want != r.id {
 			continue
 		}
-		matched = true
-		fmt.Printf("### %s — %s\n\n", r.id, r.title)
-		start := time.Now()
-		if err := r.run(opt); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
+		jobs = append(jobs, &job{r: r, done: make(chan struct{})})
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9 or all)\n", *expFlag)
+		os.Exit(2)
+	}
+
+	// One shared worker budget: the experiments themselves occupy
+	// workers, and each experiment's inner sweeps fan out on the same
+	// -p. Workers pull jobs in experiment order.
+	queue := make(chan *job, len(jobs))
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+	workers := *par
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range queue {
+				opt := exp.Options{Quick: *quick, Seed: *seed, Out: &j.buf, Parallelism: *par}
+				start := time.Now()
+				j.err = j.r.run(opt)
+				j.took = time.Since(start)
+				close(j.done)
+			}
+		}()
+	}
+
+	for _, j := range jobs {
+		<-j.done
+		fmt.Printf("### %s — %s\n\n", j.r.id, j.r.title)
+		os.Stdout.Write(j.buf.Bytes())
+		if j.err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", j.r.id, j.err)
 			os.Exit(1)
 		}
 		// Wall time goes to stderr: stdout (the tables) is deterministic
 		// for a given seed, and stays byte-comparable across runs.
-		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", r.id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", j.r.id, j.took.Round(time.Millisecond))
 		fmt.Println()
-	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9 or all)\n", *expFlag)
-		os.Exit(2)
 	}
 }

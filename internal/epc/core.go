@@ -69,7 +69,7 @@ type Core struct {
 	nextGUTI   uint64
 	gutis      map[uint64]string // GUTI → IMSI
 	allowedENB map[uint32]bool
-	procMu     sync.Mutex // serializes the modeled signaling processor
+	proc       sigProc // the modeled signaling processor's queue
 
 	sigMsgs  atomic.Uint64
 	attaches atomic.Uint64
@@ -177,6 +177,7 @@ type ueSession struct {
 func (c *Core) serveENB(raw net.Conn) {
 	defer raw.Close()
 	clk := simnet.ClockOf(raw)
+	connID := raw.RemoteAddr().String()
 	ec := &enbConn{conn: s1ap.NewConn(raw), sessions: make(map[uint32]*ueSession)}
 	for {
 		msg, err := ec.conn.Recv()
@@ -188,7 +189,7 @@ func (c *Core) serveENB(raw net.Conn) {
 			return
 		}
 		c.sigMsgs.Add(1)
-		c.applyProcessingDelay(clk)
+		c.applyProcessingDelay(clk, connID)
 		if err := c.handleS1AP(ec, msg); err != nil {
 			if errors.Is(err, errENBRefused) {
 				return // drop the association: closed core
@@ -199,21 +200,86 @@ func (c *Core) serveENB(raw net.Conn) {
 	}
 }
 
+// procEpsilon is the registration window of the signaling processor:
+// every message that arrives at one virtual instant gets this long (one
+// virtual nanosecond — invisible at any rendered precision) to enqueue
+// before service order is decided. Under a VirtualClock, time cannot
+// pass the window until all goroutines woken at that instant have run,
+// so the queue is complete when the window closes.
+const procEpsilon = time.Nanosecond
+
+// procWaiter is one message awaiting the signaling processor, keyed by
+// virtual arrival time with the eNB connection ID as tiebreak.
+type procWaiter struct {
+	at   time.Time
+	conn string
+}
+
+// sigProc orders the modeled signaling processor's queue. A bare mutex
+// would serve same-instant arrivals in whatever order the Go scheduler
+// unblocks them — nondeterministic under concurrent simulation worlds.
+// Instead the queue is served strictly by (virtual arrival time, conn
+// ID), both functions of simulation state alone: messages on one S1AP
+// association are inherently serial, so the key is total, and
+// earlier-instant arrivals are always enqueued before virtual time
+// moves on (the VirtualClock only advances over a quiescent world).
+type sigProc struct {
+	mu      sync.Mutex
+	waiters []procWaiter // sorted by (at, conn); small: one per eNB conn
+	serving bool
+	done    chan struct{} // closed and replaced at each service completion
+}
+
+func (p *sigProc) enqueue(w procWaiter) {
+	p.mu.Lock()
+	if p.done == nil {
+		p.done = make(chan struct{})
+	}
+	i := 0
+	for i < len(p.waiters) && (p.waiters[i].at.Before(w.at) ||
+		(p.waiters[i].at.Equal(w.at) && p.waiters[i].conn < w.conn)) {
+		i++
+	}
+	p.waiters = append(p.waiters, procWaiter{})
+	copy(p.waiters[i+1:], p.waiters[i:])
+	p.waiters[i] = w
+	p.mu.Unlock()
+}
+
 // applyProcessingDelay models the core's signaling processor: one
 // message at a time, each taking ProcessingDelay. Under load, arrivals
-// queue on procMu — the saturation behaviour of a shared EPC. The
-// mutex wait is bracketed with Block/Unblock so a VirtualClock sees
-// the queued goroutines as parked and lets the holder's Sleep advance
-// virtual time.
-func (c *Core) applyProcessingDelay(clk simnet.Clock) {
+// queue — the saturation behaviour of a shared EPC. All waits go
+// through the clock (Sleep, Block-bracketed channel receives) so a
+// VirtualClock sees queued goroutines as parked and advances virtual
+// time deterministically.
+func (c *Core) applyProcessingDelay(clk simnet.Clock, connID string) {
 	if c.cfg.ProcessingDelay <= 0 {
 		return
 	}
-	clk.Block()
-	c.procMu.Lock()
-	clk.Unblock()
-	clk.Sleep(c.cfg.ProcessingDelay)
-	c.procMu.Unlock()
+	p := &c.proc
+	w := procWaiter{at: clk.Now(), conn: connID}
+	p.enqueue(w)
+	clk.Sleep(procEpsilon) // same-instant arrivals finish enqueueing
+	for {
+		p.mu.Lock()
+		if !p.serving && p.waiters[0] == w {
+			p.serving = true
+			p.mu.Unlock()
+			clk.Sleep(c.cfg.ProcessingDelay)
+			p.mu.Lock()
+			p.waiters = p.waiters[1:]
+			p.serving = false
+			close(p.done)
+			p.done = make(chan struct{})
+			p.mu.Unlock()
+			return
+		}
+		ch := p.done
+		p.mu.Unlock()
+		clk.Block()
+		<-ch
+		clk.Unblock()
+	}
 }
 
 func (c *Core) handleS1AP(ec *enbConn, msg s1ap.Message) error {

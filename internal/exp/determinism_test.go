@@ -48,3 +48,47 @@ func TestExperimentsDeterministic(t *testing.T) {
 			i, a[lo:hiA], b[lo:hiB])
 	}
 }
+
+// TestSerialParallelIdentical is the regression gate for the parallel
+// world-runner: the same seed must render byte-identical tables whether
+// the sweeps run serially or with every world concurrent. E3 covers
+// the contended-signaling-processor worlds (the shared centralized EPC,
+// historically the first place scheduler interleaving leaked into
+// results); E4 covers roaming and retransmission timing.
+func TestSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(parallelism int) []byte {
+		var buf bytes.Buffer
+		opt := Options{Quick: true, Seed: 42, Out: &buf, Parallelism: parallelism}
+		if _, err := RunE3(opt); err != nil {
+			t.Fatalf("E3 (p=%d): %v", parallelism, err)
+		}
+		if _, err := RunE4(opt); err != nil {
+			t.Fatalf("E4 (p=%d): %v", parallelism, err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		i := 0
+		for i < len(serial) && i < len(parallel) && serial[i] == parallel[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		hiS, hiP := i+120, i+120
+		if hiS > len(serial) {
+			hiS = len(serial)
+		}
+		if hiP > len(parallel) {
+			hiP = len(parallel)
+		}
+		t.Fatalf("serial and parallel runs diverge at byte %d:\n--- serial (p=1) ---\n%s\n--- parallel (p=8) ---\n%s",
+			i, serial[lo:hiS], parallel[lo:hiP])
+	}
+}

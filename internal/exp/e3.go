@@ -46,21 +46,44 @@ func RunE3(opt Options) (E3Result, error) {
 	t := metrics.NewTable("E3 — §4.1: local-core scaling under attach storms",
 		"architecture", "APs", "UEs", "attach p50 ms", "attach p99 ms", "core msgs")
 
-	for _, nAP := range apCounts {
-		p50, p99, msgs, err := runDLTEStorm(nAP, opt.Seed)
-		if err != nil {
-			return res, fmt.Errorf("E3 dlte n=%d: %w", nAP, err)
-		}
-		res.P99ByArch["dlte"][nAP] = p99
-		t.AddRow("dLTE stubs", nAP, nAP*uesPerAP, p50, p99, msgs)
+	// Each (architecture, AP count) point is an independent world; run
+	// them all concurrently and render rows index-ordered afterwards.
+	type point struct {
+		p50, p99 float64
+		msgs     uint64
 	}
-	for _, nAP := range apCounts {
-		p50, p99, msgs, err := runCentralStorm(nAP, opt.Seed)
-		if err != nil {
-			return res, fmt.Errorf("E3 central n=%d: %w", nAP, err)
+	pts := make([]point, 2*len(apCounts))
+	err := forEachWorld(opt, len(pts), func(i int) error {
+		nAP := apCounts[i%len(apCounts)]
+		var (
+			p point
+			e error
+		)
+		if i < len(apCounts) {
+			p.p50, p.p99, p.msgs, e = runDLTEStorm(nAP, opt.Seed)
+			if e != nil {
+				return fmt.Errorf("E3 dlte n=%d: %w", nAP, e)
+			}
+		} else {
+			p.p50, p.p99, p.msgs, e = runCentralStorm(nAP, opt.Seed)
+			if e != nil {
+				return fmt.Errorf("E3 central n=%d: %w", nAP, e)
+			}
 		}
-		res.P99ByArch["central"][nAP] = p99
-		t.AddRow("telecom LTE", nAP, nAP*uesPerAP, p50, p99, msgs)
+		pts[i] = p
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, nAP := range apCounts {
+		res.P99ByArch["dlte"][nAP] = pts[i].p99
+		t.AddRow("dLTE stubs", nAP, nAP*uesPerAP, pts[i].p50, pts[i].p99, pts[i].msgs)
+	}
+	for i, nAP := range apCounts {
+		p := pts[len(apCounts)+i]
+		res.P99ByArch["central"][nAP] = p.p99
+		t.AddRow("telecom LTE", nAP, nAP*uesPerAP, p.p50, p.p99, p.msgs)
 	}
 	res.Table = t
 	opt.emit(t)
@@ -136,6 +159,20 @@ func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err e
 	if firstErr != nil {
 		return 0, 0, 0, firstErr
 	}
+	// Attach() returns when the UE sends its fire-and-forget
+	// AttachComplete; drain until every core has processed its last one
+	// so the message count is a complete, deterministic total rather
+	// than a racy snapshot.
+	for {
+		var attaches uint64
+		for _, ap := range aps {
+			attaches += ap.Core.Stats().Attaches
+		}
+		if attaches >= uint64(nAP*uesPerAP) {
+			break
+		}
+		clk.Sleep(time.Millisecond)
+	}
 	var msgs uint64
 	for _, ap := range aps {
 		msgs += ap.Core.Stats().SignalingMessages
@@ -209,6 +246,11 @@ func runCentralStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, er
 	clk.Unblock()
 	if firstErr != nil {
 		return 0, 0, 0, firstErr
+	}
+	// Same drain as the dLTE storm: the last AttachComplete per UE is
+	// still in flight when Attach() returns.
+	for central.Core.Stats().Attaches < uint64(nAP*uesPerAP) {
+		clk.Sleep(time.Millisecond)
 	}
 	return hist.Quantile(0.5), hist.Quantile(0.99), central.Core.Stats().SignalingMessages, nil
 }

@@ -54,16 +54,35 @@ func RunE4(opt Options) (E4Result, error) {
 	t := metrics.NewTable("E4 — §4.2: session disruption across an AP roam",
 		"scheme", "OTT one-way ms", "roam disruption ms", "probes lost", "session survived")
 
+	// Every (RTT, transport mode) roam is its own world with the same
+	// derived seed the serial loop used; run them all concurrently and
+	// render afterwards in sweep order.
+	mstOut := make([]roamOutcome, len(ottRTTs))
+	legOut := make([]roamOutcome, len(ottRTTs))
+	err := forEachWorld(opt, 2*len(ottRTTs), func(j int) error {
+		i := j / 2
+		rtt := ottRTTs[i]
+		if j%2 == 0 {
+			mst, e := runRoam(opt.Seed+int64(i), rtt, transport.Migratory)
+			if e != nil {
+				return fmt.Errorf("E4 mst rtt=%d: %w", rtt, e)
+			}
+			mstOut[i] = mst
+			return nil
+		}
+		leg, e := runRoam(opt.Seed+int64(i)+100, rtt, transport.Legacy)
+		if e != nil {
+			return fmt.Errorf("E4 legacy rtt=%d: %w", rtt, e)
+		}
+		legOut[i] = leg
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
 	for i, rtt := range ottRTTs {
-		mst, err := runRoam(opt.Seed+int64(i), rtt, transport.Migratory)
-		if err != nil {
-			return res, fmt.Errorf("E4 mst rtt=%d: %w", rtt, err)
-		}
+		mst, leg := mstOut[i], legOut[i]
 		t.AddRow("dLTE + MST", rtt, mst.disruptionMs, mst.lost, mst.survived)
-		leg, err := runRoam(opt.Seed+int64(i)+100, rtt, transport.Legacy)
-		if err != nil {
-			return res, fmt.Errorf("E4 legacy rtt=%d: %w", rtt, err)
-		}
 		t.AddRow("dLTE + legacy TCP-like", rtt, leg.disruptionMs, leg.lost, leg.survived)
 		t.AddRow("telecom LTE (MME handover, modeled)", rtt, centralHandoverMs, 0, true)
 		if i == 0 {

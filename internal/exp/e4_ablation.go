@@ -25,23 +25,38 @@ func RunE4Ablation(opt Options) (*metrics.Table, error) {
 	t := metrics.NewTable("E4c — ablation: which transport feature carries the mobility story?",
 		"reconnect strategy", "OTT one-way ms", "roam disruption ms")
 
-	mig, err := runRoam(opt.Seed+11, ottRTT, transport.Migratory)
+	// The three strategies are independent worlds; run them
+	// concurrently with their original derived seeds.
+	var disruption [3]float64
+	err := forEachWorld(opt, 3, func(i int) error {
+		switch i {
+		case 0:
+			mig, e := runRoam(opt.Seed+11, ottRTT, transport.Migratory)
+			if e != nil {
+				return fmt.Errorf("migration: %w", e)
+			}
+			disruption[0] = mig.disruptionMs
+		case 1:
+			zero, e := runResumeRoam(opt.Seed+12, ottRTT, true)
+			if e != nil {
+				return fmt.Errorf("0-RTT resume: %w", e)
+			}
+			disruption[1] = zero
+		case 2:
+			leg, e := runRoam(opt.Seed+13, ottRTT, transport.Legacy)
+			if e != nil {
+				return fmt.Errorf("legacy: %w", e)
+			}
+			disruption[2] = leg.disruptionMs
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("migration: %w", err)
+		return nil, err
 	}
-	t.AddRow("connection migration (QUIC-style)", ottRTT, mig.disruptionMs)
-
-	zero, err := runResumeRoam(opt.Seed+12, ottRTT, true)
-	if err != nil {
-		return nil, fmt.Errorf("0-RTT resume: %w", err)
-	}
-	t.AddRow("close + 0-RTT resume (session ticket)", ottRTT, zero)
-
-	leg, err := runRoam(opt.Seed+13, ottRTT, transport.Legacy)
-	if err != nil {
-		return nil, fmt.Errorf("legacy: %w", err)
-	}
-	t.AddRow("close + full 2-RTT reconnect (TCP+TLS-style)", ottRTT, leg.disruptionMs)
+	t.AddRow("connection migration (QUIC-style)", ottRTT, disruption[0])
+	t.AddRow("close + 0-RTT resume (session ticket)", ottRTT, disruption[1])
+	t.AddRow("close + full 2-RTT reconnect (TCP+TLS-style)", ottRTT, disruption[2])
 
 	opt.emit(t)
 	return t, nil

@@ -103,84 +103,114 @@ func RunE5(opt Options) (E5Result, error) {
 		t.AddRow(name, Mbps(total), Mbps(min), j, handoffs)
 	}
 
-	// Legacy WiFi comparator: the same 8 clients contend via CSMA on
-	// ISM spectrum (rates from WiFi SINR at their positions, capped by
-	// association range).
-	positions := []float64{150, 350, 500, 650, 750, 800, 1300, 780}
-	homes := []int{0, 0, 0, 0, 0, 0, 1, 1}
-	var stations []phy.DCFStation
-	var wifiDead int
-	for i, u := range users {
-		apX := float64(homes[i]) * e5APSpacingM
-		dKm := abs(positions[i]-apX) / 1000
-		wl := radio.Link{Tx: radio.WiFiAccessPoint, Rx: radio.WiFiClient, Band: radio.ISM24}
-		rate, _ := radio.WiFiRate(wl.SNRdB(dKm))
-		if dKm > radio.WiFiDefaultMaxRangeKm {
-			rate = 0
+	// The comparison points are independent simulations over a shared
+	// read-only geometry; run all eight concurrently and record rows
+	// in sweep order after the barrier. Slots 0–3 feed the main table
+	// (WiFi DCF + three LTE modes), 4–7 the ablations.
+	modes := []phy.MultiCellMode{phy.Uncoordinated, phy.FairShare, phy.Cooperative}
+	schedulers := []phy.LTEScheduler{&phy.RoundRobin{}, phy.ProportionalFair{}, phy.MaxRate{}}
+	type simOut struct {
+		total    float64
+		vals     []float64
+		handoffs int
+	}
+	outs := make([]simOut, 4+1+len(schedulers))
+	err := forEachWorld(opt, len(outs), func(i int) error {
+		switch {
+		case i == 0:
+			// Legacy WiFi comparator: the same 8 clients contend via
+			// CSMA on ISM spectrum (rates from WiFi SINR at their
+			// positions, capped by association range).
+			positions := []float64{150, 350, 500, 650, 750, 800, 1300, 780}
+			homes := []int{0, 0, 0, 0, 0, 0, 1, 1}
+			var stations []phy.DCFStation
+			var wifiDead int
+			for j, u := range users {
+				apX := float64(homes[j]) * e5APSpacingM
+				dKm := abs(positions[j]-apX) / 1000
+				wl := radio.Link{Tx: radio.WiFiAccessPoint, Rx: radio.WiFiClient, Band: radio.ISM24}
+				rate, _ := radio.WiFiRate(wl.SNRdB(dKm))
+				if dKm > radio.WiFiDefaultMaxRangeKm {
+					rate = 0
+				}
+				if rate == 0 {
+					wifiDead++
+					continue
+				}
+				stations = append(stations, phy.DCFStation{ID: u.ID, RateBps: rate, Saturated: true})
+			}
+			dcf := phy.SimulateDCF(phy.DCFConfig{Stations: stations, Seed: opt.Seed}, dcfSeconds)
+			var wifiVals []float64
+			for _, v := range dcf.PerStationBps {
+				wifiVals = append(wifiVals, v)
+			}
+			for j := 0; j < wifiDead; j++ {
+				wifiVals = append(wifiVals, 0) // out-of-range clients get nothing
+			}
+			outs[i] = simOut{total: dcf.TotalBps, vals: wifiVals}
+		case i <= 3:
+			// LTE modes over the multi-cell simulator.
+			r := phy.SimulateMultiCell(phy.MultiCellConfig{
+				NumCells: 2, ChannelMHz: 10, Mode: modes[i-1],
+				TTIs: ttis, HARQ: true, FastFading: true, Seed: opt.Seed,
+			}, users)
+			var vals []float64
+			for _, v := range r.PerUserBps {
+				vals = append(vals, v)
+			}
+			outs[i] = simOut{total: r.TotalBps, vals: vals, handoffs: r.Handovers}
+		case i == 4:
+			// Ablation (DESIGN.md §4): equal vs load-proportional
+			// cooperative shares.
+			coopEq := phy.SimulateMultiCell(phy.MultiCellConfig{
+				NumCells: 2, ChannelMHz: 10, Mode: phy.FairShare, // equal shares
+				TTIs: ttis, HARQ: true, FastFading: true, Seed: opt.Seed,
+			}, reassignToBest(users))
+			var eqVals []float64
+			for _, v := range coopEq.PerUserBps {
+				eqVals = append(eqVals, v)
+			}
+			outs[i] = simOut{total: coopEq.TotalBps, vals: eqVals}
+		default:
+			// Ablation: scheduler choice within a cell.
+			var cellUsers []phy.LTEUser
+			for _, u := range users {
+				if u.Home == 0 {
+					cellUsers = append(cellUsers, phy.LTEUser{ID: u.ID, SINRdB: u.SINROrthogonal[0]})
+				}
+			}
+			r := phy.SimulateLTECell(phy.LTECellConfig{
+				ChannelMHz: 10, Scheduler: schedulers[i-5], HARQ: true, FastFading: true, Seed: opt.Seed,
+			}, cellUsers, ttis)
+			var vals []float64
+			for _, v := range r.PerUserBps {
+				vals = append(vals, v)
+			}
+			outs[i] = simOut{total: r.TotalBps, vals: vals}
 		}
-		if rate == 0 {
-			wifiDead++
-			continue
-		}
-		stations = append(stations, phy.DCFStation{ID: u.ID, RateBps: rate, Saturated: true})
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
-	dcf := phy.SimulateDCF(phy.DCFConfig{Stations: stations, Seed: opt.Seed}, dcfSeconds)
-	var wifiVals []float64
-	for _, v := range dcf.PerStationBps {
-		wifiVals = append(wifiVals, v)
-	}
-	for i := 0; i < wifiDead; i++ {
-		wifiVals = append(wifiVals, 0) // out-of-range clients get nothing
-	}
-	record("legacy WiFi (CSMA)", dcf.TotalBps, wifiVals, 0)
 
-	// LTE modes over the multi-cell simulator.
-	for _, mode := range []phy.MultiCellMode{phy.Uncoordinated, phy.FairShare, phy.Cooperative} {
-		r := phy.SimulateMultiCell(phy.MultiCellConfig{
-			NumCells: 2, ChannelMHz: 10, Mode: mode,
-			TTIs: ttis, HARQ: true, FastFading: true, Seed: opt.Seed,
-		}, users)
-		var vals []float64
-		for _, v := range r.PerUserBps {
-			vals = append(vals, v)
-		}
+	record("legacy WiFi (CSMA)", outs[0].total, outs[0].vals, 0)
+	for mi, mode := range modes {
 		name := "dLTE " + mode.String()
 		if mode == phy.Uncoordinated {
 			name = "selfish LTE (no coordination)"
 		}
-		record(name, r.TotalBps, vals, r.Handovers)
+		o := outs[1+mi]
+		record(name, o.total, o.vals, o.handoffs)
 	}
 	res.Table = t
 
-	// Ablations (DESIGN.md §4): equal vs load-proportional cooperative
-	// shares, and scheduler choice within a cell.
 	at := metrics.NewTable("E5b — ablations",
 		"variant", "total Mbps", "Jain fairness")
-	coopEq := phy.SimulateMultiCell(phy.MultiCellConfig{
-		NumCells: 2, ChannelMHz: 10, Mode: phy.FairShare, // equal shares
-		TTIs: ttis, HARQ: true, FastFading: true, Seed: opt.Seed,
-	}, reassignToBest(users))
-	var eqVals []float64
-	for _, v := range coopEq.PerUserBps {
-		eqVals = append(eqVals, v)
-	}
-	at.AddRow("cooperative assignment + equal shares", Mbps(coopEq.TotalBps), metrics.JainIndex(eqVals))
-
-	for _, sched := range []phy.LTEScheduler{&phy.RoundRobin{}, phy.ProportionalFair{}, phy.MaxRate{}} {
-		var cellUsers []phy.LTEUser
-		for _, u := range users {
-			if u.Home == 0 {
-				cellUsers = append(cellUsers, phy.LTEUser{ID: u.ID, SINRdB: u.SINROrthogonal[0]})
-			}
-		}
-		r := phy.SimulateLTECell(phy.LTECellConfig{
-			ChannelMHz: 10, Scheduler: sched, HARQ: true, FastFading: true, Seed: opt.Seed,
-		}, cellUsers, ttis)
-		var vals []float64
-		for _, v := range r.PerUserBps {
-			vals = append(vals, v)
-		}
-		at.AddRow("single cell, "+sched.Name(), Mbps(r.TotalBps), metrics.JainIndex(vals))
+	at.AddRow("cooperative assignment + equal shares", Mbps(outs[4].total), metrics.JainIndex(outs[4].vals))
+	for si, sched := range schedulers {
+		o := outs[5+si]
+		at.AddRow("single cell, "+sched.Name(), Mbps(o.total), metrics.JainIndex(o.vals))
 	}
 	res.AblationTable = at
 	opt.emit(t, at)

@@ -62,20 +62,34 @@ func RunE6(opt Options) (E6Result, error) {
 		distances = []float64{1, 5, 15}
 	}
 
-	t := metrics.NewTable("E6 — §3.2: throughput vs distance by technology",
-		"technology", "km", "downlink Mbps", "uplink Mbps")
-	for _, tech := range e6Techs() {
-		for _, d := range distances {
-			dl, ul := e6Throughput(tech, d)
-			t.AddRow(tech.name, d, Mbps(dl), Mbps(ul))
-		}
+	// Per-technology sweeps are independent pure computations; one job
+	// per technology plus one for the HARQ ablation, rendered in sweep
+	// order after the barrier.
+	techs := e6Techs()
+	type techOut struct {
+		dl, ul    []float64 // per distance
+		r512, r2m float64
 	}
-	res.ThroughputTable = t
-
-	rt := metrics.NewTable("E6b — service range (512 kbps / 2 Mbps downlink)",
-		"technology", "512kbps range km", "2Mbps range km")
-	for _, tech := range e6Techs() {
-		tech := tech
+	outs := make([]techOut, len(techs))
+	var harqGain float64
+	err := forEachWorld(opt, len(techs)+1, func(i int) error {
+		if i == len(techs) {
+			// HARQ ablation: band-5 range with and without HARQ.
+			dlLink := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: radio.LTEBand5}
+			withHARQ := radio.MaxRangeKm(func(d float64) float64 {
+				return radio.LTEThroughputBps(dlLink.SNRdB(d), dlLink.Band.BandwidthHz(), true)
+			}, 128e3, radio.LTETimingAdvanceMaxKm)
+			withoutHARQ := radio.MaxRangeKm(func(d float64) float64 {
+				return radio.LTEThroughputBps(dlLink.SNRdB(d), dlLink.Band.BandwidthHz(), false)
+			}, 128e3, radio.LTETimingAdvanceMaxKm)
+			harqGain = withHARQ - withoutHARQ
+			return nil
+		}
+		tech := techs[i]
+		o := techOut{dl: make([]float64, len(distances)), ul: make([]float64, len(distances))}
+		for j, d := range distances {
+			o.dl[j], o.ul[j] = e6Throughput(tech, d)
+		}
 		rangeAt := func(minBps float64) float64 {
 			cap := radio.LTETimingAdvanceMaxKm
 			if tech.pathCap > 0 {
@@ -86,21 +100,31 @@ func RunE6(opt Options) (E6Result, error) {
 				return dl
 			}, minBps, cap)
 		}
-		r512 := rangeAt(512e3)
-		r2m := rangeAt(2e6)
-		res.RangeKm[tech.name] = r512
-		rt.AddRow(tech.name, r512, r2m)
+		o.r512 = rangeAt(512e3)
+		o.r2m = rangeAt(2e6)
+		outs[i] = o
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
 
-	// HARQ ablation: band-5 range with and without HARQ.
-	dlLink := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: radio.LTEBand5}
-	withHARQ := radio.MaxRangeKm(func(d float64) float64 {
-		return radio.LTEThroughputBps(dlLink.SNRdB(d), dlLink.Band.BandwidthHz(), true)
-	}, 128e3, radio.LTETimingAdvanceMaxKm)
-	withoutHARQ := radio.MaxRangeKm(func(d float64) float64 {
-		return radio.LTEThroughputBps(dlLink.SNRdB(d), dlLink.Band.BandwidthHz(), false)
-	}, 128e3, radio.LTETimingAdvanceMaxKm)
-	res.HARQGainKm = withHARQ - withoutHARQ
+	t := metrics.NewTable("E6 — §3.2: throughput vs distance by technology",
+		"technology", "km", "downlink Mbps", "uplink Mbps")
+	for i, tech := range techs {
+		for j, d := range distances {
+			t.AddRow(tech.name, d, Mbps(outs[i].dl[j]), Mbps(outs[i].ul[j]))
+		}
+	}
+	res.ThroughputTable = t
+
+	rt := metrics.NewTable("E6b — service range (512 kbps / 2 Mbps downlink)",
+		"technology", "512kbps range km", "2Mbps range km")
+	for i, tech := range techs {
+		res.RangeKm[tech.name] = outs[i].r512
+		rt.AddRow(tech.name, outs[i].r512, outs[i].r2m)
+	}
+	res.HARQGainKm = harqGain
 	rt.AddRow("LTE b5 HARQ gain (128 kbps edge)", res.HARQGainKm, "")
 	res.RangeTable = rt
 	opt.emit(t, rt)

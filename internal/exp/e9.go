@@ -53,8 +53,32 @@ func RunE9(opt Options) (E9Result, error) {
 		{true, true, true},  // mid hears all
 		{false, true, true}, // east hears mid, not west
 	}
-	csmaHidden := phy.SimulateDCF(phy.DCFConfig{Stations: stations, Sense: hiddenSense, Seed: opt.Seed}, seconds)
-	csmaFull := phy.SimulateDCF(phy.DCFConfig{Stations: stations, Seed: opt.Seed}, seconds)
+
+	// The two CSMA sims and the live relay-outage world (part b) are
+	// independent; run all three concurrently.
+	var (
+		csmaHidden, csmaFull phy.DCFResult
+		granted              bool
+		detectMs             float64
+	)
+	err := forEachWorld(opt, 3, func(i int) error {
+		switch i {
+		case 0:
+			csmaHidden = phy.SimulateDCF(phy.DCFConfig{Stations: stations, Sense: hiddenSense, Seed: opt.Seed}, seconds)
+		case 1:
+			csmaFull = phy.SimulateDCF(phy.DCFConfig{Stations: stations, Seed: opt.Seed}, seconds)
+		case 2:
+			g, d, e := runRelayOutage(opt.Seed)
+			if e != nil {
+				return fmt.Errorf("E9b: %w", e)
+			}
+			granted, detectMs = g, d
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
 
 	// Registry-coordinated TDM over the same PHY: every transmitter is
 	// known (licensed), so the schedule is collision-free regardless
@@ -85,11 +109,8 @@ func RunE9(opt Options) (E9Result, error) {
 	// --- (b) Backhaul relay (§7): cut ap1's backhaul, watch its echo
 	// probe fail, negotiate relay over X2 (which rides the still-up
 	// inter-AP path), and size the relayed capacity by the inter-AP
-	// radio link budget.
-	granted, detectMs, err := runRelayOutage(opt.Seed)
-	if err != nil {
-		return res, fmt.Errorf("E9b: %w", err)
-	}
+	// radio link budget. (Measured above, concurrently with the CSMA
+	// sims.)
 	res.RelayGranted = granted
 	res.OutageDetectedMs = detectMs
 

@@ -32,6 +32,12 @@ type Options struct {
 	Seed int64
 	// Out, when non-nil, receives the rendered tables.
 	Out io.Writer
+	// Parallelism bounds how many independent simulation worlds run
+	// concurrently inside one experiment. 0 means one per CPU; 1 runs
+	// the sweeps serially. Results are byte-identical at any value —
+	// each world derives its seed from (Seed, job index) and tables
+	// are rendered only after all worlds finish.
+	Parallelism int
 }
 
 func (o Options) emit(tables ...*metrics.Table) {

@@ -1,0 +1,176 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// benchPair builds a zero-latency wall-clock network with a connected
+// stream pair: writes are deliverable immediately, so a synchronous
+// write-then-read ping exercises the full hot path without parking.
+func benchPair(b *testing.B) (*Conn, *Conn) {
+	b.Helper()
+	n := New(Link{}, 1)
+	b.Cleanup(n.Close)
+	a := n.MustAddHost("a")
+	z := n.MustAddHost("z")
+	l, err := z.Listen(80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, aerr := l.Accept()
+		if aerr != nil {
+			return
+		}
+		accepted <- c.(*Conn)
+	}()
+	c, err := a.Dial("z:80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.(*Conn), <-accepted
+}
+
+// BenchmarkSimnetStreamThroughput measures the stream delivery hot path
+// (Conn.Write → queue → Conn.Read) with MTU-sized payloads. The
+// payload pool should hold steady-state allocations near zero.
+func BenchmarkSimnetStreamThroughput(b *testing.B) {
+	c, peer := benchPair(b)
+	defer c.Close()
+	defer peer.Close()
+	buf := make([]byte, 1200)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(peer, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetPacketConn measures the datagram hot path
+// (PacketConn.WriteTo → inbox → PacketConn.ReadFrom).
+func BenchmarkSimnetPacketConn(b *testing.B) {
+	n := New(Link{}, 1)
+	defer n.Close()
+	a := n.MustAddHost("a")
+	z := n.MustAddHost("z")
+	src, err := a.ListenPacket(9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := z.ListenPacket(9001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1200)
+	var to net.Addr = Addr{Host: "z", Port: 9001} // boxed once, like a kept net.Addr
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.WriteTo(payload, to); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := dst.ReadFrom(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerEvery measures the periodic-event engine the PHY
+// simulations are built on; the reused chain link should keep it
+// allocation-free per firing.
+func BenchmarkSchedulerEvery(b *testing.B) {
+	s := NewScheduler()
+	ticks := 0
+	s.Every(0, time.Microsecond, func() { ticks++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	if ticks != b.N {
+		b.Fatalf("ticks = %d, want %d", ticks, b.N)
+	}
+}
+
+// TestSchedulerEveryNoAllocPerFiring pins the Every-chain optimization:
+// a firing requeues the same link event, so steady state allocates
+// nothing.
+func TestSchedulerEveryNoAllocPerFiring(t *testing.T) {
+	s := NewScheduler()
+	s.Every(0, time.Microsecond, func() {})
+	// Warm the heap so append growth does not count.
+	for i := 0; i < 128; i++ {
+		s.Step()
+	}
+	if avg := testing.AllocsPerRun(1000, func() { s.Step() }); avg > 0 {
+		t.Errorf("Every firing allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestPacketRoundTripNoAllocSteadyState pins the payload pool on the
+// datagram path: after warm-up, a WriteTo/ReadFrom pair recycles its
+// buffer instead of allocating.
+func TestPacketRoundTripNoAllocSteadyState(t *testing.T) {
+	n := New(Link{}, 1)
+	defer n.Close()
+	a := n.MustAddHost("a")
+	z := n.MustAddHost("z")
+	src, err := a.ListenPacket(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := z.ListenPacket(9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1200)
+	var to net.Addr = Addr{Host: "z", Port: 9001}
+	roundTrip := func() {
+		if _, werr := src.WriteTo(payload, to); werr != nil {
+			t.Fatal(werr)
+		}
+		if _, _, rerr := dst.ReadFrom(payload); rerr != nil {
+			t.Fatal(rerr)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		roundTrip() // warm the pool
+	}
+	// The wall clock's time.Now and the rng draw stay; the per-packet
+	// payload copy must not. Allow a small epsilon for runtime noise.
+	if avg := testing.AllocsPerRun(500, roundTrip); avg > 0.5 {
+		t.Errorf("datagram round trip allocates %.2f objects/op, want ~0", avg)
+	}
+}
+
+// TestPayloadPool exercises the pool helpers directly: class-sized
+// buffers recycle, oversized ones fall back to the GC, and subslices
+// are never recycled by accident.
+func TestPayloadPool(t *testing.T) {
+	b := payloadGet(100)
+	if len(b) != 100 || cap(b) != payloadClassBytes {
+		t.Fatalf("payloadGet(100): len %d cap %d", len(b), cap(b))
+	}
+	payloadPut(b)
+
+	big := payloadGet(payloadClassBytes + 1)
+	if len(big) != payloadClassBytes+1 {
+		t.Fatalf("oversize get: len %d", len(big))
+	}
+	payloadPut(big) // must not panic, silently GC'd
+
+	payloadPut(nil)     // no-op
+	payloadPut(b[10:])  // subslice: wrong cap, not recycled
+	payloadPut(b[:0:0]) // re-sliced to nothing: not recycled
+}

@@ -1,0 +1,37 @@
+package simnet
+
+import "sync"
+
+// payloadClassBytes is the pooled payload buffer size. One class covers
+// every datagram the MTU admits and the stream chunks the protocol
+// stacks write; oversized writes fall back to the garbage collector.
+const payloadClassBytes = 4096
+
+// payloadPool recycles the per-delivery payload copies made on the
+// simnet hot path (Conn.Write, PacketConn.WriteTo). Copy semantics at
+// the API boundary are unchanged — callers may reuse their buffers the
+// moment a write returns, and readers receive copies — but the interior
+// copy now comes from this pool and is returned on the final read
+// instead of burning an allocation per delivery.
+var payloadPool = sync.Pool{
+	New: func() interface{} { return new([payloadClassBytes]byte) },
+}
+
+// payloadGet returns a length-n buffer, pooled when n fits the class.
+func payloadGet(n int) []byte {
+	if n > payloadClassBytes {
+		return make([]byte, n)
+	}
+	return payloadPool.Get().(*[payloadClassBytes]byte)[:n:payloadClassBytes]
+}
+
+// payloadPut recycles a buffer obtained from payloadGet. Buffers from
+// the oversize fallback (recognizable by capacity) go to the GC; the
+// full-capacity check also means a subslice can never be recycled by
+// accident while its backing array is still referenced elsewhere.
+func payloadPut(b []byte) {
+	if cap(b) != payloadClassBytes {
+		return
+	}
+	payloadPool.Put((*[payloadClassBytes]byte)(b[:payloadClassBytes]))
+}

@@ -21,11 +21,12 @@ type chunk struct {
 // delivered after the link delay; the byte stream is reliable and
 // ordered (it models TCP riding the simulated link).
 type halfPipe struct {
-	mu      sync.Mutex
-	queue   chan chunk
-	pending []byte // unread remainder of the last delivered chunk
-	closed  chan struct{}
-	once    sync.Once
+	mu         sync.Mutex
+	queue      chan chunk
+	pending    []byte // unread remainder of the last delivered chunk
+	pendingBuf []byte // pending's backing pool buffer, recycled when drained
+	closed     chan struct{}
+	once       sync.Once
 }
 
 func newHalfPipe() *halfPipe {
@@ -84,6 +85,11 @@ func (c *Conn) Read(b []byte) (int, error) {
 	if len(c.rx.pending) > 0 {
 		n := copy(b, c.rx.pending)
 		c.rx.pending = c.rx.pending[n:]
+		if len(c.rx.pending) == 0 {
+			c.rx.pending = nil
+			payloadPut(c.rx.pendingBuf)
+			c.rx.pendingBuf = nil
+		}
 		c.rx.mu.Unlock()
 		return n, nil
 	}
@@ -131,13 +137,18 @@ func (c *Conn) Read(b []byte) (int, error) {
 }
 
 // deliver waits out the chunk's remaining link delay, then copies its
-// bytes into b, stashing any remainder as pending.
+// bytes into b, stashing any remainder as pending. A fully consumed
+// chunk's buffer goes back to the payload pool; a partially consumed
+// one is recycled once the pending remainder drains.
 func (c *Conn) deliver(ch chunk, b []byte, deadlineC <-chan time.Time) int {
 	c.holdUntil(ch, deadlineC)
 	c.rx.mu.Lock()
 	n := copy(b, ch.data)
 	if n < len(ch.data) {
 		c.rx.pending = ch.data[n:]
+		c.rx.pendingBuf = ch.data
+	} else {
+		payloadPut(ch.data)
 	}
 	c.rx.mu.Unlock()
 	return n
@@ -178,7 +189,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		return 0, ErrLinkDown
 	}
 	clk := c.network.clock
-	data := make([]byte, len(b))
+	data := payloadGet(len(b))
 	copy(data, b)
 	ch := chunk{data: data, at: clk.Now().Add(delay)}
 	if vc, ok := clk.(*VirtualClock); ok {
@@ -197,6 +208,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		wait := clk.Until(dl)
 		if wait <= 0 {
 			c.releaseBarrier(ch.bar)
+			payloadPut(data)
 			return 0, ErrDeadline
 		}
 		t := clk.NewTimer(wait)
@@ -212,10 +224,12 @@ func (c *Conn) Write(b []byte) (int, error) {
 	case <-c.tx.closed:
 		clk.Unblock()
 		c.releaseBarrier(ch.bar)
+		payloadPut(data)
 		return 0, ErrClosed
 	case <-deadlineC:
 		clk.Unblock()
 		c.releaseBarrier(ch.bar)
+		payloadPut(data)
 		return 0, ErrDeadline
 	}
 }

@@ -151,6 +151,7 @@ func (h *Host) ListenPacket(port int) (*PacketConn, error) {
 		inbox: make(chan datagram, 1024),
 		done:  make(chan struct{}),
 	}
+	pc.boxedSrc = pc.addr
 	h.pktConns[port] = pc
 	return pc, nil
 }

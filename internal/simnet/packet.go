@@ -9,10 +9,11 @@ import (
 
 // datagram is one queued packet with its delivery instant. Under a
 // VirtualClock, bar keeps virtual time from jumping past the delivery
-// before the receiver parks on it.
+// before the receiver parks on it. from carries the sender's pre-boxed
+// address so the ReadFrom return costs no interface allocation.
 type datagram struct {
 	data []byte
-	from Addr
+	from net.Addr
 	at   time.Time
 	bar  *vbarrier
 }
@@ -22,9 +23,10 @@ type datagram struct {
 // transport layers: unreliable, unordered-within-jitter, loss- and
 // latency-afflicted delivery.
 type PacketConn struct {
-	host  *Host
-	addr  Addr
-	inbox chan datagram
+	host     *Host
+	addr     Addr
+	boxedSrc net.Addr // addr boxed once, stamped on outgoing datagrams
+	inbox    chan datagram
 
 	readDeadline deadline
 	closeOnce    sync.Once
@@ -79,9 +81,9 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 		return len(b), nil // lost or link down
 	}
 	clk := p.host.net.clock
-	data := make([]byte, len(b))
+	data := payloadGet(len(b))
 	copy(data, b)
-	dg := datagram{data: data, from: p.addr, at: clk.Now().Add(delay)}
+	dg := datagram{data: data, from: p.boxedSrc, at: clk.Now().Add(delay)}
 	vc, virtual := clk.(*VirtualClock)
 	if virtual {
 		dg.bar = vc.addBarrier(dg.at)
@@ -93,6 +95,7 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 		if virtual {
 			vc.releaseBarrier(dg.bar)
 		}
+		payloadPut(data)
 	}
 	return len(b), nil
 }
@@ -112,6 +115,7 @@ func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 	case dg := <-p.inbox:
 		p.holdUntil(dg, nil)
 		n := copy(b, dg.data)
+		payloadPut(dg.data)
 		return n, dg.from, nil
 	default:
 	}
@@ -132,6 +136,7 @@ func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 		clk.Unblock()
 		p.holdUntil(dg, deadlineC)
 		n := copy(b, dg.data)
+		payloadPut(dg.data)
 		return n, dg.from, nil
 	case <-p.done:
 		clk.Unblock()

@@ -85,7 +85,9 @@ type Scheduler struct {
 }
 
 // NewScheduler returns a Scheduler at virtual time zero.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+func NewScheduler() *Scheduler {
+	return &Scheduler{heap: make(eventHeap, 0, 64)}
+}
 
 // Now reports the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
@@ -111,25 +113,40 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 // Every schedules fn to run at t, t+period, t+2·period, … until the
 // returned Event is canceled.
 func (s *Scheduler) Every(start, period time.Duration, fn func()) *Event {
-	// The controlling event is re-armed from inside each firing; Cancel
-	// marks both the control struct and the queued chain link dead, so
-	// Pending stays accurate and the heap holds no zombie events.
+	// One link Event and one closure serve the whole chain: each firing
+	// requeues the same (already popped) link instead of allocating a
+	// fresh event and closure per period — the dominant allocation in
+	// long PHY simulations. Cancel marks both the control struct and the
+	// link dead, so Pending stays accurate and Step skips the corpse.
 	ctl := &Event{}
-	var arm func(t time.Duration)
-	arm = func(t time.Duration) {
-		ctl.armed = s.At(t, func() {
-			if ctl.dead {
-				return
-			}
-			fn()
-			if ctl.dead {
-				return // fn canceled the chain; do not re-arm
-			}
-			arm(t + period)
-		})
+	link := &Event{idx: -1}
+	next := start
+	link.fn = func() {
+		if ctl.dead {
+			return
+		}
+		fn()
+		if ctl.dead {
+			return // fn canceled the chain; do not re-arm
+		}
+		next += period
+		s.requeue(link, next)
 	}
-	arm(start)
+	ctl.armed = link
+	s.requeue(link, next)
 	return ctl
+}
+
+// requeue schedules an already-popped event to fire again at t, reusing
+// its allocation. Scheduling in the past runs it at the current time.
+func (s *Scheduler) requeue(e *Event, t time.Duration) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e.at = t
+	e.seq = s.seq
+	heap.Push(&s.heap, e)
 }
 
 // Step runs the single next event, if any, advancing virtual time to it.

@@ -122,11 +122,21 @@ func (h *barrierHeap) Pop() interface{} {
 // never fires early).
 var virtualEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
 
+// liveClocks counts open VirtualClocks process-wide. The parallel
+// experiment harness runs many worlds concurrently, and each world's
+// settle loop (settleLocked) must give its own runnable-but-unscheduled
+// goroutines a chance to surface before time moves — a chance measured
+// in scheduler yields, which foreign worlds' goroutines also consume.
+// The settle budget therefore scales with how many worlds are sharing
+// the scheduler.
+var liveClocks atomic.Int64
+
 // NewVirtual returns a VirtualClock at its epoch with the calling
 // goroutine registered as the single runnable driver.
 func NewVirtual() *VirtualClock {
 	c := &VirtualClock{base: virtualEpoch, busy: 1}
 	c.cond = sync.NewCond(&c.mu)
+	liveClocks.Add(1)
 	go c.advance()
 	return c
 }
@@ -146,6 +156,7 @@ func (c *VirtualClock) Close() {
 		return
 	}
 	c.closed = true
+	liveClocks.Add(-1)
 	for _, w := range c.timers {
 		w.idx = -1
 		if w.wake != nil {
@@ -398,7 +409,30 @@ func (c *VirtualClock) Pending() int {
 // stabilizeRounds bounds the advancer's settle loop: how many yield
 // rounds of unchanged state it requires before trusting that no woken
 // goroutine is still on a run queue waiting to declare itself busy.
+// This is the single-world budget; settleRounds scales it by the
+// number of concurrently-open clocks, because each runtime.Gosched may
+// run a foreign world's goroutine instead of one of ours.
 const stabilizeRounds = 12
+
+// maxStabilizeRounds caps the scaled settle budget. Yields under load
+// execute other worlds' useful work, so a generous cap costs little
+// wall time; it only bounds advancer latency on an otherwise idle
+// scheduler.
+const maxStabilizeRounds = 384
+
+// settleRounds is the current settle budget: stabilizeRounds per live
+// VirtualClock sharing the scheduler.
+func settleRounds() int {
+	n := int(liveClocks.Load())
+	if n < 1 {
+		n = 1
+	}
+	r := stabilizeRounds * n
+	if r > maxStabilizeRounds {
+		r = maxStabilizeRounds
+	}
+	return r
+}
 
 // advance is the clock's background engine. Whenever the world is
 // quiescent (busy == 0) and wakeups or barriers are scheduled, it
@@ -429,7 +463,8 @@ func (c *VirtualClock) advance() {
 // whether the world stayed quiescent throughout.
 func (c *VirtualClock) settleLocked() bool {
 	gen := c.gen
-	for i := 0; i < stabilizeRounds; i++ {
+	rounds := settleRounds()
+	for i := 0; i < rounds; i++ {
 		c.mu.Unlock()
 		runtime.Gosched()
 		c.mu.Lock()
