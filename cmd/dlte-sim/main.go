@@ -8,11 +8,15 @@
 //	dlte-sim -exp E2            # one experiment
 //	dlte-sim -exp all -quick    # everything, reduced sweeps
 //	dlte-sim -p 8               # run worlds on 8 workers (default: NumCPU)
+//	dlte-sim -shards 8          # serve each core's sessions on 8 shards
 //
 // Experiments (and the independent simulation worlds inside each
 // sweep) execute concurrently up to -p workers, but stdout is always
 // emitted in experiment order and is byte-identical for a given seed
-// at any -p, including -p 1 (see DESIGN.md §7).
+// at any -p, including -p 1 (see DESIGN.md §5b). -shards is the same
+// kind of knob one level down: it spreads each simulated core's
+// session state machines across real CPUs without changing a byte of
+// output (DESIGN.md §6).
 package main
 
 import (
@@ -65,6 +69,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps (CI-sized)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	par := flag.Int("p", runtime.NumCPU(), "max concurrent simulation worlds (1 = fully serial)")
+	shards := flag.Int("shards", 0, "session shards per simulated core (0 = one per CPU; output-invariant)")
 	flag.Parse()
 
 	if *par < 1 {
@@ -98,7 +103,7 @@ func main() {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range queue {
-				opt := exp.Options{Quick: *quick, Seed: *seed, Out: &j.buf, Parallelism: *par}
+				opt := exp.Options{Quick: *quick, Seed: *seed, Out: &j.buf, Parallelism: *par, Shards: *shards}
 				start := time.Now()
 				j.err = j.r.run(opt)
 				j.took = time.Since(start)

@@ -28,6 +28,12 @@ type CentralizedConfig struct {
 	// ProcessingDelay models the shared core's signaling capacity
 	// (see epc.Config).
 	ProcessingDelay time.Duration
+	// SignalingProcessors models a sharded MME servicing this many
+	// signaling messages in parallel (see epc.Config; 0 or 1 is the
+	// classic single processor).
+	SignalingProcessors int
+	// Shards is the core's session shard count (see epc.Config).
+	Shards int
 	// OnPrem marks a private-LTE deployment: the core still admits
 	// only authorized eNodeBs, but sits near the sites (the caller
 	// sets a short WANLink accordingly).
@@ -62,6 +68,8 @@ func NewCentralized(n *simnet.Network, coreName string, cfg CentralizedConfig) (
 		DirectBreakout:          false, // everything tunnels through here
 		OpenHSS:                 false, // closed subscriber store
 		ProcessingDelay:         cfg.ProcessingDelay,
+		SignalingProcessors:     cfg.SignalingProcessors,
+		Shards:                  cfg.Shards,
 		RequireENBAuthorization: true, // closed to organic expansion
 	})
 	if err != nil {

@@ -52,6 +52,10 @@ type APConfig struct {
 	// service time (see epc.Config); experiments set it equal to the
 	// centralized core's so scaling comparisons isolate sharing.
 	ProcessingDelay time.Duration
+	// Shards is the stub core's session shard count (see epc.Config;
+	// 0 means one per CPU). Shard-count choice never changes simulated
+	// results, only real-CPU signaling throughput.
+	Shards int
 }
 
 // AccessPoint is a running dLTE site.
@@ -70,8 +74,7 @@ type AccessPoint struct {
 	mu             sync.Mutex
 	shares         map[string]float64 // negotiated airtime by AP ID
 	loads          map[string]x2.LoadInformation
-	peers          []string          // current contention-domain peers
-	hoPrep         map[string]string // IMSI → source AP that prepared us
+	peers          []string // current contention-domain peers
 	relayGrantBps  uint64
 	relayGrantFrom string
 
@@ -93,7 +96,6 @@ func NewAccessPoint(host *simnet.Host, cfg APConfig) (*AccessPoint, error) {
 		host:   host,
 		shares: map[string]float64{cfg.ID: 1},
 		loads:  make(map[string]x2.LoadInformation),
-		hoPrep: make(map[string]string),
 	}
 
 	core, err := epc.NewCore(host, epc.Config{
@@ -103,6 +105,7 @@ func NewAccessPoint(host *simnet.Host, cfg APConfig) (*AccessPoint, error) {
 		DirectBreakout:  true,
 		OpenHSS:         true,
 		ProcessingDelay: cfg.ProcessingDelay,
+		Shards:          cfg.Shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: stub EPC: %w", err)

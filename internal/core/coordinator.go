@@ -35,13 +35,10 @@ func (ap *AccessPoint) handleX2(peerID string, msg x2.Message) {
 
 	case *x2.UEContextPush:
 		// Handover preparation: pre-provision the roaming client's
-		// published key so its re-attach here is purely local.
+		// published key on its owning session shard so its re-attach
+		// here is purely local.
 		pub := auth.KeyPublication{IMSI: auth.IMSI(m.IMSI), K: m.K, OPc: m.OPc}
-		if err := ap.Core.ImportPublishedKey(pub); err == nil {
-			ap.mu.Lock()
-			ap.hoPrep[m.IMSI] = peerID
-			ap.mu.Unlock()
-		}
+		ap.Core.PrepareHandoverTarget(pub, peerID)
 
 	case *x2.HandoverRequest:
 		// dLTE always has room for a re-attaching client (admission
@@ -49,8 +46,10 @@ func (ap *AccessPoint) handleX2(peerID string, msg x2.Message) {
 		ap.Agent.Send(peerID, &x2.HandoverRequestAck{IMSI: m.IMSI, Accepted: true})
 
 	case *x2.HandoverComplete:
-		// Source-side cleanup: the client has landed elsewhere.
-		ap.Core.Gateway().DeleteSession(m.IMSI)
+		// Source-side cleanup: the client landed elsewhere, so its
+		// local lifecycle ends through the session FSM (Attached →
+		// Detached) and the gateway session is torn down with it.
+		ap.Core.CompleteHandover(m.IMSI)
 
 	case *x2.RelayRequest:
 		// Grant relay capacity within our backhaul budget (§7); the
@@ -193,10 +192,7 @@ func (ap *AccessPoint) PrepareHandover(targetAP string, pub auth.KeyPublication,
 // HandoverPrepared reports whether the named client was pre-provisioned
 // here by a peer, and by whom.
 func (ap *AccessPoint) HandoverPrepared(imsi string) (string, bool) {
-	ap.mu.Lock()
-	defer ap.mu.Unlock()
-	src, ok := ap.hoPrep[imsi]
-	return src, ok
+	return ap.Core.HandoverPreparedBy(imsi)
 }
 
 // NotifyHandoverComplete tells the source AP its former client landed.

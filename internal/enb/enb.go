@@ -55,6 +55,7 @@ type ueCtx struct {
 	dlTEID    uint32 // eNodeB-local TEID for downlink
 	ulBound   bool   // uplink tunnel toward the gateway is live
 	ulTEIDloc uint32 // local TEID whose reverse points at the gateway
+	released  bool   // core commanded this context's release already
 }
 
 // New creates an eNodeB on host and connects it to its core: dials
@@ -142,10 +143,12 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 		e.sendAir(ctx, AirBroadcast, sib)
 	}
 
+	first := true
 	defer func() {
 		raw.Close()
 		e.mu.Lock()
 		delete(e.byUEID, ctx.enbUEID)
+		closing := e.closed
 		e.mu.Unlock()
 		ctx.mu.Lock()
 		if ctx.dlTEID != 0 {
@@ -154,10 +157,17 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 		if ctx.ulTEIDloc != 0 {
 			e.gtpE.Release(ctx.ulTEIDloc)
 		}
+		released := ctx.released
 		ctx.mu.Unlock()
+		// The radio link is gone: unless the core itself commanded the
+		// release (or the whole eNodeB is shutting down), report it
+		// upstream so the UE's session is evicted instead of lingering
+		// until association teardown.
+		if !first && !released && !closing {
+			e.s1.Send(&s1ap.UEContextReleaseRequest{ENBUEID: ctx.enbUEID})
+		}
 	}()
 
-	first := true
 	for {
 		frame, err := fc.Recv()
 		if err != nil {
@@ -205,6 +215,9 @@ func (e *ENodeB) s1Loop() {
 			e.setupContext(m)
 		case *s1ap.UEContextReleaseCommand:
 			if ctx := e.lookup(m.ENBUEID); ctx != nil {
+				ctx.mu.Lock()
+				ctx.released = true
+				ctx.mu.Unlock()
 				e.sendAir(ctx, AirRelease, nil)
 				ctx.raw.Close()
 			}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"dlte/internal/auth"
 	"dlte/internal/nas"
 	"dlte/internal/s1ap"
+	"dlte/internal/session"
 	"dlte/internal/simnet"
 )
 
@@ -36,12 +38,39 @@ type Config struct {
 	// 1/ProcessingDelay messages per second, which is what saturates a
 	// shared centralized EPC in experiment E3. Zero disables.
 	ProcessingDelay time.Duration
+	// SignalingProcessors models how many signaling messages the core
+	// services in parallel when ProcessingDelay is set — the sharded-
+	// MME experimental knob (an M/D/k queue in virtual time). 0 or 1
+	// is the single processor of a classic MME.
+	SignalingProcessors int
 	// RequireENBAuthorization closes the core to organic expansion:
 	// only eNodeB IDs registered via AuthorizeENB may associate — the
 	// telecom/private-LTE property the paper contrasts with dLTE's
 	// open registry (§2.1, Table 1).
 	RequireENBAuthorization bool
+	// Shards is the number of per-UE session shards, each owning its
+	// slice of the session/GUTI tables and serving its signaling
+	// messages one at a time in deterministic (virtual arrival time,
+	// eNB conn ID) order. Shards partition real-CPU execution only —
+	// under a virtual clock, runnable goroutines execute in parallel
+	// while virtual time stands still — so control-plane throughput
+	// scales across cores while simulated results are byte-identical
+	// at any value. 0 means one shard per CPU (capped at maxShards).
+	Shards int
 }
+
+// maxShards caps the shard count: the GUTI layout reserves 16 bits
+// for the owning shard and the MME UE ID layout 12, and beyond the
+// CPU count extra shards only add memory.
+const maxShards = 256
+
+// gutiShardShift places the owning shard in a GUTI's top 16 bits, so
+// any GUTI (including a foreign one carried in a roaming TAU) routes
+// to exactly one shard without a global table.
+const gutiShardShift = 48
+
+// mmeShardShift places the owning shard in an MME UE ID's top bits.
+const mmeShardShift = 20
 
 // Stats are the core's cumulative signaling counters.
 type Stats struct {
@@ -58,23 +87,45 @@ type Stats struct {
 // Core is an EPC control+user plane: HSS, MME, and gateway. Deploy one
 // per AP for dLTE stubs, or one shared instance for the centralized
 // baseline.
+//
+// Per-UE state is partitioned across session shards keyed by IMSI (or
+// GUTI owner, for TAU): each shard owns its sessions, GUTI map, and
+// identity allocators, and serves at most one signaling message at a
+// time, so shards scale signaling across cores without a core-wide
+// lock while each UE's lifecycle stays single-writer.
 type Core struct {
 	cfg  Config
 	host *simnet.Host
 	hss  *auth.SubscriberDB
 	gw   *Gateway
 
+	shards []*sessShard
+	proc   detGate // the modeled signaling processor(s)
+
 	mu         sync.Mutex
-	nextMME    uint32
-	nextGUTI   uint64
-	gutis      map[uint64]string // GUTI → IMSI
 	allowedENB map[uint32]bool
-	proc       sigProc // the modeled signaling processor's queue
 
 	sigMsgs  atomic.Uint64
 	attaches atomic.Uint64
 	rejects  atomic.Uint64
 	detaches atomic.Uint64
+}
+
+// sessShard owns one partition of the per-UE control-plane state.
+// The gate serializes signaling processing (so session fields other
+// than the FSM and IMSI are single-writer); mu guards the tables and
+// allocators, which release/handover paths read from other
+// goroutines.
+type sessShard struct {
+	idx  int
+	gate detGate
+
+	mu       sync.Mutex
+	nextMME  uint32
+	nextGUTI uint64
+	gutis    map[uint64]string     // GUTI → IMSI
+	byIMSI   map[string]*ueSession // current session per registered IMSI
+	prepared map[string]string     // IMSI → source AP (X2 handover prep)
 }
 
 // NewCore creates a core whose gateway lives on host.
@@ -89,15 +140,32 @@ func NewCore(host *simnet.Host, cfg Config) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Core{
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	c := &Core{
 		cfg:        cfg,
 		host:       host,
 		hss:        auth.NewSubscriberDB(cfg.OpenHSS),
 		gw:         gw,
-		nextGUTI:   uint64(cfg.TAC)<<32 + 0x100,
-		gutis:      make(map[uint64]string),
+		shards:     make([]*sessShard, n),
 		allowedENB: make(map[uint32]bool),
-	}, nil
+	}
+	c.proc.capacity = cfg.SignalingProcessors
+	for i := range c.shards {
+		c.shards[i] = &sessShard{
+			idx:      i,
+			nextGUTI: 0x100,
+			gutis:    make(map[uint64]string),
+			byIMSI:   make(map[string]*ueSession),
+			prepared: make(map[string]string),
+		}
+	}
+	return c, nil
 }
 
 // HSS exposes the subscriber store for provisioning.
@@ -108,6 +176,9 @@ func (c *Core) Gateway() *Gateway { return c.gw }
 
 // Host reports the core's host name.
 func (c *Core) Host() string { return c.host.Name() }
+
+// Shards reports the resolved session shard count.
+func (c *Core) Shards() int { return len(c.shards) }
 
 // Provision adds a subscriber to the HSS.
 func (c *Core) Provision(sim auth.SIM) error { return c.hss.Provision(sim) }
@@ -127,6 +198,50 @@ func (c *Core) AuthorizeENB(id uint32) {
 // a closed core refuses, reproducing the paper's §2.1 moat).
 func (c *Core) ImportPublishedKey(p auth.KeyPublication) error {
 	return c.hss.ImportPublished(p.SIM())
+}
+
+// PrepareHandoverTarget readies this core for a roaming UE pushed by
+// a peer AP over X2: it imports the published key (so the fresh
+// attach authenticates locally) and records which peer prepared the
+// context on the UE's owning shard.
+func (c *Core) PrepareHandoverTarget(pub auth.KeyPublication, sourceAP string) error {
+	if err := c.hss.ImportPublished(pub.SIM()); err != nil {
+		return err
+	}
+	sh := c.shardFor(string(pub.IMSI))
+	sh.mu.Lock()
+	sh.prepared[string(pub.IMSI)] = sourceAP
+	sh.mu.Unlock()
+	return nil
+}
+
+// HandoverPreparedBy reports which peer AP (if any) pushed the named
+// UE's context here.
+func (c *Core) HandoverPreparedBy(imsi string) (string, bool) {
+	sh := c.shardFor(imsi)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	src, ok := sh.prepared[imsi]
+	return src, ok
+}
+
+// CompleteHandover finishes the source side of an X2 handover: the UE
+// landed at a peer AP, so the local lifecycle ends (Attached →
+// Detached via EvHandoverComplete) and its gateway session is torn
+// down.
+func (c *Core) CompleteHandover(imsi string) {
+	sh := c.shardFor(imsi)
+	sh.mu.Lock()
+	s := sh.byIMSI[imsi]
+	sh.mu.Unlock()
+	if s == nil {
+		// No live control-plane session (it may already have been
+		// released); make sure the user plane is gone regardless.
+		c.gw.DeleteSession(imsi)
+		return
+	}
+	s.nasSession.FSM().Fire(session.EvHandoverComplete)
+	c.releaseSession(s)
 }
 
 // Stats snapshots the signaling counters.
@@ -157,20 +272,25 @@ func (c *Core) ServeS1AP(l Listener) {
 	}
 }
 
-// enbConn is one eNodeB association and its UE sessions.
+// enbConn is one eNodeB association and its UE sessions. The map is
+// touched only by the association's serving goroutine.
 type enbConn struct {
 	conn     *s1ap.Conn
 	sessions map[uint32]*ueSession // ENBUEID → session
 }
 
+// ueSession is the EPC's handle on one UE. Lifecycle state lives in
+// the NAS session's FSM; everything here but imsi is written only
+// under the owning shard's gate. imsi (and the shard's byIMSI entry)
+// is guarded by shard.mu because release and handover paths read it
+// from other goroutines.
 type ueSession struct {
 	nasSession *nas.NetworkSession
+	shard      *sessShard
 	enbUEID    uint32
 	mmeUEID    uint32
 	imsi       string
 	uplinkTEID uint32
-	registered bool
-	pathBound  bool
 	icsSent    bool
 }
 
@@ -190,7 +310,7 @@ func (c *Core) serveENB(raw net.Conn) {
 		}
 		c.sigMsgs.Add(1)
 		c.applyProcessingDelay(clk, connID)
-		if err := c.handleS1AP(ec, msg); err != nil {
+		if err := c.dispatchS1AP(clk, ec, connID, msg); err != nil {
 			if errors.Is(err, errENBRefused) {
 				return // drop the association: closed core
 			}
@@ -200,89 +320,65 @@ func (c *Core) serveENB(raw net.Conn) {
 	}
 }
 
-// procEpsilon is the registration window of the signaling processor:
-// every message that arrives at one virtual instant gets this long (one
-// virtual nanosecond — invisible at any rendered precision) to enqueue
-// before service order is decided. Under a VirtualClock, time cannot
-// pass the window until all goroutines woken at that instant have run,
-// so the queue is complete when the window closes.
-const procEpsilon = time.Nanosecond
-
-// procWaiter is one message awaiting the signaling processor, keyed by
-// virtual arrival time with the eNB connection ID as tiebreak.
-type procWaiter struct {
-	at   time.Time
-	conn string
-}
-
-// sigProc orders the modeled signaling processor's queue. A bare mutex
-// would serve same-instant arrivals in whatever order the Go scheduler
-// unblocks them — nondeterministic under concurrent simulation worlds.
-// Instead the queue is served strictly by (virtual arrival time, conn
-// ID), both functions of simulation state alone: messages on one S1AP
-// association are inherently serial, so the key is total, and
-// earlier-instant arrivals are always enqueued before virtual time
-// moves on (the VirtualClock only advances over a quiescent world).
-type sigProc struct {
-	mu      sync.Mutex
-	waiters []procWaiter // sorted by (at, conn); small: one per eNB conn
-	serving bool
-	done    chan struct{} // closed and replaced at each service completion
-}
-
-func (p *sigProc) enqueue(w procWaiter) {
-	p.mu.Lock()
-	if p.done == nil {
-		p.done = make(chan struct{})
-	}
-	i := 0
-	for i < len(p.waiters) && (p.waiters[i].at.Before(w.at) ||
-		(p.waiters[i].at.Equal(w.at) && p.waiters[i].conn < w.conn)) {
-		i++
-	}
-	p.waiters = append(p.waiters, procWaiter{})
-	copy(p.waiters[i+1:], p.waiters[i:])
-	p.waiters[i] = w
-	p.mu.Unlock()
-}
-
-// applyProcessingDelay models the core's signaling processor: one
-// message at a time, each taking ProcessingDelay. Under load, arrivals
-// queue — the saturation behaviour of a shared EPC. All waits go
-// through the clock (Sleep, Block-bracketed channel receives) so a
-// VirtualClock sees queued goroutines as parked and advances virtual
-// time deterministically.
+// applyProcessingDelay models the core's signaling processor(s): up
+// to SignalingProcessors messages at a time, each taking
+// ProcessingDelay. Under load, arrivals queue — the saturation
+// behaviour of a shared EPC.
 func (c *Core) applyProcessingDelay(clk simnet.Clock, connID string) {
 	if c.cfg.ProcessingDelay <= 0 {
 		return
 	}
-	p := &c.proc
-	w := procWaiter{at: clk.Now(), conn: connID}
-	p.enqueue(w)
-	clk.Sleep(procEpsilon) // same-instant arrivals finish enqueueing
-	for {
-		p.mu.Lock()
-		if !p.serving && p.waiters[0] == w {
-			p.serving = true
-			p.mu.Unlock()
-			clk.Sleep(c.cfg.ProcessingDelay)
-			p.mu.Lock()
-			p.waiters = p.waiters[1:]
-			p.serving = false
-			close(p.done)
-			p.done = make(chan struct{})
-			p.mu.Unlock()
-			return
-		}
-		ch := p.done
-		p.mu.Unlock()
-		clk.Block()
-		<-ch
-		clk.Unblock()
-	}
+	c.proc.run(clk, connID, func() { clk.Sleep(c.cfg.ProcessingDelay) })
 }
 
-func (c *Core) handleS1AP(ec *enbConn, msg s1ap.Message) error {
+// shardFor maps an identity onto its owning shard (FNV-1a; no
+// allocation — this runs per signaling message).
+func (c *Core) shardFor(id string) *sessShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// shardOfGUTI routes a GUTI to the shard that allocated it (or, for a
+// foreign GUTI, to a deterministic shard that will not know it —
+// yielding the standard TAU reject).
+func (c *Core) shardOfGUTI(g uint64) *sessShard {
+	return c.shards[(g>>gutiShardShift)%uint64(len(c.shards))]
+}
+
+// routeInitial peeks at the first NAS PDU of a new UE context to find
+// the identity that keys the session's shard: the IMSI of an
+// AttachRequest, the GUTI owner of a TAURequest. Undecodable or
+// identity-free PDUs fall back to hashing the association, which is
+// still deterministic.
+func (c *Core) routeInitial(connID string, pdu []byte) *sessShard {
+	if msg, err := nas.Decode(pdu); err == nil {
+		switch m := msg.(type) {
+		case *nas.AttachRequest:
+			return c.shardFor(m.IMSI)
+		case *nas.TAURequest:
+			return c.shardOfGUTI(m.GUTI)
+		}
+	}
+	return c.shardFor(connID)
+}
+
+// runSharded executes fn under the shard's serving gate: one message
+// per shard at a time, admitted in deterministic (virtual arrival
+// time, eNB conn ID) order.
+func (c *Core) runSharded(clk simnet.Clock, sh *sessShard, actor string, fn func() error) error {
+	var err error
+	sh.gate.run(clk, actor, func() { err = fn() })
+	return err
+}
+
+// dispatchS1AP resolves a message to its session's shard and serves
+// it there. Association-level messages (S1 setup) touch no per-UE
+// state and bypass the shards.
+func (c *Core) dispatchS1AP(clk simnet.Clock, ec *enbConn, connID string, msg s1ap.Message) error {
 	switch m := msg.(type) {
 	case *s1ap.S1SetupRequest:
 		if c.cfg.RequireENBAuthorization {
@@ -298,52 +394,79 @@ func (c *Core) handleS1AP(ec *enbConn, msg s1ap.Message) error {
 		return ec.conn.Send(&s1ap.S1SetupResponse{MMEName: c.cfg.Name, ServedTAC: c.cfg.TAC, SNID: c.cfg.SNID})
 
 	case *s1ap.InitialUEMessage:
-		s := c.newUESession(m.ENBUEID)
-		ec.sessions[m.ENBUEID] = s
-		return c.feedNAS(ec, s, m.NASPDU)
+		sh := c.routeInitial(connID, m.NASPDU)
+		return c.runSharded(clk, sh, connID, func() error {
+			s := c.newUESession(sh, m.ENBUEID)
+			ec.sessions[m.ENBUEID] = s
+			return c.feedNAS(ec, s, m.NASPDU)
+		})
 
 	case *s1ap.UplinkNASTransport:
 		s, ok := ec.sessions[m.ENBUEID]
 		if !ok {
 			return fmt.Errorf("epc: no session for eNB UE %d", m.ENBUEID)
 		}
-		return c.feedNAS(ec, s, m.NASPDU)
+		return c.runSharded(clk, s.shard, connID, func() error {
+			return c.feedNAS(ec, s, m.NASPDU)
+		})
 
 	case *s1ap.InitialContextSetupResponse:
 		s, ok := ec.sessions[m.ENBUEID]
 		if !ok {
 			return fmt.Errorf("epc: no session for eNB UE %d", m.ENBUEID)
 		}
-		addr, err := simnet.ParseAddr(m.ENBAddr)
-		if err != nil {
-			return err
-		}
-		if err := c.gw.BindDownlink(s.imsi, addr, m.ENBTEID); err != nil {
-			return err
-		}
-		s.pathBound = true
-		return nil
+		return c.runSharded(clk, s.shard, connID, func() error {
+			addr, err := simnet.ParseAddr(m.ENBAddr)
+			if err != nil {
+				return err
+			}
+			return c.gw.BindDownlink(s.imsi, addr, m.ENBTEID)
+		})
 
 	case *s1ap.PathSwitchRequest:
 		// Locate the session by MME UE ID across this association.
-		for _, s := range ec.sessions {
-			if s.mmeUEID == m.MMEUEID {
-				addr, err := simnet.ParseAddr(m.NewENBAddr)
-				if err != nil {
-					return err
-				}
-				if err := c.gw.SwitchPath(s.imsi, addr, m.NewENBTEID); err != nil {
-					return err
-				}
-				return ec.conn.Send(&s1ap.PathSwitchAck{MMEUEID: m.MMEUEID})
+		var s *ueSession
+		for _, cand := range ec.sessions {
+			if cand.mmeUEID == m.MMEUEID {
+				s = cand
+				break
 			}
 		}
-		return fmt.Errorf("epc: path switch for unknown MME UE %d", m.MMEUEID)
+		if s == nil {
+			return fmt.Errorf("epc: path switch for unknown MME UE %d", m.MMEUEID)
+		}
+		return c.runSharded(clk, s.shard, connID, func() error {
+			if _, err := s.nasSession.FSM().Fire(session.EvPathSwitch); err != nil {
+				return err
+			}
+			addr, err := simnet.ParseAddr(m.NewENBAddr)
+			if err != nil {
+				return err
+			}
+			if err := c.gw.SwitchPath(s.imsi, addr, m.NewENBTEID); err != nil {
+				return err
+			}
+			return ec.conn.Send(&s1ap.PathSwitchAck{MMEUEID: m.MMEUEID})
+		})
+
+	case *s1ap.UEContextReleaseRequest:
+		// eNB-initiated release (radio loss): end the lifecycle, then
+		// complete the standard command/complete exchange.
+		if s, ok := ec.sessions[m.ENBUEID]; ok {
+			c.runSharded(clk, s.shard, connID, func() error {
+				c.releaseSession(s)
+				return nil
+			})
+			delete(ec.sessions, m.ENBUEID)
+		}
+		return ec.conn.Send(&s1ap.UEContextReleaseCommand{ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID})
 
 	case *s1ap.UEContextReleaseComplete:
-		s, ok := ec.sessions[m.ENBUEID]
-		if ok {
-			c.releaseSession(s)
+		if s, ok := ec.sessions[m.ENBUEID]; ok {
+			c.runSharded(clk, s.shard, connID, func() error {
+				c.releaseSession(s)
+				return nil
+			})
 			delete(ec.sessions, m.ENBUEID)
 		}
 		return nil
@@ -353,20 +476,28 @@ func (c *Core) handleS1AP(ec *enbConn, msg s1ap.Message) error {
 	}
 }
 
-func (c *Core) newUESession(enbUEID uint32) *ueSession {
-	c.mu.Lock()
-	c.nextMME++
-	mmeUEID := c.nextMME
-	c.mu.Unlock()
+// newUESession builds a session owned by shard sh. Identities embed
+// the shard index (GUTI top bits, MME UE ID top bits) so later
+// messages route back to the owner without a global table.
+func (c *Core) newUESession(sh *sessShard, enbUEID uint32) *ueSession {
+	sh.mu.Lock()
+	sh.nextMME++
+	mmeUEID := uint32(sh.idx)<<mmeShardShift | sh.nextMME
+	sh.mu.Unlock()
 
-	s := &ueSession{enbUEID: enbUEID, mmeUEID: mmeUEID}
+	s := &ueSession{shard: sh, enbUEID: enbUEID, mmeUEID: mmeUEID}
 	s.nasSession = nas.NewNetworkSession(nas.NetworkConfig{
 		HSS:              c.hss,
 		ServingNetworkID: c.cfg.SNID,
 		TrackingArea:     c.cfg.TAC,
 		DirectBreakout:   c.cfg.DirectBreakout,
 		AllocateIP: func(imsi string) (string, error) {
+			// The UE passed authentication: it becomes the canonical
+			// session for its IMSI (superseding any stale one).
+			sh.mu.Lock()
 			s.imsi = imsi
+			sh.byIMSI[imsi] = s
+			sh.mu.Unlock()
 			ip, teid, err := c.gw.CreateSession(imsi)
 			if err != nil {
 				return "", err
@@ -375,32 +506,33 @@ func (c *Core) newUESession(enbUEID uint32) *ueSession {
 			return ip, nil
 		},
 		AllocateGUTI: func() uint64 {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			c.nextGUTI++
-			return c.nextGUTI
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			sh.nextGUTI++
+			return uint64(sh.idx)<<gutiShardShift | uint64(c.cfg.TAC)<<32 | sh.nextGUTI
 		},
 		KnownGUTI: func(g uint64) bool {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			_, ok := c.gutis[g]
+			own := c.shardOfGUTI(g)
+			own.mu.Lock()
+			defer own.mu.Unlock()
+			_, ok := own.gutis[g]
 			return ok
 		},
 	})
 	return s
 }
 
-// feedNAS pushes an uplink NAS PDU into the session's state machine
-// and relays any reply / context-setup downlink.
+// feedNAS pushes an uplink NAS PDU into the session's protocol
+// handler (which drives the lifecycle FSM) and relays any reply /
+// context-setup downlink. Runs under the owning shard's gate.
 func (c *Core) feedNAS(ec *enbConn, s *ueSession, pdu []byte) error {
 	reply, ev, nasErr := s.nasSession.Handle(pdu)
-	s.imsi = s.nasSession.IMSI()
 
-	// Activate the data path as soon as the accept is pending, before
-	// the NAS AttachAccept goes out (mirroring real S1AP, where the
-	// InitialContextSetupRequest carries the accept): the eNodeB's
+	// Activate the data path as soon as the session reaches Attaching,
+	// before the NAS AttachAccept goes out (mirroring real S1AP, where
+	// the InitialContextSetupRequest carries the accept): the eNodeB's
 	// tunnels are live by the time the UE confirms.
-	if !s.icsSent && s.nasSession.State() == nas.NetAcceptPending && s.uplinkTEID != 0 {
+	if !s.icsSent && s.nasSession.State() == session.Attaching && s.uplinkTEID != 0 {
 		s.icsSent = true
 		if err := ec.conn.Send(&s1ap.InitialContextSetupRequest{
 			ENBUEID: s.enbUEID,
@@ -416,15 +548,18 @@ func (c *Core) feedNAS(ec *enbConn, s *ueSession, pdu []byte) error {
 	switch ev.Kind {
 	case nas.EventRegistered:
 		c.attaches.Add(1)
-		s.registered = true
-		c.mu.Lock()
-		c.gutis[ev.GUTI] = ev.IMSI
-		c.mu.Unlock()
+		sh := s.shard
+		sh.mu.Lock()
+		sh.gutis[ev.GUTI] = ev.IMSI
+		sh.mu.Unlock()
 	case nas.EventDetached:
 		c.detaches.Add(1)
-		c.mu.Lock()
-		delete(c.gutis, ev.GUTI)
-		c.mu.Unlock()
+		// The GUTI is UE-echoed: route the unmap to whichever shard
+		// owns that value (a garbage GUTI unmaps nothing).
+		own := c.shardOfGUTI(ev.GUTI)
+		own.mu.Lock()
+		delete(own.gutis, ev.GUTI)
+		own.mu.Unlock()
 		defer c.releaseSession(s)
 	case nas.EventRejected, nas.EventAuthFailed:
 		c.rejects.Add(1)
@@ -439,14 +574,29 @@ func (c *Core) feedNAS(ec *enbConn, s *ueSession, pdu []byte) error {
 			return err
 		}
 	}
-	// NAS-level failures (bad MAC, replay, unknown messages) are
-	// per-UE; surface them without killing the association.
+	// NAS-level failures (bad MAC, replay, illegal lifecycle
+	// transitions) are per-UE; surface them without killing the
+	// association.
 	return nasErr
 }
 
+// releaseSession ends a session's lifecycle (EvRelease is legal from
+// every state) and tears down its user plane — but only if it is
+// still the canonical session for its IMSI: a stale, superseded
+// session releasing late must not destroy its successor's gateway
+// session.
 func (c *Core) releaseSession(s *ueSession) {
-	if s.imsi != "" {
-		c.gw.DeleteSession(s.imsi)
+	s.nasSession.FSM().Fire(session.EvRelease)
+	sh := s.shard
+	sh.mu.Lock()
+	imsi := s.imsi
+	owner := imsi != "" && sh.byIMSI[imsi] == s
+	if owner {
+		delete(sh.byIMSI, imsi)
+	}
+	sh.mu.Unlock()
+	if owner {
+		c.gw.DeleteSession(imsi)
 	}
 }
 

@@ -1,0 +1,109 @@
+package epc
+
+import (
+	"sync"
+	"time"
+
+	"dlte/internal/simnet"
+)
+
+// gateEpsilon is the registration window of a deterministic gate:
+// every entrant that arrives at one virtual instant gets this long
+// (one virtual nanosecond — invisible at any rendered precision) to
+// enqueue before admission order is decided. Under a VirtualClock,
+// time cannot pass the window until all goroutines woken at that
+// instant have run, so the queue is complete when the window closes.
+const gateEpsilon = time.Nanosecond
+
+// gateWaiter is one entrant awaiting admission, keyed by virtual
+// arrival time with an actor ID (the eNB connection ID) as tiebreak.
+type gateWaiter struct {
+	at    time.Time
+	actor string
+}
+
+// detGate admits work onto a bounded number of slots in deterministic
+// order. A bare mutex (or semaphore) would admit same-instant
+// entrants in whatever order the Go scheduler unblocks them —
+// nondeterministic under concurrent simulation worlds. Instead
+// admission is strictly by (virtual arrival time, actor ID), both
+// functions of simulation state alone: messages on one S1AP
+// association are inherently serial, so the key is total, and
+// earlier-instant arrivals are always enqueued before virtual time
+// moves on (the VirtualClock only advances over a quiescent world).
+//
+// Two gates are built on this: each session shard's serving gate
+// (capacity 1 — at most one signaling message per shard in flight,
+// which is what makes shard state single-writer) and the modeled
+// signaling processor of a centralized EPC (capacity =
+// SignalingProcessors, where the admitted work is a ProcessingDelay
+// sleep — an M/D/k queue in virtual time).
+type detGate struct {
+	capacity int // admission slots; 0 means 1
+
+	mu      sync.Mutex
+	waiters []gateWaiter // sorted by (at, actor); small: one per eNB conn
+	running int
+	done    chan struct{} // closed and replaced at each admission/completion
+}
+
+func (g *detGate) enqueue(w gateWaiter) {
+	g.mu.Lock()
+	if g.done == nil {
+		g.done = make(chan struct{})
+	}
+	i := 0
+	for i < len(g.waiters) && (g.waiters[i].at.Before(w.at) ||
+		(g.waiters[i].at.Equal(w.at) && g.waiters[i].actor < w.actor)) {
+		i++
+	}
+	g.waiters = append(g.waiters, gateWaiter{})
+	copy(g.waiters[i+1:], g.waiters[i:])
+	g.waiters[i] = w
+	g.mu.Unlock()
+}
+
+// wake unblocks every parked entrant so it can re-check admission.
+// Called whenever a slot frees or the queue head is consumed.
+func (g *detGate) wake() {
+	close(g.done)
+	g.done = make(chan struct{})
+}
+
+// run executes fn once admitted. All waits go through the clock
+// (Sleep, Block-bracketed channel receives) so a VirtualClock sees
+// queued goroutines as parked and advances virtual time
+// deterministically.
+func (g *detGate) run(clk simnet.Clock, actor string, fn func()) {
+	w := gateWaiter{at: clk.Now(), actor: actor}
+	g.enqueue(w)
+	clk.Sleep(gateEpsilon) // same-instant arrivals finish enqueueing
+	for {
+		g.mu.Lock()
+		slots := g.capacity
+		if slots < 1 {
+			slots = 1
+		}
+		if g.running < slots && g.waiters[0] == w {
+			g.waiters = g.waiters[1:]
+			g.running++
+			// The next waiter may be admissible right now (capacity > 1):
+			// let it re-check instead of waiting for a completion.
+			g.wake()
+			g.mu.Unlock()
+
+			fn()
+
+			g.mu.Lock()
+			g.running--
+			g.wake()
+			g.mu.Unlock()
+			return
+		}
+		ch := g.done
+		g.mu.Unlock()
+		clk.Block()
+		<-ch
+		clk.Unblock()
+	}
+}

@@ -49,46 +49,55 @@ func TestExperimentsDeterministic(t *testing.T) {
 	}
 }
 
-// TestSerialParallelIdentical is the regression gate for the parallel
-// world-runner: the same seed must render byte-identical tables whether
-// the sweeps run serially or with every world concurrent. E3 covers
-// the contended-signaling-processor worlds (the shared centralized EPC,
+// TestSerialParallelIdentical is the regression gate for the two
+// real-CPU knobs: the same seed must render byte-identical tables
+// whether the sweeps run serially or with every world concurrent
+// (Parallelism), and whether each simulated core serves its sessions
+// on one shard or eight (Shards). E3 covers the
+// contended-signaling-processor worlds (the shared centralized EPC,
 // historically the first place scheduler interleaving leaked into
 // results); E4 covers roaming and retransmission timing.
 func TestSerialParallelIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	run := func(parallelism int) []byte {
+	run := func(parallelism, shards int) []byte {
 		var buf bytes.Buffer
-		opt := Options{Quick: true, Seed: 42, Out: &buf, Parallelism: parallelism}
+		opt := Options{Quick: true, Seed: 42, Out: &buf, Parallelism: parallelism, Shards: shards}
 		if _, err := RunE3(opt); err != nil {
-			t.Fatalf("E3 (p=%d): %v", parallelism, err)
+			t.Fatalf("E3 (p=%d s=%d): %v", parallelism, shards, err)
 		}
 		if _, err := RunE4(opt); err != nil {
-			t.Fatalf("E4 (p=%d): %v", parallelism, err)
+			t.Fatalf("E4 (p=%d s=%d): %v", parallelism, shards, err)
 		}
 		return buf.Bytes()
 	}
-	serial := run(1)
-	parallel := run(8)
-	if !bytes.Equal(serial, parallel) {
+	diverge := func(labelA, labelB string, a, b []byte) {
+		t.Helper()
+		if bytes.Equal(a, b) {
+			return
+		}
 		i := 0
-		for i < len(serial) && i < len(parallel) && serial[i] == parallel[i] {
+		for i < len(a) && i < len(b) && a[i] == b[i] {
 			i++
 		}
 		lo := i - 120
 		if lo < 0 {
 			lo = 0
 		}
-		hiS, hiP := i+120, i+120
-		if hiS > len(serial) {
-			hiS = len(serial)
+		hiA, hiB := i+120, i+120
+		if hiA > len(a) {
+			hiA = len(a)
 		}
-		if hiP > len(parallel) {
-			hiP = len(parallel)
+		if hiB > len(b) {
+			hiB = len(b)
 		}
-		t.Fatalf("serial and parallel runs diverge at byte %d:\n--- serial (p=1) ---\n%s\n--- parallel (p=8) ---\n%s",
-			i, serial[lo:hiS], parallel[lo:hiP])
+		t.Fatalf("%s and %s runs diverge at byte %d:\n--- %s ---\n%s\n--- %s ---\n%s",
+			labelA, labelB, i, labelA, a[lo:hiA], labelB, b[lo:hiB])
 	}
+	serial := run(1, 1)
+	parallel := run(8, 1)
+	sharded := run(8, 8)
+	diverge("serial (p=1,s=1)", "parallel (p=8,s=1)", serial, parallel)
+	diverge("serial (p=1,s=1)", "sharded (p=8,s=8)", serial, sharded)
 }

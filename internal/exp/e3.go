@@ -20,8 +20,14 @@ import (
 // processor saturates.
 type E3Result struct {
 	Table *metrics.Table
+	// ProcTable is the E3b sweep: the centralized core at MaxAPs with a
+	// sharded MME serving 1, 4, and 8 signaling messages in parallel.
+	ProcTable *metrics.Table
 	// P99ByArch maps "dlte"/"central" → AP count → p99 attach ms.
 	P99ByArch map[string]map[int]float64
+	// ShardedP99ByProcs maps signaling-processor count → p99 attach ms
+	// for the centralized core at MaxAPs (the E3b sweep).
+	ShardedP99ByProcs map[int]float64
 	// Largest N swept.
 	MaxAPs int
 }
@@ -33,10 +39,21 @@ const e3ProcDelay = 2 * time.Millisecond
 // uesPerAP is the attach-storm size per site.
 const uesPerAP = 3
 
+// e3ProcSweep is the E3b signaling-processor counts swept on the
+// centralized core at MaxAPs. K=1 is the classic single-threaded MME;
+// larger K models a sharded MME draining K messages concurrently.
+var e3ProcSweep = []int{1, 4, 8}
+
 // RunE3 runs simultaneous attach storms against dLTE stubs and a
-// shared centralized EPC at increasing AP counts.
+// shared centralized EPC at increasing AP counts, then sweeps the
+// centralized core's signaling-processor count at the largest storm
+// (E3b): sharding the MME recovers some headroom, but the shared core
+// remains the serialization point dLTE removes entirely.
 func RunE3(opt Options) (E3Result, error) {
-	res := E3Result{P99ByArch: map[string]map[int]float64{"dlte": {}, "central": {}}}
+	res := E3Result{
+		P99ByArch:         map[string]map[int]float64{"dlte": {}, "central": {}},
+		ShardedP99ByProcs: map[int]float64{},
+	}
 	apCounts := []int{1, 2, 4, 8}
 	if opt.Quick {
 		apCounts = []int{1, 4}
@@ -46,28 +63,39 @@ func RunE3(opt Options) (E3Result, error) {
 	t := metrics.NewTable("E3 — §4.1: local-core scaling under attach storms",
 		"architecture", "APs", "UEs", "attach p50 ms", "attach p99 ms", "core msgs")
 
-	// Each (architecture, AP count) point is an independent world; run
-	// them all concurrently and render rows index-ordered afterwards.
+	// Each (architecture, AP count) point is an independent world, and
+	// so is each E3b processor count; run them all concurrently and
+	// render rows index-ordered afterwards. Index layout:
+	// [0, len(apCounts)) dLTE storms, [len, 2*len) central storms,
+	// [2*len, 2*len+len(e3ProcSweep)) E3b processor sweep at MaxAPs.
 	type point struct {
 		p50, p99 float64
 		msgs     uint64
 	}
-	pts := make([]point, 2*len(apCounts))
+	pts := make([]point, 2*len(apCounts)+len(e3ProcSweep))
 	err := forEachWorld(opt, len(pts), func(i int) error {
-		nAP := apCounts[i%len(apCounts)]
 		var (
 			p point
 			e error
 		)
-		if i < len(apCounts) {
-			p.p50, p.p99, p.msgs, e = runDLTEStorm(nAP, opt.Seed)
+		switch {
+		case i < len(apCounts):
+			nAP := apCounts[i]
+			p.p50, p.p99, p.msgs, e = runDLTEStorm(nAP, opt.Seed, opt.Shards)
 			if e != nil {
 				return fmt.Errorf("E3 dlte n=%d: %w", nAP, e)
 			}
-		} else {
-			p.p50, p.p99, p.msgs, e = runCentralStorm(nAP, opt.Seed)
+		case i < 2*len(apCounts):
+			nAP := apCounts[i-len(apCounts)]
+			p.p50, p.p99, p.msgs, e = runCentralStorm(nAP, opt.Seed, opt.Shards, 1)
 			if e != nil {
 				return fmt.Errorf("E3 central n=%d: %w", nAP, e)
+			}
+		default:
+			procs := e3ProcSweep[i-2*len(apCounts)]
+			p.p50, p.p99, p.msgs, e = runCentralStorm(res.MaxAPs, opt.Seed, opt.Shards, procs)
+			if e != nil {
+				return fmt.Errorf("E3b central k=%d: %w", procs, e)
 			}
 		}
 		pts[i] = p
@@ -86,7 +114,20 @@ func RunE3(opt Options) (E3Result, error) {
 		t.AddRow("telecom LTE", nAP, nAP*uesPerAP, p.p50, p.p99, p.msgs)
 	}
 	res.Table = t
-	opt.emit(t)
+
+	pt := metrics.NewTable("E3b — sharded MME: attach storm vs signaling processors",
+		"architecture", "signaling procs", "APs", "UEs", "attach p50 ms", "attach p99 ms")
+	for i, procs := range e3ProcSweep {
+		p := pts[2*len(apCounts)+i]
+		res.ShardedP99ByProcs[procs] = p.p99
+		pt.AddRow("telecom LTE (sharded MME)", procs, res.MaxAPs, res.MaxAPs*uesPerAP, p.p50, p.p99)
+	}
+	// The comparison row: dLTE at the same storm size, where every AP
+	// is its own core and the latency floor needs no provisioning.
+	pt.AddRow("dLTE stubs", res.MaxAPs, res.MaxAPs, res.MaxAPs*uesPerAP,
+		pts[len(apCounts)-1].p50, pts[len(apCounts)-1].p99)
+	res.ProcTable = pt
+	opt.emit(t, pt)
 	return res, nil
 }
 
@@ -94,7 +135,7 @@ func RunE3(opt Options) (E3Result, error) {
 // APs simultaneously. Each stub carries exactly the same per-message
 // processing cost as the centralized core — the only difference under
 // test is that dLTE has one processor per site instead of one shared.
-func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err error) {
+func runDLTEStorm(nAP int, seed int64, shards int) (p50, p99 float64, coreMsgs uint64, err error) {
 	s, err := core.NewScenario(defaultWAN, seed)
 	if err != nil {
 		return 0, 0, 0, err
@@ -108,6 +149,7 @@ func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err e
 			Band:     radio.LTEBand5, HeightM: 20, EIRPdBm: 58,
 			Mode: x2.ModeFairShare, TAC: uint16(i + 1),
 			ProcessingDelay: e3ProcDelay,
+			Shards:          shards,
 		})
 		if aerr != nil {
 			return 0, 0, 0, aerr
@@ -181,14 +223,18 @@ func runDLTEStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err e
 }
 
 // runCentralStorm attaches the same UE population through one shared
-// EPC whose signaling processor costs e3ProcDelay per message.
-func runCentralStorm(nAP int, seed int64) (p50, p99 float64, coreMsgs uint64, err error) {
+// EPC whose signaling processor costs e3ProcDelay per message; procs
+// is the modeled number of parallel signaling processors (1 = the
+// classic single-threaded MME, >1 = E3b's sharded MME).
+func runCentralStorm(nAP int, seed int64, shards, procs int) (p50, p99 float64, coreMsgs uint64, err error) {
 	n := simnet.NewVirtualNetwork(simnet.Link{Latency: 10 * time.Millisecond}, seed)
 	defer n.Close()
 	central, err := baseline.NewCentralized(n, "epc", baseline.CentralizedConfig{
-		TAC:             1,
-		WANLink:         simnet.Link{Latency: 10 * time.Millisecond},
-		ProcessingDelay: e3ProcDelay,
+		TAC:                 1,
+		WANLink:             simnet.Link{Latency: 10 * time.Millisecond},
+		ProcessingDelay:     e3ProcDelay,
+		SignalingProcessors: procs,
+		Shards:              shards,
 	})
 	if err != nil {
 		return 0, 0, 0, err

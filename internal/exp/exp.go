@@ -38,6 +38,12 @@ type Options struct {
 	// each world derives its seed from (Seed, job index) and tables
 	// are rendered only after all worlds finish.
 	Parallelism int
+	// Shards is each simulated core's session shard count (see
+	// epc.Config.Shards). Like Parallelism it is a real-CPU knob only:
+	// rendered results are byte-identical at any value, because shards
+	// change which OS threads serve signaling, never the virtual-time
+	// order it is served in.
+	Shards int
 }
 
 func (o Options) emit(tables ...*metrics.Table) {
@@ -62,7 +68,9 @@ var defaultWAN = simnet.Link{Latency: 10 * time.Millisecond}
 
 // newDLTEWorld builds a scenario with n dLTE APs spaced apKm apart in
 // a line, all in one contention domain, plus an OTT host named "ott".
-func newDLTEWorld(n int, apKm float64, mode x2.Mode, seed int64) (*core.Scenario, []*core.AccessPoint, error) {
+// shards is threaded into every stub core (0 = one per CPU); it never
+// changes results, only real-CPU signaling throughput.
+func newDLTEWorld(n int, apKm float64, mode x2.Mode, seed int64, shards int) (*core.Scenario, []*core.AccessPoint, error) {
 	s, err := core.NewScenario(defaultWAN, seed)
 	if err != nil {
 		return nil, nil, err
@@ -74,8 +82,9 @@ func newDLTEWorld(n int, apKm float64, mode x2.Mode, seed int64) (*core.Scenario
 			Position: geo.Pt(float64(i)*apKm*1000, 0),
 			Band:     radio.LTEBand5,
 			HeightM:  20, EIRPdBm: 58,
-			Mode: mode,
-			TAC:  uint16(i + 1),
+			Mode:   mode,
+			TAC:    uint16(i + 1),
+			Shards: shards,
 		})
 		if err != nil {
 			s.Close()

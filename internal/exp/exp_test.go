@@ -73,6 +73,23 @@ func TestE3CoreScalingShape(t *testing.T) {
 	if cN <= dN {
 		t.Errorf("at %d APs: central p99 %v ≤ dLTE p99 %v", res.MaxAPs, cN, dN)
 	}
+	// E3b: a sharded MME (more signaling processors) relieves the
+	// storm — p99 at K=8 must beat the single-processor core. (At the
+	// quick storm size K=8 drains the queue entirely, converging on
+	// dLTE's latency floor; the centralized core's remaining cost is
+	// capacity provisioning, not queueing.)
+	k1, k8 := res.ShardedP99ByProcs[1], res.ShardedP99ByProcs[8]
+	if k1 == 0 || k8 == 0 {
+		t.Fatalf("E3b sweep missing points: %v", res.ShardedP99ByProcs)
+	}
+	if k8 >= k1 {
+		t.Errorf("E3b: p99 at K=8 procs %v ≥ K=1 %v", k8, k1)
+	}
+	// The K=1 sweep point and the E3 central row at MaxAPs are the
+	// same world; their p99s must agree exactly.
+	if k1 != cN {
+		t.Errorf("E3b K=1 p99 %v != E3 central p99 %v at %d APs", k1, cN, res.MaxAPs)
+	}
 }
 
 func TestE4MobilityShape(t *testing.T) {

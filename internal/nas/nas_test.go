@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dlte/internal/auth"
+	"dlte/internal/session"
 )
 
 func testSIM(t *testing.T, imsi string) auth.SIM {
@@ -98,7 +99,7 @@ func TestAttachHappyPath(t *testing.T) {
 	if strings.Join(trace, ",") != strings.Join(want, ",") {
 		t.Errorf("trace = %v, want %v", trace, want)
 	}
-	if ue.State() != UERegistered || net.State() != NetRegistered {
+	if ue.State() != UERegistered || net.State() != session.Attached {
 		t.Errorf("states: ue=%v net=%v", ue.State(), net.State())
 	}
 	if ue.IPAddress == "" || ue.IPAddress != net.IP() {
@@ -210,7 +211,7 @@ func TestDetachFlow(t *testing.T) {
 	if err != nil || !done {
 		t.Fatalf("detach accept: done=%v err=%v", done, err)
 	}
-	if ue.State() != UEDeregistered || net.State() != NetIdle {
+	if ue.State() != UEDeregistered || net.State() != session.Detached {
 		t.Errorf("states after detach: ue=%v net=%v", ue.State(), net.State())
 	}
 }
@@ -449,12 +450,9 @@ func TestStateStrings(t *testing.T) {
 			t.Errorf("missing UE state name %d", s)
 		}
 	}
-	for s := NetIdle; s <= NetRegistered; s++ {
-		if strings.HasPrefix(s.String(), "NetworkState(") {
-			t.Errorf("missing network state name %d", s)
-		}
-	}
-	if UEState(9).String() == "" || NetworkState(9).String() == "" {
+	// Network-side lifecycle state strings are covered by the session
+	// package's own tests.
+	if UEState(9).String() == "" {
 		t.Error("unknown states must still render")
 	}
 }
@@ -479,7 +477,7 @@ func TestNetworkGuards(t *testing.T) {
 	hss := auth.NewSubscriberDB(false)
 	net := testNetwork(t, hss)
 	resp, _ := Marshal(&AuthenticationResponse{RES: make([]byte, 8)})
-	if _, _, err := net.Handle(resp); !errors.Is(err, ErrUnexpectedMessage) {
+	if _, _, err := net.Handle(resp); !errors.Is(err, session.ErrIllegalTransition) {
 		t.Errorf("auth response in idle: %v", err)
 	}
 	det, _ := Marshal(&DetachRequest{})

@@ -4,37 +4,8 @@ import (
 	"fmt"
 
 	"dlte/internal/auth"
+	"dlte/internal/session"
 )
-
-// NetworkState is the network-side per-UE EMM state.
-type NetworkState int
-
-// Network-side states.
-const (
-	NetIdle NetworkState = iota
-	NetAuthPending
-	NetSecurityPending
-	NetAcceptPending
-	NetRegistered
-)
-
-// String names the state.
-func (s NetworkState) String() string {
-	switch s {
-	case NetIdle:
-		return "IDLE"
-	case NetAuthPending:
-		return "AUTH-PENDING"
-	case NetSecurityPending:
-		return "SECURITY-PENDING"
-	case NetAcceptPending:
-		return "ACCEPT-PENDING"
-	case NetRegistered:
-		return "REGISTERED"
-	default:
-		return fmt.Sprintf("NetworkState(%d)", int(s))
-	}
-}
 
 // EventKind classifies session events surfaced to the MME.
 type EventKind int
@@ -79,10 +50,14 @@ type NetworkConfig struct {
 	KnownGUTI func(guti uint64) bool
 }
 
-// NetworkSession is the network-side NAS state machine for one UE.
+// NetworkSession is the network-side NAS protocol handler for one UE.
+// Lifecycle state lives in the embedded session.Machine: Handle fires
+// the event for each uplink message before performing its side
+// effects, so an out-of-order message is rejected with a typed
+// *session.TransitionError and changes nothing.
 type NetworkSession struct {
 	cfg      NetworkConfig
-	state    NetworkState
+	fsm      session.Machine
 	imsi     string
 	vector   auth.Vector
 	sec      SecurityContext
@@ -97,8 +72,13 @@ func NewNetworkSession(cfg NetworkConfig) *NetworkSession {
 	return &NetworkSession{cfg: cfg}
 }
 
-// State reports the current network-side state.
-func (s *NetworkSession) State() NetworkState { return s.state }
+// State reports the current lifecycle state.
+func (s *NetworkSession) State() session.State { return s.fsm.State() }
+
+// FSM exposes the lifecycle machine so EPC-level paths (context
+// release, X2 handover completion) can drive the same authority NAS
+// processing uses.
+func (s *NetworkSession) FSM() *session.Machine { return &s.fsm }
 
 // IMSI reports the peer identity (set after AttachRequest).
 func (s *NetworkSession) IMSI() string { return s.imsi }
@@ -128,41 +108,48 @@ func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
 
 	switch m := msg.(type) {
 	case *AttachRequest:
+		if _, ferr := s.fsm.Fire(session.EvAttachRequest); ferr != nil {
+			return nil, Event{}, ferr
+		}
 		s.imsi = m.IMSI
+		s.resynced = false // fresh attach, fresh resync-loop budget
 		if !s.cfg.HSS.Known(auth.IMSI(m.IMSI)) {
-			s.state = NetIdle
+			s.fsm.Fire(session.EvReject)
 			out, merr := Marshal(&AttachReject{Cause: CauseIMSIUnknown})
 			return out, Event{Kind: EventRejected, IMSI: m.IMSI}, merr
 		}
 		v, verr := s.cfg.HSS.NextVector(auth.IMSI(m.IMSI), s.cfg.ServingNetworkID)
 		if verr != nil {
+			s.fsm.Fire(session.EvReject)
 			out, merr := Marshal(&AttachReject{Cause: CauseProtocolError})
 			return out, Event{Kind: EventRejected, IMSI: m.IMSI}, joinErr(verr, merr)
 		}
 		s.vector = v
-		s.state = NetAuthPending
 		out, merr := Marshal(&AuthenticationRequest{RAND: v.RAND, AUTN: v.AUTN})
 		return out, Event{}, merr
 
 	case *AuthenticationFailure:
-		if s.state != NetAuthPending {
-			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
-		}
 		if m.Cause != CauseSyncFailure || s.resynced {
 			// Either an unrecoverable failure or a second resync in one
 			// attach (a loop guard): give up on this UE.
-			s.state = NetIdle
+			if _, ferr := s.fsm.Fire(session.EvAuthFailure); ferr != nil {
+				return nil, Event{}, ferr
+			}
 			out, merr := Marshal(&AttachReject{Cause: CauseAuthFailure})
 			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, merr
 		}
+		if _, ferr := s.fsm.Fire(session.EvAuthResync); ferr != nil {
+			return nil, Event{}, ferr
+		}
 		if rerr := s.cfg.HSS.Resynchronize(auth.IMSI(s.imsi), s.vector.RAND, m.AUTS); rerr != nil {
-			s.state = NetIdle
+			s.fsm.Fire(session.EvAuthFailure)
 			out, merr := Marshal(&AuthenticationReject{Cause: CauseAuthFailure})
 			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, joinErr(rerr, merr)
 		}
 		s.resynced = true
 		v, verr := s.cfg.HSS.NextVector(auth.IMSI(s.imsi), s.cfg.ServingNetworkID)
 		if verr != nil {
+			s.fsm.Fire(session.EvReject)
 			out, merr := Marshal(&AttachReject{Cause: CauseProtocolError})
 			return out, Event{Kind: EventRejected, IMSI: s.imsi}, joinErr(verr, merr)
 		}
@@ -171,16 +158,17 @@ func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
 		return out, Event{}, merr
 
 	case *AuthenticationResponse:
-		if s.state != NetAuthPending {
-			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
-		}
 		if cerr := auth.CheckRES(s.vector, m.RES); cerr != nil {
-			s.state = NetIdle
+			if _, ferr := s.fsm.Fire(session.EvAuthFailure); ferr != nil {
+				return nil, Event{}, ferr
+			}
 			out, merr := Marshal(&AuthenticationReject{Cause: CauseAuthFailure})
 			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, joinErr(cerr, merr)
 		}
+		if _, ferr := s.fsm.Fire(session.EvAuthSuccess); ferr != nil {
+			return nil, Event{}, ferr
+		}
 		s.sec.Activate(s.vector.KASME)
-		s.state = NetSecurityPending
 		env, serr := s.sec.Seal(&SecurityModeCommand{IntegrityAlg: 1, CipherAlg: 0})
 		if serr != nil {
 			return nil, Event{}, serr
@@ -189,18 +177,18 @@ func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
 		return out, Event{}, merr
 
 	case *SecurityModeComplete:
-		if s.state != NetSecurityPending {
-			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		if _, ferr := s.fsm.Fire(session.EvSecurityComplete); ferr != nil {
+			return nil, Event{}, ferr
 		}
 		ip, aerr := s.cfg.AllocateIP(s.imsi)
 		if aerr != nil {
+			s.fsm.Fire(session.EvReject)
 			out, merr := Marshal(&AttachReject{Cause: CauseCongestion})
 			return out, Event{Kind: EventRejected, IMSI: s.imsi}, joinErr(aerr, merr)
 		}
 		s.ip = ip
 		s.guti = s.cfg.AllocateGUTI()
 		s.ebi = 5
-		s.state = NetAcceptPending
 		env, serr := s.sec.Seal(&AttachAccept{
 			GUTI:           s.guti,
 			TrackingArea:   s.cfg.TrackingArea,
@@ -215,17 +203,15 @@ func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
 		return out, Event{}, merr
 
 	case *AttachComplete:
-		if s.state != NetAcceptPending {
-			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		if _, ferr := s.fsm.Fire(session.EvAttachComplete); ferr != nil {
+			return nil, Event{}, ferr
 		}
-		s.state = NetRegistered
 		return nil, Event{Kind: EventRegistered, IMSI: s.imsi, IP: s.ip, GUTI: s.guti}, nil
 
 	case *DetachRequest:
-		if s.state != NetRegistered {
-			return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), s.state)
+		if _, ferr := s.fsm.Fire(session.EvDetachRequest); ferr != nil {
+			return nil, Event{}, ferr
 		}
-		s.state = NetIdle
 		env, serr := s.sec.Seal(&DetachAccept{})
 		if serr != nil {
 			return nil, Event{}, serr
@@ -234,6 +220,9 @@ func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
 		return out, Event{Kind: EventDetached, IMSI: s.imsi, GUTI: m.GUTI}, merr
 
 	case *TAURequest:
+		if _, ferr := s.fsm.Fire(session.EvTAURequest); ferr != nil {
+			return nil, Event{}, ferr
+		}
 		if s.cfg.KnownGUTI != nil && s.cfg.KnownGUTI(m.GUTI) {
 			out, merr := Marshal(&TAUAccept{TrackingArea: m.TrackingArea})
 			return out, Event{}, merr
@@ -245,7 +234,7 @@ func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
 		return out, Event{}, merr
 
 	default:
-		return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, msg.Type(), s.state)
+		return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, msg.Type(), s.fsm.State())
 	}
 }
 

@@ -32,24 +32,29 @@ const (
 	TypeUEContextReleaseComplete
 	TypePathSwitchRequest
 	TypePathSwitchAck
+	TypeUEContextReleaseRequest
 )
+
+// msgTypeNames is built once; String runs on logging/error paths that
+// must not allocate a map per call.
+var msgTypeNames = map[MsgType]string{
+	TypeS1SetupRequest:              "S1SetupRequest",
+	TypeS1SetupResponse:             "S1SetupResponse",
+	TypeInitialUEMessage:            "InitialUEMessage",
+	TypeDownlinkNASTransport:        "DownlinkNASTransport",
+	TypeUplinkNASTransport:          "UplinkNASTransport",
+	TypeInitialContextSetupRequest:  "InitialContextSetupRequest",
+	TypeInitialContextSetupResponse: "InitialContextSetupResponse",
+	TypeUEContextReleaseCommand:     "UEContextReleaseCommand",
+	TypeUEContextReleaseComplete:    "UEContextReleaseComplete",
+	TypePathSwitchRequest:           "PathSwitchRequest",
+	TypePathSwitchAck:               "PathSwitchAck",
+	TypeUEContextReleaseRequest:     "UEContextReleaseRequest",
+}
 
 // String names the type.
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		TypeS1SetupRequest:              "S1SetupRequest",
-		TypeS1SetupResponse:             "S1SetupResponse",
-		TypeInitialUEMessage:            "InitialUEMessage",
-		TypeDownlinkNASTransport:        "DownlinkNASTransport",
-		TypeUplinkNASTransport:          "UplinkNASTransport",
-		TypeInitialContextSetupRequest:  "InitialContextSetupRequest",
-		TypeInitialContextSetupResponse: "InitialContextSetupResponse",
-		TypeUEContextReleaseCommand:     "UEContextReleaseCommand",
-		TypeUEContextReleaseComplete:    "UEContextReleaseComplete",
-		TypePathSwitchRequest:           "PathSwitchRequest",
-		TypePathSwitchAck:               "PathSwitchAck",
-	}
-	if n, ok := names[t]; ok {
+	if n, ok := msgTypeNames[t]; ok {
 		return n
 	}
 	return fmt.Sprintf("S1AP(%d)", uint8(t))
@@ -228,6 +233,26 @@ func (m UEContextReleaseComplete) EncodeTo(w *wire.Writer) {
 	w.U32(m.MMEUEID)
 }
 
+// UEContextReleaseRequest is the eNodeB-initiated release (TS 36.413
+// §8.3.2): the radio link to a UE is gone, so the MME should end the
+// session with the standard command/complete exchange instead of
+// carrying the context forever.
+type UEContextReleaseRequest struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	Cause   uint8
+}
+
+// Type implements Message.
+func (UEContextReleaseRequest) Type() MsgType { return TypeUEContextReleaseRequest }
+
+// EncodeTo implements wire.Message.
+func (m UEContextReleaseRequest) EncodeTo(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U8(m.Cause)
+}
+
 // PathSwitchRequest asks the MME to move a UE's downlink tunnel to a
 // new eNodeB after an X2 handover (used by the centralized baseline).
 type PathSwitchRequest struct {
@@ -289,6 +314,8 @@ func Decode(b []byte) (Message, error) {
 		m = &PathSwitchRequest{MMEUEID: r.U32(), NewENBAddr: r.String8(), NewENBTEID: r.U32()}
 	case TypePathSwitchAck:
 		m = &PathSwitchAck{MMEUEID: r.U32()}
+	case TypeUEContextReleaseRequest:
+		m = &UEContextReleaseRequest{ENBUEID: r.U32(), MMEUEID: r.U32(), Cause: r.U8()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, t)
 	}

@@ -38,24 +38,27 @@ const (
 	TypeRelayData
 )
 
+// msgTypeNames is built once; String runs on logging/error paths that
+// must not allocate a map per call.
+var msgTypeNames = map[MsgType]string{
+	TypePeerHello:          "PeerHello",
+	TypePeerHelloAck:       "PeerHelloAck",
+	TypeLoadInformation:    "LoadInformation",
+	TypeHandoverRequest:    "HandoverRequest",
+	TypeHandoverRequestAck: "HandoverRequestAck",
+	TypeHandoverComplete:   "HandoverComplete",
+	TypeModeProposal:       "ModeProposal",
+	TypeModeResponse:       "ModeResponse",
+	TypeShareUpdate:        "ShareUpdate",
+	TypeUEContextPush:      "UEContextPush",
+	TypeRelayRequest:       "RelayRequest",
+	TypeRelayResponse:      "RelayResponse",
+	TypeRelayData:          "RelayData",
+}
+
 // String names the type.
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		TypePeerHello:          "PeerHello",
-		TypePeerHelloAck:       "PeerHelloAck",
-		TypeLoadInformation:    "LoadInformation",
-		TypeHandoverRequest:    "HandoverRequest",
-		TypeHandoverRequestAck: "HandoverRequestAck",
-		TypeHandoverComplete:   "HandoverComplete",
-		TypeModeProposal:       "ModeProposal",
-		TypeModeResponse:       "ModeResponse",
-		TypeShareUpdate:        "ShareUpdate",
-		TypeUEContextPush:      "UEContextPush",
-		TypeRelayRequest:       "RelayRequest",
-		TypeRelayResponse:      "RelayResponse",
-		TypeRelayData:          "RelayData",
-	}
-	if n, ok := names[t]; ok {
+	if n, ok := msgTypeNames[t]; ok {
 		return n
 	}
 	return fmt.Sprintf("X2(%d)", uint8(t))
