@@ -31,10 +31,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# Benchmark artifact: every benchmark (experiments + simnet hot paths)
+# Benchmark artifact: every benchmark (experiments, simnet hot paths,
+# gtp send/demux, epc user-plane uplink/downlink/breakout-vs-tunnel)
 # three times with allocation stats, as go test -json event stream.
+# The gtp and epc user-plane benchmarks report allocs/op; the 0-alloc
+# steady-state expectation is additionally enforced by
+# internal/gtp.TestSendDemuxZeroAlloc under plain `make test`.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 -json ./... | tee BENCH_PR2.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 -json ./... | tee BENCH.json
 
 # Determinism smoke: two same-seed runs must be byte-identical.
 smoke: build

@@ -42,6 +42,7 @@ func runners() []runner {
 	return []runner{
 		{"E1", "Table 1: design space", wrap(func(o exp.Options) error { _, err := exp.RunE1(o); return err })},
 		{"E2", "Figure 1: data path", wrap(func(o exp.Options) error { _, err := exp.RunE2(o); return err })},
+		{"E2b", "§3.1: user-plane saturation", wrap(func(o exp.Options) error { _, err := exp.RunE2b(o); return err })},
 		{"E3", "§4.1: core scaling", wrap(func(o exp.Options) error { _, err := exp.RunE3(o); return err })},
 		{"E4", "§4.2: mobility", wrap(func(o exp.Options) error { _, err := exp.RunE4(o); return err })},
 		{"E5", "§4.3: spectrum modes", wrap(func(o exp.Options) error { _, err := exp.RunE5(o); return err })},
@@ -65,7 +66,7 @@ type job struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: E1..E9 or 'all'")
+	expFlag := flag.String("exp", "all", "experiment to run: E1..E9, E2b, or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweeps (CI-sized)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	par := flag.Int("p", runtime.NumCPU(), "max concurrent simulation worlds (1 = fully serial)")
@@ -78,13 +79,13 @@ func main() {
 	want := strings.ToUpper(*expFlag)
 	var jobs []*job
 	for _, r := range runners() {
-		if want != "ALL" && want != r.id {
+		if want != "ALL" && want != strings.ToUpper(r.id) {
 			continue
 		}
 		jobs = append(jobs, &job{r: r, done: make(chan struct{})})
 	}
 	if len(jobs) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9, E2b, or all)\n", *expFlag)
 		os.Exit(2)
 	}
 

@@ -64,6 +64,11 @@ type SubscriberDB struct {
 	// Open marks a dLTE-style open HSS: unknown IMSIs presenting a
 	// published key are admitted on first use.
 	Open bool
+	// Now supplies the time base for SQN generation (see NextVector).
+	// Defaults to time.Now; simulated cores must point it at their
+	// virtual clock, or SQN freshness across independent cores depends
+	// on real scheduling and the run stops being deterministic.
+	Now func() time.Time
 }
 
 type subscriberEntry struct {
@@ -128,7 +133,11 @@ func (db *SubscriberDB) NextVector(imsi IMSI, snID string) (Vector, error) {
 	// same millisecond, which a real attach exchange (several RTTs)
 	// cannot do. AUTS resynchronization (Resynchronize) recovers any
 	// residual skew.
-	timeBased := uint64(time.Now().UnixMilli()) << 5
+	now := time.Now
+	if db.Now != nil {
+		now = db.Now
+	}
+	timeBased := uint64(now().UnixMilli()) << 5
 	if timeBased > e.sqn {
 		e.sqn = timeBased
 	} else {

@@ -70,6 +70,29 @@ func EncodeAir(t AirMsgType, payload []byte) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
+// AppendAir appends one framed air message to dst and returns the
+// extended slice: the allocation-free encode for the per-packet data
+// path (dst is typically a pooled buffer from wire.GetFrame).
+func AppendAir(dst []byte, t AirMsgType, payload []byte) ([]byte, error) {
+	if len(payload) > 0xFFFF {
+		return dst, fmt.Errorf("enb: air payload length %d overflows", len(payload))
+	}
+	dst = append(dst, uint8(t), byte(len(payload)>>8), byte(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// DecodeAirView parses one air message without copying: the payload is
+// a view into b, valid only as long as b is. Retainers must copy.
+func DecodeAirView(b []byte) (AirMsgType, []byte, error) {
+	r := wire.NewReader(b)
+	t := AirMsgType(r.U8())
+	payload := r.View16()
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadAirFrame, err)
+	}
+	return t, payload, nil
+}
+
 // DecodeAir parses one air message.
 func DecodeAir(b []byte) (AirMsgType, []byte, error) {
 	r := wire.NewReader(b)

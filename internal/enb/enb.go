@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"dlte/internal/gtp"
 	"dlte/internal/s1ap"
@@ -51,11 +52,14 @@ type ueCtx struct {
 	air     *wire.FrameConn
 	raw     net.Conn
 
-	mu        sync.Mutex
-	dlTEID    uint32 // eNodeB-local TEID for downlink
-	ulBound   bool   // uplink tunnel toward the gateway is live
-	ulTEIDloc uint32 // local TEID whose reverse points at the gateway
-	released  bool   // core commanded this context's release already
+	// ul is the local TEID whose reverse direction points at the
+	// gateway, or 0 before the uplink tunnel is live. It is read on
+	// every uplink data packet, so it is atomic rather than behind mu.
+	ul atomic.Uint32
+
+	mu       sync.Mutex
+	dlTEID   uint32 // eNodeB-local TEID for downlink
+	released bool   // core commanded this context's release already
 }
 
 // New creates an eNodeB on host and connects it to its core: dials
@@ -154,11 +158,11 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 		if ctx.dlTEID != 0 {
 			e.gtpE.Release(ctx.dlTEID)
 		}
-		if ctx.ulTEIDloc != 0 {
-			e.gtpE.Release(ctx.ulTEIDloc)
-		}
 		released := ctx.released
 		ctx.mu.Unlock()
+		if ul := ctx.ul.Load(); ul != 0 {
+			e.gtpE.Release(ul)
+		}
 		// The radio link is gone: unless the core itself commanded the
 		// release (or the whole eNodeB is shutting down), report it
 		// upstream so the UE's session is evicted instead of lingering
@@ -168,13 +172,17 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 		}
 	}()
 
+	// Frames are read into pooled buffers and decoded by view: every
+	// consumer below (S1AP send, GTP send) copies synchronously, so the
+	// buffer is recycled as soon as the frame is dispatched.
 	for {
-		frame, err := fc.Recv()
+		frame, err := fc.RecvOwned()
 		if err != nil {
 			return
 		}
-		t, payload, err := DecodeAir(frame)
+		t, payload, err := DecodeAirView(frame)
 		if err != nil {
+			wire.PutFrame(frame)
 			continue
 		}
 		switch t {
@@ -186,16 +194,14 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 				e.s1.Send(&s1ap.UplinkNASTransport{ENBUEID: ctx.enbUEID, NASPDU: payload})
 			}
 		case AirDataUp:
-			ctx.mu.Lock()
-			bound := ctx.ulBound
-			teid := ctx.ulTEIDloc
-			ctx.mu.Unlock()
-			if bound {
+			if teid := ctx.ul.Load(); teid != 0 {
 				e.gtpE.Send(teid, payload)
 			}
 		case AirRelease:
+			wire.PutFrame(frame)
 			return
 		}
+		wire.PutFrame(frame)
 	}
 }
 
@@ -233,11 +239,14 @@ func (e *ENodeB) lookup(enbUEID uint32) *ueCtx {
 }
 
 func (e *ENodeB) sendAir(ctx *ueCtx, t AirMsgType, payload []byte) {
-	frame, err := EncodeAir(t, payload)
-	if err != nil {
-		return
+	// The air frame is assembled in a pooled buffer: Send's stream layer
+	// owns its own copy by the time it returns, so the scratch recycles.
+	// This is the per-packet downlink path (GTP demux → UE air).
+	frame, err := AppendAir(wire.GetFrame(), t, payload)
+	if err == nil {
+		ctx.air.Send(frame)
 	}
-	ctx.air.Send(frame)
+	wire.PutFrame(frame)
 }
 
 // setupContext wires the UE's data path: a downlink TEID delivering to
@@ -263,9 +272,8 @@ func (e *ENodeB) setupContext(m *s1ap.InitialContextSetupRequest) {
 	}
 	ctx.mu.Lock()
 	ctx.dlTEID = dlTEID
-	ctx.ulTEIDloc = ulTEID
-	ctx.ulBound = true
 	ctx.mu.Unlock()
+	ctx.ul.Store(ulTEID)
 
 	e.s1.Send(&s1ap.InitialContextSetupResponse{
 		ENBUEID: m.ENBUEID,

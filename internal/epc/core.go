@@ -82,6 +82,27 @@ type Stats struct {
 	Rejects uint64
 	// Detaches counts completed detaches.
 	Detaches uint64
+	// UserPlaneDrops aggregates the gateway's and GTP endpoint's
+	// per-packet drop counters, so a run's silent-discard budget is
+	// visible next to its signaling totals.
+	UserPlaneDrops UserPlaneDrops
+}
+
+// UserPlaneDrops breaks down user-plane packet drops by cause.
+type UserPlaneDrops struct {
+	// Malformed counts packets failing GTP decode or user-packet
+	// framing (including unparseable NAT remotes).
+	Malformed uint64
+	// UnknownTEID counts well-formed G-PDUs with no live tunnel.
+	UnknownTEID uint64
+	// UnboundDownlink counts Internet return traffic arriving before
+	// the downlink path was bound.
+	UnboundDownlink uint64
+}
+
+// Total sums all drop causes.
+func (d UserPlaneDrops) Total() uint64 {
+	return d.Malformed + d.UnknownTEID + d.UnboundDownlink
 }
 
 // Core is an EPC control+user plane: HSS, MME, and gateway. Deploy one
@@ -147,10 +168,15 @@ func NewCore(host *simnet.Host, cfg Config) (*Core, error) {
 	if n > maxShards {
 		n = maxShards
 	}
+	hss := auth.NewSubscriberDB(cfg.OpenHSS)
+	// SQN freshness must follow the simulation's clock, not the wall
+	// clock: two cores challenging the same roaming SIM within one
+	// *real* millisecond would otherwise race into AUTS resync.
+	hss.Now = host.Clock().Now
 	c := &Core{
 		cfg:        cfg,
 		host:       host,
-		hss:        auth.NewSubscriberDB(cfg.OpenHSS),
+		hss:        hss,
 		gw:         gw,
 		shards:     make([]*sessShard, n),
 		allowedENB: make(map[uint32]bool),
@@ -246,11 +272,18 @@ func (c *Core) CompleteHandover(imsi string) {
 
 // Stats snapshots the signaling counters.
 func (c *Core) Stats() Stats {
+	gd := c.gw.Drops()
+	td := c.gw.TunnelDrops()
 	return Stats{
 		SignalingMessages: c.sigMsgs.Load(),
 		Attaches:          c.attaches.Load(),
 		Rejects:           c.rejects.Load(),
 		Detaches:          c.detaches.Load(),
+		UserPlaneDrops: UserPlaneDrops{
+			Malformed:       uint64(td.Malformed.Value() + gd.MalformedUser.Value() + gd.BadRemote.Value()),
+			UnknownTEID:     uint64(td.UnknownTEID.Value()),
+			UnboundDownlink: uint64(gd.UnboundDownlink.Value()),
+		},
 	}
 }
 

@@ -5,11 +5,39 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"dlte/internal/gtp"
+	"dlte/internal/metrics"
 	"dlte/internal/simnet"
 )
+
+// maxIPIndex bounds the PDN pool to the 10.45.0.0/16 block the
+// ipForIndex formula can express: indices 1..63999 map onto
+// 10.45.0.2 .. 10.45.255.250.
+const maxIPIndex = 63999
+
+// ErrAddressPoolExhausted reports that every PDN address is held by a
+// live session. Sessions must be deleted (or superseded) to free one.
+var ErrAddressPoolExhausted = errors.New("epc: PDN address pool exhausted")
+
+// ipForIndex maps a pool index to its dotted address.
+func ipForIndex(i int) string { return fmt.Sprintf("10.45.%d.%d", i/250, i%250+1) }
+
+// GatewayDrops exposes the gateway's user-plane drop counters. Every
+// silent discard on the forwarding path is accounted: drops are rare
+// in healthy runs, so a nonzero counter is a diagnosis shortcut.
+type GatewayDrops struct {
+	// MalformedUser counts uplink G-PDUs whose user-packet framing
+	// fails to decode.
+	MalformedUser *metrics.Counter
+	// BadRemote counts uplink packets whose remote endpoint does not
+	// parse as an address.
+	BadRemote *metrics.Counter
+	// UnboundDownlink counts Internet return traffic arriving before
+	// the eNodeB bound the downlink (dropped like a NAT without state).
+	UnboundDownlink *metrics.Counter
+}
 
 // Gateway is the combined S/P-GW: it terminates GTP-U tunnels from
 // eNodeBs, holds the PDN address pool, and performs NAT-style breakout
@@ -19,23 +47,40 @@ type Gateway struct {
 	host *simnet.Host
 	ep   *gtp.Endpoint
 
+	// nat caches parsed+boxed remote addresses keyed by their wire
+	// string, copy-on-write so the uplink path reads without locking
+	// (the remote set is the experiment's few servers, so the cache
+	// stays tiny and is never evicted). natMu serializes cache misses.
+	nat   atomic.Pointer[natCache]
+	natMu sync.Mutex
+
+	drops GatewayDrops
+
 	mu       sync.Mutex
 	sessions map[string]*gwSession // IMSI → session
-	nextIP   int
+	ipFree   []int                 // released pool indices, reused LIFO
+	ipNext   int                   // high-water mark of never-used indices
 	closed   bool
+}
+
+type natCache struct {
+	m map[string]net.Addr // value boxed once; lookups return it alloc-free
+}
+
+// enbBind is the session's downlink target, published atomically so
+// the forwarding loop reads it without a lock. Immutable once stored.
+type enbBind struct {
+	addr net.Addr
+	teid uint32
 }
 
 type gwSession struct {
 	imsi      string
 	ueIP      string
+	ipIdx     int
 	localTEID uint32
 	ext       *simnet.PacketConn
-	done      chan struct{}
-
-	mu       sync.Mutex
-	enbAddr  net.Addr
-	enbTEID  uint32
-	boundENB bool
+	bind      atomic.Pointer[enbBind]
 }
 
 // ErrNoSession reports an operation on an unknown subscriber session.
@@ -50,11 +95,18 @@ func NewGateway(host *simnet.Host) (*Gateway, error) {
 	if err != nil {
 		return nil, fmt.Errorf("epc: gateway: %w", err)
 	}
-	return &Gateway{
+	g := &Gateway{
 		host:     host,
 		ep:       gtp.NewEndpoint(pc),
 		sessions: make(map[string]*gwSession),
-	}, nil
+		drops: GatewayDrops{
+			MalformedUser:   &metrics.Counter{},
+			BadRemote:       &metrics.Counter{},
+			UnboundDownlink: &metrics.Counter{},
+		},
+	}
+	g.nat.Store(&natCache{m: map[string]net.Addr{}})
+	return g, nil
 }
 
 // Host reports the gateway's host (its GTP-U address is Host():2152).
@@ -62,6 +114,32 @@ func (g *Gateway) Host() string { return g.host.Name() }
 
 // GTPAddr reports the gateway's GTP-U endpoint address string.
 func (g *Gateway) GTPAddr() string { return fmt.Sprintf("%s:%d", g.host.Name(), GTPPort) }
+
+// Drops exposes the gateway's forwarding drop counters.
+func (g *Gateway) Drops() GatewayDrops { return g.drops }
+
+// TunnelDrops exposes the underlying GTP endpoint's demux drop
+// counters (malformed G-PDUs, unknown TEIDs).
+func (g *Gateway) TunnelDrops() gtp.DropCounters { return g.ep.Drops() }
+
+// allocIP hands out a PDN pool index, preferring released ones so a
+// long-lived gateway cycles a bounded address block instead of walking
+// off the subnet. Callers hold g.mu.
+func (g *Gateway) allocIP() (int, error) {
+	if n := len(g.ipFree); n > 0 {
+		idx := g.ipFree[n-1]
+		g.ipFree = g.ipFree[:n-1]
+		return idx, nil
+	}
+	if g.ipNext >= maxIPIndex {
+		return 0, ErrAddressPoolExhausted
+	}
+	g.ipNext++
+	return g.ipNext, nil
+}
+
+// releaseIP returns a session's pool index for reuse. Callers hold g.mu.
+func (g *Gateway) releaseIP(idx int) { g.ipFree = append(g.ipFree, idx) }
 
 // CreateSession allocates a PDN address and an uplink TEID for imsi.
 // The returned TEID is what the eNodeB must stamp on uplink G-PDUs.
@@ -77,27 +155,30 @@ func (g *Gateway) CreateSession(imsi string) (ueIP string, uplinkTEID uint32, er
 	}
 	if old, ok := g.sessions[imsi]; ok {
 		delete(g.sessions, imsi)
+		g.releaseIP(old.ipIdx)
 		g.mu.Unlock()
-		close(old.done)
 		g.ep.Release(old.localTEID)
 		old.ext.Close()
 		g.mu.Lock()
 	}
 	defer g.mu.Unlock()
-	g.nextIP++
-	ip := fmt.Sprintf("10.45.%d.%d", g.nextIP/250, g.nextIP%250+1)
+	idx, err := g.allocIP()
+	if err != nil {
+		return "", 0, err
+	}
 
 	ext, err := g.host.ListenPacket(0)
 	if err != nil {
+		g.releaseIP(idx)
 		return "", 0, fmt.Errorf("epc: external socket: %w", err)
 	}
-	s := &gwSession{imsi: imsi, ueIP: ip, ext: ext, done: make(chan struct{})}
+	s := &gwSession{imsi: imsi, ueIP: ipForIndex(idx), ipIdx: idx, ext: ext}
 	s.localTEID = g.ep.AllocateTEID(func(payload []byte, _ net.Addr) {
 		g.uplink(s, payload)
 	})
 	g.sessions[imsi] = s
 	g.host.Clock().Go(func() { g.downlinkLoop(s) })
-	return ip, s.localTEID, nil
+	return s.ueIP, s.localTEID, nil
 }
 
 // BindDownlink completes the data path: downlink packets for imsi are
@@ -109,11 +190,7 @@ func (g *Gateway) BindDownlink(imsi string, enbAddr net.Addr, enbTEID uint32) er
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSession, imsi)
 	}
-	s.mu.Lock()
-	s.enbAddr = enbAddr
-	s.enbTEID = enbTEID
-	s.boundENB = true
-	s.mu.Unlock()
+	s.bind.Store(&enbBind{addr: enbAddr, teid: enbTEID})
 	// The uplink tunnel's reverse direction targets the eNodeB.
 	return g.ep.Bind(s.localTEID, enbTEID, enbAddr)
 }
@@ -130,12 +207,12 @@ func (g *Gateway) DeleteSession(imsi string) error {
 	s, ok := g.sessions[imsi]
 	if ok {
 		delete(g.sessions, imsi)
+		g.releaseIP(s.ipIdx)
 	}
 	g.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSession, imsi)
 	}
-	close(s.done)
 	g.ep.Release(s.localTEID)
 	s.ext.Close()
 	return nil
@@ -159,47 +236,78 @@ func (g *Gateway) NumSessions() int {
 	return len(g.sessions)
 }
 
+// natDst resolves a wire-form remote endpoint to its boxed address via
+// the copy-on-write cache: the steady-state path is one lock-free map
+// lookup (keyed by the byte view without conversion cost).
+func (g *Gateway) natDst(remote []byte) (net.Addr, bool) {
+	if a, ok := g.nat.Load().m[string(remote)]; ok {
+		return a, true
+	}
+	addr, err := simnet.ParseAddr(string(remote))
+	if err != nil {
+		return nil, false
+	}
+	g.natMu.Lock()
+	old := g.nat.Load().m
+	m := make(map[string]net.Addr, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[string(remote)] = addr
+	g.nat.Store(&natCache{m: m})
+	g.natMu.Unlock()
+	return addr, true
+}
+
 // uplink handles a decapsulated uplink user packet: NAT it out the
-// session's external socket toward its Internet peer.
+// session's external socket toward its Internet peer. payload is a
+// view into the GTP receive buffer; the view decode and the socket's
+// own interior copy keep the path allocation-free.
 func (g *Gateway) uplink(s *gwSession, payload []byte) {
-	p, err := DecodeUserPacket(payload)
+	remote, data, err := DecodeUserPacketView(payload)
 	if err != nil {
+		g.drops.MalformedUser.Inc()
 		return
 	}
-	addr, err := simnet.ParseAddr(p.Remote)
-	if err != nil {
+	addr, ok := g.natDst(remote)
+	if !ok {
+		g.drops.BadRemote.Inc()
 		return
 	}
-	s.ext.WriteTo(p.Payload, addr)
+	s.ext.WriteTo(data, addr)
 }
 
 // downlinkLoop forwards Internet return traffic back through the
-// session's tunnel toward the eNodeB.
+// session's tunnel toward the eNodeB. It blocks on owned reads (no
+// deadline churn; closing the socket unblocks it), memoizes the
+// rendered source address across the run of packets from one peer, and
+// builds the tunneled packet in a pooled buffer behind GTP headroom —
+// steady state costs no allocation.
 func (g *Gateway) downlinkLoop(s *gwSession) {
-	clk := g.host.Clock()
-	buf := make([]byte, 64*1024)
+	var lastFrom net.Addr
+	var lastRemote string
 	for {
-		select {
-		case <-s.done:
-			return
-		default:
-		}
-		s.ext.SetReadDeadline(clk.Now().Add(200 * time.Millisecond))
-		n, from, err := s.ext.ReadFrom(buf)
+		data, from, err := s.ext.ReadFromOwned()
 		if err != nil {
+			return // socket closed (session deleted or gateway down)
+		}
+		bind := s.bind.Load()
+		if bind == nil {
+			g.drops.UnboundDownlink.Inc()
+			simnet.PutPayload(data)
 			continue
 		}
-		s.mu.Lock()
-		bound := s.boundENB
-		s.mu.Unlock()
-		if !bound {
-			continue // no data path yet; drop like a NAT without state
+		if from != lastFrom {
+			lastFrom, lastRemote = from, from.String()
 		}
-		enc, err := EncodeUserPacket(UserPacket{Remote: from.String(), Payload: buf[:n]})
+		buf := gtp.GetBuffer()
+		buf, err = AppendUserPacket(buf, lastRemote, data)
+		simnet.PutPayload(data)
 		if err != nil {
+			gtp.PutBuffer(buf)
 			continue
 		}
-		g.ep.Send(s.localTEID, enc)
+		g.ep.SendBuffer(s.localTEID, buf)
 	}
 }
 
@@ -214,11 +322,11 @@ func (g *Gateway) Close() {
 	sessions := make([]*gwSession, 0, len(g.sessions))
 	for _, s := range g.sessions {
 		sessions = append(sessions, s)
+		g.releaseIP(s.ipIdx)
 	}
 	g.sessions = make(map[string]*gwSession)
 	g.mu.Unlock()
 	for _, s := range sessions {
-		close(s.done)
 		s.ext.Close()
 	}
 	g.ep.Close()

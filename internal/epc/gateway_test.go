@@ -1,0 +1,95 @@
+package epc
+
+import (
+	"errors"
+	"testing"
+
+	"dlte/internal/simnet"
+)
+
+// TestIPPoolReusesReleasedAddresses guards the free-list allocator:
+// the old bump-only counter never reused a released address and walked
+// off the 10.45.0.0/16 block after ~64k sessions.
+func TestIPPoolReusesReleasedAddresses(t *testing.T) {
+	n := simnet.New(simnet.Link{}, 1)
+	defer n.Close()
+	gw, err := NewGateway(n.MustAddHost("gw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	ip1, _, err := gw.CreateSession("imsi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip1 != "10.45.0.2" {
+		t.Fatalf("first address = %s, want 10.45.0.2", ip1)
+	}
+	if err := gw.DeleteSession("imsi-1"); err != nil {
+		t.Fatal(err)
+	}
+	ip2, _, err := gw.CreateSession("imsi-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip2 != ip1 {
+		t.Fatalf("released address not reused: got %s, want %s", ip2, ip1)
+	}
+
+	// Superseding an attach must also recycle the old session's address.
+	ip3, _, err := gw.CreateSession("imsi-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip3 != ip2 {
+		t.Fatalf("superseded address not reused: got %s, want %s", ip3, ip2)
+	}
+}
+
+// TestIPPoolExhaustion checks the typed error at the pool bound and
+// that releasing a session makes an address available again.
+func TestIPPoolExhaustion(t *testing.T) {
+	n := simnet.New(simnet.Link{}, 1)
+	defer n.Close()
+	gw, err := NewGateway(n.MustAddHost("gw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	// Pretend every never-used index is gone; only the free list can
+	// satisfy allocations now.
+	gw.mu.Lock()
+	gw.ipNext = maxIPIndex
+	gw.mu.Unlock()
+
+	if _, _, err := gw.CreateSession("imsi-a"); !errors.Is(err, ErrAddressPoolExhausted) {
+		t.Fatalf("err = %v, want ErrAddressPoolExhausted", err)
+	}
+
+	gw.mu.Lock()
+	gw.releaseIP(42)
+	gw.mu.Unlock()
+	ip, _, err := gw.CreateSession("imsi-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ipForIndex(42); ip != want {
+		t.Fatalf("ip = %s, want recycled %s", ip, want)
+	}
+	if _, _, err := gw.CreateSession("imsi-b"); !errors.Is(err, ErrAddressPoolExhausted) {
+		t.Fatalf("second create err = %v, want ErrAddressPoolExhausted", err)
+	}
+}
+
+// TestIPFormulaSpansSubnet pins the index→address formula at its
+// bounds so pool-size arithmetic and formula stay in sync.
+func TestIPFormulaSpansSubnet(t *testing.T) {
+	if got := ipForIndex(1); got != "10.45.0.2" {
+		t.Errorf("ipForIndex(1) = %s", got)
+	}
+	if got := ipForIndex(maxIPIndex); got != "10.45.255.250" {
+		t.Errorf("ipForIndex(max) = %s", got)
+	}
+}

@@ -41,6 +41,39 @@ func EncodeUserPacket(p UserPacket) ([]byte, error) {
 	return w.Bytes(), nil
 }
 
+// AppendUserPacket appends the wire form of a user packet to dst and
+// returns the extended slice. It is the allocation-free encode the
+// forwarding loops use: dst is typically a pooled buffer with GTP
+// headroom already reserved (gtp.GetBuffer), so the tunneled packet is
+// built in place and handed down the stack without a copy.
+func AppendUserPacket(dst []byte, remote string, payload []byte) ([]byte, error) {
+	if len(remote) > 0xFF {
+		return dst, fmt.Errorf("epc: encode user packet: %w: remote length %d", wire.ErrOverflow, len(remote))
+	}
+	if len(payload) > 0xFFFF {
+		return dst, fmt.Errorf("epc: encode user packet: %w: payload length %d", wire.ErrOverflow, len(payload))
+	}
+	dst = append(dst, byte(len(remote)))
+	dst = append(dst, remote...)
+	dst = append(dst, byte(len(payload)>>8), byte(len(payload)))
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
+// DecodeUserPacketView parses a tunneled user packet without copying:
+// remote and payload are views into b, valid only as long as b is.
+// Retainers must copy; the forwarding loops consume both before the
+// receive buffer is recycled.
+func DecodeUserPacketView(b []byte) (remote, payload []byte, err error) {
+	r := wire.NewReader(b)
+	remote = r.View8()
+	payload = r.View16()
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("epc: decode user packet: %w", err)
+	}
+	return remote, payload, nil
+}
+
 // DecodeUserPacket parses a tunneled user packet.
 func DecodeUserPacket(b []byte) (UserPacket, error) {
 	r := wire.NewReader(b)

@@ -6,6 +6,13 @@
 // and the packet exits directly to the Internet (Fig. 1, right). The
 // experiments measure exactly that difference, so the tunnel layer is
 // real: encode/decode, TEID demux, and per-tunnel forwarding.
+//
+// The send and demux paths are the user-plane fast path: tunnels
+// mutate at attach/handover rate while packets arrive at line rate, so
+// the TEID table is copy-on-write behind an atomic pointer (readers
+// never lock) and per-packet scratch comes from the shared simnet
+// payload pool (buffers released when their packet leaves the stack,
+// never garbage). See DESIGN.md §7.
 package gtp
 
 import (
@@ -14,8 +21,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dlte/internal/metrics"
 	"dlte/internal/simnet"
 )
 
@@ -44,13 +53,20 @@ type Header struct {
 	MessageType uint8
 }
 
-// Encode prepends a GTP-U header to payload.
+// putHeader writes the mandatory header into b[:headerLen].
+func putHeader(b []byte, teid uint32, payloadLen int) {
+	b[0] = 0x30 // version 1, protocol type GTP
+	b[1] = messageTypeGPDU
+	binary.BigEndian.PutUint16(b[2:4], uint16(payloadLen))
+	binary.BigEndian.PutUint32(b[4:8], teid)
+}
+
+// Encode prepends a GTP-U header to payload in a freshly allocated
+// slice. The fast path uses GetBuffer/SendBuffer instead; Encode
+// remains for tests and one-shot callers.
 func Encode(teid uint32, payload []byte) []byte {
 	out := make([]byte, headerLen+len(payload))
-	out[0] = 0x30 // version 1, protocol type GTP
-	out[1] = messageTypeGPDU
-	binary.BigEndian.PutUint16(out[2:4], uint16(len(payload)))
-	binary.BigEndian.PutUint32(out[4:8], teid)
+	putHeader(out, teid, len(payload))
 	copy(out[headerLen:], payload)
 	return out
 }
@@ -84,7 +100,23 @@ type PacketConn interface {
 	Close() error
 }
 
+// ownedWriter is the zero-copy send surface simnet.PacketConn offers:
+// the buffer's ownership transfers to the network on every path.
+type ownedWriter interface {
+	WriteOwnedTo(b []byte, addr net.Addr) (int, error)
+}
+
+// ownedReader is the zero-copy receive surface: the returned buffer is
+// pooled and owned by the caller.
+type ownedReader interface {
+	ReadFromOwned() ([]byte, net.Addr, error)
+}
+
 // Handler consumes a decapsulated user packet arriving on a tunnel.
+//
+// The payload is a view into a pooled receive buffer: it is valid only
+// for the duration of the call. A handler that needs the bytes past
+// its return must copy them.
 type Handler func(payload []byte, from net.Addr)
 
 // Tunnel is one direction pair of a GTP-U bearer.
@@ -97,22 +129,50 @@ type Tunnel struct {
 	Peer net.Addr
 }
 
+// tunnelState is one table entry. Entries are immutable once published
+// — Bind replaces the entry rather than mutating it — so readers can
+// use them without synchronization.
+type tunnelState struct {
+	t       Tunnel
+	handler Handler
+}
+
+// tunnelTable is the copy-on-write TEID table. Mutations (attach,
+// bind, release — control-plane rate) build a fresh map under the
+// endpoint mutex and publish it atomically; the per-packet send and
+// demux paths only ever Load.
+type tunnelTable struct {
+	m map[uint32]*tunnelState
+}
+
+// DropCounters exposes the endpoint's packet-drop observability: the
+// demux paths that previously dropped silently now count. Counters are
+// cheap (drops are off the steady-state path) and safe for concurrent
+// use.
+type DropCounters struct {
+	// Malformed counts inbound packets that fail Decode or carry a
+	// non-G-PDU message type.
+	Malformed *metrics.Counter
+	// UnknownTEID counts well-formed G-PDUs addressed to no live
+	// tunnel (or to a tunnel with no inbound handler).
+	UnknownTEID *metrics.Counter
+}
+
 // Endpoint is one GTP-U node: it owns a packet socket, demultiplexes
 // inbound G-PDUs by TEID, and sends outbound G-PDUs per tunnel.
 type Endpoint struct {
 	pc  PacketConn
+	ow  ownedWriter // non-nil when pc supports zero-copy sends
+	or  ownedReader // non-nil when pc supports zero-copy reads
 	clk simnet.Clock
 
-	mu       sync.Mutex
-	nextTEID uint32
-	tunnels  map[uint32]*tunnelState
-	closed   bool
-	done     chan struct{}
-}
+	table  atomic.Pointer[tunnelTable]
+	closed atomic.Bool
+	drops  DropCounters
 
-type tunnelState struct {
-	t       Tunnel
-	handler Handler
+	mu       sync.Mutex // serializes table mutations; never on the packet path
+	nextTEID uint32
+	done     chan struct{}
 }
 
 // NewEndpoint wraps pc and starts the demux loop.
@@ -121,11 +181,32 @@ func NewEndpoint(pc PacketConn) *Endpoint {
 		pc:       pc,
 		clk:      simnet.ClockOf(pc),
 		nextTEID: 1,
-		tunnels:  make(map[uint32]*tunnelState),
 		done:     make(chan struct{}),
+		drops: DropCounters{
+			Malformed:   &metrics.Counter{},
+			UnknownTEID: &metrics.Counter{},
+		},
 	}
+	e.ow, _ = pc.(ownedWriter)
+	e.or, _ = pc.(ownedReader)
+	e.table.Store(&tunnelTable{m: map[uint32]*tunnelState{}})
 	e.clk.Go(e.readLoop)
 	return e
+}
+
+// Drops exposes the endpoint's drop counters.
+func (e *Endpoint) Drops() DropCounters { return e.drops }
+
+// publish installs a mutated copy of the tunnel table. Callers hold
+// e.mu.
+func (e *Endpoint) publish(mutate func(m map[uint32]*tunnelState)) {
+	old := e.table.Load().m
+	m := make(map[uint32]*tunnelState, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	mutate(m)
+	e.table.Store(&tunnelTable{m: m})
 }
 
 // AllocateTEID reserves a fresh local TEID with the given inbound
@@ -136,7 +217,9 @@ func (e *Endpoint) AllocateTEID(h Handler) uint32 {
 	defer e.mu.Unlock()
 	teid := e.nextTEID
 	e.nextTEID++
-	e.tunnels[teid] = &tunnelState{t: Tunnel{LocalTEID: teid}, handler: h}
+	e.publish(func(m map[uint32]*tunnelState) {
+		m[teid] = &tunnelState{t: Tunnel{LocalTEID: teid}, handler: h}
+	})
 	return teid
 }
 
@@ -145,12 +228,16 @@ func (e *Endpoint) AllocateTEID(h Handler) uint32 {
 func (e *Endpoint) Bind(localTEID, remoteTEID uint32, peer net.Addr) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	ts, ok := e.tunnels[localTEID]
+	old, ok := e.table.Load().m[localTEID]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownTEID, localTEID)
 	}
-	ts.t.RemoteTEID = remoteTEID
-	ts.t.Peer = peer
+	e.publish(func(m map[uint32]*tunnelState) {
+		m[localTEID] = &tunnelState{
+			t:       Tunnel{LocalTEID: localTEID, RemoteTEID: remoteTEID, Peer: peer},
+			handler: old.handler,
+		}
+	})
 	return nil
 }
 
@@ -158,36 +245,96 @@ func (e *Endpoint) Bind(localTEID, remoteTEID uint32, peer net.Addr) error {
 func (e *Endpoint) Release(localTEID uint32) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	delete(e.tunnels, localTEID)
+	if _, ok := e.table.Load().m[localTEID]; !ok {
+		return
+	}
+	e.publish(func(m map[uint32]*tunnelState) {
+		delete(m, localTEID)
+	})
 }
 
 // NumTunnels reports the number of live tunnels.
 func (e *Endpoint) NumTunnels() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.tunnels)
+	return len(e.table.Load().m)
 }
 
+// GetBuffer returns a pooled buffer with GTP-U headroom reserved:
+// len(buf) == headroom, append the payload behind it, then hand the
+// buffer to SendBuffer, which fills the header in place. Release an
+// unsent buffer with PutBuffer.
+func GetBuffer() []byte { return simnet.GetPayload(headerLen) }
+
+// PutBuffer releases a buffer from GetBuffer that will not be sent.
+func PutBuffer(b []byte) { simnet.PutPayload(b) }
+
 // Send encapsulates payload on the tunnel identified by localTEID.
+// payload is copied; the caller's buffer is free on return.
 func (e *Endpoint) Send(localTEID uint32, payload []byte) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	buf := simnet.GetPayload(headerLen + len(payload))
+	copy(buf[headerLen:], payload)
+	return e.SendBuffer(localTEID, buf)
+}
+
+// SendBuffer encapsulates and sends a buffer prepared via GetBuffer
+// (headerLen bytes of headroom followed by the payload). Ownership of
+// buf transfers to the endpoint on every path — sent, dropped, or
+// errored — so the caller must not touch it after the call. This is
+// the zero-copy fast path: header written into the headroom in place,
+// buffer handed to the socket without an intermediate copy.
+func (e *Endpoint) SendBuffer(localTEID uint32, buf []byte) error {
+	if e.closed.Load() {
+		simnet.PutPayload(buf)
 		return ErrClosed
 	}
-	ts, ok := e.tunnels[localTEID]
-	if !ok || ts.t.Peer == nil {
-		e.mu.Unlock()
+	ts := e.table.Load().m[localTEID]
+	if ts == nil || ts.t.Peer == nil {
+		simnet.PutPayload(buf)
 		return fmt.Errorf("%w: %d", ErrUnknownTEID, localTEID)
 	}
-	peer, remote := ts.t.Peer, ts.t.RemoteTEID
-	e.mu.Unlock()
-	_, err := e.pc.WriteTo(Encode(remote, payload), peer)
+	putHeader(buf, ts.t.RemoteTEID, len(buf)-headerLen)
+	if e.ow != nil {
+		_, err := e.ow.WriteOwnedTo(buf, ts.t.Peer)
+		return err
+	}
+	_, err := e.pc.WriteTo(buf, ts.t.Peer)
+	simnet.PutPayload(buf)
 	return err
 }
 
-// readLoop demultiplexes inbound G-PDUs until Close.
+// demux routes one received G-PDU to its tunnel handler. data is the
+// full packet; the handler sees a payload view into it.
+func (e *Endpoint) demux(data []byte, from net.Addr) {
+	h, payload, err := Decode(data)
+	if err != nil || h.MessageType != messageTypeGPDU {
+		e.drops.Malformed.Inc()
+		return
+	}
+	ts := e.table.Load().m[h.TEID]
+	if ts == nil || ts.handler == nil {
+		e.drops.UnknownTEID.Inc()
+		return
+	}
+	ts.handler(payload, from)
+}
+
+// readLoop demultiplexes inbound G-PDUs until Close. With a pooled
+// socket (simnet) it blocks directly on owned reads — no per-packet
+// deadline churn, no receive copy — and Close unblocks it by closing
+// the socket. Other sockets take the portable deadline-polling path.
 func (e *Endpoint) readLoop() {
+	if e.or != nil {
+		for {
+			data, from, err := e.or.ReadFromOwned()
+			if err != nil {
+				if e.closed.Load() || errors.Is(err, simnet.ErrClosed) {
+					return
+				}
+				continue // stray deadline; not set on this path
+			}
+			e.demux(data, from)
+			simnet.PutPayload(data)
+		}
+	}
 	buf := make([]byte, 64*1024)
 	for {
 		select {
@@ -200,31 +347,15 @@ func (e *Endpoint) readLoop() {
 		if err != nil {
 			continue // deadline tick or transient; Close exits via done
 		}
-		h, payload, err := Decode(buf[:n])
-		if err != nil || h.MessageType != messageTypeGPDU {
-			continue // malformed or non-G-PDU traffic is dropped
-		}
-		e.mu.Lock()
-		ts, ok := e.tunnels[h.TEID]
-		e.mu.Unlock()
-		if !ok || ts.handler == nil {
-			continue
-		}
-		data := make([]byte, len(payload))
-		copy(data, payload)
-		ts.handler(data, from)
+		e.demux(buf[:n], from)
 	}
 }
 
 // Close stops the endpoint and its socket.
 func (e *Endpoint) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	e.closed = true
-	e.mu.Unlock()
 	close(e.done)
 	return e.pc.Close()
 }

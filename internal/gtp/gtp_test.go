@@ -83,7 +83,7 @@ func TestTunnelForwarding(t *testing.T) {
 	enb, gw, _ := newPair(t)
 
 	got := make(chan []byte, 1)
-	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- p })
+	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- append([]byte(nil), p...) })
 	enbTEID := enb.AllocateTEID(nil)
 
 	if err := enb.Bind(enbTEID, gwTEID, simnet.Addr{Host: "gw", Port: Port}); err != nil {
@@ -107,8 +107,8 @@ func TestBidirectionalTunnel(t *testing.T) {
 
 	up := make(chan []byte, 1)
 	down := make(chan []byte, 1)
-	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { up <- p })
-	enbTEID := enb.AllocateTEID(func(p []byte, _ net.Addr) { down <- p })
+	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { up <- append([]byte(nil), p...) })
+	enbTEID := enb.AllocateTEID(func(p []byte, _ net.Addr) { down <- append([]byte(nil), p...) })
 
 	enb.Bind(enbTEID, gwTEID, simnet.Addr{Host: "gw", Port: Port})
 	gw.Bind(gwTEID, enbTEID, simnet.Addr{Host: "enb", Port: Port})
@@ -135,8 +135,8 @@ func TestTEIDDemux(t *testing.T) {
 	enb, gw, _ := newPair(t)
 	a := make(chan []byte, 1)
 	b := make(chan []byte, 1)
-	teidA := gw.AllocateTEID(func(p []byte, _ net.Addr) { a <- p })
-	teidB := gw.AllocateTEID(func(p []byte, _ net.Addr) { b <- p })
+	teidA := gw.AllocateTEID(func(p []byte, _ net.Addr) { a <- append([]byte(nil), p...) })
+	teidB := gw.AllocateTEID(func(p []byte, _ net.Addr) { b <- append([]byte(nil), p...) })
 	if teidA == teidB {
 		t.Fatal("duplicate TEIDs allocated")
 	}
@@ -184,7 +184,7 @@ func TestSendErrors(t *testing.T) {
 func TestRelease(t *testing.T) {
 	enb, gw, _ := newPair(t)
 	got := make(chan []byte, 1)
-	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- p })
+	gwTEID := gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- append([]byte(nil), p...) })
 	enbTEID := enb.AllocateTEID(nil)
 	enb.Bind(enbTEID, gwTEID, simnet.Addr{Host: "gw", Port: Port})
 
@@ -230,7 +230,7 @@ func TestGarbageTrafficIgnored(t *testing.T) {
 	t.Cleanup(func() { gw.Close() })
 
 	got := make(chan []byte, 1)
-	gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- p })
+	gw.AllocateTEID(func(p []byte, _ net.Addr) { got <- append([]byte(nil), p...) })
 
 	src, _ := srcHost.ListenPacket(0)
 	src.WriteToHost([]byte{1, 2, 3}, "gw", Port)                      // garbage

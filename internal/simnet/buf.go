@@ -35,3 +35,16 @@ func payloadPut(b []byte) {
 	}
 	payloadPool.Put((*[payloadClassBytes]byte)(b[:payloadClassBytes]))
 }
+
+// GetPayload returns a length-n buffer from the shared payload pool —
+// the same class the simnet hot path recycles. Protocol layers above
+// simnet (GTP-U encap, user-packet framing) draw their per-packet
+// scratch from here so a buffer can travel down the stack and be
+// recycled wherever it ends its life. Release with PutPayload, or hand
+// ownership to PacketConn.WriteOwnedTo.
+func GetPayload(n int) []byte { return payloadGet(n) }
+
+// PutPayload recycles a buffer from GetPayload (or ReadFromOwned).
+// Callers must not retain any reference after the put; oversize
+// buffers are left to the garbage collector.
+func PutPayload(b []byte) { payloadPut(b) }

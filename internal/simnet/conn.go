@@ -163,6 +163,9 @@ func (c *Conn) holdUntil(ch chunk, deadlineC <-chan time.Time) {
 		vc.holdDelivery(ch.bar, ch.at, deadlineC)
 		return
 	}
+	if ch.at.IsZero() {
+		return // immediate delivery; no clock read
+	}
 	wait := time.Until(ch.at)
 	if wait <= 0 {
 		return
@@ -191,9 +194,12 @@ func (c *Conn) Write(b []byte) (int, error) {
 	clk := c.network.clock
 	data := payloadGet(len(b))
 	copy(data, b)
-	ch := chunk{data: data, at: clk.Now().Add(delay)}
+	ch := chunk{data: data}
 	if vc, ok := clk.(*VirtualClock); ok {
+		ch.at = clk.Now().Add(delay)
 		ch.bar = vc.addBarrier(ch.at)
+	} else if delay > 0 {
+		ch.at = clk.Now().Add(delay)
 	}
 
 	// Fast path: queue has room.

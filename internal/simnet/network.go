@@ -188,7 +188,6 @@ func (n *Network) linkFor(src, dst string) *linkState {
 // state. It returns ok=false when the link is down or the packet is
 // randomly lost (lossy true enables random loss).
 func (n *Network) delayFor(src, dst string, size int, lossy bool) (time.Duration, bool) {
-	now := n.clock.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	ls := n.linkFor(src, dst)
@@ -199,6 +198,17 @@ func (n *Network) delayFor(src, dst string, size int, lossy bool) (time.Duration
 	if lossy && cfg.Loss > 0 && n.rng.Float64() < cfg.Loss {
 		return 0, false
 	}
+	if cfg.BandwidthBps == 0 && ls.busyUntil.IsZero() {
+		// Unbounded-capacity link with no queued transmissions: the
+		// delay is fully determined without reading the clock, which
+		// keeps the per-packet fast path free of time syscalls.
+		delay := cfg.Latency
+		if cfg.Jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+		}
+		return delay, true
+	}
+	now := n.clock.Now()
 	var txTime time.Duration
 	if cfg.BandwidthBps > 0 {
 		txTime = time.Duration(float64(size*8) / cfg.BandwidthBps * float64(time.Second))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,9 +29,50 @@ type PacketConn struct {
 	boxedSrc net.Addr // addr boxed once, stamped on outgoing datagrams
 	inbox    chan datagram
 
+	// lastDst memoizes the most recent resolved destination so a
+	// socket streaming to one peer (the common user-plane shape) skips
+	// the two mutex-guarded map lookups per packet. Invalidated by
+	// comparing the address and checking the target's done channel.
+	lastDst atomic.Pointer[pktDst]
+
 	readDeadline deadline
 	closeOnce    sync.Once
 	done         chan struct{}
+}
+
+// pktDst is one memoized destination resolution.
+type pktDst struct {
+	a   Addr
+	dst *PacketConn
+}
+
+// resolveDst finds the destination socket for a, consulting the memo
+// first. ok=false means the packet black-holes (unknown host or
+// unbound port), matching UDP.
+func (p *PacketConn) resolveDst(a Addr) (*PacketConn, bool) {
+	if m := p.lastDst.Load(); m != nil && m.a == a {
+		select {
+		case <-m.dst.done:
+			// Socket since closed; fall through and re-resolve (the
+			// port may have been rebound).
+		default:
+			return m.dst, true
+		}
+	}
+	p.host.net.mu.Lock()
+	remote, ok := p.host.net.hosts[a.Host]
+	p.host.net.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	remote.mu.Lock()
+	dst, ok := remote.pktConns[a.Port]
+	remote.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	p.lastDst.Store(&pktDst{a: a, dst: dst})
+	return dst, true
 }
 
 // LocalAddr reports the socket's bound address.
@@ -63,17 +105,9 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 		a = parsed
 	}
 
-	p.host.net.mu.Lock()
-	remote, ok := p.host.net.hosts[a.Host]
-	p.host.net.mu.Unlock()
+	dst, ok := p.resolveDst(a)
 	if !ok {
 		return len(b), nil // silently dropped, like UDP into a black hole
-	}
-	remote.mu.Lock()
-	dst, ok := remote.pktConns[a.Port]
-	remote.mu.Unlock()
-	if !ok {
-		return len(b), nil
 	}
 
 	delay, deliver := p.host.net.delayFor(p.host.name, a.Host, len(b), true)
@@ -83,10 +117,15 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	clk := p.host.net.clock
 	data := payloadGet(len(b))
 	copy(data, b)
-	dg := datagram{data: data, from: p.boxedSrc, at: clk.Now().Add(delay)}
+	dg := datagram{data: data, from: p.boxedSrc}
 	vc, virtual := clk.(*VirtualClock)
 	if virtual {
+		dg.at = clk.Now().Add(delay)
 		dg.bar = vc.addBarrier(dg.at)
+	} else if delay > 0 {
+		// Wall clock with no link delay leaves at zero: holdUntil
+		// skips the clock read entirely for immediate deliveries.
+		dg.at = clk.Now().Add(delay)
 	}
 	select {
 	case dst.inbox <- dg:
@@ -103,6 +142,74 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 // WriteToHost is WriteTo with a pre-parsed destination.
 func (p *PacketConn) WriteToHost(b []byte, host string, port int) (int, error) {
 	return p.WriteTo(b, Addr{Host: host, Port: port})
+}
+
+// WriteOwnedTo is WriteTo for a buffer whose ownership transfers to
+// the network: b must come from GetPayload (or ReadFromOwned) and is
+// consumed on every path — delivered, dropped, or errored — so the
+// caller must not touch it after the call. Skipping the interior
+// defensive copy is what lets an encapsulation layer build a packet in
+// a pooled buffer and send it with zero copies inside simnet.
+func (p *PacketConn) WriteOwnedTo(b []byte, addr net.Addr) (int, error) {
+	select {
+	case <-p.done:
+		payloadPut(b)
+		return 0, ErrClosed
+	default:
+	}
+	if len(b) > MTU {
+		n := len(b)
+		payloadPut(b)
+		return 0, fmt.Errorf("%w: %d > %d", ErrPacketTooBig, n, MTU)
+	}
+	var a Addr
+	switch v := addr.(type) {
+	case Addr:
+		a = v
+	case *Addr:
+		a = *v
+	default:
+		parsed, err := ParseAddr(addr.String())
+		if err != nil {
+			payloadPut(b)
+			return 0, err
+		}
+		a = parsed
+	}
+
+	dst, ok := p.resolveDst(a)
+	if !ok {
+		n := len(b)
+		payloadPut(b)
+		return n, nil // silently dropped, like UDP into a black hole
+	}
+
+	delay, deliver := p.host.net.delayFor(p.host.name, a.Host, len(b), true)
+	if !deliver {
+		n := len(b)
+		payloadPut(b)
+		return n, nil // lost or link down
+	}
+	clk := p.host.net.clock
+	n := len(b)
+	dg := datagram{data: b, from: p.boxedSrc}
+	vc, virtual := clk.(*VirtualClock)
+	if virtual {
+		dg.at = clk.Now().Add(delay)
+		dg.bar = vc.addBarrier(dg.at)
+	} else if delay > 0 {
+		dg.at = clk.Now().Add(delay)
+	}
+	select {
+	case dst.inbox <- dg:
+	default:
+		// Receiver queue overflow models receive-buffer drops.
+		if virtual {
+			vc.releaseBarrier(dg.bar)
+		}
+		payloadPut(b)
+	}
+	return n, nil
 }
 
 // ReadFrom receives the next datagram, blocking until one is
@@ -147,6 +254,47 @@ func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 	}
 }
 
+// ReadFromOwned receives the next datagram and returns its pooled
+// delivery buffer directly, avoiding ReadFrom's copy-out. Ownership of
+// the returned slice transfers to the caller, who must release it with
+// PutPayload (or pass it on via WriteOwnedTo) exactly once. Deadline
+// and close behavior match ReadFrom.
+func (p *PacketConn) ReadFromOwned() ([]byte, net.Addr, error) {
+	clk := p.host.net.clock
+
+	// Fast path: a datagram is already queued; no need to park.
+	select {
+	case dg := <-p.inbox:
+		p.holdUntil(dg, nil)
+		return dg.data, dg.from, nil
+	default:
+	}
+
+	var deadlineC <-chan time.Time
+	if dl := p.readDeadline.get(); !dl.IsZero() {
+		wait := clk.Until(dl)
+		if wait <= 0 {
+			return nil, nil, ErrDeadline
+		}
+		t := clk.NewTimer(wait)
+		deadlineC = t.C
+		defer t.Stop()
+	}
+	clk.Block()
+	select {
+	case dg := <-p.inbox:
+		clk.Unblock()
+		p.holdUntil(dg, deadlineC)
+		return dg.data, dg.from, nil
+	case <-p.done:
+		clk.Unblock()
+		return nil, nil, ErrClosed
+	case <-deadlineC:
+		clk.Unblock()
+		return nil, nil, ErrDeadline
+	}
+}
+
 // holdUntil waits out the datagram's remaining link delay. The
 // datagram is consumed even if the deadline fires first; a real kernel
 // would have buffered it past the deadline too.
@@ -154,6 +302,9 @@ func (p *PacketConn) holdUntil(dg datagram, deadlineC <-chan time.Time) {
 	if vc, ok := p.host.net.clock.(*VirtualClock); ok {
 		vc.holdDelivery(dg.bar, dg.at, deadlineC)
 		return
+	}
+	if dg.at.IsZero() {
+		return // immediate delivery; no clock read
 	}
 	wait := time.Until(dg.at)
 	if wait <= 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dlte/internal/simnet"
+	"dlte/internal/wire"
 )
 
 // BearerConn adapts an attached Device's default bearer to the
@@ -23,6 +24,10 @@ type BearerConn struct {
 	mu       sync.Mutex
 	deadline time.Time
 	closed   bool
+	// lastAddr/lastRemote memoize the destination's rendered form so a
+	// steady stream to one peer doesn't re-Sprint it per packet.
+	lastAddr   net.Addr
+	lastRemote string
 }
 
 // Bearer returns a packet surface over the device's default bearer.
@@ -35,12 +40,16 @@ func (b *BearerConn) Clock() simnet.Clock { return b.dev.host.Clock() }
 // WriteTo sends payload to addr via the bearer.
 func (b *BearerConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	b.mu.Lock()
-	closed := b.closed
-	b.mu.Unlock()
-	if closed {
+	if b.closed {
+		b.mu.Unlock()
 		return 0, ErrNotAttached
 	}
-	if err := b.dev.Send(addr.String(), p); err != nil {
+	if addr != b.lastAddr {
+		b.lastAddr, b.lastRemote = addr, addr.String()
+	}
+	remote := b.lastRemote
+	b.mu.Unlock()
+	if err := b.dev.Send(remote, p); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -63,16 +72,13 @@ func (b *BearerConn) ReadFrom(p []byte) (int, net.Addr, error) {
 			return 0, nil, ErrTimeout
 		}
 	}
-	pkt, err := b.dev.Recv(timeout)
+	pkt, err := b.dev.recvPacket(timeout)
 	if err != nil {
 		return 0, nil, err
 	}
-	n := copy(p, pkt.Payload)
-	from, perr := simnet.ParseAddr(pkt.Remote)
-	if perr != nil {
-		from = simnet.Addr{Host: pkt.Remote}
-	}
-	return n, from, nil
+	n := copy(p, pkt.data)
+	wire.PutFrame(pkt.data)
+	return n, pkt.addr, nil
 }
 
 // SetReadDeadline bounds future ReadFrom calls.

@@ -54,10 +54,21 @@ type Device struct {
 	attached bool
 	result   AttachResult
 
-	rx        chan epc.UserPacket
+	rx        chan rxPacket
 	nasEvents chan nasEvent
 	sysInfo   chan enb.SystemInfo
 	readerWG  sync.WaitGroup
+}
+
+// rxPacket is one downlink packet as queued by the read loop: the
+// payload sits in a pooled buffer whose ownership travels with the
+// packet (the consumer releases it), and the remote endpoint is
+// memoized across the run of packets from one peer, so steady-state
+// delivery allocates nothing.
+type rxPacket struct {
+	remote string
+	addr   net.Addr
+	data   []byte // release with wire.PutFrame after consuming
 }
 
 type nasEvent struct {
@@ -118,7 +129,7 @@ func (d *Device) Attach(airAddr string, timeout time.Duration) (AttachResult, er
 	d.mu.Lock()
 	d.raw = raw
 	d.air = air
-	d.rx = make(chan epc.UserPacket, 256)
+	d.rx = make(chan rxPacket, 256)
 	d.nasEvents = make(chan nasEvent, 16)
 	d.sysInfo = make(chan enb.SystemInfo, 1)
 	d.mu.Unlock()
@@ -232,34 +243,49 @@ func (d *Device) Detach(timeout time.Duration) error {
 	}
 }
 
-// Send transmits an uplink user packet to remote ("host:port").
+// Send transmits an uplink user packet to remote ("host:port"). The
+// air frame and the user packet inside it are assembled in one pooled
+// buffer — air header first, user framing appended behind it, inner
+// length patched in — so the per-packet path allocates nothing.
 func (d *Device) Send(remote string, payload []byte) error {
 	d.mu.Lock()
 	attached := d.attached
+	air := d.air
 	d.mu.Unlock()
-	if !attached {
+	if !attached || air == nil {
 		return ErrNotAttached
 	}
-	enc, err := epc.EncodeUserPacket(epc.UserPacket{Remote: remote, Payload: payload})
+	frame := append(wire.GetFrame(), uint8(enb.AirDataUp), 0, 0)
+	frame, err := epc.AppendUserPacket(frame, remote, payload)
 	if err != nil {
+		wire.PutFrame(frame)
 		return err
 	}
-	return d.sendAir(enb.AirDataUp, enc)
+	inner := len(frame) - 3
+	if inner > 0xFFFF {
+		wire.PutFrame(frame)
+		return fmt.Errorf("ue: user packet length %d overflows air frame", inner)
+	}
+	frame[1], frame[2] = byte(inner>>8), byte(inner)
+	err = air.Send(frame)
+	wire.PutFrame(frame)
+	return err
 }
 
-// Recv waits for the next downlink user packet.
-func (d *Device) Recv(timeout time.Duration) (epc.UserPacket, error) {
+// recvPacket dequeues the next downlink packet. The caller owns the
+// packet's pooled buffer and must release it with wire.PutFrame.
+func (d *Device) recvPacket(timeout time.Duration) (rxPacket, error) {
 	d.mu.Lock()
 	rx := d.rx
 	d.mu.Unlock()
 	if rx == nil {
-		return epc.UserPacket{}, ErrNotAttached
+		return rxPacket{}, ErrNotAttached
 	}
 	// Fast path: a packet is already buffered.
 	select {
 	case p, ok := <-rx:
 		if !ok {
-			return epc.UserPacket{}, ErrDetachedMid
+			return rxPacket{}, ErrDetachedMid
 		}
 		return p, nil
 	default:
@@ -272,12 +298,26 @@ func (d *Device) Recv(timeout time.Duration) (epc.UserPacket, error) {
 	select {
 	case p, ok := <-rx:
 		if !ok {
-			return epc.UserPacket{}, ErrDetachedMid
+			return rxPacket{}, ErrDetachedMid
 		}
 		return p, nil
 	case <-t.C:
-		return epc.UserPacket{}, fmt.Errorf("%w: recv after %v", ErrTimeout, timeout)
+		return rxPacket{}, fmt.Errorf("%w: recv after %v", ErrTimeout, timeout)
 	}
+}
+
+// Recv waits for the next downlink user packet. The returned packet is
+// the caller's to keep, so the payload is copied out of the pooled
+// receive buffer; loss-tolerant bulk readers wanting the alloc-free
+// path use BearerConn.ReadFrom instead.
+func (d *Device) Recv(timeout time.Duration) (epc.UserPacket, error) {
+	p, err := d.recvPacket(timeout)
+	if err != nil {
+		return epc.UserPacket{}, err
+	}
+	out := epc.UserPacket{Remote: p.remote, Payload: append([]byte(nil), p.data...)}
+	wire.PutFrame(p.data)
+	return out, nil
 }
 
 // Echo sends payload to remote and waits for one downlink packet —
@@ -324,8 +364,13 @@ func (d *Device) sendAir(t enb.AirMsgType, payload []byte) error {
 
 func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
 	defer d.readerWG.Done()
+	// Downlink packets from one peer share a memoized remote string and
+	// boxed address, so steady-state delivery costs one pooled copy and
+	// no allocation.
+	var lastRemote string
+	var lastAddr net.Addr
 	for {
-		frame, err := air.Recv()
+		frame, err := air.RecvOwned()
 		if err != nil {
 			d.mu.Lock()
 			if d.raw == raw {
@@ -336,8 +381,9 @@ func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
 			d.mu.Unlock()
 			return
 		}
-		t, payload, err := enb.DecodeAir(frame)
+		t, payload, err := enb.DecodeAirView(frame)
 		if err != nil {
+			wire.PutFrame(frame)
 			continue
 		}
 		switch t {
@@ -352,30 +398,43 @@ func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
 				}
 			}
 		case enb.AirNASDown:
+			// NAS handlers retain the PDU past this frame's release.
+			pdu := append([]byte(nil), payload...)
 			d.mu.Lock()
 			ch := d.nasEvents
 			d.mu.Unlock()
 			select {
-			case ch <- nasEvent{pdu: payload}:
+			case ch <- nasEvent{pdu: pdu}:
 			default:
 			}
 		case enb.AirDataDown:
-			p, err := epc.DecodeUserPacket(payload)
+			remote, data, err := epc.DecodeUserPacketView(payload)
 			if err != nil {
-				continue
+				break
+			}
+			if string(remote) != lastRemote {
+				lastRemote = string(remote)
+				if a, err := simnet.ParseAddr(lastRemote); err == nil {
+					lastAddr = a
+				} else {
+					lastAddr = simnet.Addr{Host: lastRemote}
+				}
 			}
 			d.mu.Lock()
 			ch := d.rx
 			d.mu.Unlock()
 			if ch != nil {
+				buf := append(wire.GetFrame(), data...)
 				select {
-				case ch <- p:
+				case ch <- rxPacket{remote: lastRemote, addr: lastAddr, data: buf}:
 				default: // receiver not draining; drop like a full buffer
+					wire.PutFrame(buf)
 				}
 			}
 		case enb.AirRelease:
 			raw.Close()
 		}
+		wire.PutFrame(frame)
 	}
 }
 

@@ -12,6 +12,15 @@ import (
 // hostile or corrupted length prefixes.
 const MaxFrameSize = 1 << 20
 
+// frameClassBytes is the pooled frame-scratch size: covers every
+// air-interface and control-plane frame the stacks exchange; larger
+// frames fall back to the garbage collector.
+const frameClassBytes = 4096
+
+var framePool = sync.Pool{
+	New: func() interface{} { return new([frameClassBytes]byte) },
+}
+
 // WriteFrame writes a uint32 length prefix followed by payload to w.
 // It is safe for one concurrent writer per stream; callers multiplexing
 // a stream should use a FrameConn.
@@ -19,18 +28,44 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("%w: frame length %d", ErrOverflow, len(payload))
 	}
-	var hdr [4]byte
-	hdr[0] = byte(len(payload) >> 24)
-	hdr[1] = byte(len(payload) >> 16)
-	hdr[2] = byte(len(payload) >> 8)
-	hdr[3] = byte(len(payload))
 	// Single Write call keeps the frame atomic when the underlying
-	// writer serializes writes (as net.Conn does).
-	buf := make([]byte, 4+len(payload))
-	copy(buf, hdr[:])
+	// writer serializes writes (as net.Conn does). The scratch holding
+	// prefix+payload together is pooled: the stream owns its own copy
+	// by the time Write returns (simnet copies; net.Conn kernels copy).
+	total := 4 + len(payload)
+	var buf []byte
+	var pooled *[frameClassBytes]byte
+	if total <= frameClassBytes {
+		pooled = framePool.Get().(*[frameClassBytes]byte)
+		buf = pooled[:total]
+	} else {
+		buf = make([]byte, total)
+	}
+	buf[0] = byte(len(payload) >> 24)
+	buf[1] = byte(len(payload) >> 16)
+	buf[2] = byte(len(payload) >> 8)
+	buf[3] = byte(len(payload))
 	copy(buf[4:], payload)
 	_, err := w.Write(buf)
+	if pooled != nil {
+		framePool.Put(pooled)
+	}
 	return err
+}
+
+// GetFrame returns an empty pooled buffer for frame assembly: append
+// the frame content into it, hand it to Send (which copies), then
+// release it with PutFrame.
+func GetFrame() []byte { return framePool.Get().(*[frameClassBytes]byte)[:0] }
+
+// PutFrame recycles a buffer from GetFrame or RecvOwned. Buffers grown
+// past the pooled class (recognizable by capacity) go to the GC; the
+// exact-capacity check also keeps foreign slices out of the pool.
+func PutFrame(b []byte) {
+	if cap(b) != frameClassBytes {
+		return
+	}
+	framePool.Put((*[frameClassBytes]byte)(b[:frameClassBytes]))
 }
 
 // ReadFrame reads one length-prefixed frame from r.
@@ -45,6 +80,31 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadFrameOwned is ReadFrame into a pooled buffer owned by the
+// caller, who must release it with PutFrame once the bytes are
+// consumed. Hot receive loops use it to avoid a per-frame allocation.
+func ReadFrameOwned(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: frame length %d", ErrOverflow, n)
+	}
+	var payload []byte
+	if n <= frameClassBytes {
+		payload = framePool.Get().(*[frameClassBytes]byte)[:n]
+	} else {
+		payload = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutFrame(payload)
 		return nil, err
 	}
 	return payload, nil
@@ -76,6 +136,14 @@ func (c *FrameConn) Recv() ([]byte, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	return ReadFrame(c.rw)
+}
+
+// RecvOwned reads one frame into a pooled buffer the caller releases
+// with PutFrame after consuming it (and any views into it).
+func (c *FrameConn) RecvOwned() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return ReadFrameOwned(c.rw)
 }
 
 // Message is implemented by every protocol message that can serialize

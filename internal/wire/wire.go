@@ -205,6 +205,18 @@ func (r *Reader) Bytes8() []byte { return r.BytesN(int(r.U8())) }
 // Bytes16 reads a uint16 length prefix then that many bytes (copied).
 func (r *Reader) Bytes16() []byte { return r.BytesN(int(r.U16())) }
 
+// ViewN reads exactly n raw bytes as a subslice of the Reader's buffer
+// — no copy. The view is only valid while the underlying buffer is;
+// hot paths that must not allocate use this and respect the buffer's
+// lifetime instead of taking the BytesN copy.
+func (r *Reader) ViewN(n int) []byte { return r.take(n) }
+
+// View8 reads a uint8 length prefix then that many bytes as a view.
+func (r *Reader) View8() []byte { return r.take(int(r.U8())) }
+
+// View16 reads a uint16 length prefix then that many bytes as a view.
+func (r *Reader) View16() []byte { return r.take(int(r.U16())) }
+
 // String8 reads a uint8 length-prefixed string.
 func (r *Reader) String8() string { return string(r.Bytes8()) }
 
