@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json smoke determinism-smoke check
+.PHONY: all build vet lint test race bench bench-json bench-gate bench-baseline fuzz-smoke smoke determinism-smoke check
 
 all: check
 
@@ -39,6 +39,37 @@ bench:
 # internal/gtp.TestSendDemuxZeroAlloc under plain `make test`.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 -json ./... | tee BENCH.json
+
+# Curated perf-regression gate: the discovery/coordination hot paths
+# (registry COW reads, store mutation, rev probe RTT, X2 send and
+# broadcast) against the committed baseline. Fails on >25% ns/op
+# regression or any allocs/op above baseline (the snapshot-read and
+# broadcast paths are pinned at 0). min-of-5 runs absorbs scheduler
+# noise. BenchmarkX2BroadcastSimnet is deliberately not gated: its
+# allocs reflect cross-goroutine pool scheduling, not the send path.
+BENCH_GATE_RE = BenchmarkRegistryLookup|BenchmarkStoreJoin|BenchmarkRegistryRevisionRTT|BenchmarkX2Broadcast$$|BenchmarkX2Send$$
+BENCH_GATE_PKGS = ./internal/registry ./internal/x2
+
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+
+# Regenerate the gate's numbers (run on the reference machine, commit
+# the result). The curated benchmark set in BENCH_BASELINE.json is
+# preserved; only the measurements refresh.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
+
+# Fuzz smoke: a few seconds of coverage-guided fuzzing per untrusted
+# decoder (GTP from the air side, registry and X2 from the Internet
+# side). Regression corpora under testdata/fuzz run in plain `make
+# test` already; this explores fresh inputs.
+fuzz-smoke:
+	@for pkg in ./internal/gtp ./internal/registry ./internal/x2; do \
+		echo "fuzz-smoke: $$pkg"; \
+		$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s $$pkg || exit 1; \
+	done
 
 # Determinism smoke: two same-seed runs must be byte-identical.
 smoke: build

@@ -103,3 +103,14 @@ func BenchmarkE9HiddenAndRelay(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE10Discovery regenerates the §4.3 discovery-at-scale study
+// (registry COW reads, revision-delta sync, X2 mesh bring-up).
+func BenchmarkE10Discovery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE10(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Command benchgate compares a `go test -json` benchmark stream
+// against a committed baseline (BENCH_BASELINE.json) and fails when a
+// gated benchmark regresses: ns/op more than -max-regress above
+// baseline, or allocs/op above baseline at all (the 0-alloc fast
+// paths — registry snapshot reads, X2 broadcast — must stay at 0).
+//
+// The baseline's benchmark set is curated: only benchmarks listed in
+// the committed file are gated, so noisy end-to-end benchmarks stay
+// informational. Each gated benchmark should run with -count > 1; the
+// gate takes the per-benchmark minimum, the standard robust statistic
+// against scheduler noise.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem -count 5 -json ./... | benchgate -baseline BENCH_BASELINE.json
+//	... | benchgate -baseline BENCH_BASELINE.json -write   # regenerate numbers for the curated set
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// gateEntry is one committed benchmark baseline.
+type gateEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Note       string               `json:"note,omitempty"`
+	Benchmarks map[string]gateEntry `json:"benchmarks"`
+}
+
+// result is an observed benchmark measurement (minimum across -count
+// repetitions).
+type result struct {
+	ns     float64
+	allocs float64
+	seen   bool
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
+	write := flag.Bool("write", false, "rewrite the baseline's numbers from this run instead of gating")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression before failing")
+	flag.Parse()
+
+	results, err := parseStream(os.Stdin)
+	if err != nil {
+		fatalf("parse benchmark stream: %v", err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark results in input (need `go test -json -bench ... -benchmem`)")
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		if !(*write && os.IsNotExist(err)) {
+			fatalf("read baseline: %v", err)
+		}
+		base = &baseline{}
+	}
+
+	if *write {
+		writeBaseline(*baselinePath, base, results)
+		return
+	}
+
+	var failures []string
+	for _, name := range sortedKeys(base.Benchmarks) {
+		want := base.Benchmarks[name]
+		got, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from this run", name))
+			continue
+		}
+		limit := want.NsPerOp * (1 + *maxRegress)
+		if got.ns > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.4g ns/op exceeds baseline %.4g ns/op by more than %.0f%%",
+				name, got.ns, want.NsPerOp, *maxRegress*100))
+		}
+		if got.allocs > want.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f",
+				name, got.allocs, want.AllocsPerOp))
+		}
+		fmt.Printf("benchgate: %-60s %10.4g ns/op (limit %10.4g)  %3.0f allocs/op (limit %.0f)\n",
+			name, got.ns, limit, got.allocs, want.AllocsPerOp)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d gated benchmarks within baseline\n", len(base.Benchmarks))
+}
+
+// parseStream extracts benchmark result lines from a go test -json
+// event stream, keyed "package.BenchmarkName" with the GOMAXPROCS
+// suffix stripped, keeping the minimum ns/op and allocs/op per key.
+// testing flushes a benchmark's name before its numbers, so one result
+// line often spans two output events; partial lines accumulate per
+// package until their newline arrives.
+func parseStream(r io.Reader) (map[string]result, error) {
+	results := make(map[string]result)
+	pending := make(map[string]string)
+	record := func(pkg, line string) {
+		name, res, ok := parseBenchLine(line)
+		if !ok {
+			return
+		}
+		key := pkg + "." + name
+		if prev, seen := results[key]; seen {
+			res.ns = math.Min(res.ns, prev.ns)
+			res.allocs = math.Min(res.allocs, prev.allocs)
+		}
+		results[key] = res
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 || raw[0] != '{' {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			continue // tolerate interleaved non-JSON output
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := pending[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			record(ev.Package, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		pending[ev.Package] = buf
+	}
+	for pkg, buf := range pending {
+		record(pkg, buf)
+	}
+	return results, sc.Err()
+}
+
+// parseBenchLine parses one testing benchmark result line:
+//
+//	BenchmarkName/sub-16  \t  2000 \t 4.9 ns/op \t 0 B/op \t 0 allocs/op
+func parseBenchLine(s string) (string, result, bool) {
+	if !strings.HasPrefix(s, "Benchmark") {
+		return "", result{}, false
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 4 {
+		return "", result{}, false
+	}
+	name := stripProcs(fields[0])
+	res := result{seen: true, allocs: math.NaN(), ns: math.NaN()}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.ns = v
+		case "allocs/op":
+			res.allocs = v
+		}
+	}
+	if math.IsNaN(res.ns) {
+		return "", result{}, false
+	}
+	if math.IsNaN(res.allocs) {
+		res.allocs = 0 // -benchmem absent; gate on time only
+	}
+	return name, res, true
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix testing adds.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func readBaseline(path string) (*baseline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &base, nil
+}
+
+// writeBaseline refreshes the curated benchmark set's numbers from
+// this run. If the baseline has no benchmarks yet, every observed
+// benchmark is admitted (first-time generation); otherwise the
+// committed set is preserved so noisy benchmarks stay out of the gate.
+func writeBaseline(path string, base *baseline, results map[string]result) {
+	if len(base.Benchmarks) == 0 {
+		base.Benchmarks = make(map[string]gateEntry, len(results))
+		for name := range results {
+			base.Benchmarks[name] = gateEntry{}
+		}
+	}
+	if base.Note == "" {
+		base.Note = "Gated benchmark baselines. Regenerate with `make bench-baseline` on the reference machine; cmd/benchgate fails CI on >25% ns/op regression or any allocs/op above baseline."
+	}
+	for _, name := range sortedKeys(base.Benchmarks) {
+		got, ok := results[name]
+		if !ok {
+			fatalf("baseline benchmark %s missing from this run; cannot regenerate", name)
+		}
+		base.Benchmarks[name] = gateEntry{NsPerOp: got.ns, AllocsPerOp: got.allocs}
+	}
+	out, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fatalf("encode baseline: %v", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fatalf("write baseline: %v", err)
+	}
+	fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", path, len(base.Benchmarks))
+}
+
+func sortedKeys(m map[string]gateEntry) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

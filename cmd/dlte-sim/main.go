@@ -50,6 +50,7 @@ func runners() []runner {
 		{"E7", "§4.3: X2 overhead", wrap(func(o exp.Options) error { _, err := exp.RunE7(o); return err })},
 		{"E8", "§5: town deployment", wrap(func(o exp.Options) error { _, err := exp.RunE8(o); return err })},
 		{"E9", "§4.3/§7: hidden terminals & relay", wrap(func(o exp.Options) error { _, err := exp.RunE9(o); return err })},
+		{"E10", "§4.3: discovery at scale", wrap(func(o exp.Options) error { _, err := exp.RunE10(o); return err })},
 	}
 }
 

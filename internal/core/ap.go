@@ -63,10 +63,12 @@ type AccessPoint struct {
 	cfg  APConfig
 	host *simnet.Host
 
-	Core  *epc.Core
-	ENB   *enb.ENodeB
-	Agent *x2.Agent
-	reg   *registry.Client
+	Core   *epc.Core
+	ENB    *enb.ENodeB
+	Agent  *x2.Agent
+	reg    *registry.Client
+	mirror *registry.Mirror
+	keyRev uint64 // registry revision key sync is current through
 
 	s1Listener epc.Listener
 	x2Listener x2.Listener
@@ -185,8 +187,15 @@ func (ap *AccessPoint) Record() registry.APRecord {
 	}
 }
 
-// JoinRegistry connects to the global registry and publishes this AP's
-// record — the open-join step that telecom cores have no analogue for.
+// registrySyncTimeout bounds how long AP reads wait for the local
+// mirror to catch up to the server revision they observed.
+const registrySyncTimeout = 5 * time.Second
+
+// JoinRegistry connects to the global registry, publishes this AP's
+// record — the open-join step that telecom cores have no analogue for —
+// and subscribes a local mirror to the revision-delta feed, so later
+// discovery and key syncs read locally instead of re-pulling full
+// lists.
 func (ap *AccessPoint) JoinRegistry() error {
 	if ap.cfg.RegistryAddr == "" {
 		return fmt.Errorf("core: no registry configured")
@@ -195,26 +204,52 @@ func (ap *AccessPoint) JoinRegistry() error {
 	if err != nil {
 		return err
 	}
+	m, err := registry.NewMirror(ap.host.Dial, ap.cfg.RegistryAddr, 0)
+	if err != nil {
+		c.Close()
+		return err
+	}
 	ap.mu.Lock()
 	ap.reg = c
+	ap.mirror = m
 	ap.mu.Unlock()
 	return c.Join(ap.Record())
 }
 
-// SyncSubscriberKeys imports every published open-SIM key from the
-// registry into the stub's HSS, so any published subscriber can attach
-// here (§4.2 key publication).
-func (ap *AccessPoint) SyncSubscriberKeys() (int, error) {
+// syncMirror reads the server's revision (one tiny round trip) and
+// waits for the mirror to apply at least that much, so reads below see
+// everything that existed when the caller asked.
+func (ap *AccessPoint) syncMirror() (*registry.Mirror, error) {
 	ap.mu.Lock()
-	c := ap.reg
+	c, m := ap.reg, ap.mirror
 	ap.mu.Unlock()
-	if c == nil {
-		return 0, fmt.Errorf("core: not joined to a registry")
+	if c == nil || m == nil {
+		return nil, fmt.Errorf("core: not joined to a registry")
 	}
-	keys, err := c.Keys()
+	rev, err := c.Revision()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.WaitRev(rev, registrySyncTimeout); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SyncSubscriberKeys imports published open-SIM keys from the registry
+// into the stub's HSS, so any published subscriber can attach here
+// (§4.2 key publication). Sync is incremental: only keys that arrived
+// on the delta feed since the previous call are imported, instead of
+// re-pulling every key each time.
+func (ap *AccessPoint) SyncSubscriberKeys() (int, error) {
+	m, err := ap.syncMirror()
 	if err != nil {
 		return 0, err
 	}
+	ap.mu.Lock()
+	since := ap.keyRev
+	ap.mu.Unlock()
+	keys, upTo := m.KeysSince(since)
 	n := 0
 	for _, k := range keys {
 		pub, err := k.Publication()
@@ -225,24 +260,25 @@ func (ap *AccessPoint) SyncSubscriberKeys() (int, error) {
 			n++
 		}
 	}
+	ap.mu.Lock()
+	if upTo > ap.keyRev {
+		ap.keyRev = upTo
+	}
+	ap.mu.Unlock()
 	return n, nil
 }
 
-// DiscoverPeers queries the registry for same-band APs, computes the
+// DiscoverPeers reads same-band APs from the local registry mirror
+// (after catching it up to the server's current revision), computes the
 // RF contention domain this AP belongs to, and opens X2 associations
 // to every domain member. It returns the domain's member IDs
 // (including this AP).
 func (ap *AccessPoint) DiscoverPeers() ([]string, error) {
-	ap.mu.Lock()
-	c := ap.reg
-	ap.mu.Unlock()
-	if c == nil {
-		return nil, fmt.Errorf("core: not joined to a registry")
-	}
-	records, err := c.List(ap.cfg.Band.Name)
+	m, err := ap.syncMirror()
 	if err != nil {
 		return nil, err
 	}
+	records := m.List(ap.cfg.Band.Name)
 	grants := make([]spectrum.Grant, 0, len(records))
 	byID := make(map[string]registry.APRecord, len(records))
 	for _, r := range records {
@@ -295,11 +331,14 @@ func (ap *AccessPoint) Close() {
 		return
 	}
 	ap.closed = true
-	reg := ap.reg
+	reg, mirror := ap.reg, ap.mirror
 	ap.mu.Unlock()
 	if reg != nil {
 		reg.Leave(ap.cfg.ID)
 		reg.Close()
+	}
+	if mirror != nil {
+		mirror.Close()
 	}
 	ap.Agent.Close()
 	ap.x2Listener.Close()

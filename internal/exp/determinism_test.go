@@ -56,7 +56,10 @@ func TestExperimentsDeterministic(t *testing.T) {
 // on one shard or eight (Shards). E3 covers the
 // contended-signaling-processor worlds (the shared centralized EPC,
 // historically the first place scheduler interleaving leaked into
-// results); E4 covers roaming and retransmission timing.
+// results); E4 covers roaming and retransmission timing; E10 covers
+// the discovery plane, where concurrent joins, key churn, pollers,
+// and a push subscription all race on one registry — its wire-byte
+// accounting depends on every delta landing in its own frame.
 func TestSerialParallelIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -69,6 +72,9 @@ func TestSerialParallelIdentical(t *testing.T) {
 		}
 		if _, err := RunE4(opt); err != nil {
 			t.Fatalf("E4 (p=%d s=%d): %v", parallelism, shards, err)
+		}
+		if _, err := RunE10(opt); err != nil {
+			t.Fatalf("E10 (p=%d s=%d): %v", parallelism, shards, err)
 		}
 		return buf.Bytes()
 	}

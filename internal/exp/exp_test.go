@@ -226,3 +226,34 @@ func TestE9HiddenAndRelayShape(t *testing.T) {
 		t.Error("no relay capacity")
 	}
 }
+
+func TestE10DiscoveryAtScaleShape(t *testing.T) {
+	res, err := RunE10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim: revision deltas cut steady-state sync bytes
+	// by at least an order of magnitude versus list polling, at every
+	// deployment size.
+	if res.MinReduction < 10 {
+		t.Errorf("poll/delta byte reduction %.1f× < 10×", res.MinReduction)
+	}
+	for n, pollKB := range res.PollKBByAPs {
+		deltaKB := res.DeltaKBByAPs[n]
+		if deltaKB <= 0 || pollKB <= deltaKB {
+			t.Errorf("%d APs: poll %.1f KB vs delta %.1f KB", n, pollKB, deltaKB)
+		}
+		// Push beats poll on join→discoverable latency: a delta arrives
+		// one propagation after the join; a poller waits out its period.
+		if res.DeltaP50ByAPs[n] >= res.PollP50ByAPs[n] {
+			t.Errorf("%d APs: delta p50 %.1f ms ≥ poll p50 %.1f ms",
+				n, res.DeltaP50ByAPs[n], res.PollP50ByAPs[n])
+		}
+	}
+	if got, want := res.SyncTable.NumRows(), len(res.PollKBByAPs); got != want {
+		t.Errorf("sync table rows = %d, want %d", got, want)
+	}
+	if got, want := res.MeshTable.NumRows(), len(res.PollKBByAPs); got != want {
+		t.Errorf("mesh table rows = %d, want %d", got, want)
+	}
+}

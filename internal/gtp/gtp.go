@@ -80,6 +80,13 @@ func Decode(b []byte) (Header, []byte, error) {
 	if b[0]>>5 != 1 {
 		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, b[0]>>5)
 	}
+	if b[0] != 0x30 {
+		// E/S/PN flag bits extend the header by 4 bytes; this stack
+		// neither sends nor parses the optional fields, and silently
+		// treating them as payload would corrupt the tunnel. PT=0
+		// (GTP') is likewise unsupported.
+		return Header{}, nil, fmt.Errorf("%w: flags %#02x", ErrBadVersion, b[0])
+	}
 	h := Header{
 		MessageType: b[1],
 		TEID:        binary.BigEndian.Uint32(b[4:8]),

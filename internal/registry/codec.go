@@ -1,0 +1,274 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+
+	"dlte/internal/geo"
+	"dlte/internal/wire"
+)
+
+// ProtocolVersion identifies the registry wire protocol. Version 1 was
+// JSON-over-frames; version 2 (this codec) is wire.Writer/Reader binary
+// with chunked bulk responses and the revision-delta subscription. The
+// version is implicit in the op space — a v1 JSON request starts with
+// '{' (0x7B), which v2 rejects as an unknown op and closes the
+// connection, so mixed deployments fail fast instead of misparsing.
+const ProtocolVersion = 2
+
+// Request ops (first byte of every request frame).
+const (
+	opJoin       uint8 = 1
+	opLeave      uint8 = 2
+	opList       uint8 = 3
+	opRegion     uint8 = 4
+	opPublishKey uint8 = 5
+	opFetchKey   uint8 = 6
+	opKeys       uint8 = 7
+	opRev        uint8 = 8  // lightweight revision probe
+	opDeltas     uint8 = 9  // pull deltas since a revision
+	opSubscribe  uint8 = 10 // switch the connection to the push feed
+)
+
+// Response kinds (first byte of every response frame).
+const (
+	respErr      uint8 = 0 // U8 code, String16 message
+	respAck      uint8 = 1 // U64 revision
+	respRecords  uint8 = 2 // U64 rev, U8 more, U16 count, records
+	respKeys     uint8 = 3 // U64 rev, U8 more, U32 count, keys
+	respRev      uint8 = 4 // U64 revision
+	respDeltas   uint8 = 5 // U64 rev, U8 more, U16 count, deltas
+	respSnapshot uint8 = 6 // U64 rev; records+keys chunks follow on the feed
+)
+
+// Error codes carried by respErr so clients recover typed sentinels.
+const (
+	errCodeGeneric  uint8 = 0
+	errCodeNotFound uint8 = 1
+	errCodeGap      uint8 = 2
+)
+
+// Chunk caps: bulk responses split into frames well under
+// wire.MaxFrameSize (a 100k-key dump is ~9 MB — far past one frame).
+// Decoders reject counts above these bounds before allocating.
+const (
+	maxRecordsPerFrame = 2048
+	maxKeysPerFrame    = 4096
+	maxDeltasPerFrame  = 1024
+)
+
+func encodeAP(w *wire.Writer, r APRecord) {
+	w.String8(r.ID)
+	w.String8(r.X2Addr)
+	w.F64(r.X)
+	w.F64(r.Y)
+	w.String8(r.Band)
+	w.F64(r.EIRPdBm)
+	w.F64(r.HeightM)
+	w.String8(r.Mode)
+}
+
+func decodeAP(r *wire.Reader) APRecord {
+	return APRecord{
+		ID:      r.String8(),
+		X2Addr:  r.String8(),
+		X:       r.F64(),
+		Y:       r.F64(),
+		Band:    r.String8(),
+		EIRPdBm: r.F64(),
+		HeightM: r.F64(),
+		Mode:    r.String8(),
+	}
+}
+
+func encodeKey(w *wire.Writer, k KeyRecord) {
+	w.String8(k.IMSI)
+	w.String8(k.K)
+	w.String8(k.OPc)
+}
+
+func decodeKey(r *wire.Reader) KeyRecord {
+	return KeyRecord{IMSI: r.String8(), K: r.String8(), OPc: r.String8()}
+}
+
+func encodeDelta(w *wire.Writer, d Delta) {
+	w.U8(d.Kind)
+	w.U64(d.Rev)
+	switch d.Kind {
+	case DeltaJoin:
+		encodeAP(w, d.AP)
+	case DeltaLeave:
+		w.String8(d.ID)
+	case DeltaKey:
+		encodeKey(w, d.Key)
+	}
+}
+
+func decodeDelta(r *wire.Reader) (Delta, error) {
+	d := Delta{Kind: r.U8(), Rev: r.U64()}
+	switch d.Kind {
+	case DeltaJoin:
+		d.AP = decodeAP(r)
+	case DeltaLeave:
+		d.ID = r.String8()
+	case DeltaKey:
+		d.Key = decodeKey(r)
+	default:
+		return d, fmt.Errorf("registry: unknown delta kind %d", d.Kind)
+	}
+	return d, r.Err()
+}
+
+// request is the decoded form of one request frame. Exactly the fields
+// implied by op are meaningful.
+type request struct {
+	op      uint8
+	ap      APRecord // join
+	id      string   // leave
+	band    string   // list, region
+	rect    geo.Rect // region
+	key     KeyRecord
+	imsi    string // fetchKey
+	fromRev uint64 // deltas, subscribe
+}
+
+func decodeRequest(b []byte) (request, error) {
+	r := wire.NewReader(b)
+	req := request{op: r.U8()}
+	switch req.op {
+	case opJoin:
+		req.ap = decodeAP(r)
+	case opLeave:
+		req.id = r.String8()
+	case opList:
+		req.band = r.String8()
+	case opRegion:
+		req.band = r.String8()
+		req.rect = geo.NewRect(geo.Pt(r.F64(), r.F64()), geo.Pt(r.F64(), r.F64()))
+	case opPublishKey:
+		req.key = decodeKey(r)
+	case opFetchKey:
+		req.imsi = r.String8()
+	case opKeys, opRev:
+	case opDeltas, opSubscribe:
+		req.fromRev = r.U64()
+	default:
+		return req, fmt.Errorf("registry: unknown op %d", req.op)
+	}
+	if err := r.Err(); err != nil {
+		return req, err
+	}
+	if r.Remaining() != 0 {
+		return req, fmt.Errorf("registry: %d trailing bytes after op %d", r.Remaining(), req.op)
+	}
+	return req, nil
+}
+
+// chunk is the decoded form of one response frame. Bulk responses span
+// several chunks; more marks continuations of the same reply.
+type chunk struct {
+	kind    uint8
+	rev     uint64
+	more    bool
+	errCode uint8
+	errMsg  string
+	records []APRecord
+	keys    []KeyRecord
+	deltas  []Delta
+}
+
+// readMore decodes the continuation flag strictly: the codec is
+// canonical (one frame, one byte reading), so only 0 and 1 are legal
+// encodings of a bool on this protocol.
+func readMore(r *wire.Reader) (bool, error) {
+	switch r.U8() {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, errors.New("registry: non-canonical bool")
+}
+
+func decodeChunk(b []byte) (chunk, error) {
+	r := wire.NewReader(b)
+	c := chunk{kind: r.U8()}
+	switch c.kind {
+	case respErr:
+		c.errCode = r.U8()
+		c.errMsg = r.String16()
+	case respAck, respRev, respSnapshot:
+		c.rev = r.U64()
+	case respRecords:
+		c.rev = r.U64()
+		var merr error
+		if c.more, merr = readMore(r); merr != nil {
+			return c, merr
+		}
+		n := int(r.U16())
+		if n > maxRecordsPerFrame {
+			return c, fmt.Errorf("registry: record chunk count %d", n)
+		}
+		if n > 0 {
+			c.records = make([]APRecord, n)
+			for i := range c.records {
+				c.records[i] = decodeAP(r)
+			}
+		}
+	case respKeys:
+		c.rev = r.U64()
+		var merr error
+		if c.more, merr = readMore(r); merr != nil {
+			return c, merr
+		}
+		n := int(r.U32())
+		if n > maxKeysPerFrame {
+			return c, fmt.Errorf("registry: key chunk count %d", n)
+		}
+		if n > 0 {
+			c.keys = make([]KeyRecord, n)
+			for i := range c.keys {
+				c.keys[i] = decodeKey(r)
+			}
+		}
+	case respDeltas:
+		c.rev = r.U64()
+		var merr error
+		if c.more, merr = readMore(r); merr != nil {
+			return c, merr
+		}
+		n := int(r.U16())
+		if n > maxDeltasPerFrame {
+			return c, fmt.Errorf("registry: delta chunk count %d", n)
+		}
+		if n > 0 {
+			c.deltas = make([]Delta, n)
+			for i := range c.deltas {
+				var err error
+				if c.deltas[i], err = decodeDelta(r); err != nil {
+					return c, err
+				}
+			}
+		}
+	default:
+		return c, fmt.Errorf("registry: unknown response kind %d", c.kind)
+	}
+	if err := r.Err(); err != nil {
+		return c, err
+	}
+	if r.Remaining() != 0 {
+		return c, fmt.Errorf("registry: %d trailing bytes after response kind %d", r.Remaining(), c.kind)
+	}
+	return c, nil
+}
+
+// terminal reports whether this chunk completes a reply (no
+// continuation frames follow it within the same request/response
+// exchange).
+func (c chunk) terminal() bool {
+	switch c.kind {
+	case respRecords, respKeys, respDeltas:
+		return !c.more
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package registry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dlte/internal/wire"
+)
+
+// reqFrame hand-encodes a request the way Client does, for seeds and
+// round-trip checks.
+func reqFrame(build func(w *wire.Writer)) []byte {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	build(w)
+	return bytes.Clone(w.Bytes())
+}
+
+// encodeChunk mirrors the server's frame senders (sendRecords,
+// sendKeys, sendDeltas, sendErr, sendU64) so decode results can be
+// re-encoded and compared.
+func encodeChunk(c chunk) []byte {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U8(c.kind)
+	switch c.kind {
+	case respErr:
+		w.U8(c.errCode)
+		w.String16(c.errMsg)
+	case respAck, respRev, respSnapshot:
+		w.U64(c.rev)
+	case respRecords:
+		w.U64(c.rev)
+		w.Bool(c.more)
+		w.U16(uint16(len(c.records)))
+		for _, r := range c.records {
+			encodeAP(w, r)
+		}
+	case respKeys:
+		w.U64(c.rev)
+		w.Bool(c.more)
+		w.U32(uint32(len(c.keys)))
+		for _, k := range c.keys {
+			encodeKey(w, k)
+		}
+	case respDeltas:
+		w.U64(c.rev)
+		w.Bool(c.more)
+		w.U16(uint16(len(c.deltas)))
+		for _, d := range c.deltas {
+			encodeDelta(w, d)
+		}
+	}
+	return bytes.Clone(w.Bytes())
+}
+
+// FuzzDecode feeds arbitrary bytes to both registry frame decoders.
+// Registry frames arrive from other administrative domains (any AP on
+// the Internet can dial the global registry), so the decoders must
+// reject malformed input cleanly: no panics, no oversized allocations
+// from forged counts, and every accepted frame must re-encode to the
+// exact bytes that were decoded (the codec admits no two readings of
+// one frame).
+//
+// Run the seeds with `go test`; explore with
+// `go test -fuzz=FuzzDecode ./internal/registry`.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})                                                            // empty
+	f.Add([]byte{opJoin})                                                      // join with no record
+	f.Add([]byte{0x7B})                                                        // '{' — a protocol-v1 JSON request
+	f.Add([]byte{opRev, 0xFF})                                                 // trailing junk
+	f.Add([]byte{respKeys, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0xFF, 0xFF, 0xFF, 0xFF}) // forged huge count
+	f.Add(reqFrame(func(w *wire.Writer) {
+		w.U8(opJoin)
+		encodeAP(w, APRecord{ID: "ap1", X2Addr: "ap1:36422", Band: "b", Mode: "fair-share"})
+	}))
+	f.Add(reqFrame(func(w *wire.Writer) { w.U8(opLeave); w.String8("ap1") }))
+	f.Add(reqFrame(func(w *wire.Writer) { w.U8(opList); w.String8("") }))
+	f.Add(reqFrame(func(w *wire.Writer) {
+		w.U8(opRegion)
+		w.String8("b")
+		w.F64(0)
+		w.F64(0)
+		w.F64(1000)
+		w.F64(1000)
+	}))
+	f.Add(reqFrame(func(w *wire.Writer) {
+		w.U8(opPublishKey)
+		encodeKey(w, KeyRecord{IMSI: "001010000000001", K: "00", OPc: "00"})
+	}))
+	f.Add(reqFrame(func(w *wire.Writer) { w.U8(opFetchKey); w.String8("001010000000001") }))
+	f.Add(reqFrame(func(w *wire.Writer) { w.U8(opKeys) }))
+	f.Add(reqFrame(func(w *wire.Writer) { w.U8(opDeltas); w.U64(7) }))
+	f.Add(reqFrame(func(w *wire.Writer) { w.U8(opSubscribe); w.U64(0) }))
+	f.Add(encodeChunk(chunk{kind: respErr, errCode: errCodeGap, errMsg: ErrDeltaGap.Error()}))
+	f.Add(encodeChunk(chunk{kind: respAck, rev: 42}))
+	f.Add(encodeChunk(chunk{kind: respRecords, rev: 9, more: true, records: []APRecord{{ID: "a"}, {ID: "b"}}}))
+	f.Add(encodeChunk(chunk{kind: respKeys, rev: 9, keys: []KeyRecord{{IMSI: "i", K: "k", OPc: "o"}}}))
+	f.Add(encodeChunk(chunk{kind: respDeltas, rev: 3, deltas: []Delta{
+		{Kind: DeltaJoin, Rev: 1, AP: APRecord{ID: "a"}},
+		{Kind: DeltaLeave, Rev: 2, ID: "a"},
+		{Kind: DeltaKey, Rev: 3, Key: KeyRecord{IMSI: "i"}},
+	}}))
+	f.Add(encodeChunk(chunk{kind: respSnapshot, rev: 12}))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if req, err := decodeRequest(b); err == nil {
+			// Accepted requests re-encode to exactly the input frame.
+			round := reqFrame(func(w *wire.Writer) {
+				w.U8(req.op)
+				switch req.op {
+				case opJoin:
+					encodeAP(w, req.ap)
+				case opLeave:
+					w.String8(req.id)
+				case opList:
+					w.String8(req.band)
+				case opRegion:
+					w.String8(req.band)
+					w.F64(req.rect.Min.X)
+					w.F64(req.rect.Min.Y)
+					w.F64(req.rect.Max.X)
+					w.F64(req.rect.Max.Y)
+				case opPublishKey:
+					encodeKey(w, req.key)
+				case opFetchKey:
+					w.String8(req.imsi)
+				case opDeltas, opSubscribe:
+					w.U64(req.fromRev)
+				}
+			})
+			// geo.NewRect normalizes min/max, so opRegion frames with a
+			// "backwards" rectangle legitimately re-encode differently;
+			// everything else must round-trip byte for byte.
+			normalized := req.op == opRegion &&
+				(req.rect.Min.X != req.rect.Max.X || req.rect.Min.Y != req.rect.Max.Y)
+			if !bytes.Equal(round, b) && !normalized {
+				t.Fatalf("request round trip mismatch:\n got %x\nwant %x", round, b)
+			}
+		}
+		if ch, err := decodeChunk(b); err == nil {
+			if len(ch.records) > maxRecordsPerFrame || len(ch.keys) > maxKeysPerFrame || len(ch.deltas) > maxDeltasPerFrame {
+				t.Fatalf("decoded chunk exceeds frame caps: %d/%d/%d", len(ch.records), len(ch.keys), len(ch.deltas))
+			}
+			if round := encodeChunk(ch); !bytes.Equal(round, b) {
+				t.Fatalf("chunk round trip mismatch:\n got %x\nwant %x", round, b)
+			}
+		}
+	})
+}
+
+// clampAP bounds string fields to what String8 can carry (the store
+// also rejects longer IDs, so real records never exceed this).
+func clampAP(r APRecord) APRecord {
+	c := func(s string) string {
+		if len(s) > 255 {
+			return s[:255]
+		}
+		return s
+	}
+	r.ID, r.X2Addr, r.Band, r.Mode = c(r.ID), c(r.X2Addr), c(r.Band), c(r.Mode)
+	return r
+}
+
+func clampKey(k KeyRecord) KeyRecord {
+	c := func(s string) string {
+		if len(s) > 255 {
+			return s[:255]
+		}
+		return s
+	}
+	return KeyRecord{IMSI: c(k.IMSI), K: c(k.K), OPc: c(k.OPc)}
+}
+
+// TestAPCodecRoundTripProperty checks encodeAP/decodeAP agreement on
+// arbitrary records.
+func TestAPCodecRoundTripProperty(t *testing.T) {
+	f := func(r APRecord) bool {
+		r = clampAP(r)
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		encodeAP(w, r)
+		rd := wire.NewReader(w.Bytes())
+		got := decodeAP(rd)
+		return rd.Err() == nil && rd.Remaining() == 0 && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyCodecRoundTripProperty does the same for key records.
+func TestKeyCodecRoundTripProperty(t *testing.T) {
+	f := func(k KeyRecord) bool {
+		k = clampKey(k)
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		encodeKey(w, k)
+		rd := wire.NewReader(w.Bytes())
+		got := decodeKey(rd)
+		return rd.Err() == nil && rd.Remaining() == 0 && got == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeltaCodecRoundTripProperty covers all three delta kinds,
+// including that only the fields the kind implies survive the wire.
+func TestDeltaCodecRoundTripProperty(t *testing.T) {
+	f := func(kindSel uint8, rev uint64, ap APRecord, id string, key KeyRecord) bool {
+		d := Delta{Kind: kindSel%3 + 1, Rev: rev}
+		switch d.Kind {
+		case DeltaJoin:
+			d.AP = clampAP(ap)
+		case DeltaLeave:
+			if len(id) > 255 {
+				id = id[:255]
+			}
+			d.ID = id
+		case DeltaKey:
+			d.Key = clampKey(key)
+		}
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		encodeDelta(w, d)
+		rd := wire.NewReader(w.Bytes())
+		got, err := decodeDelta(rd)
+		return err == nil && rd.Remaining() == 0 && reflect.DeepEqual(got, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeRequestRejects pins the failure modes the fuzzer explores:
+// protocol-v1 JSON, unknown ops, truncation, and trailing bytes.
+func TestDecodeRequestRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"v1 JSON":     []byte(`{"op":"join"}`),
+		"unknown op":  {200},
+		"truncated":   {opLeave, 5, 'a'},
+		"trailing":    {opRev, 0},
+		"region trim": {opRegion, 0, 1, 2, 3},
+	}
+	for name, b := range cases {
+		if _, err := decodeRequest(b); err == nil {
+			t.Errorf("%s: decodeRequest accepted %x", name, b)
+		}
+	}
+	if _, err := decodeChunk([]byte{respKeys, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Error("decodeChunk accepted a forged 4-billion-key count")
+	}
+	if _, err := decodeChunk(append(encodeChunk(chunk{kind: respAck, rev: 1}), 0)); err == nil {
+		t.Error("decodeChunk accepted trailing bytes")
+	}
+}

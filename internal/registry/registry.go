@@ -8,24 +8,20 @@
 // The registry is deliberately simple: open join (any conforming AP is
 // accepted, like BGP peering or a DNS zone), region/band queries, and
 // a key-publication feed. It runs over any stream transport via a
-// small JSON-over-frames protocol, so the same server binds to real
-// TCP (cmd/dlte-registry) and to simnet WANs (experiments).
+// small binary framed protocol (see codec.go), so the same server
+// binds to real TCP (cmd/dlte-registry) and to simnet WANs
+// (experiments). Clients either poll (Client) or subscribe to a
+// revision-delta feed (Subscription/Mirror) that ships only what
+// changed since a known revision.
 package registry
 
 import (
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net"
-	"sort"
-	"sync"
-	"time"
 
 	"dlte/internal/auth"
 	"dlte/internal/geo"
-	"dlte/internal/simnet"
-	"dlte/internal/wire"
 )
 
 // APRecord describes one registered access point.
@@ -50,7 +46,7 @@ type APRecord struct {
 // Position returns the record's location as a geo.Point.
 func (r APRecord) Position() geo.Point { return geo.Pt(r.X, r.Y) }
 
-// KeyRecord is a published open-SIM key (hex-encoded for JSON).
+// KeyRecord is a published open-SIM key (hex-encoded).
 type KeyRecord struct {
 	IMSI string `json:"imsi"`
 	K    string `json:"k"`
@@ -75,354 +71,12 @@ func NewKeyRecord(p auth.KeyPublication) KeyRecord {
 	return KeyRecord{IMSI: string(p.IMSI), K: hex.EncodeToString(p.K), OPc: hex.EncodeToString(p.OPc)}
 }
 
-// Store is the registry state, usable in process or behind a Server.
-type Store struct {
-	mu   sync.RWMutex
-	aps  map[string]APRecord
-	keys map[string]KeyRecord
-	rev  uint64
-}
-
-// NewStore returns an empty registry store.
-func NewStore() *Store {
-	return &Store{aps: make(map[string]APRecord), keys: make(map[string]KeyRecord)}
-}
-
-// Errors from store operations.
+// Errors from store and protocol operations.
 var (
 	ErrBadRecord = errors.New("registry: invalid record")
 	ErrNotFound  = errors.New("registry: not found")
+	// ErrDeltaGap reports that the requested revision has aged out of
+	// the server's bounded delta log; the caller must resync from a
+	// full snapshot.
+	ErrDeltaGap = errors.New("registry: delta gap (full resync required)")
 )
-
-// Join registers (or updates) an AP record. Joining is open: any
-// record with an ID and band is accepted — the paper's organic-growth
-// property.
-func (s *Store) Join(r APRecord) error {
-	if r.ID == "" || r.Band == "" {
-		return fmt.Errorf("%w: missing id or band", ErrBadRecord)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.aps[r.ID] = r
-	s.rev++
-	return nil
-}
-
-// Leave removes an AP record.
-func (s *Store) Leave(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.aps[id]; !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, id)
-	}
-	delete(s.aps, id)
-	s.rev++
-	return nil
-}
-
-// List returns all records in a band (empty band = all), sorted by ID.
-func (s *Store) List(band string) []APRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []APRecord
-	for _, r := range s.aps {
-		if band == "" || r.Band == band {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// InRegion returns records in a band within the rectangle.
-func (s *Store) InRegion(band string, rect geo.Rect) []APRecord {
-	var out []APRecord
-	for _, r := range s.List(band) {
-		if rect.Contains(r.Position()) {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// Get fetches one AP record.
-func (s *Store) Get(id string) (APRecord, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.aps[id]
-	return r, ok
-}
-
-// Revision reports a counter that increases on every mutation, so
-// clients can cheaply detect staleness.
-func (s *Store) Revision() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.rev
-}
-
-// PublishKey stores an open-SIM key publication.
-func (s *Store) PublishKey(k KeyRecord) error {
-	if !auth.IMSI(k.IMSI).Valid() {
-		return fmt.Errorf("%w: bad IMSI %q", ErrBadRecord, k.IMSI)
-	}
-	if _, err := k.Publication(); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.keys[k.IMSI] = k
-	s.rev++
-	return nil
-}
-
-// FetchKey retrieves a published key.
-func (s *Store) FetchKey(imsi string) (KeyRecord, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	k, ok := s.keys[imsi]
-	return k, ok
-}
-
-// Keys lists all published keys, sorted by IMSI.
-func (s *Store) Keys() []KeyRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]KeyRecord, 0, len(s.keys))
-	for _, k := range s.keys {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].IMSI < out[j].IMSI })
-	return out
-}
-
-// --- Wire protocol -----------------------------------------------------
-
-// request is the JSON request envelope.
-type request struct {
-	Op   string      `json:"op"`
-	AP   *APRecord   `json:"ap,omitempty"`
-	ID   string      `json:"id,omitempty"`
-	Band string      `json:"band,omitempty"`
-	Rect *[4]float64 `json:"rect,omitempty"` // minX, minY, maxX, maxY
-	Key  *KeyRecord  `json:"key,omitempty"`
-	IMSI string      `json:"imsi,omitempty"`
-}
-
-// response is the JSON response envelope.
-type response struct {
-	OK       bool        `json:"ok"`
-	Error    string      `json:"error,omitempty"`
-	Records  []APRecord  `json:"records,omitempty"`
-	Keys     []KeyRecord `json:"keys,omitempty"`
-	Revision uint64      `json:"revision,omitempty"`
-}
-
-// Listener abstracts net.Listener / simnet.Listener.
-type Listener interface {
-	Accept() (net.Conn, error)
-	Close() error
-}
-
-// Server exposes a Store over the framed JSON protocol.
-type Server struct {
-	store *Store
-}
-
-// NewServer wraps a store.
-func NewServer(store *Store) *Server { return &Server{store: store} }
-
-// Store returns the underlying store (for in-process seeding).
-func (s *Server) Store() *Store { return s.store }
-
-// Serve accepts clients until the listener closes. Run in a goroutine.
-func (s *Server) Serve(l Listener) {
-	for {
-		c, err := l.Accept()
-		if err != nil {
-			return
-		}
-		simnet.ClockOf(c).Go(func() { s.serveConn(c) })
-	}
-}
-
-func (s *Server) serveConn(c net.Conn) {
-	defer c.Close()
-	fc := wire.NewFrameConn(c)
-	for {
-		b, err := fc.Recv()
-		if err != nil {
-			return
-		}
-		var req request
-		if err := json.Unmarshal(b, &req); err != nil {
-			s.reply(fc, response{Error: "bad request"})
-			continue
-		}
-		s.reply(fc, s.handle(req))
-	}
-}
-
-func (s *Server) reply(fc *wire.FrameConn, resp response) {
-	resp.OK = resp.Error == ""
-	b, err := json.Marshal(resp)
-	if err != nil {
-		return
-	}
-	fc.Send(b)
-}
-
-func (s *Server) handle(req request) response {
-	switch req.Op {
-	case "join":
-		if req.AP == nil {
-			return response{Error: "missing record"}
-		}
-		if err := s.store.Join(*req.AP); err != nil {
-			return response{Error: err.Error()}
-		}
-		return response{Revision: s.store.Revision()}
-	case "leave":
-		if err := s.store.Leave(req.ID); err != nil {
-			return response{Error: err.Error()}
-		}
-		return response{Revision: s.store.Revision()}
-	case "list":
-		return response{Records: s.store.List(req.Band), Revision: s.store.Revision()}
-	case "region":
-		if req.Rect == nil {
-			return response{Error: "missing rect"}
-		}
-		rect := geo.NewRect(geo.Pt(req.Rect[0], req.Rect[1]), geo.Pt(req.Rect[2], req.Rect[3]))
-		return response{Records: s.store.InRegion(req.Band, rect), Revision: s.store.Revision()}
-	case "publish_key":
-		if req.Key == nil {
-			return response{Error: "missing key"}
-		}
-		if err := s.store.PublishKey(*req.Key); err != nil {
-			return response{Error: err.Error()}
-		}
-		return response{Revision: s.store.Revision()}
-	case "fetch_key":
-		k, ok := s.store.FetchKey(req.IMSI)
-		if !ok {
-			return response{Error: ErrNotFound.Error()}
-		}
-		return response{Keys: []KeyRecord{k}}
-	case "keys":
-		return response{Keys: s.store.Keys(), Revision: s.store.Revision()}
-	default:
-		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
-	}
-}
-
-// Client talks to a registry server over one stream connection.
-// Methods are safe for concurrent use (requests serialize).
-type Client struct {
-	mu sync.Mutex
-	fc *wire.FrameConn
-	c  net.Conn
-}
-
-// Dial connects a client using the given dial function and address.
-func Dial(dial func(addr string) (net.Conn, error), addr string) (*Client, error) {
-	c, err := dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("registry: dial %s: %w", addr, err)
-	}
-	return &Client{fc: wire.NewFrameConn(c), c: c}, nil
-}
-
-// Close releases the connection.
-func (c *Client) Close() error { return c.c.Close() }
-
-func (c *Client) roundTrip(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b, err := json.Marshal(req)
-	if err != nil {
-		return response{}, err
-	}
-	if err := c.fc.Send(b); err != nil {
-		return response{}, fmt.Errorf("registry: send: %w", err)
-	}
-	rb, err := c.fc.Recv()
-	if err != nil {
-		return response{}, fmt.Errorf("registry: recv: %w", err)
-	}
-	var resp response
-	if err := json.Unmarshal(rb, &resp); err != nil {
-		return response{}, fmt.Errorf("registry: bad response: %w", err)
-	}
-	if !resp.OK {
-		return resp, fmt.Errorf("registry: %s", resp.Error)
-	}
-	return resp, nil
-}
-
-// Join registers the AP record.
-func (c *Client) Join(r APRecord) error {
-	_, err := c.roundTrip(request{Op: "join", AP: &r})
-	return err
-}
-
-// Leave removes the AP record.
-func (c *Client) Leave(id string) error {
-	_, err := c.roundTrip(request{Op: "leave", ID: id})
-	return err
-}
-
-// List fetches all records in a band ("" = all).
-func (c *Client) List(band string) ([]APRecord, error) {
-	resp, err := c.roundTrip(request{Op: "list", Band: band})
-	return resp.Records, err
-}
-
-// InRegion fetches records within the rectangle.
-func (c *Client) InRegion(band string, rect geo.Rect) ([]APRecord, error) {
-	resp, err := c.roundTrip(request{Op: "region", Band: band,
-		Rect: &[4]float64{rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y}})
-	return resp.Records, err
-}
-
-// PublishKey publishes an open-SIM key.
-func (c *Client) PublishKey(k KeyRecord) error {
-	_, err := c.roundTrip(request{Op: "publish_key", Key: &k})
-	return err
-}
-
-// FetchKey retrieves one published key.
-func (c *Client) FetchKey(imsi string) (KeyRecord, error) {
-	resp, err := c.roundTrip(request{Op: "fetch_key", IMSI: imsi})
-	if err != nil {
-		return KeyRecord{}, err
-	}
-	if len(resp.Keys) == 0 {
-		return KeyRecord{}, ErrNotFound
-	}
-	return resp.Keys[0], nil
-}
-
-// Keys retrieves all published keys.
-func (c *Client) Keys() ([]KeyRecord, error) {
-	resp, err := c.roundTrip(request{Op: "keys"})
-	return resp.Keys, err
-}
-
-// WaitForRevision polls List until the server's revision reaches at
-// least rev or the timeout elapses; used by tests and scenario setup.
-func (c *Client) WaitForRevision(rev uint64, timeout time.Duration) error {
-	clk := simnet.ClockOf(c.c)
-	deadline := clk.Now().Add(timeout)
-	for clk.Now().Before(deadline) {
-		resp, err := c.roundTrip(request{Op: "list"})
-		if err != nil {
-			return err
-		}
-		if resp.Revision >= rev {
-			return nil
-		}
-		clk.Sleep(5 * time.Millisecond)
-	}
-	return errors.New("registry: revision wait timed out")
-}

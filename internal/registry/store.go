@@ -1,0 +1,351 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dlte/internal/auth"
+	"dlte/internal/geo"
+
+	"slices"
+)
+
+// Delta kinds carried by the revision log and the subscription feed.
+const (
+	DeltaJoin  uint8 = 1 // AP holds the joined/updated record
+	DeltaLeave uint8 = 2 // ID holds the departed AP
+	DeltaKey   uint8 = 3 // Key holds the published key
+)
+
+// Delta is one registry mutation at revision Rev. Exactly one of
+// AP/ID/Key is meaningful, selected by Kind.
+type Delta struct {
+	Kind uint8
+	Rev  uint64
+	AP   APRecord
+	ID   string
+	Key  KeyRecord
+}
+
+// defaultLogCap bounds the revision delta log: clients more than this
+// many mutations behind fall back to a full snapshot.
+const defaultLogCap = 16384
+
+// Store is the registry state, usable in process or behind a Server.
+//
+// Reads are served from copy-on-write snapshots behind atomic pointers
+// (the gtp TEID-table pattern): List/InRegion/Get/Keys/FetchKey never
+// take the mutation lock, and at steady state (no interleaved writes)
+// they allocate nothing — List hands back a shared pre-sorted slice
+// and InRegionAppend serves tiny rectangles from a spatial grid index
+// in O(cells covered) instead of O(n·copy·sort).
+//
+// Snapshots rebuild lazily on the first read after a mutation, so bulk
+// seeding (100k key publications) costs one rebuild, not 100k.
+type Store struct {
+	mu   sync.Mutex // serializes mutations and snapshot rebuilds
+	aps  map[string]APRecord
+	keys map[string]KeyRecord
+
+	rev    atomic.Uint64 // global revision, bumped once per mutation
+	apRev  atomic.Uint64 // rev of the last AP mutation
+	keyRev atomic.Uint64 // rev of the last key mutation
+
+	apSnap  atomic.Pointer[apSnapshot]
+	keySnap atomic.Pointer[keySnapshot]
+
+	log   deltaLog
+	watch chan struct{} // closed and replaced on every mutation; nil until first Watch
+}
+
+// apSnapshot is an immutable view of the AP table at apRev: the shared
+// ID-sorted slice List returns, per-band sorted slices, the ID lookup
+// map, and the spatial grid over positions (indices into all).
+type apSnapshot struct {
+	apRev  uint64
+	all    []APRecord
+	byBand map[string][]APRecord
+	byID   map[string]APRecord
+	grid   *geo.Grid
+}
+
+// keySnapshot is the same treatment for published keys.
+type keySnapshot struct {
+	keyRev uint64
+	all    []KeyRecord
+	byIMSI map[string]KeyRecord
+}
+
+// NewStore returns an empty registry store.
+func NewStore() *Store {
+	s := &Store{aps: make(map[string]APRecord), keys: make(map[string]KeyRecord)}
+	s.log.buf = make([]Delta, 0, defaultLogCap)
+	return s
+}
+
+// bump records one mutation under s.mu: advances the revision, logs the
+// delta, and wakes subscription pushers.
+func (s *Store) bump(d Delta) {
+	d.Rev = s.rev.Add(1)
+	s.log.push(d)
+	if s.watch != nil {
+		close(s.watch)
+		s.watch = nil
+	}
+}
+
+// Watch returns a channel closed on the next mutation. Subscription
+// pushers grab the channel, compare revisions, and block on it only if
+// already caught up (the grab-before-compare order avoids lost wakeups).
+func (s *Store) Watch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.watch == nil {
+		s.watch = make(chan struct{})
+	}
+	return s.watch
+}
+
+// Join registers (or updates) an AP record. Joining is open: any
+// record with an ID and band is accepted — the paper's organic-growth
+// property.
+func (s *Store) Join(r APRecord) error {
+	if r.ID == "" || r.Band == "" {
+		return fmt.Errorf("%w: missing id or band", ErrBadRecord)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aps[r.ID] = r
+	s.bump(Delta{Kind: DeltaJoin, AP: r})
+	s.apRev.Store(s.rev.Load())
+	return nil
+}
+
+// Leave removes an AP record.
+func (s *Store) Leave(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.aps[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.aps, id)
+	s.bump(Delta{Kind: DeltaLeave, ID: id})
+	s.apRev.Store(s.rev.Load())
+	return nil
+}
+
+// PublishKey stores an open-SIM key publication.
+func (s *Store) PublishKey(k KeyRecord) error {
+	if !auth.IMSI(k.IMSI).Valid() {
+		return fmt.Errorf("%w: bad IMSI %q", ErrBadRecord, k.IMSI)
+	}
+	if _, err := k.Publication(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[k.IMSI] = k
+	s.bump(Delta{Kind: DeltaKey, Key: k})
+	s.keyRev.Store(s.rev.Load())
+	return nil
+}
+
+// apSnapshot returns the current AP view, rebuilding it first if a
+// mutation landed since the last build. The fast path is two atomic
+// loads and no allocation.
+func (s *Store) apSnapshot() *apSnapshot {
+	if sn := s.apSnap.Load(); sn != nil && sn.apRev == s.apRev.Load() {
+		return sn
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apSnapshotLocked()
+}
+
+func (s *Store) apSnapshotLocked() *apSnapshot {
+	cur := s.apRev.Load()
+	if sn := s.apSnap.Load(); sn != nil && sn.apRev == cur {
+		return sn
+	}
+	sn := &apSnapshot{
+		apRev:  cur,
+		all:    make([]APRecord, 0, len(s.aps)),
+		byBand: make(map[string][]APRecord),
+		byID:   make(map[string]APRecord, len(s.aps)),
+	}
+	for _, r := range s.aps {
+		sn.all = append(sn.all, r)
+		sn.byID[r.ID] = r
+	}
+	slices.SortFunc(sn.all, func(a, b APRecord) int { return strings.Compare(a.ID, b.ID) })
+	pts := make([]geo.Point, len(sn.all))
+	for i, r := range sn.all {
+		pts[i] = r.Position()
+		sn.byBand[r.Band] = append(sn.byBand[r.Band], r)
+	}
+	sn.grid = geo.BuildGrid(pts)
+	s.apSnap.Store(sn)
+	return sn
+}
+
+func (s *Store) keySnapshot() *keySnapshot {
+	if sn := s.keySnap.Load(); sn != nil && sn.keyRev == s.keyRev.Load() {
+		return sn
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keySnapshotLocked()
+}
+
+func (s *Store) keySnapshotLocked() *keySnapshot {
+	cur := s.keyRev.Load()
+	if sn := s.keySnap.Load(); sn != nil && sn.keyRev == cur {
+		return sn
+	}
+	sn := &keySnapshot{
+		keyRev: cur,
+		all:    make([]KeyRecord, 0, len(s.keys)),
+		byIMSI: make(map[string]KeyRecord, len(s.keys)),
+	}
+	for _, k := range s.keys {
+		sn.all = append(sn.all, k)
+		sn.byIMSI[k.IMSI] = k
+	}
+	slices.SortFunc(sn.all, func(a, b KeyRecord) int { return strings.Compare(a.IMSI, b.IMSI) })
+	s.keySnap.Store(sn)
+	return sn
+}
+
+// List returns all records in a band (empty band = all), sorted by ID.
+// The returned slice is a shared snapshot: treat it as read-only. It is
+// valid indefinitely (later mutations build new snapshots).
+func (s *Store) List(band string) []APRecord {
+	sn := s.apSnapshot()
+	if band == "" {
+		if len(sn.all) == 0 {
+			return nil
+		}
+		return sn.all
+	}
+	return sn.byBand[band]
+}
+
+// InRegion returns records in a band within the rectangle.
+func (s *Store) InRegion(band string, rect geo.Rect) []APRecord {
+	return s.InRegionAppend(band, rect, nil)
+}
+
+// InRegionAppend appends records in a band within the rectangle to dst
+// and returns the extended slice, sorted by ID within the appended
+// region. Queries walk the grid cells covering rect rather than the
+// full table; with a reused dst this allocates nothing.
+func (s *Store) InRegionAppend(band string, rect geo.Rect, dst []APRecord) []APRecord {
+	sn := s.apSnapshot()
+	start := len(dst)
+	cx0, cy0, cx1, cy1 := sn.grid.CellRange(rect)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, i := range sn.grid.Cell(cx, cy) {
+				r := &sn.all[i]
+				if band != "" && r.Band != band {
+					continue
+				}
+				if rect.Contains(geo.Pt(r.X, r.Y)) {
+					dst = append(dst, *r)
+				}
+			}
+		}
+	}
+	added := dst[start:]
+	slices.SortFunc(added, func(a, b APRecord) int { return strings.Compare(a.ID, b.ID) })
+	return dst
+}
+
+// Get fetches one AP record.
+func (s *Store) Get(id string) (APRecord, bool) {
+	r, ok := s.apSnapshot().byID[id]
+	return r, ok
+}
+
+// Revision reports a counter that increases on every mutation, so
+// clients can cheaply detect staleness. Lock-free.
+func (s *Store) Revision() uint64 { return s.rev.Load() }
+
+// FetchKey retrieves a published key.
+func (s *Store) FetchKey(imsi string) (KeyRecord, bool) {
+	k, ok := s.keySnapshot().byIMSI[imsi]
+	return k, ok
+}
+
+// Keys lists all published keys, sorted by IMSI. Shared snapshot slice:
+// treat as read-only.
+func (s *Store) Keys() []KeyRecord {
+	sn := s.keySnapshot()
+	if len(sn.all) == 0 {
+		return nil
+	}
+	return sn.all
+}
+
+// SnapshotAll returns a mutually consistent full view (AP records,
+// keys, revision) for snapshot fallback on subscriptions.
+func (s *Store) SnapshotAll() (recs []APRecord, keys []KeyRecord, rev uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ap := s.apSnapshotLocked()
+	ks := s.keySnapshotLocked()
+	return ap.all, ks.all, s.rev.Load()
+}
+
+// DeltasSince appends to dst every delta with revision > fromRev, in
+// revision order, and reports whether the log still reaches back that
+// far. ok == false means fromRev has aged out (the caller must resync
+// from a snapshot); the appended prefix is then meaningless.
+func (s *Store) DeltasSince(fromRev uint64, dst []Delta) (out []Delta, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.since(fromRev, s.rev.Load(), dst)
+}
+
+// deltaLog is a bounded ring of the most recent mutations. Revisions in
+// the log are contiguous: every mutation pushes exactly one delta.
+type deltaLog struct {
+	buf   []Delta
+	start int // index of the oldest entry
+	n     int
+}
+
+func (l *deltaLog) push(d Delta) {
+	if cap(l.buf) == 0 {
+		l.buf = make([]Delta, 0, defaultLogCap)
+	}
+	if l.n < cap(l.buf) {
+		l.buf = append(l.buf, d)
+		l.n++
+		return
+	}
+	l.buf[l.start] = d
+	l.start = (l.start + 1) % l.n
+}
+
+func (l *deltaLog) since(fromRev, cur uint64, dst []Delta) ([]Delta, bool) {
+	if fromRev >= cur {
+		return dst, true
+	}
+	if l.n == 0 {
+		return dst, false
+	}
+	oldest := l.buf[l.start].Rev
+	if fromRev+1 < oldest {
+		return dst, false
+	}
+	// Revisions are contiguous, so the first wanted entry is at a fixed
+	// offset from the oldest.
+	skip := int(fromRev + 1 - oldest)
+	for i := skip; i < l.n; i++ {
+		dst = append(dst, l.buf[(l.start+i)%l.n])
+	}
+	return dst, true
+}

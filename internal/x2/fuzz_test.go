@@ -1,6 +1,7 @@
 package x2
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -91,4 +92,64 @@ func TestShareUpdateRoundTripProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzDecode is the coverage-guided companion to the quick checks
+// above, mirroring internal/gtp's fuzzer: arbitrary bytes must never
+// panic the decoder, and anything it accepts must survive a
+// marshal→decode round trip unchanged (after boolean normalization —
+// the wire treats any nonzero octet as true).
+//
+// Run the seeds with `go test`; explore with
+// `go test -fuzz=FuzzDecode ./internal/x2`.
+func FuzzDecode(f *testing.F) {
+	seed := func(m Message) []byte {
+		b, err := Marshal(m)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypePeerHello)})
+	f.Add([]byte{0xFF, 1, 2, 3})
+	f.Add(seed(&PeerHello{APID: "ap1", X: 100, Y: -200, BandName: "LTE band 5 (850 MHz)", Mode: ModeFairShare}))
+	f.Add(seed(&PeerHelloAck{APID: "ap2", Mode: ModeCooperative}))
+	f.Add(seed(&LoadInformation{APID: "ap1", AttachedUEs: 12, PRBUtilization: 700, DemandBps: 50_000_000}))
+	f.Add(seed(&HandoverRequest{IMSI: "001010000000001", SourceAP: "ap1", RSRPdBm: -95}))
+	f.Add(seed(&HandoverRequestAck{IMSI: "001010000000001", Accepted: true}))
+	f.Add(seed(&HandoverComplete{IMSI: "001010000000001", TargetAP: "ap2"}))
+	f.Add(seed(&ModeProposal{APID: "ap1", Mode: ModeCooperative}))
+	f.Add(seed(&ModeResponse{APID: "ap2", Mode: ModeCooperative, Accepted: true}))
+	f.Add(seed(&ShareUpdate{APIDs: []string{"ap1", "ap2"}, Fractions: []uint16{5000, 5000}}))
+	f.Add(seed(&UEContextPush{IMSI: "001010000000001", K: make([]byte, 16), OPc: make([]byte, 16)}))
+	f.Add(seed(&RelayRequest{APID: "ap3", NeededBps: 1_000_000}))
+	f.Add(seed(&RelayResponse{APID: "ap1", Granted: true, GrantedBps: 500_000}))
+	f.Add(seed(&RelayData{FlowID: 7, Payload: []byte("datagram")}))
+	f.Add(append(seed(&PeerHello{APID: "ap1"}), 0xDE, 0xAD)) // trailing junk is tolerated
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Decode(b)
+		if err != nil {
+			return
+		}
+		round, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("accepted message does not re-marshal: %v", err)
+		}
+		again, err := Decode(round)
+		if err != nil {
+			t.Fatalf("re-marshaled message does not decode: %v", err)
+		}
+		// Compare via a second marshal rather than DeepEqual: marshaled
+		// bytes are the protocol's canonical form, and NaN coordinates
+		// (legal on the wire) never compare equal as floats.
+		round2, err := Marshal(again)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(round, round2) {
+			t.Fatalf("round trip changed the message:\n got %x (%#v)\nwant %x (%#v)", round2, again, round, msg)
+		}
+	})
 }
