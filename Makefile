@@ -42,31 +42,44 @@ bench-json:
 
 # Curated perf-regression gate: the discovery/coordination hot paths
 # (registry COW reads, store mutation, rev probe RTT, X2 send and
-# broadcast) against the committed baseline. Fails on >25% ns/op
-# regression or any allocs/op above baseline (the snapshot-read and
-# broadcast paths are pinned at 0). min-of-5 runs absorbs scheduler
-# noise. BenchmarkX2BroadcastSimnet is deliberately not gated: its
-# allocs reflect cross-goroutine pool scheduling, not the send path.
-BENCH_GATE_RE = BenchmarkRegistryLookup|BenchmarkStoreJoin|BenchmarkRegistryRevisionRTT|BenchmarkX2Broadcast$$|BenchmarkX2Send$$
-BENCH_GATE_PKGS = ./internal/registry ./internal/x2
+# broadcast) and the control-plane signaling paths (full two-sided NAS
+# attach/detach/TAU procedures, S1AP transport codec) against the
+# committed baseline. Fails on >25% ns/op regression or any allocs/op
+# above baseline (the snapshot-read, broadcast, codec, and detach/TAU
+# paths are pinned at 0; attach at 2 — the HSS vector and the SIM's
+# AKA result). min-of-5 runs absorbs scheduler noise.
+# BenchmarkX2BroadcastSimnet is deliberately not gated: its allocs
+# reflect cross-goroutine pool scheduling, not the send path.
+BENCH_GATE_RE = BenchmarkRegistryLookup|BenchmarkStoreJoin|BenchmarkRegistryRevisionRTT|BenchmarkX2Broadcast$$|BenchmarkX2Send$$|BenchmarkNASProcedure|BenchmarkS1APTransportCodec
+BENCH_GATE_PKGS = ./internal/registry ./internal/x2 ./internal/nas ./internal/s1ap
+
+# The attach-storm benchmark is end-to-end (every op re-attaches a
+# 32-UE population across 8 eNodeB associations), so it runs in its
+# own invocation with far fewer iterations than the hot-path gates.
+STORM_GATE_RE = BenchmarkAttachStorm
+STORM_GATE_PKGS = ./internal/epc
+STORM_GATE_FLAGS = -benchmem -benchtime 50x -count 3 -json
 
 bench-gate:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) \
+	( $(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
 # Regenerate the gate's numbers (run on the reference machine, commit
 # the result). The curated benchmark set in BENCH_BASELINE.json is
 # preserved; only the measurements refresh.
 bench-baseline:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) \
+	( $(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 # Fuzz smoke: a few seconds of coverage-guided fuzzing per untrusted
-# decoder (GTP from the air side, registry and X2 from the Internet
-# side). Regression corpora under testdata/fuzz run in plain `make
-# test` already; this explores fresh inputs.
+# decoder (NAS and GTP from the air side, S1AP from the backhaul,
+# registry and X2 from the Internet side). Regression corpora under
+# testdata/fuzz run in plain `make test` already; this explores fresh
+# inputs.
 fuzz-smoke:
-	@for pkg in ./internal/gtp ./internal/registry ./internal/x2; do \
+	@for pkg in ./internal/nas ./internal/s1ap ./internal/gtp ./internal/registry ./internal/x2; do \
 		echo "fuzz-smoke: $$pkg"; \
 		$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 5s $$pkg || exit 1; \
 	done

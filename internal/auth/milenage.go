@@ -13,7 +13,9 @@ package auth
 
 import (
 	"crypto/aes"
+	"crypto/cipher"
 	"fmt"
+	"sync"
 )
 
 // Milenage constants from TS 35.206 §4.1: per-function additive
@@ -33,10 +35,13 @@ var (
 const KeyLen = 16
 
 // Milenage holds a subscriber key and its derived OPc, ready to compute
-// the f1–f5 functions.
+// the f1–f5 functions. The AES key schedule is expanded once at
+// construction; an attach storm runs thousands of f-function calls per
+// second and rebuilding the cipher per call dominated the profile.
 type Milenage struct {
-	k   [16]byte
-	opc [16]byte
+	k     [16]byte
+	opc   [16]byte
+	block cipher.Block
 }
 
 // NewMilenage builds the function set from the subscriber key K and the
@@ -48,6 +53,11 @@ func NewMilenage(k, opc []byte) (*Milenage, error) {
 	m := &Milenage{}
 	copy(m.k[:], k)
 	copy(m.opc[:], opc)
+	block, err := aes.NewCipher(m.k[:])
+	if err != nil {
+		return nil, fmt.Errorf("auth: %w", err)
+	}
+	m.block = block
 	return m, nil
 }
 
@@ -88,17 +98,6 @@ func (m *Milenage) OPc() []byte {
 	return out
 }
 
-func (m *Milenage) encrypt(in [16]byte) [16]byte {
-	block, err := aes.NewCipher(m.k[:])
-	if err != nil {
-		// Key length is validated at construction; AES cannot fail here.
-		panic(err)
-	}
-	var out [16]byte
-	block.Encrypt(out[:], in[:])
-	return out
-}
-
 func xor16(a, b [16]byte) [16]byte {
 	var out [16]byte
 	for i := range out {
@@ -118,12 +117,67 @@ func rot(in [16]byte, rBits uint) [16]byte {
 	return out
 }
 
-// outN computes OUTn = E_K(rot(TEMP ⊕ OPc, rn) ⊕ cn) ⊕ OPc for
-// n ∈ {2..5} (index 1..4 into the constant tables).
-func (m *Milenage) outN(temp [16]byte, n int) [16]byte {
-	t := rot(xor16(temp, m.opc), milR[n])
-	t = xor16(t, milC[n])
-	return xor16(m.encrypt(t), m.opc)
+// akaScratch is the reusable working state for one AKA computation:
+// the Milenage block temporaries plus the HMAC-SHA256 scratch used by
+// the KDF tree. Every block passed to the cipher.Block / hash.Hash
+// interfaces lives inside this struct, so the interface calls force no
+// stack-to-heap escapes — the pool amortizes the one real allocation.
+type akaScratch struct {
+	// Milenage temporaries.
+	in   [16]byte // cipher input staging
+	enc  [16]byte // cipher output staging
+	temp [16]byte // TEMP = E(RAND ⊕ OPc)
+	out  [16]byte // last OUTn produced
+	rnd  [16]byte
+	sqn  [6]byte
+	ck   [16]byte
+	ik   [16]byte
+	ak   [6]byte
+
+	// HMAC-SHA256 scratch (see hmacInto).
+	h    keyedHash
+	blk  [64]byte // ipad/opad block
+	key  [64]byte // assembled key (CK‖IK for KASME)
+	isum [32]byte
+	osum [32]byte
+	kdf  [64]byte // assembled KDF input string
+}
+
+var akaScratchPool = sync.Pool{New: func() interface{} { return new(akaScratch) }}
+
+func getAKAScratch() *akaScratch  { return akaScratchPool.Get().(*akaScratch) }
+func putAKAScratch(s *akaScratch) { akaScratchPool.Put(s) }
+
+// computeTemp sets s.temp = E_K(rnd ⊕ OPc), the shared prefix of every
+// f-function. s.rnd must already hold RAND.
+func (m *Milenage) computeTemp(s *akaScratch) {
+	s.in = xor16(s.rnd, m.opc)
+	m.block.Encrypt(s.temp[:], s.in[:])
+}
+
+// outNInto computes OUTn = E_K(rot(TEMP ⊕ OPc, rn) ⊕ cn) ⊕ OPc for
+// n ∈ {2..5} (index 1..4 into the constant tables) into s.out.
+// computeTemp must have run for the same RAND.
+func (m *Milenage) outNInto(s *akaScratch, n int) {
+	s.in = rot(xor16(s.temp, m.opc), milR[n])
+	s.in = xor16(s.in, milC[n])
+	m.block.Encrypt(s.enc[:], s.in[:])
+	s.out = xor16(s.enc, m.opc)
+}
+
+// out1Into computes OUT1 (MAC-A ‖ MAC-S) into s.out for the SQN in
+// s.sqn and the given AMF. computeTemp must have run for the same RAND.
+func (m *Milenage) out1Into(s *akaScratch, amf0, amf1 byte) {
+	var in1 [16]byte
+	copy(in1[0:6], s.sqn[:])
+	in1[6], in1[7] = amf0, amf1
+	copy(in1[8:14], s.sqn[:])
+	in1[14], in1[15] = amf0, amf1
+	s.in = rot(xor16(in1, m.opc), milR[0])
+	s.in = xor16(s.in, s.temp)
+	s.in = xor16(s.in, milC[0])
+	m.block.Encrypt(s.enc[:], s.in[:])
+	s.out = xor16(s.enc, m.opc)
 }
 
 // F1 computes the network authentication code MAC-A (f1) and the
@@ -133,21 +187,15 @@ func (m *Milenage) F1(rand []byte, sqn []byte, amf []byte) (macA, macS []byte, e
 	if len(rand) != 16 || len(sqn) != 6 || len(amf) != 2 {
 		return nil, nil, fmt.Errorf("auth: f1 wants RAND[16] SQN[6] AMF[2]")
 	}
-	var r [16]byte
-	copy(r[:], rand)
-	temp := m.encrypt(xor16(r, m.opc))
-
-	var in1 [16]byte
-	copy(in1[0:6], sqn)
-	copy(in1[6:8], amf)
-	copy(in1[8:14], sqn)
-	copy(in1[14:16], amf)
-
-	t := rot(xor16(in1, m.opc), milR[0])
-	t = xor16(t, temp)
-	t = xor16(t, milC[0])
-	out1 := xor16(m.encrypt(t), m.opc)
-	return append([]byte{}, out1[0:8]...), append([]byte{}, out1[8:16]...), nil
+	s := getAKAScratch()
+	copy(s.rnd[:], rand)
+	copy(s.sqn[:], sqn)
+	m.computeTemp(s)
+	m.out1Into(s, amf[0], amf[1])
+	macA = append([]byte{}, s.out[0:8]...)
+	macS = append([]byte{}, s.out[8:16]...)
+	putAKAScratch(s)
+	return macA, macS, nil
 }
 
 // F2345 computes RES (f2), CK (f3), IK (f4), and AK (f5) for RAND.
@@ -155,17 +203,17 @@ func (m *Milenage) F2345(rand []byte) (res, ck, ik, ak []byte, err error) {
 	if len(rand) != 16 {
 		return nil, nil, nil, nil, fmt.Errorf("auth: f2345 wants RAND[16]")
 	}
-	var r [16]byte
-	copy(r[:], rand)
-	temp := m.encrypt(xor16(r, m.opc))
-
-	out2 := m.outN(temp, 1)
-	out3 := m.outN(temp, 2)
-	out4 := m.outN(temp, 3)
-	res = append([]byte{}, out2[8:16]...)
-	ak = append([]byte{}, out2[0:6]...)
-	ck = append([]byte{}, out3[:]...)
-	ik = append([]byte{}, out4[:]...)
+	s := getAKAScratch()
+	copy(s.rnd[:], rand)
+	m.computeTemp(s)
+	m.outNInto(s, 1)
+	res = append([]byte{}, s.out[8:16]...)
+	ak = append([]byte{}, s.out[0:6]...)
+	m.outNInto(s, 2)
+	ck = append([]byte{}, s.out[:]...)
+	m.outNInto(s, 3)
+	ik = append([]byte{}, s.out[:]...)
+	putAKAScratch(s)
 	return res, ck, ik, ak, nil
 }
 
@@ -174,9 +222,11 @@ func (m *Milenage) F5Star(rand []byte) ([]byte, error) {
 	if len(rand) != 16 {
 		return nil, fmt.Errorf("auth: f5* wants RAND[16]")
 	}
-	var r [16]byte
-	copy(r[:], rand)
-	temp := m.encrypt(xor16(r, m.opc))
-	out5 := m.outN(temp, 4)
-	return append([]byte{}, out5[0:6]...), nil
+	s := getAKAScratch()
+	copy(s.rnd[:], rand)
+	m.computeTemp(s)
+	m.outNInto(s, 4)
+	out := append([]byte{}, s.out[0:6]...)
+	putAKAScratch(s)
+	return out, nil
 }

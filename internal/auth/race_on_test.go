@@ -1,0 +1,9 @@
+//go:build race
+
+package auth
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. sync.Pool intentionally drops items at random under the
+// detector to expose reuse races, so pooled paths allocate and the
+// strict allocation gates are skipped.
+const raceEnabled = true

@@ -73,6 +73,9 @@ type SubscriberDB struct {
 
 type subscriberEntry struct {
 	sim SIM
+	// mil caches the expanded Milenage function set (AES key schedule
+	// included) so vector generation doesn't rebuild it per challenge.
+	mil *Milenage
 	sqn uint64
 }
 
@@ -90,9 +93,13 @@ func (db *SubscriberDB) Provision(sim SIM) error {
 	if len(sim.K) != KeyLen || len(sim.OPc) != KeyLen {
 		return fmt.Errorf("auth: bad key material for %s", sim.IMSI)
 	}
+	mil, err := sim.Milenage()
+	if err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.subs[sim.IMSI] = &subscriberEntry{sim: sim}
+	db.subs[sim.IMSI] = &subscriberEntry{sim: sim, mil: mil}
 	return nil
 }
 
@@ -111,9 +118,32 @@ func (db *SubscriberDB) Len() int {
 	return len(db.subs)
 }
 
+// sqnMask48 bounds sequence numbers to the 48-bit SQN field of TS
+// 33.102. Time-based generation must mask: uint64(UnixMilli())<<5
+// exceeds 2^48 for dates a couple of centuries past the epoch —
+// reachable in long virtual-time runs — and an overflowing SQN is
+// silently truncated when packed into AUTN. The UE then tracks the
+// truncated value while the HSS counts the full one, and AUTS
+// resynchronization can never catch up (RecoverSQNms returns a 48-bit
+// SQNms forever below the unmasked counter), wedging the subscriber in
+// a permanent resync loop.
+const sqnMask48 = 1<<48 - 1
+
 // NextVector generates the next authentication vector for imsi,
 // advancing its sequence number. snID is the serving network identity
 // bound into KASME.
+func (db *SubscriberDB) NextVector(imsi IMSI, snID string) (Vector, error) {
+	var v [1]Vector
+	if err := db.NextVectors(imsi, snID, v[:]); err != nil {
+		return Vector{}, err
+	}
+	return v[0], nil
+}
+
+// NextVectors fills dst with consecutive authentication vectors for
+// imsi under one lock acquisition and one scratch checkout — the
+// challenge-burst shape an attach storm drives (an MME conventionally
+// requests vectors in batches for exactly this reason).
 //
 // SQN generation is time-based (TS 33.102 Annex C.3 style): the high
 // bits derive from wall-clock time, the low bits from a local counter.
@@ -121,12 +151,15 @@ func (db *SubscriberDB) Len() int {
 // *independent* local cores that share no SQN state, and time-based
 // sequence numbers are what keep each stub's challenges fresh from the
 // UE's point of view without any inter-core synchronization.
-func (db *SubscriberDB) NextVector(imsi IMSI, snID string) (Vector, error) {
+func (db *SubscriberDB) NextVectors(imsi IMSI, snID string, dst []Vector) error {
+	if len(dst) == 0 {
+		return nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	e, ok := db.subs[imsi]
 	if !ok {
-		return Vector{}, fmt.Errorf("auth: unknown subscriber %s", imsi)
+		return fmt.Errorf("auth: unknown subscriber %s", imsi)
 	}
 	// 1 ms ticks with 5 counter bits: independent cores issue
 	// colliding SQNs only if they challenge the same SIM within the
@@ -137,17 +170,22 @@ func (db *SubscriberDB) NextVector(imsi IMSI, snID string) (Vector, error) {
 	if db.Now != nil {
 		now = db.Now
 	}
-	timeBased := uint64(now().UnixMilli()) << 5
-	if timeBased > e.sqn {
-		e.sqn = timeBased
-	} else {
-		e.sqn++
+	timeBased := (uint64(now().UnixMilli()) << 5) & sqnMask48
+	s := getAKAScratch()
+	defer putAKAScratch(s)
+	for i := range dst {
+		if timeBased > e.sqn {
+			e.sqn = timeBased
+		} else {
+			e.sqn = (e.sqn + 1) & sqnMask48
+		}
+		v, err := generateVectorBuf(s, e.mil, e.sqn, snID, nil, make([]byte, vectorBufLen))
+		if err != nil {
+			return err
+		}
+		dst[i] = v
 	}
-	m, err := e.sim.Milenage()
-	if err != nil {
-		return Vector{}, err
-	}
-	return GenerateVector(m, e.sqn, snID, nil)
+	return nil
 }
 
 // Resynchronize processes a UE's AUTS token (TS 33.102 §6.3.5): verify
@@ -162,11 +200,7 @@ func (db *SubscriberDB) Resynchronize(imsi IMSI, rnd, auts []byte) error {
 	if !ok {
 		return fmt.Errorf("auth: unknown subscriber %s", imsi)
 	}
-	m, err := e.sim.Milenage()
-	if err != nil {
-		return err
-	}
-	sqnMS, err := RecoverSQNms(m, rnd, auts)
+	sqnMS, err := RecoverSQNms(e.mil, rnd, auts)
 	if err != nil {
 		return err
 	}

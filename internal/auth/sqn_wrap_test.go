@@ -1,0 +1,102 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The time-based SQN generator computes uint64(UnixMilli())<<5, which
+// exceeds the 48-bit TS 33.102 SQN field for clocks a couple of
+// centuries past the epoch — exactly what a long virtual-time run can
+// produce. Before the mask, the overflow was silently truncated when
+// the SQN was packed into AUTN: the UE tracked the truncated 48-bit
+// value while the HSS counted the full 49+-bit one, and AUTS
+// resynchronization (which recovers a 48-bit SQNms by construction)
+// could never catch the HSS up — a permanent resync loop. These tests
+// pin the masked behaviour.
+
+// farFutureClock returns a fixed clock whose raw (unmasked) time-based
+// SQN overflows 48 bits, plus the masked value NextVector must use.
+func farFutureClock(t *testing.T) (func() time.Time, uint64) {
+	t.Helper()
+	future := time.Date(2470, 1, 1, 0, 0, 0, 0, time.UTC)
+	raw := uint64(future.UnixMilli()) << 5
+	if raw <= sqnMask48 {
+		t.Fatalf("test clock does not overflow 48 bits: %#x", raw)
+	}
+	masked := raw & sqnMask48
+	if masked > sqnMask48-10_000 {
+		t.Fatalf("masked SQN %#x too close to wrap for the scenario", masked)
+	}
+	return func() time.Time { return future }, masked
+}
+
+func TestSQNMaskedTo48Bits(t *testing.T) {
+	db := NewSubscriberDB(true)
+	sim, err := NewSIM("001010000000092")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Provision(sim)
+	now, masked := farFutureClock(t)
+	db.Now = now
+
+	v, err := db.NextVector(sim.IMSI, "ap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh UE accepts the challenge and must recover exactly the
+	// masked 48-bit sequence number — AUTN cannot carry more.
+	m, _ := sim.Milenage()
+	ue := &UEContext{Mil: m}
+	if _, err := ue.Respond(v.RAND, v.AUTN, "ap"); err != nil {
+		t.Fatalf("far-future challenge rejected: %v", err)
+	}
+	if ue.HighestSQN != masked {
+		t.Errorf("UE recovered SQN %#x, want masked %#x", ue.HighestSQN, masked)
+	}
+}
+
+func TestSQNWrapResynchronize(t *testing.T) {
+	db := NewSubscriberDB(true)
+	sim, err := NewSIM("001010000000093")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Provision(sim)
+	now, masked := farFutureClock(t)
+	db.Now = now
+
+	// The UE has already accepted sequence numbers beyond this HSS's
+	// time base (roamed across independent dLTE cores), so the first
+	// challenge fails freshness and forces the AUTS path.
+	m, _ := sim.Milenage()
+	ue := &UEContext{Mil: m, HighestSQN: masked + 1000}
+
+	v1, err := db.NextVector(sim.IMSI, "ap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := ue.Respond(v1.RAND, v1.AUTN, "ap"); !errors.Is(rerr, ErrSyncFailure) {
+		t.Fatalf("expected sync failure, got %v", rerr)
+	}
+	auts, err := ue.BuildAUTS(v1.RAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Resynchronize(sim.IMSI, v1.RAND, auts); err != nil {
+		t.Fatal(err)
+	}
+	// With the unmasked counter this re-challenge still carried a
+	// truncated SQN below the UE's high-water mark and looped forever;
+	// masked, the resynchronized counter is directly comparable to the
+	// UE's and the next vector is fresh.
+	v2, err := db.NextVector(sim.IMSI, "ap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ue.Respond(v2.RAND, v2.AUTN, "ap"); err != nil {
+		t.Fatalf("post-resync challenge rejected: %v", err)
+	}
+}

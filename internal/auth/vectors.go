@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 )
 
 // Errors surfaced by AKA verification.
@@ -23,7 +24,8 @@ var (
 )
 
 // Vector is one EPS authentication vector as the HSS hands it to an
-// MME (TS 33.401 §6.1.2).
+// MME (TS 33.401 §6.1.2). The four fields share one backing allocation
+// (see GenerateVector).
 type Vector struct {
 	RAND  []byte // 16 bytes
 	XRES  []byte // 8 bytes
@@ -35,44 +37,145 @@ type Vector struct {
 // "separation bit" set, marking EPS AKA.
 var defaultAMF = []byte{0x80, 0x00}
 
-// GenerateVector produces an authentication vector for the subscriber
-// key set at sequence number sqn, for serving network snID. Pass a nil
-// random16 to draw RAND from crypto/rand; tests inject a fixed RAND.
-func GenerateVector(m *Milenage, sqn uint64, snID string, random16 []byte) (Vector, error) {
-	var rnd []byte
+// vectorBufLen is the backing storage for one Vector:
+// RAND(16) ‖ XRES(8) ‖ AUTN(16) ‖ KASME(32).
+const vectorBufLen = 16 + 8 + 16 + 32
+
+// keyedHash lazily materializes a reusable SHA-256 state. It lives
+// inside pooled scratch structs so the hash.Hash allocation happens
+// once per scratch, not once per MAC.
+type keyedHash struct{ h hash.Hash }
+
+func (k *keyedHash) get() hash.Hash {
+	if k.h == nil {
+		k.h = sha256.New()
+	}
+	return k.h
+}
+
+// hmacInto computes HMAC-SHA256(key, p0 ‖ p1) into s.osum. key must be
+// at most one SHA-256 block (64 bytes); every key in the TS 33.401
+// derivation tree is. All buffers handed to the hash interface live in
+// the scratch struct, so the call allocates nothing.
+func hmacInto(s *akaScratch, key, p0, p1 []byte) {
+	h := s.h.get()
+	for i := range s.blk {
+		var kb byte
+		if i < len(key) {
+			kb = key[i]
+		}
+		s.blk[i] = kb ^ 0x36
+	}
+	h.Reset()
+	h.Write(s.blk[:])
+	h.Write(p0)
+	if p1 != nil {
+		h.Write(p1)
+	}
+	h.Sum(s.isum[:0])
+	for i := range s.blk {
+		s.blk[i] ^= 0x36 ^ 0x5c
+	}
+	h.Reset()
+	h.Write(s.blk[:])
+	h.Write(s.isum[:])
+	h.Sum(s.osum[:0])
+}
+
+// kdfInto assembles the TS 33.220 KDF input string
+// FC ‖ P0 ‖ L0 ‖ P1 ‖ L1 into s.kdf, returning its length. P0 comes
+// from p0s or p0b (whichever is non-empty). The caller must have
+// checked the string fits s.kdf (kdfFits).
+func kdfInto(s *akaScratch, fc byte, p0s string, p0b, p1 []byte) int {
+	b := append(s.kdf[:0], fc)
+	n0 := len(p0b)
+	if p0b != nil {
+		b = append(b, p0b...)
+	} else {
+		b = append(b, p0s...)
+		n0 = len(p0s)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(n0))
+	b = append(b, p1...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p1)))
+	return len(b)
+}
+
+func kdfFits(s *akaScratch, n0, n1 int) bool { return 1+n0+2+n1+2 <= len(s.kdf) }
+
+// deriveKASMEInto appends the 32-byte KASME to dst using the scratch's
+// HMAC state (TS 33.401 A.2).
+func deriveKASMEInto(s *akaScratch, dst, ck, ik []byte, snID string, sqnXorAK []byte) []byte {
+	if !kdfFits(s, len(snID), len(sqnXorAK)) {
+		// Absurdly long serving-network ID: fall back to the
+		// allocating path rather than corrupting the scratch.
+		return append(dst, DeriveKASME(ck, ik, snID, sqnXorAK)...)
+	}
+	copy(s.key[:16], ck)
+	copy(s.key[16:32], ik)
+	n := kdfInto(s, 0x10, snID, nil, sqnXorAK)
+	hmacInto(s, s.key[:32], s.kdf[:n], nil)
+	return append(dst, s.osum[:]...)
+}
+
+// putSQN encodes the 48-bit sequence number big-endian into dst.
+func putSQN(dst *[6]byte, sqn uint64) {
+	dst[0] = byte(sqn >> 40)
+	dst[1] = byte(sqn >> 32)
+	dst[2] = byte(sqn >> 24)
+	dst[3] = byte(sqn >> 16)
+	dst[4] = byte(sqn >> 8)
+	dst[5] = byte(sqn)
+}
+
+func sqnValue(b *[6]byte) uint64 {
+	return uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5])
+}
+
+// generateVectorBuf computes a vector into buf (len vectorBufLen),
+// using s for every intermediate, and returns the Vector whose fields
+// alias buf. The only allocation on this path is buf itself.
+func generateVectorBuf(s *akaScratch, m *Milenage, sqn uint64, snID string, random16, buf []byte) (Vector, error) {
+	rnd := buf[0:16:16]
+	xres := buf[16:24:24]
+	autn := buf[24:40:40]
 	if random16 != nil {
 		if len(random16) != 16 {
 			return Vector{}, fmt.Errorf("auth: RAND must be 16 bytes")
 		}
-		rnd = append([]byte{}, random16...)
-	} else {
-		rnd = make([]byte, 16)
-		if _, err := rand.Read(rnd); err != nil {
-			return Vector{}, fmt.Errorf("auth: rand: %w", err)
-		}
+		copy(rnd, random16)
+	} else if _, err := rand.Read(rnd); err != nil {
+		return Vector{}, fmt.Errorf("auth: rand: %w", err)
 	}
-	sqnB := sqnBytes(sqn)
-	macA, _, err := m.F1(rnd, sqnB, defaultAMF)
-	if err != nil {
-		return Vector{}, err
-	}
-	xres, ck, ik, ak, err := m.F2345(rnd)
-	if err != nil {
-		return Vector{}, err
-	}
-	autn := make([]byte, 0, 16)
+	copy(s.rnd[:], rnd)
+	putSQN(&s.sqn, sqn)
+	m.computeTemp(s)
+	m.outNInto(s, 1) // OUT2: XRES ‖ … with AK in the low bytes
+	copy(xres, s.out[8:16])
+	copy(s.ak[:], s.out[0:6])
+	m.outNInto(s, 2) // OUT3 = CK
+	s.ck = s.out
+	m.outNInto(s, 3) // OUT4 = IK
+	s.ik = s.out
+	m.out1Into(s, defaultAMF[0], defaultAMF[1]) // OUT1 = MAC-A ‖ MAC-S
 	for i := 0; i < 6; i++ {
-		autn = append(autn, sqnB[i]^ak[i])
+		autn[i] = s.sqn[i] ^ s.ak[i]
 	}
-	autn = append(autn, defaultAMF...)
-	autn = append(autn, macA...)
+	autn[6], autn[7] = defaultAMF[0], defaultAMF[1]
+	copy(autn[8:16], s.out[0:8])
+	kasme := deriveKASMEInto(s, buf[40:40:vectorBufLen], s.ck[:], s.ik[:], snID, autn[:6])
+	return Vector{RAND: rnd, XRES: xres, AUTN: autn, KASME: kasme}, nil
+}
 
-	return Vector{
-		RAND:  rnd,
-		XRES:  xres,
-		AUTN:  autn,
-		KASME: DeriveKASME(ck, ik, snID, autn[:6]),
-	}, nil
+// GenerateVector produces an authentication vector for the subscriber
+// key set at sequence number sqn, for serving network snID. Pass a nil
+// random16 to draw RAND from crypto/rand; tests inject a fixed RAND.
+func GenerateVector(m *Milenage, sqn uint64, snID string, random16 []byte) (Vector, error) {
+	s := getAKAScratch()
+	v, err := generateVectorBuf(s, m, sqn, snID, random16, make([]byte, vectorBufLen))
+	putAKAScratch(s)
+	return v, err
 }
 
 // sqnBytes encodes the 48-bit sequence number big-endian.
@@ -103,7 +206,8 @@ type UEContext struct {
 	HighestSQN uint64
 }
 
-// ChallengeResult is what a successful UE-side AKA run yields.
+// ChallengeResult is what a successful UE-side AKA run yields. RES and
+// KASME share one backing allocation.
 type ChallengeResult struct {
 	RES   []byte
 	KASME []byte
@@ -115,31 +219,35 @@ func (u *UEContext) Respond(rnd, autn []byte, snID string) (ChallengeResult, err
 	if len(rnd) != 16 || len(autn) != 16 {
 		return ChallengeResult{}, fmt.Errorf("auth: challenge wants RAND[16] AUTN[16]")
 	}
-	res, ck, ik, ak, err := u.Mil.F2345(rnd)
-	if err != nil {
-		return ChallengeResult{}, err
-	}
-	sqnB := make([]byte, 6)
+	s := getAKAScratch()
+	defer putAKAScratch(s)
+	copy(s.rnd[:], rnd)
+	u.Mil.computeTemp(s)
+	m := u.Mil
+	m.outNInto(s, 1)
+	var res [8]byte
+	copy(res[:], s.out[8:16])
+	copy(s.ak[:], s.out[0:6])
 	for i := 0; i < 6; i++ {
-		sqnB[i] = autn[i] ^ ak[i]
+		s.sqn[i] = autn[i] ^ s.ak[i]
 	}
-	amf := autn[6:8]
-	macA, _, err := u.Mil.F1(rnd, sqnB, amf)
-	if err != nil {
-		return ChallengeResult{}, err
-	}
-	if !hmac.Equal(macA, autn[8:16]) {
+	m.outNInto(s, 2)
+	s.ck = s.out
+	m.outNInto(s, 3)
+	s.ik = s.out
+	m.out1Into(s, autn[6], autn[7])
+	if !hmac.Equal(s.out[0:8], autn[8:16]) {
 		return ChallengeResult{}, ErrMACFailure
 	}
-	sqn := SQNFromBytes(sqnB)
+	sqn := sqnValue(&s.sqn)
 	if sqn <= u.HighestSQN {
 		return ChallengeResult{}, fmt.Errorf("%w: got %d, highest %d", ErrSyncFailure, sqn, u.HighestSQN)
 	}
 	u.HighestSQN = sqn
-	return ChallengeResult{
-		RES:   res,
-		KASME: DeriveKASME(ck, ik, snID, autn[:6]),
-	}, nil
+	buf := make([]byte, 8, 8+32)
+	copy(buf, res[:])
+	kasme := deriveKASMEInto(s, buf[8:8:8+32], s.ck[:], s.ik[:], snID, autn[:6])
+	return ChallengeResult{RES: buf[0:8:8], KASME: kasme}, nil
 }
 
 // CheckRES compares the UE's RES against the vector's XRES in constant
@@ -245,7 +353,8 @@ func kdfString(fc byte, p0, p1 []byte) []byte {
 	return b.Bytes()
 }
 
-// NASKeys bundles the derived NAS session keys.
+// NASKeys bundles the derived NAS session keys. Enc and Int share one
+// backing allocation when produced by DeriveNASKeys.
 type NASKeys struct {
 	Enc []byte // K_NASenc
 	Int []byte // K_NASint
@@ -254,16 +363,91 @@ type NASKeys struct {
 // DeriveNASKeys derives both NAS keys using EEA1/EIA1-style algorithm
 // identity 1.
 func DeriveNASKeys(kasme []byte) NASKeys {
-	return NASKeys{
-		Enc: DeriveNASKey(kasme, AlgoNASEnc, 1),
-		Int: DeriveNASKey(kasme, AlgoNASInt, 1),
+	return DeriveNASKeysInto(kasme, make([]byte, 0, 32))
+}
+
+// DeriveNASKeysInto is DeriveNASKeys appending the 32 bytes of key
+// material to buf (len 0, cap ≥32 for the allocation-free path) —
+// re-activating a security context across re-attaches reuses its
+// backing storage instead of allocating fresh keys per AKA run.
+func DeriveNASKeysInto(kasme, buf []byte) NASKeys {
+	s := getAKAScratch()
+	defer putAKAScratch(s)
+	var p0 [1]byte
+	var p1 = [1]byte{1} // algorithm identity
+	p0[0] = AlgoNASEnc
+	n := kdfInto(s, 0x15, "", p0[:], p1[:])
+	hmacInto(s, kasme, s.kdf[:n], nil)
+	buf = append(buf, s.osum[16:32]...)
+	p0[0] = AlgoNASInt
+	n = kdfInto(s, 0x15, "", p0[:], p1[:])
+	hmacInto(s, kasme, s.kdf[:n], nil)
+	buf = append(buf, s.osum[16:32]...)
+	return NASKeys{Enc: buf[0:16:16], Int: buf[16:32:32]}
+}
+
+// Rekey recomputes the pad blocks for a new integrity key, reusing the
+// context's storage — the re-attach path's counterpart to
+// NewMACContext.
+func (c *MACContext) Rekey(kInt []byte) {
+	for i := range c.ipad {
+		var kb byte
+		if i < len(kInt) {
+			kb = kInt[i]
+		}
+		c.ipad[i] = kb ^ 0x36
+		c.opad[i] = kb ^ 0x5c
 	}
+}
+
+// MACContext holds the precomputed HMAC-SHA256 pad blocks for one NAS
+// integrity key, so each protected message costs two SHA-256 runs and
+// zero allocations. A context belongs to one security context and is
+// not safe for concurrent use.
+type MACContext struct {
+	h    keyedHash
+	ipad [64]byte
+	opad [64]byte
+	cnt  [4]byte
+	isum [32]byte
+	osum [32]byte
+}
+
+// NewMACContext builds a MAC context for the NAS integrity key kInt
+// (at most 64 bytes).
+func NewMACContext(kInt []byte) *MACContext {
+	c := &MACContext{}
+	c.Rekey(kInt)
+	return c
+}
+
+// ComputeInto writes the 4-byte NAS MAC over count ‖ msg into out.
+func (c *MACContext) ComputeInto(count uint32, msg []byte, out *[4]byte) {
+	h := c.h.get()
+	binary.BigEndian.PutUint32(c.cnt[:], count)
+	h.Reset()
+	h.Write(c.ipad[:])
+	h.Write(c.cnt[:])
+	h.Write(msg)
+	h.Sum(c.isum[:0])
+	h.Reset()
+	h.Write(c.opad[:])
+	h.Write(c.isum[:])
+	h.Sum(c.osum[:0])
+	copy(out[:], c.osum[:4])
+}
+
+// Verify checks a 4-byte NAS MAC in constant time.
+func (c *MACContext) Verify(count uint32, msg, gotMAC []byte) bool {
+	var want [4]byte
+	c.ComputeInto(count, msg, &want)
+	return hmac.Equal(want[:], gotMAC)
 }
 
 // ComputeNASMAC computes the NAS message authentication code used in
 // security-protected NAS transport: HMAC-SHA256 truncated to 4 bytes
 // over count ‖ message. (Real LTE uses EIA1/2/3; an HMAC stands in with
-// the same interface properties.)
+// the same interface properties.) Hot paths hold a MACContext instead.
 func ComputeNASMAC(kInt []byte, count uint32, msg []byte) []byte {
 	mac := hmac.New(sha256.New, kInt)
 	var c [4]byte

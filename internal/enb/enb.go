@@ -187,12 +187,22 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 		}
 		switch t {
 		case AirNASUp:
+			// Uplink NAS rides the per-UE hot path of an attach storm, so
+			// the S1AP envelope is built in a pooled frame rather than
+			// through a per-message heap struct.
+			buf := wire.GetFrame()
+			var out []byte
+			var serr error
 			if first {
 				first = false
-				e.s1.Send(&s1ap.InitialUEMessage{ENBUEID: ctx.enbUEID, NASPDU: payload})
+				out, serr = s1ap.AppendInitialUEMessage(buf, ctx.enbUEID, payload)
 			} else {
-				e.s1.Send(&s1ap.UplinkNASTransport{ENBUEID: ctx.enbUEID, NASPDU: payload})
+				out, serr = s1ap.AppendUplinkNASTransport(buf, ctx.enbUEID, 0, payload)
 			}
+			if serr == nil {
+				e.s1.SendFrame(out)
+			}
+			wire.PutFrame(buf)
 		case AirDataUp:
 			if teid := ctx.ul.Load(); teid != 0 {
 				e.gtpE.Send(teid, payload)
@@ -205,30 +215,39 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 	}
 }
 
-// s1Loop handles downlink S1AP traffic from the core.
+// s1Loop handles downlink S1AP traffic from the core. Messages are
+// received into pooled frames and decoded by view: every case below
+// copies what it keeps before the frame recycles, so the dominant
+// DownlinkNASTransport path allocates nothing.
 func (e *ENodeB) s1Loop() {
+	var v s1ap.MsgView
 	for {
-		msg, err := e.s1.Recv()
+		frame, err := e.s1.RecvOwned()
 		if err != nil {
 			return
 		}
-		switch m := msg.(type) {
-		case *s1ap.DownlinkNASTransport:
-			if ctx := e.lookup(m.ENBUEID); ctx != nil {
-				e.sendAir(ctx, AirNASDown, m.NASPDU)
+		if derr := s1ap.DecodeView(frame, &v); derr != nil {
+			wire.PutFrame(frame)
+			return
+		}
+		switch v.Type {
+		case s1ap.TypeDownlinkNASTransport:
+			if ctx := e.lookup(v.ENBUEID); ctx != nil {
+				e.sendAir(ctx, AirNASDown, v.NASPDU)
 			}
-		case *s1ap.InitialContextSetupRequest:
-			e.setupContext(m)
-		case *s1ap.UEContextReleaseCommand:
-			if ctx := e.lookup(m.ENBUEID); ctx != nil {
+		case s1ap.TypeInitialContextSetupRequest:
+			e.setupContext(&v)
+		case s1ap.TypeUEContextReleaseCommand:
+			if ctx := e.lookup(v.ENBUEID); ctx != nil {
 				ctx.mu.Lock()
 				ctx.released = true
 				ctx.mu.Unlock()
 				e.sendAir(ctx, AirRelease, nil)
 				ctx.raw.Close()
 			}
-			e.s1.Send(&s1ap.UEContextReleaseComplete{ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID})
+			e.s1.Send(&s1ap.UEContextReleaseComplete{ENBUEID: v.ENBUEID, MMEUEID: v.MMEUEID})
 		}
+		wire.PutFrame(frame)
 	}
 }
 
@@ -251,12 +270,12 @@ func (e *ENodeB) sendAir(ctx *ueCtx, t AirMsgType, payload []byte) {
 
 // setupContext wires the UE's data path: a downlink TEID delivering to
 // the UE's air connection, and an uplink tunnel toward the gateway.
-func (e *ENodeB) setupContext(m *s1ap.InitialContextSetupRequest) {
+func (e *ENodeB) setupContext(m *s1ap.MsgView) {
 	ctx := e.lookup(m.ENBUEID)
 	if ctx == nil {
 		return
 	}
-	sgwAddr, err := simnet.ParseAddr(m.SGWAddr)
+	sgwAddr, err := simnet.ParseAddr(string(m.SGWAddr))
 	if err != nil {
 		return
 	}

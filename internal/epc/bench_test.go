@@ -108,7 +108,7 @@ func (sb *stormBed) storm(b *testing.B) {
 // identical regardless (sharding is keyed on IMSI/GUTI, and each UE's
 // state machine is served serially either way).
 func BenchmarkAttachStorm(b *testing.B) {
-	for _, shards := range []int{1, 4, 8} {
+	for _, shards := range []int{1, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			sb := newStormBed(b, shards, 8, 4)
 			sb.storm(b) // warm: first attach allocates sessions and tunnels

@@ -14,6 +14,7 @@ import (
 	"dlte/internal/s1ap"
 	"dlte/internal/session"
 	"dlte/internal/simnet"
+	"dlte/internal/wire"
 )
 
 // S1APPort is where cores listen for eNodeB associations.
@@ -332,10 +333,21 @@ func (c *Core) serveENB(raw net.Conn) {
 	clk := simnet.ClockOf(raw)
 	connID := raw.RemoteAddr().String()
 	ec := &enbConn{conn: s1ap.NewConn(raw), sessions: make(map[uint32]*ueSession)}
+	var v s1ap.MsgView
 	for {
-		msg, err := ec.conn.Recv()
+		// The frame is pooled and the view decoded in place; dispatch is
+		// synchronous, so the buffer is released as soon as the message
+		// (and any views into it, NAS PDU included) has been served.
+		frame, err := ec.conn.RecvOwned()
+		if err == nil {
+			err = s1ap.DecodeView(frame, &v)
+			if err != nil {
+				wire.PutFrame(frame)
+			}
+		}
 		if err != nil {
-			// Association lost: tear down this eNB's sessions.
+			// Association lost (or speaking garbage): tear down this
+			// eNB's sessions.
 			for _, s := range ec.sessions {
 				c.releaseSession(s)
 			}
@@ -343,13 +355,12 @@ func (c *Core) serveENB(raw net.Conn) {
 		}
 		c.sigMsgs.Add(1)
 		c.applyProcessingDelay(clk, connID)
-		if err := c.dispatchS1AP(clk, ec, connID, msg); err != nil {
-			if errors.Is(err, errENBRefused) {
-				return // drop the association: closed core
-			}
-			// Per-UE errors are isolated; the association survives.
-			continue
+		derr := c.dispatchS1AP(clk, ec, connID, &v)
+		wire.PutFrame(frame)
+		if errors.Is(derr, errENBRefused) {
+			return // drop the association: closed core
 		}
+		// Per-UE errors are isolated; the association survives.
 	}
 }
 
@@ -375,6 +386,17 @@ func (c *Core) shardFor(id string) *sessShard {
 	return c.shards[h%uint32(len(c.shards))]
 }
 
+// shardForBytes is shardFor over a byte view (same FNV-1a, so a given
+// identity routes identically whether it arrives as string or view).
+func (c *Core) shardForBytes(id []byte) *sessShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
 // shardOfGUTI routes a GUTI to the shard that allocated it (or, for a
 // foreign GUTI, to a deterministic shard that will not know it —
 // yielding the standard TAU reject).
@@ -388,12 +410,13 @@ func (c *Core) shardOfGUTI(g uint64) *sessShard {
 // identity-free PDUs fall back to hashing the association, which is
 // still deterministic.
 func (c *Core) routeInitial(connID string, pdu []byte) *sessShard {
-	if msg, err := nas.Decode(pdu); err == nil {
-		switch m := msg.(type) {
-		case *nas.AttachRequest:
-			return c.shardFor(m.IMSI)
-		case *nas.TAURequest:
-			return c.shardOfGUTI(m.GUTI)
+	var v nas.MsgView
+	if err := nas.DecodeView(pdu, &v); err == nil {
+		switch v.Type {
+		case nas.TypeAttachRequest:
+			return c.shardForBytes(v.IMSI)
+		case nas.TypeTAURequest:
+			return c.shardOfGUTI(v.GUTI)
 		}
 	}
 	return c.shardFor(connID)
@@ -408,15 +431,16 @@ func (c *Core) runSharded(clk simnet.Clock, sh *sessShard, actor string, fn func
 	return err
 }
 
-// dispatchS1AP resolves a message to its session's shard and serves
-// it there. Association-level messages (S1 setup) touch no per-UE
-// state and bypass the shards.
-func (c *Core) dispatchS1AP(clk simnet.Clock, ec *enbConn, connID string, msg s1ap.Message) error {
-	switch m := msg.(type) {
-	case *s1ap.S1SetupRequest:
+// dispatchS1AP resolves a decoded message view to its session's shard
+// and serves it there. Association-level messages (S1 setup) touch no
+// per-UE state and bypass the shards. Views in v alias the pooled
+// receive frame; everything here runs synchronously under it.
+func (c *Core) dispatchS1AP(clk simnet.Clock, ec *enbConn, connID string, v *s1ap.MsgView) error {
+	switch v.Type {
+	case s1ap.TypeS1SetupRequest:
 		if c.cfg.RequireENBAuthorization {
 			c.mu.Lock()
-			allowed := c.allowedENB[m.ENBID]
+			allowed := c.allowedENB[v.ENBID]
 			c.mu.Unlock()
 			if !allowed {
 				// Closed core: the association is refused outright —
@@ -426,86 +450,86 @@ func (c *Core) dispatchS1AP(clk simnet.Clock, ec *enbConn, connID string, msg s1
 		}
 		return ec.conn.Send(&s1ap.S1SetupResponse{MMEName: c.cfg.Name, ServedTAC: c.cfg.TAC, SNID: c.cfg.SNID})
 
-	case *s1ap.InitialUEMessage:
-		sh := c.routeInitial(connID, m.NASPDU)
+	case s1ap.TypeInitialUEMessage:
+		sh := c.routeInitial(connID, v.NASPDU)
 		return c.runSharded(clk, sh, connID, func() error {
-			s := c.newUESession(sh, m.ENBUEID)
-			ec.sessions[m.ENBUEID] = s
-			return c.feedNAS(ec, s, m.NASPDU)
+			s := c.newUESession(sh, v.ENBUEID)
+			ec.sessions[v.ENBUEID] = s
+			return c.feedNAS(ec, s, v.NASPDU)
 		})
 
-	case *s1ap.UplinkNASTransport:
-		s, ok := ec.sessions[m.ENBUEID]
+	case s1ap.TypeUplinkNASTransport:
+		s, ok := ec.sessions[v.ENBUEID]
 		if !ok {
-			return fmt.Errorf("epc: no session for eNB UE %d", m.ENBUEID)
+			return fmt.Errorf("epc: no session for eNB UE %d", v.ENBUEID)
 		}
 		return c.runSharded(clk, s.shard, connID, func() error {
-			return c.feedNAS(ec, s, m.NASPDU)
+			return c.feedNAS(ec, s, v.NASPDU)
 		})
 
-	case *s1ap.InitialContextSetupResponse:
-		s, ok := ec.sessions[m.ENBUEID]
+	case s1ap.TypeInitialContextSetupResponse:
+		s, ok := ec.sessions[v.ENBUEID]
 		if !ok {
-			return fmt.Errorf("epc: no session for eNB UE %d", m.ENBUEID)
+			return fmt.Errorf("epc: no session for eNB UE %d", v.ENBUEID)
 		}
 		return c.runSharded(clk, s.shard, connID, func() error {
-			addr, err := simnet.ParseAddr(m.ENBAddr)
+			addr, err := simnet.ParseAddr(string(v.ENBAddr))
 			if err != nil {
 				return err
 			}
-			return c.gw.BindDownlink(s.imsi, addr, m.ENBTEID)
+			return c.gw.BindDownlink(s.imsi, addr, v.ENBTEID)
 		})
 
-	case *s1ap.PathSwitchRequest:
+	case s1ap.TypePathSwitchRequest:
 		// Locate the session by MME UE ID across this association.
 		var s *ueSession
 		for _, cand := range ec.sessions {
-			if cand.mmeUEID == m.MMEUEID {
+			if cand.mmeUEID == v.MMEUEID {
 				s = cand
 				break
 			}
 		}
 		if s == nil {
-			return fmt.Errorf("epc: path switch for unknown MME UE %d", m.MMEUEID)
+			return fmt.Errorf("epc: path switch for unknown MME UE %d", v.MMEUEID)
 		}
 		return c.runSharded(clk, s.shard, connID, func() error {
 			if _, err := s.nasSession.FSM().Fire(session.EvPathSwitch); err != nil {
 				return err
 			}
-			addr, err := simnet.ParseAddr(m.NewENBAddr)
+			addr, err := simnet.ParseAddr(string(v.NewENBAddr))
 			if err != nil {
 				return err
 			}
-			if err := c.gw.SwitchPath(s.imsi, addr, m.NewENBTEID); err != nil {
+			if err := c.gw.SwitchPath(s.imsi, addr, v.NewENBTEID); err != nil {
 				return err
 			}
-			return ec.conn.Send(&s1ap.PathSwitchAck{MMEUEID: m.MMEUEID})
+			return ec.conn.Send(&s1ap.PathSwitchAck{MMEUEID: v.MMEUEID})
 		})
 
-	case *s1ap.UEContextReleaseRequest:
+	case s1ap.TypeUEContextReleaseRequest:
 		// eNB-initiated release (radio loss): end the lifecycle, then
 		// complete the standard command/complete exchange.
-		if s, ok := ec.sessions[m.ENBUEID]; ok {
+		if s, ok := ec.sessions[v.ENBUEID]; ok {
 			c.runSharded(clk, s.shard, connID, func() error {
 				c.releaseSession(s)
 				return nil
 			})
-			delete(ec.sessions, m.ENBUEID)
+			delete(ec.sessions, v.ENBUEID)
 		}
-		return ec.conn.Send(&s1ap.UEContextReleaseCommand{ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID})
+		return ec.conn.Send(&s1ap.UEContextReleaseCommand{ENBUEID: v.ENBUEID, MMEUEID: v.MMEUEID})
 
-	case *s1ap.UEContextReleaseComplete:
-		if s, ok := ec.sessions[m.ENBUEID]; ok {
+	case s1ap.TypeUEContextReleaseComplete:
+		if s, ok := ec.sessions[v.ENBUEID]; ok {
 			c.runSharded(clk, s.shard, connID, func() error {
 				c.releaseSession(s)
 				return nil
 			})
-			delete(ec.sessions, m.ENBUEID)
+			delete(ec.sessions, v.ENBUEID)
 		}
 		return nil
 
 	default:
-		return fmt.Errorf("epc: unhandled S1AP %s", msg.Type())
+		return fmt.Errorf("epc: unhandled S1AP %s", v.Type)
 	}
 }
 
@@ -558,8 +582,15 @@ func (c *Core) newUESession(sh *sessShard, enbUEID uint32) *ueSession {
 // feedNAS pushes an uplink NAS PDU into the session's protocol
 // handler (which drives the lifecycle FSM) and relays any reply /
 // context-setup downlink. Runs under the owning shard's gate.
+//
+// The downlink path is single-buffer: the S1AP transport header goes
+// into a pooled frame first, the NAS handler appends its reply (NAS
+// inner message, sealing envelope and all) directly after it, and the
+// patched frame ships as-is — no per-message reply allocations.
 func (c *Core) feedNAS(ec *enbConn, s *ueSession, pdu []byte) error {
-	reply, ev, nasErr := s.nasSession.Handle(pdu)
+	frame := wire.GetFrame()
+	hdr, mark := s1ap.StartDownlinkNASTransport(frame, s.enbUEID, s.mmeUEID)
+	out, ev, nasErr := s.nasSession.HandleAppend(pdu, hdr)
 
 	// Activate the data path as soon as the session reaches Attaching,
 	// before the NAS AttachAccept goes out (mirroring real S1AP, where
@@ -574,6 +605,7 @@ func (c *Core) feedNAS(ec *enbConn, s *ueSession, pdu []byte) error {
 			SGWTEID: s.uplinkTEID,
 			UEAddr:  s.nasSession.IP(),
 		}); err != nil {
+			wire.PutFrame(frame)
 			return err
 		}
 	}
@@ -598,15 +630,17 @@ func (c *Core) feedNAS(ec *enbConn, s *ueSession, pdu []byte) error {
 		c.rejects.Add(1)
 	}
 
-	if reply != nil {
-		if err := ec.conn.Send(&s1ap.DownlinkNASTransport{
-			ENBUEID: s.enbUEID,
-			MMEUEID: s.mmeUEID,
-			NASPDU:  reply,
-		}); err != nil {
-			return err
+	if len(out) > mark {
+		out, ferr := s1ap.FinishNASTransport(out, mark)
+		if ferr == nil {
+			ferr = ec.conn.SendFrame(out)
+		}
+		if ferr != nil {
+			wire.PutFrame(frame)
+			return ferr
 		}
 	}
+	wire.PutFrame(frame)
 	// NAS-level failures (bad MAC, replay, illegal lifecycle
 	// transitions) are per-UE; surface them without killing the
 	// association.

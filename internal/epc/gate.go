@@ -17,9 +17,17 @@ const gateEpsilon = time.Nanosecond
 
 // gateWaiter is one entrant awaiting admission, keyed by virtual
 // arrival time with an actor ID (the eNB connection ID) as tiebreak.
+// Each waiter owns a buffered(1) ready channel for direct handoff:
+// the admitting goroutine signals exactly the waiters it admits, and
+// nobody else wakes.
 type gateWaiter struct {
 	at    time.Time
 	actor string
+	ready chan struct{}
+}
+
+var gateWaiterPool = sync.Pool{
+	New: func() interface{} { return &gateWaiter{ready: make(chan struct{}, 1)} },
 }
 
 // detGate admits work onto a bounded number of slots in deterministic
@@ -32,6 +40,14 @@ type gateWaiter struct {
 // earlier-instant arrivals are always enqueued before virtual time
 // moves on (the VirtualClock only advances over a quiescent world).
 //
+// Admission is batched: whenever a slot frees or the registration
+// window closes, tryAdmit pops the whole admissible run of queue
+// heads in one pass and hands each admitted waiter its slot directly
+// over its own channel. The earlier design instead closed a shared
+// broadcast channel and let every parked entrant re-check — O(n)
+// spurious wakeups per admission, O(n²) per storm burst, which
+// dominated the attach-storm profile at high shard counts.
+//
 // Two gates are built on this: each session shard's serving gate
 // (capacity 1 — at most one signaling message per shard in flight,
 // which is what makes shard state single-writer) and the modeled
@@ -42,32 +58,47 @@ type detGate struct {
 	capacity int // admission slots; 0 means 1
 
 	mu      sync.Mutex
-	waiters []gateWaiter // sorted by (at, actor); small: one per eNB conn
+	waiters []*gateWaiter // sorted by (at, actor); small: one per eNB conn
 	running int
-	done    chan struct{} // closed and replaced at each admission/completion
 }
 
-func (g *detGate) enqueue(w gateWaiter) {
+func (g *detGate) enqueue(w *gateWaiter) {
 	g.mu.Lock()
-	if g.done == nil {
-		g.done = make(chan struct{})
-	}
 	i := 0
 	for i < len(g.waiters) && (g.waiters[i].at.Before(w.at) ||
 		(g.waiters[i].at.Equal(w.at) && g.waiters[i].actor < w.actor)) {
 		i++
 	}
-	g.waiters = append(g.waiters, gateWaiter{})
+	g.waiters = append(g.waiters, nil)
 	copy(g.waiters[i+1:], g.waiters[i:])
 	g.waiters[i] = w
 	g.mu.Unlock()
 }
 
-// wake unblocks every parked entrant so it can re-check admission.
-// Called whenever a slot frees or the queue head is consumed.
-func (g *detGate) wake() {
-	close(g.done)
-	g.done = make(chan struct{})
+// tryAdmit pops every queue head an open slot can take — a whole run
+// of same-window arrivals in one pass — and signals each admitted
+// waiter's ready channel. Caller holds g.mu.
+func (g *detGate) tryAdmit() {
+	slots := g.capacity
+	if slots < 1 {
+		slots = 1
+	}
+	n := 0
+	for g.running < slots && n < len(g.waiters) {
+		w := g.waiters[n]
+		g.waiters[n] = nil
+		n++
+		g.running++
+		w.ready <- struct{}{}
+	}
+	if n > 0 {
+		rem := copy(g.waiters, g.waiters[n:])
+		clear := g.waiters[rem:]
+		for i := range clear {
+			clear[i] = nil
+		}
+		g.waiters = g.waiters[:rem]
+	}
 }
 
 // run executes fn once admitted. All waits go through the clock
@@ -75,35 +106,28 @@ func (g *detGate) wake() {
 // queued goroutines as parked and advances virtual time
 // deterministically.
 func (g *detGate) run(clk simnet.Clock, actor string, fn func()) {
-	w := gateWaiter{at: clk.Now(), actor: actor}
+	w := gateWaiterPool.Get().(*gateWaiter)
+	w.at = clk.Now()
+	w.actor = actor
 	g.enqueue(w)
 	clk.Sleep(gateEpsilon) // same-instant arrivals finish enqueueing
-	for {
-		g.mu.Lock()
-		slots := g.capacity
-		if slots < 1 {
-			slots = 1
-		}
-		if g.running < slots && g.waiters[0] == w {
-			g.waiters = g.waiters[1:]
-			g.running++
-			// The next waiter may be admissible right now (capacity > 1):
-			// let it re-check instead of waiting for a completion.
-			g.wake()
-			g.mu.Unlock()
-
-			fn()
-
-			g.mu.Lock()
-			g.running--
-			g.wake()
-			g.mu.Unlock()
-			return
-		}
-		ch := g.done
-		g.mu.Unlock()
+	g.mu.Lock()
+	g.tryAdmit()
+	g.mu.Unlock()
+	select {
+	case <-w.ready:
+		// Admitted in our own pass (or by a peer before we got here).
+	default:
 		clk.Block()
-		<-ch
+		<-w.ready
 		clk.Unblock()
 	}
+
+	fn()
+
+	g.mu.Lock()
+	g.running--
+	g.tryAdmit()
+	g.mu.Unlock()
+	gateWaiterPool.Put(w)
 }

@@ -59,7 +59,11 @@ func TestExperimentsDeterministic(t *testing.T) {
 // results); E4 covers roaming and retransmission timing; E10 covers
 // the discovery plane, where concurrent joins, key churn, pollers,
 // and a push subscription all race on one registry — its wire-byte
-// accounting depends on every delta landing in its own frame.
+// accounting depends on every delta landing in its own frame. The
+// shards=32 leg is the attach-storm gate: E3's storm worlds at the
+// widest shard count the storm benchmark sweeps must render the same
+// bytes as the single-shard serial run, pinning batched shard-gate
+// admission to the virtual-time order.
 func TestSerialParallelIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -104,6 +108,8 @@ func TestSerialParallelIdentical(t *testing.T) {
 	serial := run(1, 1)
 	parallel := run(8, 1)
 	sharded := run(8, 8)
+	storm := run(8, 32)
 	diverge("serial (p=1,s=1)", "parallel (p=8,s=1)", serial, parallel)
 	diverge("serial (p=1,s=1)", "sharded (p=8,s=8)", serial, sharded)
+	diverge("serial (p=1,s=1)", "storm (p=8,s=32)", serial, storm)
 }

@@ -1,6 +1,7 @@
 package nas
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -65,4 +66,61 @@ func TestSecuredOpenNeverPanics(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzDecode is the coverage-guided companion to the quick checks
+// above, run against the binary fixed-layout decoder. The invariant is
+// stronger than "no panic": the decoder is strict (no trailing bytes,
+// boolean octets must be 0 or 1), so any input it accepts is already
+// the canonical serialization of the result — re-encoding the
+// materialized message must reproduce the input byte for byte. That
+// property is what closes the mis-parse class where two distinct byte
+// strings decode to the same message (replay/dedup confusion on an
+// open radio).
+//
+// Run the seeds with `go test`; explore with
+// `go test -fuzz=FuzzDecode ./internal/nas`.
+func FuzzDecode(f *testing.F) {
+	seed := func(m Message) []byte {
+		b, err := Marshal(m)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeAttachRequest)})
+	f.Add([]byte{0xFF, 1, 2, 3})
+	f.Add(seed(&AttachRequest{IMSI: "001010000000001", UECapabilities: "cat4", FollowOnData: true}))
+	f.Add(seed(&AuthenticationRequest{RAND: make([]byte, 16), AUTN: make([]byte, 16)}))
+	f.Add(seed(&AuthenticationResponse{RES: []byte{1, 2, 3, 4, 5, 6, 7, 8}}))
+	f.Add(seed(&AuthenticationFailure{Cause: CauseSyncFailure, AUTS: make([]byte, 14)}))
+	f.Add(seed(&AuthenticationReject{Cause: CauseAuthFailure}))
+	f.Add(seed(&SecurityModeCommand{IntegrityAlg: 1, CipherAlg: 0}))
+	f.Add(seed(&SecurityModeComplete{}))
+	f.Add(seed(&AttachAccept{GUTI: 0x1001, TrackingArea: 7, EBI: 5, PDNAddress: "10.45.0.2", DirectBreakout: true}))
+	f.Add(seed(&AttachComplete{}))
+	f.Add(seed(&AttachReject{Cause: CauseIMSIUnknown}))
+	f.Add(seed(&DetachRequest{GUTI: 0x1001}))
+	f.Add(seed(&DetachAccept{}))
+	f.Add(seed(&TAURequest{GUTI: 0x1001, TrackingArea: 9}))
+	f.Add(seed(&TAUAccept{TrackingArea: 9}))
+	f.Add(seed(&TAUReject{Cause: CauseIllegalUE}))
+	f.Add(seed(&Secured{Count: 3, MAC: []byte{1, 2, 3, 4}, Inner: []byte{5, 6}}))
+	f.Add(append(seed(&AttachComplete{}), 0xDE))         // trailing byte must be rejected
+	f.Add([]byte{byte(TypeAttachRequest), 1, 'a', 0, 2}) // bool octet 2: non-canonical
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var v MsgView
+		if err := DecodeView(b, &v); err != nil {
+			return
+		}
+		round, err := Marshal(v.Materialize())
+		if err != nil {
+			t.Fatalf("accepted input does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(b, round) {
+			t.Fatalf("accepted a non-canonical encoding:\n  in  %x\n  out %x", b, round)
+		}
+	})
 }

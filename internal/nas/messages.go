@@ -5,13 +5,20 @@
 // integrity protection that makes the dLTE stub core look like a real
 // network to an unmodified handset (paper §4.1).
 //
-// Message codecs follow the gopacket idiom: concrete structs with
-// EncodeTo, and a Decode dispatcher on the leading message-type octet.
+// The wire codec is fixed-layout and allocation-free in both
+// directions (DESIGN.md §9): AppendX encoders append a type octet and
+// body into a caller-owned buffer, and DecodeView parses into a
+// MsgView whose byte fields alias the input. Decoding is canonical —
+// trailing bytes and non-{0,1} boolean octets are rejected — so every
+// accepted encoding re-encodes byte-identically. The allocating
+// Marshal/Decode pair remains as a convenience layered on top.
 package nas
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"dlte/internal/wire"
 )
@@ -84,13 +91,20 @@ func (t MsgType) String() string {
 
 // Message is any NAS message.
 type Message interface {
-	wire.Message
 	// Type reports the message's type octet.
 	Type() MsgType
 }
 
-// ErrUnknownMessage reports an unrecognized type octet.
-var ErrUnknownMessage = errors.New("nas: unknown message type")
+// Codec errors.
+var (
+	// ErrUnknownMessage reports an unrecognized type octet.
+	ErrUnknownMessage = errors.New("nas: unknown message type")
+	// ErrNonCanonical reports an encoding that parses but is not the
+	// unique canonical form (trailing bytes, boolean octets other than
+	// 0/1). Decoders reject these so that accepted input always
+	// re-encodes byte-identically.
+	ErrNonCanonical = errors.New("nas: non-canonical encoding")
+)
 
 // Cause codes for reject messages.
 const (
@@ -101,6 +115,10 @@ const (
 	CauseNotAuthorized uint8 = 35
 	CauseProtocolError uint8 = 111
 )
+
+// CauseSyncFailure marks an SQN synchronisation failure (TS 24.008
+// cause #21).
+const CauseSyncFailure uint8 = 21
 
 // AttachRequest initiates registration. The IMSI is sent in clear on
 // first attach (as in real LTE before a GUTI is assigned).
@@ -115,13 +133,6 @@ type AttachRequest struct {
 // Type implements Message.
 func (AttachRequest) Type() MsgType { return TypeAttachRequest }
 
-// EncodeTo implements wire.Message.
-func (m AttachRequest) EncodeTo(w *wire.Writer) {
-	w.String8(m.IMSI)
-	w.String8(m.UECapabilities)
-	w.Bool(m.FollowOnData)
-}
-
 // AuthenticationRequest carries the AKA challenge.
 type AuthenticationRequest struct {
 	RAND []byte // 16 bytes
@@ -131,12 +142,6 @@ type AuthenticationRequest struct {
 // Type implements Message.
 func (AuthenticationRequest) Type() MsgType { return TypeAuthenticationRequest }
 
-// EncodeTo implements wire.Message.
-func (m AuthenticationRequest) EncodeTo(w *wire.Writer) {
-	w.Bytes8(m.RAND)
-	w.Bytes8(m.AUTN)
-}
-
 // AuthenticationResponse carries the UE's RES.
 type AuthenticationResponse struct {
 	RES []byte
@@ -144,9 +149,6 @@ type AuthenticationResponse struct {
 
 // Type implements Message.
 func (AuthenticationResponse) Type() MsgType { return TypeAuthenticationResponse }
-
-// EncodeTo implements wire.Message.
-func (m AuthenticationResponse) EncodeTo(w *wire.Writer) { w.Bytes8(m.RES) }
 
 // AuthenticationFailure reports the UE's rejection of the network's
 // challenge. CauseSyncFailure carries AUTS so the HSS can
@@ -159,16 +161,6 @@ type AuthenticationFailure struct {
 // Type implements Message.
 func (AuthenticationFailure) Type() MsgType { return TypeAuthenticationFailure }
 
-// EncodeTo implements wire.Message.
-func (m AuthenticationFailure) EncodeTo(w *wire.Writer) {
-	w.U8(m.Cause)
-	w.Bytes8(m.AUTS)
-}
-
-// CauseSyncFailure marks an SQN synchronisation failure (TS 24.008
-// cause #21).
-const CauseSyncFailure uint8 = 21
-
 // AuthenticationReject aborts registration after failed AKA.
 type AuthenticationReject struct {
 	Cause uint8
@@ -176,9 +168,6 @@ type AuthenticationReject struct {
 
 // Type implements Message.
 func (AuthenticationReject) Type() MsgType { return TypeAuthenticationReject }
-
-// EncodeTo implements wire.Message.
-func (m AuthenticationReject) EncodeTo(w *wire.Writer) { w.U8(m.Cause) }
 
 // SecurityModeCommand activates NAS security with the chosen
 // algorithm; it is the first integrity-protected downlink message.
@@ -190,20 +179,11 @@ type SecurityModeCommand struct {
 // Type implements Message.
 func (SecurityModeCommand) Type() MsgType { return TypeSecurityModeCommand }
 
-// EncodeTo implements wire.Message.
-func (m SecurityModeCommand) EncodeTo(w *wire.Writer) {
-	w.U8(m.IntegrityAlg)
-	w.U8(m.CipherAlg)
-}
-
 // SecurityModeComplete acknowledges security activation.
 type SecurityModeComplete struct{}
 
 // Type implements Message.
 func (SecurityModeComplete) Type() MsgType { return TypeSecurityModeComplete }
-
-// EncodeTo implements wire.Message.
-func (SecurityModeComplete) EncodeTo(*wire.Writer) {}
 
 // AttachAccept completes registration and carries the default EPS
 // bearer: the UE's IP address and bearer identity (ESM folded in, as
@@ -225,23 +205,11 @@ type AttachAccept struct {
 // Type implements Message.
 func (AttachAccept) Type() MsgType { return TypeAttachAccept }
 
-// EncodeTo implements wire.Message.
-func (m AttachAccept) EncodeTo(w *wire.Writer) {
-	w.U64(m.GUTI)
-	w.U16(m.TrackingArea)
-	w.U8(m.EBI)
-	w.String8(m.PDNAddress)
-	w.Bool(m.DirectBreakout)
-}
-
 // AttachComplete acknowledges the accept.
 type AttachComplete struct{}
 
 // Type implements Message.
 func (AttachComplete) Type() MsgType { return TypeAttachComplete }
-
-// EncodeTo implements wire.Message.
-func (AttachComplete) EncodeTo(*wire.Writer) {}
 
 // AttachReject refuses registration.
 type AttachReject struct {
@@ -251,9 +219,6 @@ type AttachReject struct {
 // Type implements Message.
 func (AttachReject) Type() MsgType { return TypeAttachReject }
 
-// EncodeTo implements wire.Message.
-func (m AttachReject) EncodeTo(w *wire.Writer) { w.U8(m.Cause) }
-
 // DetachRequest releases registration (UE- or network-initiated).
 type DetachRequest struct {
 	GUTI uint64
@@ -262,17 +227,11 @@ type DetachRequest struct {
 // Type implements Message.
 func (DetachRequest) Type() MsgType { return TypeDetachRequest }
 
-// EncodeTo implements wire.Message.
-func (m DetachRequest) EncodeTo(w *wire.Writer) { w.U64(m.GUTI) }
-
 // DetachAccept acknowledges a detach.
 type DetachAccept struct{}
 
 // Type implements Message.
 func (DetachAccept) Type() MsgType { return TypeDetachAccept }
-
-// EncodeTo implements wire.Message.
-func (DetachAccept) EncodeTo(*wire.Writer) {}
 
 // TAURequest updates the UE's tracking area after idle mobility.
 type TAURequest struct {
@@ -283,12 +242,6 @@ type TAURequest struct {
 // Type implements Message.
 func (TAURequest) Type() MsgType { return TypeTAURequest }
 
-// EncodeTo implements wire.Message.
-func (m TAURequest) EncodeTo(w *wire.Writer) {
-	w.U64(m.GUTI)
-	w.U16(m.TrackingArea)
-}
-
 // TAUAccept confirms the tracking-area update.
 type TAUAccept struct {
 	TrackingArea uint16
@@ -296,9 +249,6 @@ type TAUAccept struct {
 
 // Type implements Message.
 func (TAUAccept) Type() MsgType { return TypeTAUAccept }
-
-// EncodeTo implements wire.Message.
-func (m TAUAccept) EncodeTo(w *wire.Writer) { w.U16(m.TrackingArea) }
 
 // TAUReject refuses a tracking-area update (e.g. unknown GUTI, forcing
 // a fresh attach — which is what happens when a dLTE UE roams to an AP
@@ -310,58 +260,362 @@ type TAUReject struct {
 // Type implements Message.
 func (TAUReject) Type() MsgType { return TypeTAUReject }
 
-// EncodeTo implements wire.Message.
-func (m TAUReject) EncodeTo(w *wire.Writer) { w.U8(m.Cause) }
+// --- Append encoders -------------------------------------------------
+//
+// Each AppendX writes the type octet plus the fixed layout of X into
+// dst and returns the extended slice. Encoders whose message carries
+// length-prefixed fields return an error when a field exceeds its
+// prefix; fixed-layout messages cannot fail and return only the
+// buffer. Ownership of dst stays with the caller (DESIGN.md §7).
 
-// Marshal serializes any NAS message with its type octet.
-func Marshal(m Message) ([]byte, error) {
-	return wire.Marshal(uint8(m.Type()), m)
+func appendBytes8(dst, b []byte) ([]byte, error) {
+	if len(b) > math.MaxUint8 {
+		return dst, fmt.Errorf("%w: length-8 field of %d bytes", wire.ErrOverflow, len(b))
+	}
+	dst = append(dst, uint8(len(b)))
+	return append(dst, b...), nil
 }
 
-// Decode parses a NAS message (which may be a Secured envelope; the
-// caller unwraps it with Open).
-func Decode(b []byte) (Message, error) {
-	r := wire.NewReader(b)
+func appendString8(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint8 {
+		return dst, fmt.Errorf("%w: length-8 field of %d bytes", wire.ErrOverflow, len(s))
+	}
+	dst = append(dst, uint8(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendAttachRequest appends a serialized AttachRequest to dst.
+func AppendAttachRequest(dst []byte, m AttachRequest) ([]byte, error) {
+	dst = append(dst, byte(TypeAttachRequest))
+	dst, err := appendString8(dst, m.IMSI)
+	if err != nil {
+		return dst, err
+	}
+	if dst, err = appendString8(dst, m.UECapabilities); err != nil {
+		return dst, err
+	}
+	return appendBool(dst, m.FollowOnData), nil
+}
+
+// AppendAuthenticationRequest appends a serialized challenge to dst.
+func AppendAuthenticationRequest(dst []byte, m AuthenticationRequest) ([]byte, error) {
+	dst = append(dst, byte(TypeAuthenticationRequest))
+	dst, err := appendBytes8(dst, m.RAND)
+	if err != nil {
+		return dst, err
+	}
+	return appendBytes8(dst, m.AUTN)
+}
+
+// AppendAuthenticationResponse appends a serialized RES to dst.
+func AppendAuthenticationResponse(dst []byte, m AuthenticationResponse) ([]byte, error) {
+	dst = append(dst, byte(TypeAuthenticationResponse))
+	return appendBytes8(dst, m.RES)
+}
+
+// AppendAuthenticationFailure appends a serialized failure to dst.
+func AppendAuthenticationFailure(dst []byte, m AuthenticationFailure) ([]byte, error) {
+	dst = append(dst, byte(TypeAuthenticationFailure), m.Cause)
+	return appendBytes8(dst, m.AUTS)
+}
+
+// AppendAuthenticationReject appends a serialized reject to dst.
+func AppendAuthenticationReject(dst []byte, m AuthenticationReject) []byte {
+	return append(dst, byte(TypeAuthenticationReject), m.Cause)
+}
+
+// AppendSecurityModeCommand appends a serialized command to dst.
+func AppendSecurityModeCommand(dst []byte, m SecurityModeCommand) []byte {
+	return append(dst, byte(TypeSecurityModeCommand), m.IntegrityAlg, m.CipherAlg)
+}
+
+// AppendSecurityModeComplete appends the (empty) acknowledgment to dst.
+func AppendSecurityModeComplete(dst []byte) []byte {
+	return append(dst, byte(TypeSecurityModeComplete))
+}
+
+// AppendAttachAccept appends a serialized AttachAccept to dst.
+func AppendAttachAccept(dst []byte, m AttachAccept) ([]byte, error) {
+	dst = append(dst, byte(TypeAttachAccept))
+	dst = binary.BigEndian.AppendUint64(dst, m.GUTI)
+	dst = binary.BigEndian.AppendUint16(dst, m.TrackingArea)
+	dst = append(dst, m.EBI)
+	dst, err := appendString8(dst, m.PDNAddress)
+	if err != nil {
+		return dst, err
+	}
+	return appendBool(dst, m.DirectBreakout), nil
+}
+
+// AppendAttachComplete appends the (empty) acknowledgment to dst.
+func AppendAttachComplete(dst []byte) []byte {
+	return append(dst, byte(TypeAttachComplete))
+}
+
+// AppendAttachReject appends a serialized reject to dst.
+func AppendAttachReject(dst []byte, m AttachReject) []byte {
+	return append(dst, byte(TypeAttachReject), m.Cause)
+}
+
+// AppendDetachRequest appends a serialized DetachRequest to dst.
+func AppendDetachRequest(dst []byte, m DetachRequest) []byte {
+	dst = append(dst, byte(TypeDetachRequest))
+	return binary.BigEndian.AppendUint64(dst, m.GUTI)
+}
+
+// AppendDetachAccept appends the (empty) acknowledgment to dst.
+func AppendDetachAccept(dst []byte) []byte {
+	return append(dst, byte(TypeDetachAccept))
+}
+
+// AppendTAURequest appends a serialized TAURequest to dst.
+func AppendTAURequest(dst []byte, m TAURequest) []byte {
+	dst = append(dst, byte(TypeTAURequest))
+	dst = binary.BigEndian.AppendUint64(dst, m.GUTI)
+	return binary.BigEndian.AppendUint16(dst, m.TrackingArea)
+}
+
+// AppendTAUAccept appends a serialized TAUAccept to dst.
+func AppendTAUAccept(dst []byte, m TAUAccept) []byte {
+	dst = append(dst, byte(TypeTAUAccept))
+	return binary.BigEndian.AppendUint16(dst, m.TrackingArea)
+}
+
+// AppendTAUReject appends a serialized reject to dst.
+func AppendTAUReject(dst []byte, m TAUReject) []byte {
+	return append(dst, byte(TypeTAUReject), m.Cause)
+}
+
+// AppendSecured appends a Secured envelope (count ‖ MAC ‖ inner) to
+// dst. mac must be exactly 4 bytes and inner at most 64 KiB.
+func AppendSecured(dst []byte, count uint32, mac, inner []byte) ([]byte, error) {
+	if len(mac) != 4 {
+		return dst, fmt.Errorf("nas: secured MAC must be 4 bytes, got %d", len(mac))
+	}
+	if len(inner) > math.MaxUint16 {
+		return dst, fmt.Errorf("%w: secured inner of %d bytes", wire.ErrOverflow, len(inner))
+	}
+	dst = append(dst, byte(TypeSecured))
+	dst = binary.BigEndian.AppendUint32(dst, count)
+	dst = append(dst, mac...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(inner)))
+	return append(dst, inner...), nil
+}
+
+// AppendMessage appends any NAS message to dst, dispatching on its
+// concrete type.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	switch t := m.(type) {
+	case *AttachRequest:
+		return AppendAttachRequest(dst, *t)
+	case *AuthenticationRequest:
+		return AppendAuthenticationRequest(dst, *t)
+	case *AuthenticationResponse:
+		return AppendAuthenticationResponse(dst, *t)
+	case *AuthenticationFailure:
+		return AppendAuthenticationFailure(dst, *t)
+	case *AuthenticationReject:
+		return AppendAuthenticationReject(dst, *t), nil
+	case *SecurityModeCommand:
+		return AppendSecurityModeCommand(dst, *t), nil
+	case *SecurityModeComplete:
+		return AppendSecurityModeComplete(dst), nil
+	case *AttachAccept:
+		return AppendAttachAccept(dst, *t)
+	case *AttachComplete:
+		return AppendAttachComplete(dst), nil
+	case *AttachReject:
+		return AppendAttachReject(dst, *t), nil
+	case *DetachRequest:
+		return AppendDetachRequest(dst, *t), nil
+	case *DetachAccept:
+		return AppendDetachAccept(dst), nil
+	case *TAURequest:
+		return AppendTAURequest(dst, *t), nil
+	case *TAUAccept:
+		return AppendTAUAccept(dst, *t), nil
+	case *TAUReject:
+		return AppendTAUReject(dst, *t), nil
+	case *Secured:
+		return AppendSecured(dst, t.Count, t.MAC, t.Inner)
+	default:
+		return dst, fmt.Errorf("%w: %T", ErrUnknownMessage, m)
+	}
+}
+
+// Marshal serializes any NAS message with its type octet into a fresh
+// buffer.
+func Marshal(m Message) ([]byte, error) {
+	out, err := AppendMessage(make([]byte, 0, 64), m)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- View decoder ----------------------------------------------------
+
+// MsgView is the decoded form of any NAS message: a type tag plus the
+// union of all message fields. Byte-slice and string-backed fields are
+// views aliasing the decoded buffer — valid only while the caller owns
+// that buffer, never retained (DESIGN.md §7). Fields not carried by
+// the decoded type are zero.
+type MsgView struct {
+	Type MsgType
+
+	// Views into the decoded buffer.
+	IMSI           []byte // AttachRequest
+	UECapabilities []byte // AttachRequest
+	RAND           []byte // AuthenticationRequest
+	AUTN           []byte // AuthenticationRequest
+	RES            []byte // AuthenticationResponse
+	AUTS           []byte // AuthenticationFailure
+	PDNAddress     []byte // AttachAccept
+	MAC            []byte // Secured (4 bytes)
+	Inner          []byte // Secured
+
+	GUTI         uint64 // AttachAccept, DetachRequest, TAURequest
+	Count        uint32 // Secured
+	TrackingArea uint16 // AttachAccept, TAURequest, TAUAccept
+	Cause        uint8  // rejects, AuthenticationFailure
+	IntegrityAlg uint8  // SecurityModeCommand
+	CipherAlg    uint8  // SecurityModeCommand
+	EBI          uint8  // AttachAccept
+
+	FollowOnData   bool // AttachRequest
+	DirectBreakout bool // AttachAccept
+}
+
+// DecodeView parses one NAS message into v without copying: byte
+// fields alias b. Decoding is strict — unknown types, truncation,
+// trailing bytes, and non-canonical boolean octets are all errors — so
+// any accepted input is the unique encoding of the result.
+func DecodeView(b []byte, v *MsgView) error {
+	*v = MsgView{}
+	r := *wire.NewReader(b)
 	t := MsgType(r.U8())
-	var m Message
+	v.Type = t
+	boolOctet := uint8(0)
 	switch t {
 	case TypeAttachRequest:
-		m = &AttachRequest{IMSI: r.String8(), UECapabilities: r.String8(), FollowOnData: r.Bool()}
+		v.IMSI = r.View8()
+		v.UECapabilities = r.View8()
+		boolOctet = r.U8()
+		v.FollowOnData = boolOctet == 1
 	case TypeAuthenticationRequest:
-		m = &AuthenticationRequest{RAND: r.Bytes8(), AUTN: r.Bytes8()}
+		v.RAND = r.View8()
+		v.AUTN = r.View8()
 	case TypeAuthenticationResponse:
-		m = &AuthenticationResponse{RES: r.Bytes8()}
+		v.RES = r.View8()
 	case TypeAuthenticationReject:
-		m = &AuthenticationReject{Cause: r.U8()}
+		v.Cause = r.U8()
 	case TypeSecurityModeCommand:
-		m = &SecurityModeCommand{IntegrityAlg: r.U8(), CipherAlg: r.U8()}
-	case TypeSecurityModeComplete:
-		m = &SecurityModeComplete{}
+		v.IntegrityAlg = r.U8()
+		v.CipherAlg = r.U8()
+	case TypeSecurityModeComplete, TypeAttachComplete, TypeDetachAccept:
+		// Empty bodies.
 	case TypeAttachAccept:
-		m = &AttachAccept{GUTI: r.U64(), TrackingArea: r.U16(), EBI: r.U8(), PDNAddress: r.String8(), DirectBreakout: r.Bool()}
-	case TypeAttachComplete:
-		m = &AttachComplete{}
+		v.GUTI = r.U64()
+		v.TrackingArea = r.U16()
+		v.EBI = r.U8()
+		v.PDNAddress = r.View8()
+		boolOctet = r.U8()
+		v.DirectBreakout = boolOctet == 1
 	case TypeAttachReject:
-		m = &AttachReject{Cause: r.U8()}
+		v.Cause = r.U8()
 	case TypeDetachRequest:
-		m = &DetachRequest{GUTI: r.U64()}
-	case TypeDetachAccept:
-		m = &DetachAccept{}
+		v.GUTI = r.U64()
 	case TypeTAURequest:
-		m = &TAURequest{GUTI: r.U64(), TrackingArea: r.U16()}
+		v.GUTI = r.U64()
+		v.TrackingArea = r.U16()
 	case TypeTAUAccept:
-		m = &TAUAccept{TrackingArea: r.U16()}
+		v.TrackingArea = r.U16()
 	case TypeTAUReject:
-		m = &TAUReject{Cause: r.U8()}
+		v.Cause = r.U8()
 	case TypeSecured:
-		m = &Secured{Count: r.U32(), MAC: r.BytesN(4), Inner: r.Bytes16()}
+		v.Count = r.U32()
+		v.MAC = r.ViewN(4)
+		v.Inner = r.View16()
 	case TypeAuthenticationFailure:
-		m = &AuthenticationFailure{Cause: r.U8(), AUTS: r.Bytes8()}
+		v.Cause = r.U8()
+		v.AUTS = r.View8()
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, t)
+		return fmt.Errorf("%w: %d", ErrUnknownMessage, t)
 	}
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("nas: decode %s: %w", t, err)
+		return fmt.Errorf("nas: decode %s: %w", t, err)
 	}
-	return m, nil
+	if boolOctet > 1 {
+		return fmt.Errorf("nas: decode %s: %w: boolean octet %d", t, ErrNonCanonical, boolOctet)
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("nas: decode %s: %w: %d trailing bytes", t, ErrNonCanonical, n)
+	}
+	return nil
+}
+
+// bcopy copies a view into a fresh heap slice for the materialized
+// message forms.
+func bcopy(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Materialize copies the view into the concrete heap-owned message
+// struct for its type, detaching it from the decoded buffer.
+func (v *MsgView) Materialize() Message {
+	switch v.Type {
+	case TypeAttachRequest:
+		return &AttachRequest{IMSI: string(v.IMSI), UECapabilities: string(v.UECapabilities), FollowOnData: v.FollowOnData}
+	case TypeAuthenticationRequest:
+		return &AuthenticationRequest{RAND: bcopy(v.RAND), AUTN: bcopy(v.AUTN)}
+	case TypeAuthenticationResponse:
+		return &AuthenticationResponse{RES: bcopy(v.RES)}
+	case TypeAuthenticationReject:
+		return &AuthenticationReject{Cause: v.Cause}
+	case TypeSecurityModeCommand:
+		return &SecurityModeCommand{IntegrityAlg: v.IntegrityAlg, CipherAlg: v.CipherAlg}
+	case TypeSecurityModeComplete:
+		return &SecurityModeComplete{}
+	case TypeAttachAccept:
+		return &AttachAccept{GUTI: v.GUTI, TrackingArea: v.TrackingArea, EBI: v.EBI, PDNAddress: string(v.PDNAddress), DirectBreakout: v.DirectBreakout}
+	case TypeAttachComplete:
+		return &AttachComplete{}
+	case TypeAttachReject:
+		return &AttachReject{Cause: v.Cause}
+	case TypeDetachRequest:
+		return &DetachRequest{GUTI: v.GUTI}
+	case TypeDetachAccept:
+		return &DetachAccept{}
+	case TypeTAURequest:
+		return &TAURequest{GUTI: v.GUTI, TrackingArea: v.TrackingArea}
+	case TypeTAUAccept:
+		return &TAUAccept{TrackingArea: v.TrackingArea}
+	case TypeTAUReject:
+		return &TAUReject{Cause: v.Cause}
+	case TypeSecured:
+		return &Secured{Count: v.Count, MAC: bcopy(v.MAC), Inner: bcopy(v.Inner)}
+	case TypeAuthenticationFailure:
+		return &AuthenticationFailure{Cause: v.Cause, AUTS: bcopy(v.AUTS)}
+	default:
+		return nil
+	}
+}
+
+// Decode parses a NAS message into its heap-owned concrete struct
+// (which may be a Secured envelope; the caller unwraps it with Open).
+func Decode(b []byte) (Message, error) {
+	var v MsgView
+	if err := DecodeView(b, &v); err != nil {
+		return nil, err
+	}
+	return v.Materialize(), nil
 }

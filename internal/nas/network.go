@@ -5,6 +5,7 @@ import (
 
 	"dlte/internal/auth"
 	"dlte/internal/session"
+	"dlte/internal/wire"
 )
 
 // EventKind classifies session events surfaced to the MME.
@@ -92,149 +93,186 @@ func (s *NetworkSession) GUTI() uint64 { return s.guti }
 // Handle processes one uplink NAS message, returning the downlink
 // reply (nil if none) and an Event for the surrounding EPC.
 func (s *NetworkSession) Handle(b []byte) (reply []byte, ev Event, err error) {
-	msg, err := Decode(b)
-	if err != nil {
-		return nil, Event{}, err
+	out, ev, err := s.HandleAppend(b, nil)
+	if len(out) == 0 {
+		return nil, ev, err
 	}
-	if env, ok := msg.(*Secured); ok {
+	return out, ev, err
+}
+
+// HandleAppend processes one uplink NAS message and appends any
+// downlink reply to dst (typically a pooled frame whose ownership
+// stays with the caller). A reply exists iff the returned buffer is
+// longer than dst. Views into b are not retained past the call.
+func (s *NetworkSession) HandleAppend(b, dst []byte) (out []byte, ev Event, err error) {
+	var v MsgView
+	if derr := DecodeView(b, &v); derr != nil {
+		return dst, Event{}, derr
+	}
+	if v.Type == TypeSecured {
 		if !s.sec.Active() {
-			return nil, Event{}, fmt.Errorf("nas: protected uplink before security activation")
+			return dst, Event{}, fmt.Errorf("nas: protected uplink before security activation")
 		}
-		msg, err = s.sec.Open(env)
-		if err != nil {
-			return nil, Event{}, err
+		if oerr := s.sec.OpenView(v.Count, v.MAC, v.Inner); oerr != nil {
+			return dst, Event{}, oerr
+		}
+		inner := v.Inner
+		if derr := DecodeView(inner, &v); derr != nil {
+			return dst, Event{}, derr
 		}
 	}
 
-	switch m := msg.(type) {
-	case *AttachRequest:
+	switch v.Type {
+	case TypeAttachRequest:
 		if _, ferr := s.fsm.Fire(session.EvAttachRequest); ferr != nil {
-			return nil, Event{}, ferr
+			return dst, Event{}, ferr
 		}
-		s.imsi = m.IMSI
+		if s.imsi != string(v.IMSI) { // comparison allocates nothing; a re-attach keeps its string
+			s.imsi = string(v.IMSI)
+		}
 		s.resynced = false // fresh attach, fresh resync-loop budget
-		if !s.cfg.HSS.Known(auth.IMSI(m.IMSI)) {
+		if !s.cfg.HSS.Known(auth.IMSI(s.imsi)) {
 			s.fsm.Fire(session.EvReject)
-			out, merr := Marshal(&AttachReject{Cause: CauseIMSIUnknown})
-			return out, Event{Kind: EventRejected, IMSI: m.IMSI}, merr
+			return AppendAttachReject(dst, AttachReject{Cause: CauseIMSIUnknown}),
+				Event{Kind: EventRejected, IMSI: s.imsi}, nil
 		}
-		v, verr := s.cfg.HSS.NextVector(auth.IMSI(m.IMSI), s.cfg.ServingNetworkID)
+		vec, verr := s.cfg.HSS.NextVector(auth.IMSI(s.imsi), s.cfg.ServingNetworkID)
 		if verr != nil {
 			s.fsm.Fire(session.EvReject)
-			out, merr := Marshal(&AttachReject{Cause: CauseProtocolError})
-			return out, Event{Kind: EventRejected, IMSI: m.IMSI}, joinErr(verr, merr)
+			return AppendAttachReject(dst, AttachReject{Cause: CauseProtocolError}),
+				Event{Kind: EventRejected, IMSI: s.imsi}, verr
 		}
-		s.vector = v
-		out, merr := Marshal(&AuthenticationRequest{RAND: v.RAND, AUTN: v.AUTN})
+		s.vector = vec
+		out, merr := AppendAuthenticationRequest(dst, AuthenticationRequest{RAND: vec.RAND, AUTN: vec.AUTN})
 		return out, Event{}, merr
 
-	case *AuthenticationFailure:
-		if m.Cause != CauseSyncFailure || s.resynced {
+	case TypeAuthenticationFailure:
+		if v.Cause != CauseSyncFailure || s.resynced {
 			// Either an unrecoverable failure or a second resync in one
 			// attach (a loop guard): give up on this UE.
 			if _, ferr := s.fsm.Fire(session.EvAuthFailure); ferr != nil {
-				return nil, Event{}, ferr
+				return dst, Event{}, ferr
 			}
-			out, merr := Marshal(&AttachReject{Cause: CauseAuthFailure})
-			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, merr
+			return AppendAttachReject(dst, AttachReject{Cause: CauseAuthFailure}),
+				Event{Kind: EventAuthFailed, IMSI: s.imsi}, nil
 		}
 		if _, ferr := s.fsm.Fire(session.EvAuthResync); ferr != nil {
-			return nil, Event{}, ferr
+			return dst, Event{}, ferr
 		}
-		if rerr := s.cfg.HSS.Resynchronize(auth.IMSI(s.imsi), s.vector.RAND, m.AUTS); rerr != nil {
+		if rerr := s.cfg.HSS.Resynchronize(auth.IMSI(s.imsi), s.vector.RAND, v.AUTS); rerr != nil {
 			s.fsm.Fire(session.EvAuthFailure)
-			out, merr := Marshal(&AuthenticationReject{Cause: CauseAuthFailure})
-			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, joinErr(rerr, merr)
+			return AppendAuthenticationReject(dst, AuthenticationReject{Cause: CauseAuthFailure}),
+				Event{Kind: EventAuthFailed, IMSI: s.imsi}, rerr
 		}
 		s.resynced = true
-		v, verr := s.cfg.HSS.NextVector(auth.IMSI(s.imsi), s.cfg.ServingNetworkID)
+		vec, verr := s.cfg.HSS.NextVector(auth.IMSI(s.imsi), s.cfg.ServingNetworkID)
 		if verr != nil {
 			s.fsm.Fire(session.EvReject)
-			out, merr := Marshal(&AttachReject{Cause: CauseProtocolError})
-			return out, Event{Kind: EventRejected, IMSI: s.imsi}, joinErr(verr, merr)
+			return AppendAttachReject(dst, AttachReject{Cause: CauseProtocolError}),
+				Event{Kind: EventRejected, IMSI: s.imsi}, verr
 		}
-		s.vector = v
-		out, merr := Marshal(&AuthenticationRequest{RAND: v.RAND, AUTN: v.AUTN})
+		s.vector = vec
+		out, merr := AppendAuthenticationRequest(dst, AuthenticationRequest{RAND: vec.RAND, AUTN: vec.AUTN})
 		return out, Event{}, merr
 
-	case *AuthenticationResponse:
-		if cerr := auth.CheckRES(s.vector, m.RES); cerr != nil {
+	case TypeAuthenticationResponse:
+		if cerr := auth.CheckRES(s.vector, v.RES); cerr != nil {
 			if _, ferr := s.fsm.Fire(session.EvAuthFailure); ferr != nil {
-				return nil, Event{}, ferr
+				return dst, Event{}, ferr
 			}
-			out, merr := Marshal(&AuthenticationReject{Cause: CauseAuthFailure})
-			return out, Event{Kind: EventAuthFailed, IMSI: s.imsi}, joinErr(cerr, merr)
+			return AppendAuthenticationReject(dst, AuthenticationReject{Cause: CauseAuthFailure}),
+				Event{Kind: EventAuthFailed, IMSI: s.imsi}, cerr
 		}
 		if _, ferr := s.fsm.Fire(session.EvAuthSuccess); ferr != nil {
-			return nil, Event{}, ferr
+			return dst, Event{}, ferr
 		}
 		s.sec.Activate(s.vector.KASME)
-		env, serr := s.sec.Seal(&SecurityModeCommand{IntegrityAlg: 1, CipherAlg: 0})
+		frame := wire.GetFrame()
+		inner := AppendSecurityModeCommand(frame, SecurityModeCommand{IntegrityAlg: 1, CipherAlg: 0})
+		out, serr := s.sec.SealAppend(dst, inner)
+		wire.PutFrame(frame)
 		if serr != nil {
-			return nil, Event{}, serr
+			// A session left in SecurityMode with no downlink would hang
+			// until the UE gave up and the EPC leaked the context: fail
+			// the FSM and tell the UE to start over.
+			s.fsm.Fire(session.EvReject)
+			return AppendAttachReject(dst, AttachReject{Cause: CauseProtocolError}),
+				Event{Kind: EventRejected, IMSI: s.imsi}, serr
 		}
-		out, merr := Marshal(env)
-		return out, Event{}, merr
+		return out, Event{}, nil
 
-	case *SecurityModeComplete:
+	case TypeSecurityModeComplete:
 		if _, ferr := s.fsm.Fire(session.EvSecurityComplete); ferr != nil {
-			return nil, Event{}, ferr
+			return dst, Event{}, ferr
 		}
 		ip, aerr := s.cfg.AllocateIP(s.imsi)
 		if aerr != nil {
 			s.fsm.Fire(session.EvReject)
-			out, merr := Marshal(&AttachReject{Cause: CauseCongestion})
-			return out, Event{Kind: EventRejected, IMSI: s.imsi}, joinErr(aerr, merr)
+			return AppendAttachReject(dst, AttachReject{Cause: CauseCongestion}),
+				Event{Kind: EventRejected, IMSI: s.imsi}, aerr
 		}
 		s.ip = ip
 		s.guti = s.cfg.AllocateGUTI()
 		s.ebi = 5
-		env, serr := s.sec.Seal(&AttachAccept{
+		frame := wire.GetFrame()
+		inner, merr := AppendAttachAccept(frame, AttachAccept{
 			GUTI:           s.guti,
 			TrackingArea:   s.cfg.TrackingArea,
 			EBI:            s.ebi,
 			PDNAddress:     s.ip,
 			DirectBreakout: s.cfg.DirectBreakout,
 		})
-		if serr != nil {
-			return nil, Event{}, serr
+		var serr error
+		if merr == nil {
+			out, serr = s.sec.SealAppend(dst, inner)
 		}
-		out, merr := Marshal(env)
-		return out, Event{}, merr
+		wire.PutFrame(frame)
+		if ferr := joinErr(merr, serr); ferr != nil {
+			// Same leak as the SecurityModeCommand path: an un-sendable
+			// accept must fail the session, not strand it in Attaching.
+			s.fsm.Fire(session.EvReject)
+			return AppendAttachReject(dst, AttachReject{Cause: CauseProtocolError}),
+				Event{Kind: EventRejected, IMSI: s.imsi}, ferr
+		}
+		return out, Event{}, nil
 
-	case *AttachComplete:
+	case TypeAttachComplete:
 		if _, ferr := s.fsm.Fire(session.EvAttachComplete); ferr != nil {
-			return nil, Event{}, ferr
+			return dst, Event{}, ferr
 		}
-		return nil, Event{Kind: EventRegistered, IMSI: s.imsi, IP: s.ip, GUTI: s.guti}, nil
+		return dst, Event{Kind: EventRegistered, IMSI: s.imsi, IP: s.ip, GUTI: s.guti}, nil
 
-	case *DetachRequest:
+	case TypeDetachRequest:
 		if _, ferr := s.fsm.Fire(session.EvDetachRequest); ferr != nil {
-			return nil, Event{}, ferr
+			return dst, Event{}, ferr
 		}
-		env, serr := s.sec.Seal(&DetachAccept{})
+		frame := wire.GetFrame()
+		inner := AppendDetachAccept(frame)
+		out, serr := s.sec.SealAppend(dst, inner)
+		wire.PutFrame(frame)
+		ev := Event{Kind: EventDetached, IMSI: s.imsi, GUTI: v.GUTI}
 		if serr != nil {
-			return nil, Event{}, serr
+			// The FSM is already Detached; surface the event regardless
+			// so the EPC releases the context instead of leaking it (the
+			// UE's retransmission covers the lost accept).
+			return dst, ev, serr
 		}
-		out, merr := Marshal(env)
-		return out, Event{Kind: EventDetached, IMSI: s.imsi, GUTI: m.GUTI}, merr
+		return out, ev, nil
 
-	case *TAURequest:
+	case TypeTAURequest:
 		if _, ferr := s.fsm.Fire(session.EvTAURequest); ferr != nil {
-			return nil, Event{}, ferr
+			return dst, Event{}, ferr
 		}
-		if s.cfg.KnownGUTI != nil && s.cfg.KnownGUTI(m.GUTI) {
-			out, merr := Marshal(&TAUAccept{TrackingArea: m.TrackingArea})
-			return out, Event{}, merr
+		if s.cfg.KnownGUTI != nil && s.cfg.KnownGUTI(v.GUTI) {
+			return AppendTAUAccept(dst, TAUAccept{TrackingArea: v.TrackingArea}), Event{}, nil
 		}
 		// Unknown GUTI: this MME has no context for the UE — the
 		// standard response that forces a fresh attach, and the normal
 		// case when roaming between independent dLTE APs.
-		out, merr := Marshal(&TAUReject{Cause: CauseIllegalUE})
-		return out, Event{}, merr
+		return AppendTAUReject(dst, TAUReject{Cause: CauseIllegalUE}), Event{}, nil
 
 	default:
-		return nil, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, msg.Type(), s.fsm.State())
+		return dst, Event{}, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, v.Type, s.fsm.State())
 	}
 }
 

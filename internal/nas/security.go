@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"dlte/internal/auth"
-	"dlte/internal/wire"
 )
 
 // Secured is the integrity-protected NAS envelope: a replay-protected
@@ -22,23 +21,26 @@ type Secured struct {
 // Type implements Message.
 func (Secured) Type() MsgType { return TypeSecured }
 
-// EncodeTo implements wire.Message.
-func (m Secured) EncodeTo(w *wire.Writer) {
-	w.U32(m.Count)
-	w.Bytes0(m.MAC[:4])
-	w.Bytes16(m.Inner)
-}
-
 // Security errors.
 var (
 	ErrBadMAC = errors.New("nas: integrity check failed")
 	ErrReplay = errors.New("nas: replayed NAS count")
 )
 
+// errNotActive is returned for sealed traffic before security
+// activation.
+var errNotActive = errors.New("nas: security not active")
+
 // SecurityContext holds one direction's NAS security state. Each peer
 // keeps an uplink and a downlink context with independent counters.
 type SecurityContext struct {
 	Keys auth.NASKeys
+	// mac is the precomputed HMAC context over Keys.Int; it makes
+	// per-message integrity allocation-free on the hot path.
+	mac *auth.MACContext
+	// keybuf backs Keys across activations, so a re-attach's fresh AKA
+	// run re-derives in place instead of allocating.
+	keybuf [32]byte
 	// nextTx is the next COUNT to send; highestRx the last accepted.
 	nextTx    uint32
 	highestRx uint32
@@ -46,8 +48,15 @@ type SecurityContext struct {
 }
 
 // Activate installs keys derived from KASME and enables protection.
+// Re-activation (a re-attach superseding an old registration) reuses
+// the context's key storage and MAC context — allocation-free.
 func (c *SecurityContext) Activate(kasme []byte) {
-	c.Keys = auth.DeriveNASKeys(kasme)
+	c.Keys = auth.DeriveNASKeysInto(kasme, c.keybuf[:0])
+	if c.mac == nil {
+		c.mac = auth.NewMACContext(c.Keys.Int)
+	} else {
+		c.mac.Rekey(c.Keys.Int)
+	}
 	c.active = true
 	c.nextTx = 1
 	c.highestRx = 0
@@ -56,10 +65,39 @@ func (c *SecurityContext) Activate(kasme []byte) {
 // Active reports whether security has been activated.
 func (c *SecurityContext) Active() bool { return c.active }
 
-// Seal wraps msg in a Secured envelope with the next counter value.
+// reset deactivates the context for a fresh attach while keeping the
+// reusable MAC state, so the next Activate allocates nothing.
+func (c *SecurityContext) reset() {
+	c.Keys = auth.NASKeys{}
+	c.nextTx = 0
+	c.highestRx = 0
+	c.active = false
+}
+
+// SealAppend appends a Secured envelope protecting inner (a fully
+// serialized NAS message, typically built in a pooled frame the caller
+// still owns) to dst with the next counter value. The counter is
+// consumed only on success.
+func (c *SecurityContext) SealAppend(dst, inner []byte) ([]byte, error) {
+	if !c.active {
+		return dst, errNotActive
+	}
+	count := c.nextTx
+	var mac [4]byte
+	c.mac.ComputeInto(count, inner, &mac)
+	out, err := AppendSecured(dst, count, mac[:], inner)
+	if err != nil {
+		return dst, err
+	}
+	c.nextTx = count + 1
+	return out, nil
+}
+
+// Seal wraps msg in a heap-owned Secured envelope with the next
+// counter value.
 func (c *SecurityContext) Seal(msg Message) (*Secured, error) {
 	if !c.active {
-		return nil, errors.New("nas: security not active")
+		return nil, errNotActive
 	}
 	inner, err := Marshal(msg)
 	if err != nil {
@@ -67,25 +105,33 @@ func (c *SecurityContext) Seal(msg Message) (*Secured, error) {
 	}
 	count := c.nextTx
 	c.nextTx++
-	return &Secured{
-		Count: count,
-		MAC:   auth.ComputeNASMAC(c.Keys.Int, count, inner),
-		Inner: inner,
-	}, nil
+	var mac [4]byte
+	c.mac.ComputeInto(count, inner, &mac)
+	return &Secured{Count: count, MAC: append([]byte(nil), mac[:]...), Inner: inner}, nil
+}
+
+// OpenView verifies a decoded Secured envelope's MAC and replay
+// counter without allocating; on success the caller decodes the inner
+// bytes it already holds a view of.
+func (c *SecurityContext) OpenView(count uint32, mac, inner []byte) error {
+	if !c.active {
+		return errNotActive
+	}
+	if len(mac) != 4 || !c.mac.Verify(count, inner, mac) {
+		return ErrBadMAC
+	}
+	if count <= c.highestRx {
+		return fmt.Errorf("%w: count %d ≤ %d", ErrReplay, count, c.highestRx)
+	}
+	c.highestRx = count
+	return nil
 }
 
 // Open verifies and unwraps a Secured envelope, enforcing strictly
 // increasing counters.
 func (c *SecurityContext) Open(env *Secured) (Message, error) {
-	if !c.active {
-		return nil, errors.New("nas: security not active")
+	if err := c.OpenView(env.Count, env.MAC, env.Inner); err != nil {
+		return nil, err
 	}
-	if len(env.MAC) != 4 || !auth.VerifyNASMAC(c.Keys.Int, env.Count, env.Inner, env.MAC) {
-		return nil, ErrBadMAC
-	}
-	if env.Count <= c.highestRx {
-		return nil, fmt.Errorf("%w: count %d ≤ %d", ErrReplay, env.Count, c.highestRx)
-	}
-	c.highestRx = env.Count
 	return Decode(env.Inner)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dlte/internal/auth"
+	"dlte/internal/wire"
 )
 
 // UEState is the UE-side EMM state.
@@ -49,13 +50,12 @@ var ErrUnexpectedMessage = errors.New("nas: unexpected message for state")
 // SQN state lives in the SIM — which is what lets a dLTE client roam
 // between unrelated APs and re-authenticate at each (paper §4.2).
 type UE struct {
-	sim          auth.SIM
-	ueCtx        auth.UEContext
-	state        UEState
-	sec          SecurityContext
-	snID         string
-	kasme        []byte
-	pendingKASME []byte
+	sim   auth.SIM
+	ueCtx auth.UEContext
+	state UEState
+	sec   SecurityContext
+	snID  string
+	kasme []byte
 
 	// Registration results, valid in UERegistered.
 	GUTI         uint64
@@ -83,141 +83,185 @@ func (u *UE) State() UEState { return u.state }
 // StartAttach resets session state and returns the serialized
 // AttachRequest for the serving network snID.
 func (u *UE) StartAttach(snID string) ([]byte, error) {
+	return u.StartAttachAppend(nil, snID)
+}
+
+// StartAttachAppend is StartAttach appending into a caller-owned
+// buffer.
+func (u *UE) StartAttachAppend(dst []byte, snID string) ([]byte, error) {
 	u.state = UEAttachInitiated
 	u.snID = snID
-	u.sec = SecurityContext{}
+	u.sec.reset()
 	u.kasme = nil
-	u.GUTI, u.IPAddress, u.EBI = 0, "", 0
-	return Marshal(&AttachRequest{IMSI: string(u.sim.IMSI), UECapabilities: "cat4", FollowOnData: true})
+	// IPAddress is left stale here — registration results are only
+	// valid in UERegistered, and keeping the old string lets the
+	// accept path skip reallocating when the network reassigns it.
+	u.GUTI, u.EBI = 0, 0
+	return AppendAttachRequest(dst, AttachRequest{IMSI: string(u.sim.IMSI), UECapabilities: "cat4", FollowOnData: true})
 }
 
 // StartDetach returns a sealed DetachRequest; valid only when
 // registered.
 func (u *UE) StartDetach() ([]byte, error) {
+	return u.StartDetachAppend(nil)
+}
+
+// StartDetachAppend is StartDetach appending into a caller-owned
+// buffer.
+func (u *UE) StartDetachAppend(dst []byte) ([]byte, error) {
 	if u.state != UERegistered {
-		return nil, fmt.Errorf("%w: detach in %s", ErrUnexpectedMessage, u.state)
+		return dst, fmt.Errorf("%w: detach in %s", ErrUnexpectedMessage, u.state)
 	}
-	env, err := u.sec.Seal(&DetachRequest{GUTI: u.GUTI})
+	frame := wire.GetFrame()
+	inner := AppendDetachRequest(frame, DetachRequest{GUTI: u.GUTI})
+	out, err := u.sec.SealAppend(dst, inner)
+	wire.PutFrame(frame)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	return Marshal(env)
+	return out, nil
 }
 
 // StartTAU returns a Tracking Area Update request for use after idle
 // mobility to an AP that may or may not share MME state.
 func (u *UE) StartTAU(ta uint16) ([]byte, error) {
+	return u.StartTAUAppend(nil, ta)
+}
+
+// StartTAUAppend is StartTAU appending into a caller-owned buffer.
+func (u *UE) StartTAUAppend(dst []byte, ta uint16) ([]byte, error) {
 	if u.state != UERegistered {
-		return nil, fmt.Errorf("%w: TAU in %s", ErrUnexpectedMessage, u.state)
+		return dst, fmt.Errorf("%w: TAU in %s", ErrUnexpectedMessage, u.state)
 	}
 	// TAU is sent in clear here: the target MME may not hold our
 	// security context (it will reject and force re-attach, which is
 	// the dLTE roaming path).
-	return Marshal(&TAURequest{GUTI: u.GUTI, TrackingArea: ta})
+	return AppendTAURequest(dst, TAURequest{GUTI: u.GUTI, TrackingArea: ta}), nil
 }
 
 // Handle processes one downlink NAS message and returns the uplink
-// reply (nil if none) and whether the attach procedure completed.
+// reply (nil if none) and whether the procedure completed.
 func (u *UE) Handle(b []byte) (reply []byte, done bool, err error) {
-	msg, err := Decode(b)
-	if err != nil {
-		return nil, false, err
+	out, done, err := u.HandleAppend(b, nil)
+	if len(out) == 0 {
+		return nil, done, err
 	}
-	if env, ok := msg.(*Secured); ok {
+	return out, done, err
+}
+
+// HandleAppend processes one downlink NAS message and appends any
+// uplink reply to dst (typically a pooled frame whose ownership stays
+// with the caller). A reply exists iff the returned buffer is longer
+// than dst.
+func (u *UE) HandleAppend(b, dst []byte) (out []byte, done bool, err error) {
+	var v MsgView
+	if derr := DecodeView(b, &v); derr != nil {
+		return dst, false, derr
+	}
+	if v.Type == TypeSecured {
 		if !u.sec.Active() {
 			// First protected message: activate with the pending KASME
 			// (the SMC arrives right after a successful AKA).
 			if u.kasme == nil {
-				return nil, false, fmt.Errorf("nas: protected message before AKA")
+				return dst, false, fmt.Errorf("nas: protected message before AKA")
 			}
 			u.sec.Activate(u.kasme)
 		}
-		msg, err = u.sec.Open(env)
-		if err != nil {
-			return nil, false, err
+		if oerr := u.sec.OpenView(v.Count, v.MAC, v.Inner); oerr != nil {
+			return dst, false, oerr
+		}
+		inner := v.Inner
+		if derr := DecodeView(inner, &v); derr != nil {
+			return dst, false, derr
 		}
 	}
 
-	switch m := msg.(type) {
-	case *AuthenticationRequest:
+	switch v.Type {
+	case TypeAuthenticationRequest:
 		if u.state != UEAttachInitiated {
-			return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), u.state)
+			return dst, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, v.Type, u.state)
 		}
-		res, aerr := u.ueCtx.Respond(m.RAND, m.AUTN, u.snID)
+		res, aerr := u.ueCtx.Respond(v.RAND, v.AUTN, u.snID)
 		if errors.Is(aerr, auth.ErrSyncFailure) {
 			// SQN out of step (normal after roaming a published-key
 			// SIM across independent cores): return AUTS so the HSS
 			// can resynchronize, and await a fresh challenge.
-			auts, berr := u.ueCtx.BuildAUTS(m.RAND)
+			auts, berr := u.ueCtx.BuildAUTS(v.RAND)
 			if berr != nil {
-				return nil, false, berr
+				return dst, false, berr
 			}
-			out, merr := Marshal(&AuthenticationFailure{Cause: CauseSyncFailure, AUTS: auts})
+			out, merr := AppendAuthenticationFailure(dst, AuthenticationFailure{Cause: CauseSyncFailure, AUTS: auts})
 			return out, false, merr
 		}
 		if aerr != nil {
 			// The network failed OUR authentication of IT — mutual auth
 			// protects the client even on an open dLTE AP.
-			return nil, false, aerr
+			return dst, false, aerr
 		}
 		u.kasme = res.KASME
 		u.state = UEAuthenticated
-		out, merr := Marshal(&AuthenticationResponse{RES: res.RES})
+		out, merr := AppendAuthenticationResponse(dst, AuthenticationResponse{RES: res.RES})
 		return out, false, merr
 
-	case *SecurityModeCommand:
+	case TypeSecurityModeCommand:
 		if u.state != UEAuthenticated {
-			return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), u.state)
+			return dst, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, v.Type, u.state)
 		}
 		u.state = UESecured
-		env, serr := u.sec.Seal(&SecurityModeComplete{})
+		frame := wire.GetFrame()
+		inner := AppendSecurityModeComplete(frame)
+		out, serr := u.sec.SealAppend(dst, inner)
+		wire.PutFrame(frame)
 		if serr != nil {
-			return nil, false, serr
+			return dst, false, serr
 		}
-		out, merr := Marshal(env)
-		return out, false, merr
+		return out, false, nil
 
-	case *AttachAccept:
+	case TypeAttachAccept:
 		if u.state != UESecured {
-			return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, m.Type(), u.state)
+			return dst, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, v.Type, u.state)
 		}
-		u.GUTI = m.GUTI
-		u.TrackingArea = m.TrackingArea
-		u.EBI = m.EBI
-		u.IPAddress = m.PDNAddress
-		u.Breakout = m.DirectBreakout
+		u.GUTI = v.GUTI
+		u.TrackingArea = v.TrackingArea
+		u.EBI = v.EBI
+		if u.IPAddress != string(v.PDNAddress) { // comparison allocates nothing
+			u.IPAddress = string(v.PDNAddress)
+		}
+		u.Breakout = v.DirectBreakout
 		u.state = UERegistered
-		env, serr := u.sec.Seal(&AttachComplete{})
+		frame := wire.GetFrame()
+		inner := AppendAttachComplete(frame)
+		out, serr := u.sec.SealAppend(dst, inner)
+		wire.PutFrame(frame)
 		if serr != nil {
-			return nil, false, serr
+			return dst, false, serr
 		}
-		out, merr := Marshal(env)
-		return out, true, merr
+		return out, true, nil
 
-	case *AttachReject:
+	case TypeAttachReject:
 		u.state = UEDeregistered
-		return nil, false, fmt.Errorf("nas: attach rejected, cause %d", m.Cause)
+		return dst, false, fmt.Errorf("nas: attach rejected, cause %d", v.Cause)
 
-	case *AuthenticationReject:
+	case TypeAuthenticationReject:
 		u.state = UEDeregistered
-		return nil, false, fmt.Errorf("nas: authentication rejected, cause %d", m.Cause)
+		return dst, false, fmt.Errorf("nas: authentication rejected, cause %d", v.Cause)
 
-	case *DetachAccept:
+	case TypeDetachAccept:
 		u.state = UEDeregistered
 		u.GUTI, u.IPAddress = 0, ""
-		return nil, true, nil
+		return dst, true, nil
 
-	case *TAUAccept:
-		u.TrackingArea = m.TrackingArea
-		return nil, true, nil
+	case TypeTAUAccept:
+		u.TrackingArea = v.TrackingArea
+		return dst, true, nil
 
-	case *TAUReject:
+	case TypeTAUReject:
 		// Unknown GUTI at this AP: fall back to a fresh attach — the
 		// dLTE roaming path (each AP is its own network).
 		u.state = UEDeregistered
-		return nil, false, fmt.Errorf("nas: TAU rejected, cause %d", m.Cause)
+		return dst, false, fmt.Errorf("nas: TAU rejected, cause %d", v.Cause)
 
 	default:
-		return nil, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, msg.Type(), u.state)
+		return dst, false, fmt.Errorf("%w: %s in %s", ErrUnexpectedMessage, v.Type, u.state)
 	}
 }

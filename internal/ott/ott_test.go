@@ -8,9 +8,13 @@ import (
 	"dlte/internal/simnet"
 )
 
+// newNet builds a virtual-time network: delivery waits and timeouts
+// below advance the VirtualClock instead of spinning wall-clock poll
+// loops, so the tests are deterministic and complete in microseconds
+// of real time.
 func newNet(t *testing.T) *simnet.Network {
 	t.Helper()
-	n := simnet.New(simnet.Link{Latency: time.Millisecond}, 1)
+	n := simnet.NewVirtualNetwork(simnet.Link{Latency: time.Millisecond}, 1)
 	t.Cleanup(n.Close)
 	return n
 }
@@ -25,11 +29,12 @@ func TestEchoServer(t *testing.T) {
 	}
 	t.Cleanup(e.Close)
 
+	clk := n.Clock()
 	pc, _ := cli.ListenPacket(0)
 	for i := 0; i < 3; i++ {
 		pc.WriteToHost([]byte{byte(i)}, "srv", 9000)
 		buf := make([]byte, 16)
-		pc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		pc.SetReadDeadline(clk.Now().Add(2 * time.Second))
 		nr, _, err := pc.ReadFrom(buf)
 		if err != nil {
 			t.Fatalf("echo %d: %v", i, err)
@@ -86,22 +91,25 @@ func TestRelayDelivery(t *testing.T) {
 	}
 	t.Cleanup(r.Close)
 
+	clk := n.Clock()
 	pa, _ := alice.ListenPacket(0)
 	pb, _ := bob.ListenPacket(0)
 	pb.WriteToHost(RegisterFrame("bob"), "relay", 9100)
 
-	// Wait for registration to land.
-	deadline := time.Now().Add(2 * time.Second)
+	// Wait for registration to land: one virtual sleep past the link
+	// latency is enough, since virtual time only advances over a
+	// quiescent network.
+	deadline := clk.Now().Add(2 * time.Second)
 	for {
-		if _, ok := r.Registered("bob"); ok || time.Now().After(deadline) {
+		if _, ok := r.Registered("bob"); ok || clk.Now().After(deadline) {
 			break
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 
 	pa.WriteToHost(SendFrame("bob", []byte("hello bob")), "relay", 9100)
 	buf := make([]byte, 256)
-	pb.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pb.SetReadDeadline(clk.Now().Add(2 * time.Second))
 	nr, _, err := pb.ReadFrom(buf)
 	if err != nil {
 		t.Fatal(err)
@@ -126,18 +134,19 @@ func TestRelayAddressRefresh(t *testing.T) {
 	r, _ := NewRelay(srv, 9100)
 	t.Cleanup(r.Close)
 
+	clk := n.Clock()
 	pa, _ := alice.ListenPacket(0)
 	po, _ := bobOld.ListenPacket(0)
 	pn, _ := bobNew.ListenPacket(0)
 
 	po.WriteToHost(RegisterFrame("bob"), "relay", 9100)
 	waitReg := func(host string) {
-		deadline := time.Now().Add(2 * time.Second)
-		for time.Now().Before(deadline) {
+		deadline := clk.Now().Add(2 * time.Second)
+		for clk.Now().Before(deadline) {
 			if a, ok := r.Registered("bob"); ok && a.(simnet.Addr).Host == host {
 				return
 			}
-			time.Sleep(5 * time.Millisecond)
+			clk.Sleep(5 * time.Millisecond)
 		}
 		t.Fatalf("bob not registered at %s", host)
 	}
@@ -148,11 +157,11 @@ func TestRelayAddressRefresh(t *testing.T) {
 
 	pa.WriteToHost(SendFrame("bob", []byte("after move")), "relay", 9100)
 	buf := make([]byte, 256)
-	pn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pn.SetReadDeadline(clk.Now().Add(2 * time.Second))
 	if _, _, err := pn.ReadFrom(buf); err != nil {
 		t.Fatalf("new address starved: %v", err)
 	}
-	po.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	po.SetReadDeadline(clk.Now().Add(100 * time.Millisecond))
 	if _, _, err := po.ReadFrom(buf); err == nil {
 		t.Error("old address still receiving")
 	}
@@ -166,7 +175,8 @@ func TestRelayUnknownMailboxDropped(t *testing.T) {
 	t.Cleanup(r.Close)
 	pc, _ := cli.ListenPacket(0)
 	pc.WriteToHost(SendFrame("nobody", []byte("x")), "relay", 9100)
-	time.Sleep(50 * time.Millisecond)
+	// One virtual tick past delivery: the drop (or not) has happened.
+	n.Clock().Sleep(50 * time.Millisecond)
 	if r.Delivered("nobody") != 0 {
 		t.Error("message to unknown mailbox delivered")
 	}

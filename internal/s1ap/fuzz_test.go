@@ -1,6 +1,7 @@
 package s1ap
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -45,4 +46,52 @@ func TestDecodeEveryTypeRandomTail(t *testing.T) {
 			}()
 		}
 	}
+}
+
+// FuzzDecode is the coverage-guided companion to the quick checks
+// above, run against the binary fixed-layout decoder. Like the NAS
+// fuzzer, the invariant is canonicality: the strict decoder rejects
+// trailing bytes, so any accepted input must re-encode byte-identical
+// after materializing the view.
+//
+// Run the seeds with `go test`; explore with
+// `go test -fuzz=FuzzDecode ./internal/s1ap`.
+func FuzzDecode(f *testing.F) {
+	seed := func(m Message) []byte {
+		b, err := Marshal(m)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeS1SetupRequest)})
+	f.Add([]byte{0xFF, 1, 2, 3})
+	f.Add(seed(&S1SetupRequest{ENBID: 42, ENBName: "enb-ap1", TAC: 7}))
+	f.Add(seed(&S1SetupResponse{MMEName: "mme", ServedTAC: 7, SNID: "dlte-ap1"}))
+	f.Add(seed(&InitialUEMessage{ENBUEID: 1, NASPDU: []byte{1, 2, 3}}))
+	f.Add(seed(&DownlinkNASTransport{ENBUEID: 1, MMEUEID: 2, NASPDU: []byte{9}}))
+	f.Add(seed(&UplinkNASTransport{ENBUEID: 1, MMEUEID: 2, NASPDU: []byte{8, 8}}))
+	f.Add(seed(&InitialContextSetupRequest{ENBUEID: 1, MMEUEID: 2, SGWAddr: "gw:2152", SGWTEID: 9, UEAddr: "10.45.0.2"}))
+	f.Add(seed(&InitialContextSetupResponse{ENBUEID: 1, MMEUEID: 2, ENBAddr: "ap1:2153", ENBTEID: 4}))
+	f.Add(seed(&UEContextReleaseCommand{ENBUEID: 1, MMEUEID: 2, Cause: 3}))
+	f.Add(seed(&UEContextReleaseComplete{ENBUEID: 1, MMEUEID: 2}))
+	f.Add(seed(&UEContextReleaseRequest{ENBUEID: 1, MMEUEID: 2, Cause: 1}))
+	f.Add(seed(&PathSwitchRequest{MMEUEID: 2, NewENBAddr: "ap2:2153", NewENBTEID: 5}))
+	f.Add(seed(&PathSwitchAck{MMEUEID: 2}))
+	f.Add(append(seed(&PathSwitchAck{MMEUEID: 2}), 0xDE)) // trailing byte must be rejected
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var v MsgView
+		if err := DecodeView(b, &v); err != nil {
+			return
+		}
+		round, err := Marshal(v.Materialize())
+		if err != nil {
+			t.Fatalf("accepted input does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(b, round) {
+			t.Fatalf("accepted a non-canonical encoding:\n  in  %x\n  out %x", b, round)
+		}
+	})
 }

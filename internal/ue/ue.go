@@ -176,15 +176,20 @@ func (d *Device) Attach(airAddr string, timeout time.Duration) (AttachResult, er
 		if ev.err != nil {
 			return AttachResult{}, ev.err
 		}
-		reply, done, err := d.nue.Handle(ev.pdu)
+		buf := wire.GetFrame()
+		reply, done, err := d.nue.HandleAppend(ev.pdu, buf)
+		wire.PutFrame(ev.pdu)
 		if err != nil {
+			wire.PutFrame(buf)
 			return AttachResult{}, err
 		}
-		if reply != nil {
+		if len(reply) > 0 {
 			if err := d.sendAir(enb.AirNASUp, reply); err != nil {
+				wire.PutFrame(buf)
 				return AttachResult{}, err
 			}
 		}
+		wire.PutFrame(buf)
 		if done {
 			res := AttachResult{
 				IP:             d.nue.IPAddress,
@@ -233,6 +238,7 @@ func (d *Device) Detach(timeout time.Duration) error {
 			return ev.err
 		}
 		_, done, err := d.nue.Handle(ev.pdu)
+		wire.PutFrame(ev.pdu)
 		if err != nil {
 			return err
 		}
@@ -355,11 +361,13 @@ func (d *Device) sendAir(t enb.AirMsgType, payload []byte) error {
 	if air == nil {
 		return ErrNotAttached
 	}
-	frame, err := enb.EncodeAir(t, payload)
-	if err != nil {
-		return err
+	// Pooled assembly: Send's stream layer copies before returning.
+	frame, err := enb.AppendAir(wire.GetFrame(), t, payload)
+	if err == nil {
+		err = air.Send(frame)
 	}
-	return air.Send(frame)
+	wire.PutFrame(frame)
+	return err
 }
 
 func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
@@ -398,14 +406,16 @@ func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
 				}
 			}
 		case enb.AirNASDown:
-			// NAS handlers retain the PDU past this frame's release.
-			pdu := append([]byte(nil), payload...)
+			// The PDU is queued past this frame's release, so it travels
+			// in its own pooled buffer; the NAS consumer releases it.
+			pdu := append(wire.GetFrame(), payload...)
 			d.mu.Lock()
 			ch := d.nasEvents
 			d.mu.Unlock()
 			select {
 			case ch <- nasEvent{pdu: pdu}:
 			default:
+				wire.PutFrame(pdu)
 			}
 		case enb.AirDataDown:
 			remote, data, err := epc.DecodeUserPacketView(payload)

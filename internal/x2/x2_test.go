@@ -91,10 +91,15 @@ func (tp *testPeers) got(agentID string) []Message {
 	return append([]Message{}, tp.received[agentID]...)
 }
 
+// newTestPeers builds two connected agents on a virtual-time network:
+// waits below advance the VirtualClock instead of spinning wall-clock
+// poll loops, so the tests are deterministic and fast. The agents'
+// internal goroutines already run under the connection's clock
+// (simnet.ClockOf), so only the test-side waits need converting.
 func newTestPeers(t *testing.T, latency time.Duration) *testPeers {
 	t.Helper()
 	tp := &testPeers{received: make(map[string][]Message)}
-	tp.net = simnet.New(simnet.Link{Latency: latency}, 1)
+	tp.net = simnet.NewVirtualNetwork(simnet.Link{Latency: latency}, 1)
 	t.Cleanup(tp.net.Close)
 
 	hostA := tp.net.MustAddHost("ap1")
@@ -107,7 +112,7 @@ func newTestPeers(t *testing.T, latency time.Duration) *testPeers {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go tp.b.Serve(lb)
+	tp.net.Clock().Go(func() { tp.b.Serve(lb) })
 
 	peerID, err := tp.a.Connect(hostA.Dial, "ap2:36422")
 	if err != nil {
@@ -119,14 +124,19 @@ func newTestPeers(t *testing.T, latency time.Duration) *testPeers {
 	return tp
 }
 
-func waitFor(t *testing.T, cond func() bool) {
+// waitFor advances virtual time until cond holds. Each Sleep lets the
+// network quiesce, so in practice one tick is enough for any in-flight
+// delivery; the deadline is virtual too, so a failing condition doesn't
+// stall the suite for wall-clock seconds.
+func (tp *testPeers) waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
+	clk := tp.net.Clock()
+	deadline := clk.Now().Add(3 * time.Second)
+	for clk.Now().Before(deadline) {
 		if cond() {
 			return
 		}
-		time.Sleep(5 * time.Millisecond)
+		clk.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("condition not reached")
 }
@@ -136,7 +146,7 @@ func TestAgentHandshakeAndSend(t *testing.T) {
 	if peers := tp.a.Peers(); len(peers) != 1 || peers[0] != "ap2" {
 		t.Fatalf("a peers = %v", peers)
 	}
-	waitFor(t, func() bool { return len(tp.b.Peers()) == 1 })
+	tp.waitFor(t, func() bool { return len(tp.b.Peers()) == 1 })
 	if mode, ok := tp.a.PeerMode("ap2"); !ok || mode != ModeCooperative {
 		t.Errorf("a sees b mode %v ok=%v", mode, ok)
 	}
@@ -147,7 +157,7 @@ func TestAgentHandshakeAndSend(t *testing.T) {
 	if err := tp.a.Send("ap2", &LoadInformation{APID: "ap1", AttachedUEs: 3}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return len(tp.got("ap2")) == 1 })
+	tp.waitFor(t, func() bool { return len(tp.got("ap2")) == 1 })
 	li, ok := tp.got("ap2")[0].(*LoadInformation)
 	if !ok || li.AttachedUEs != 3 {
 		t.Fatalf("b received %+v", tp.got("ap2"))
@@ -157,7 +167,7 @@ func TestAgentHandshakeAndSend(t *testing.T) {
 	if err := tp.b.Send("ap1", &ModeProposal{APID: "ap2", Mode: ModeCooperative}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return len(tp.got("ap1")) == 1 })
+	tp.waitFor(t, func() bool { return len(tp.got("ap1")) == 1 })
 }
 
 func TestAgentSendUnknownPeer(t *testing.T) {
@@ -185,7 +195,7 @@ func TestAgentTrafficAccounting(t *testing.T) {
 	if msgsTx != 10 {
 		t.Errorf("msgsTx = %d, want 10", msgsTx)
 	}
-	waitFor(t, func() bool {
+	tp.waitFor(t, func() bool {
 		_, rx, _, rxMsgs := tp.b.Traffic()
 		return rx > 0 && rxMsgs == 10
 	})
@@ -201,7 +211,7 @@ func TestAgentBroadcast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go c.Serve(lc)
+	tp.net.Clock().Go(func() { c.Serve(lc) })
 	hostA, _ := tp.net.Host("ap1")
 	if _, err := tp.a.Connect(hostA.Dial, "ap3:36422"); err != nil {
 		t.Fatal(err)
@@ -209,28 +219,28 @@ func TestAgentBroadcast(t *testing.T) {
 	if err := tp.a.Broadcast(&ShareUpdate{APIDs: []string{"ap1"}, Fractions: []uint16{10000}}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return len(tp.got("ap2")) == 1 && len(tp.got("ap3")) == 1 })
+	tp.waitFor(t, func() bool { return len(tp.got("ap2")) == 1 && len(tp.got("ap3")) == 1 })
 }
 
 func TestAgentPeerDisconnect(t *testing.T) {
 	tp := newTestPeers(t, 0)
-	waitFor(t, func() bool { return len(tp.b.Peers()) == 1 })
+	tp.waitFor(t, func() bool { return len(tp.b.Peers()) == 1 })
 	tp.b.Close()
-	waitFor(t, func() bool { return len(tp.a.Peers()) == 0 })
+	tp.waitFor(t, func() bool { return len(tp.a.Peers()) == 0 })
 	if err := tp.a.Send("ap2", &LoadInformation{}); !errors.Is(err, ErrNoPeer) {
 		t.Errorf("send after disconnect: %v", err)
 	}
 }
 
 func TestAgentRejectsGarbageHandshake(t *testing.T) {
-	n := simnet.New(simnet.Link{}, 1)
+	n := simnet.NewVirtualNetwork(simnet.Link{}, 1)
 	t.Cleanup(n.Close)
 	hb := n.MustAddHost("b")
 	ha := n.MustAddHost("a")
 	b := NewAgent("b", PeerHello{}, nil)
 	t.Cleanup(b.Close)
 	lb, _ := hb.Listen(36422)
-	go b.Serve(lb)
+	n.Clock().Go(func() { b.Serve(lb) })
 
 	c, err := ha.Dial("b:36422")
 	if err != nil {
@@ -238,7 +248,8 @@ func TestAgentRejectsGarbageHandshake(t *testing.T) {
 	}
 	var _ net.Conn = c
 	c.Write([]byte{0, 0, 0, 2, 99, 99}) // framed garbage
-	time.Sleep(50 * time.Millisecond)
+	// One virtual tick: the agent has read and rejected the frame.
+	n.Clock().Sleep(50 * time.Millisecond)
 	if len(b.Peers()) != 0 {
 		t.Error("garbage handshake registered a peer")
 	}
@@ -247,7 +258,7 @@ func TestAgentRejectsGarbageHandshake(t *testing.T) {
 func TestHandoverExchange(t *testing.T) {
 	// Drive the full cooperative handover message flow a↔b.
 	tp := newTestPeers(t, time.Millisecond)
-	waitFor(t, func() bool { return len(tp.b.Peers()) == 1 })
+	tp.waitFor(t, func() bool { return len(tp.b.Peers()) == 1 })
 
 	if err := tp.a.Send("ap2", &UEContextPush{IMSI: "001010000000001", K: make([]byte, 16), OPc: make([]byte, 16)}); err != nil {
 		t.Fatal(err)
@@ -255,14 +266,14 @@ func TestHandoverExchange(t *testing.T) {
 	if err := tp.a.Send("ap2", &HandoverRequest{IMSI: "001010000000001", SourceAP: "ap1", RSRPdBm: -10100}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return len(tp.got("ap2")) == 2 })
+	tp.waitFor(t, func() bool { return len(tp.got("ap2")) == 2 })
 	if err := tp.b.Send("ap1", &HandoverRequestAck{IMSI: "001010000000001", Accepted: true}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tp.b.Send("ap1", &HandoverComplete{IMSI: "001010000000001", TargetAP: "ap2"}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return len(tp.got("ap1")) == 2 })
+	tp.waitFor(t, func() bool { return len(tp.got("ap1")) == 2 })
 	msgs := tp.got("ap1")
 	if _, ok := msgs[0].(*HandoverRequestAck); !ok {
 		t.Errorf("first reply = %T", msgs[0])
