@@ -56,13 +56,30 @@ BENCH_GATE_PKGS = ./internal/registry ./internal/x2 ./internal/nas ./internal/s1
 # The attach-storm benchmark is end-to-end (every op re-attaches a
 # 32-UE population across 8 eNodeB associations), so it runs in its
 # own invocation with far fewer iterations than the hot-path gates.
+# Its committed allocs/op carry ~2 allocs of headroom over the steady
+# state: the wheel scheduler grows its event slab in rare bursts, so a
+# min-of-3 rep occasionally lands one alloc above the true floor.
 STORM_GATE_RE = BenchmarkAttachStorm
 STORM_GATE_PKGS = ./internal/epc
 STORM_GATE_FLAGS = -benchmem -benchtime 50x -count 3 -json
 
+# Timing-wheel and compact-world gates. SchedulerTimers prices the
+# hierarchical wheel at the 1k/100k acceptance sizes; IdleWorld prices
+# the E13 compact attach-and-idle world at 10k/100k UEs. The 1M legs
+# of both run under bench-json but stay informational — whole-world
+# wall time at that scale is seconds, too coarse for a 25% gate.
+WHEEL_GATE_RE = BenchmarkSchedulerTimers/1k$$|BenchmarkSchedulerTimers/100k$$
+WHEEL_GATE_PKGS = ./internal/simnet
+WHEEL_GATE_FLAGS = -benchmem -benchtime 10x -count 3 -json
+IDLE_GATE_RE = BenchmarkIdleWorld/ues=10000$$|BenchmarkIdleWorld/ues=100000$$
+IDLE_GATE_PKGS = ./internal/exp
+IDLE_GATE_FLAGS = -benchmem -benchtime 1x -count 3 -json
+
 bench-gate:
 	( $(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) && \
-	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(WHEEL_GATE_RE)' $(WHEEL_GATE_FLAGS) $(WHEEL_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
 # Regenerate the gate's numbers (run on the reference machine, commit
@@ -70,7 +87,9 @@ bench-gate:
 # preserved; only the measurements refresh.
 bench-baseline:
 	( $(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) && \
-	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(WHEEL_GATE_RE)' $(WHEEL_GATE_FLAGS) $(WHEEL_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 # Fuzz smoke: a few seconds of coverage-guided fuzzing per untrusted
@@ -94,7 +113,10 @@ smoke: build
 
 # Real-CPU-knob determinism smoke: the full quick sweep must render
 # byte-identical tables fully serial (-p 1), fully concurrent (-p 8),
-# and with every simulated core sharded eight ways (-shards 8).
+# and with every simulated core sharded eight ways (-shards 8). The
+# E13 leg repeats the comparison at a 100k-UE population, where
+# -shards additionally fans the region wheels across OS threads —
+# the million-UE scaling path must not cost a byte of stability.
 determinism-smoke: build
 	$(GO) build -o /tmp/dlte-sim-det ./cmd/dlte-sim
 	/tmp/dlte-sim-det -quick -p 1 -shards 1 2>/dev/null > /tmp/dlte-det-p1.txt
@@ -102,6 +124,12 @@ determinism-smoke: build
 	/tmp/dlte-sim-det -quick -p 8 -shards 8 2>/dev/null > /tmp/dlte-det-s8.txt
 	cmp /tmp/dlte-det-p1.txt /tmp/dlte-det-p8.txt
 	cmp /tmp/dlte-det-p1.txt /tmp/dlte-det-s8.txt
-	rm -f /tmp/dlte-sim-det /tmp/dlte-det-p1.txt /tmp/dlte-det-p8.txt /tmp/dlte-det-s8.txt
+	/tmp/dlte-sim-det -exp E13 -ues 100000 -p 1 -shards 1 2>/dev/null > /tmp/dlte-det-e13-p1.txt
+	/tmp/dlte-sim-det -exp E13 -ues 100000 -p 8 -shards 1 2>/dev/null > /tmp/dlte-det-e13-p8.txt
+	/tmp/dlte-sim-det -exp E13 -ues 100000 -p 8 -shards 8 2>/dev/null > /tmp/dlte-det-e13-s8.txt
+	cmp /tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-p8.txt
+	cmp /tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-s8.txt
+	rm -f /tmp/dlte-sim-det /tmp/dlte-det-p1.txt /tmp/dlte-det-p8.txt /tmp/dlte-det-s8.txt \
+		/tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-p8.txt /tmp/dlte-det-e13-s8.txt
 
 check: lint build race bench smoke determinism-smoke

@@ -9,6 +9,7 @@
 //	dlte-sim -exp all -quick    # everything, reduced sweeps
 //	dlte-sim -p 8               # run worlds on 8 workers (default: NumCPU)
 //	dlte-sim -shards 8          # serve each core's sessions on 8 shards
+//	dlte-sim -exp E13 -ues 1000000  # one million-UE compact world
 //
 // Experiments (and the independent simulation worlds inside each
 // sweep) execute concurrently up to -p workers, but stdout is always
@@ -51,6 +52,7 @@ func runners() []runner {
 		{"E8", "§5: town deployment", wrap(func(o exp.Options) error { _, err := exp.RunE8(o); return err })},
 		{"E9", "§4.3/§7: hidden terminals & relay", wrap(func(o exp.Options) error { _, err := exp.RunE9(o); return err })},
 		{"E10", "§4.3: discovery at scale", wrap(func(o exp.Options) error { _, err := exp.RunE10(o); return err })},
+		{"E13", "§6: million-UE attach-and-idle world", wrap(func(o exp.Options) error { _, err := exp.RunE13(o); return err })},
 	}
 }
 
@@ -67,13 +69,22 @@ type job struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: E1..E9, E2b, or 'all'")
+	expFlag := flag.String("exp", "all", "experiment to run: E1..E10, E13, E2b, or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweeps (CI-sized)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	par := flag.Int("p", runtime.NumCPU(), "max concurrent simulation worlds (1 = fully serial)")
 	shards := flag.Int("shards", 0, "session shards per simulated core (0 = one per CPU; output-invariant)")
+	ues := flag.Int("ues", 0, "E13 only: run a single world of exactly this many UEs instead of the default sweep (output depends on -ues but never on -p/-shards)")
 	flag.Parse()
 
+	// -ues is a world-shape knob, so an explicit nonsense value must be
+	// an error, not a silent fallback to the default sweep.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ues" && *ues <= 0 {
+			fmt.Fprintf(os.Stderr, "-ues %d: population must be > 0\n", *ues)
+			os.Exit(2)
+		}
+	})
 	if *par < 1 {
 		*par = 1
 	}
@@ -86,7 +97,7 @@ func main() {
 		jobs = append(jobs, &job{r: r, done: make(chan struct{})})
 	}
 	if len(jobs) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9, E2b, or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E10, E13, E2b, or all)\n", *expFlag)
 		os.Exit(2)
 	}
 
@@ -105,7 +116,7 @@ func main() {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range queue {
-				opt := exp.Options{Quick: *quick, Seed: *seed, Out: &j.buf, Parallelism: *par, Shards: *shards}
+				opt := exp.Options{Quick: *quick, Seed: *seed, Out: &j.buf, Parallelism: *par, Shards: *shards, UEs: *ues}
 				start := time.Now()
 				j.err = j.r.run(opt)
 				j.took = time.Since(start)

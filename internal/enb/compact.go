@@ -1,0 +1,66 @@
+package enb
+
+import "unsafe"
+
+// CellPool is the eNodeB-side counterpart of ue.IdlePool (DESIGN.md
+// §11): a compact world models each cell as aggregate counters, not an
+// ENodeB with S1AP/GTP endpoints and per-UE goroutines. Counters are
+// summed across cells for output, so results are invariant to how a
+// world partitions cells over regions. Not safe for concurrent use
+// across cells owned by different regions — each region must only
+// touch its own cells.
+type CellPool struct {
+	id       []uint32
+	tac      []uint16
+	attached []uint64 // registrations completed in this cell
+	tau      []uint64 // idle-mode tracking-area updates served
+}
+
+// CellSlotBytes is the accounted per-cell cost of one compact cell.
+var CellSlotBytes = int(unsafe.Sizeof(uint32(0)) + unsafe.Sizeof(uint16(0)) +
+	2*unsafe.Sizeof(uint64(0)))
+
+// NewCellPool returns n compact cells; cell c gets ID base+c and the
+// given tracking-area code.
+func NewCellPool(n int, base uint32, tac uint16) *CellPool {
+	p := &CellPool{
+		id:       make([]uint32, n),
+		tac:      make([]uint16, n),
+		attached: make([]uint64, n),
+		tau:      make([]uint64, n),
+	}
+	for c := range p.id {
+		p.id[c] = base + uint32(c)
+		p.tac[c] = tac
+	}
+	return p
+}
+
+// Cells reports the number of cells.
+func (p *CellPool) Cells() int { return len(p.id) }
+
+// ID and TAC report cell c's identity.
+func (p *CellPool) ID(c int) uint32  { return p.id[c] }
+func (p *CellPool) TAC(c int) uint16 { return p.tac[c] }
+
+// Attach counts one completed registration in cell c.
+func (p *CellPool) Attach(c int) { p.attached[c]++ }
+
+// TrackingAreaUpdate counts one idle-mode TAU served by cell c.
+func (p *CellPool) TrackingAreaUpdate(c int) { p.tau[c]++ }
+
+// Attached reports registrations completed in cell c.
+func (p *CellPool) Attached(c int) uint64 { return p.attached[c] }
+
+// TotalAttached and TotalTAU aggregate across all cells — the
+// region-count-invariant numbers a sharded world may print.
+func (p *CellPool) TotalAttached() uint64 { return sumU64(p.attached) }
+func (p *CellPool) TotalTAU() uint64      { return sumU64(p.tau) }
+
+func sumU64(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,24 @@
+package enb
+
+import "testing"
+
+func TestCellPoolCounters(t *testing.T) {
+	p := NewCellPool(3, 100, 42)
+	if p.Cells() != 3 || p.ID(2) != 102 || p.TAC(0) != 42 {
+		t.Fatalf("pool identity: cells=%d id2=%d tac0=%d", p.Cells(), p.ID(2), p.TAC(0))
+	}
+	p.Attach(0)
+	p.Attach(0)
+	p.Attach(2)
+	p.TrackingAreaUpdate(1)
+	p.TrackingAreaUpdate(2)
+	if p.Attached(0) != 2 || p.Attached(1) != 0 || p.Attached(2) != 1 {
+		t.Fatalf("attached = %d,%d,%d", p.Attached(0), p.Attached(1), p.Attached(2))
+	}
+	if p.TotalAttached() != 3 || p.TotalTAU() != 2 {
+		t.Fatalf("totals = %d,%d", p.TotalAttached(), p.TotalTAU())
+	}
+	if CellSlotBytes > 32 {
+		t.Fatalf("CellSlotBytes = %d, want ≤ 32", CellSlotBytes)
+	}
+}

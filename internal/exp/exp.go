@@ -42,8 +42,14 @@ type Options struct {
 	// epc.Config.Shards). Like Parallelism it is a real-CPU knob only:
 	// rendered results are byte-identical at any value, because shards
 	// change which OS threads serve signaling, never the virtual-time
-	// order it is served in.
+	// order it is served in. E13 additionally uses it as the worker
+	// budget for draining its region wheels — again real-CPU only.
 	Shards int
+	// UEs, when > 0, replaces E13's default population sweep with a
+	// single world of exactly this many compact UEs. Other experiments
+	// ignore it. Validation (rejecting values ≤ 0 typed explicitly)
+	// happens at the flag layer in cmd/dlte-sim.
+	UEs int
 }
 
 func (o Options) emit(tables ...*metrics.Table) {

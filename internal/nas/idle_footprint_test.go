@@ -1,0 +1,90 @@
+package nas
+
+import (
+	"runtime"
+	"testing"
+
+	"dlte/internal/auth"
+	"dlte/internal/session"
+)
+
+// TestIdleSessionShedsAuthVector pins the idle-session footprint fix:
+// once a session reaches Attached, the AKA vector (RAND/AUTN/XRES/
+// KASME) has no further readers until the next AttachRequest fetches a
+// fresh one, so retaining it just inflates every registered UE the EPC
+// holds.
+func TestIdleSessionShedsAuthVector(t *testing.T) {
+	sim := testSIM(t, "001010000000001")
+	hss := auth.NewSubscriberDB(false)
+	if err := hss.Provision(sim); err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUE(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := testNetwork(t, hss)
+	runAttach(t, u, net)
+	if net.vector.RAND != nil || net.vector.AUTN != nil ||
+		net.vector.XRES != nil || net.vector.KASME != nil {
+		t.Error("attached session still retains its AKA vector")
+	}
+	// The shed vector must not break later procedures: detach uses only
+	// the security context…
+	det, err := u.StartDetach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ev, herr := net.Handle(det); herr != nil || ev.Kind != EventDetached {
+		t.Fatalf("detach after vector shed: ev=%v err=%v", ev.Kind, herr)
+	}
+	// …and a re-attach starts from a fresh vector.
+	u2, err := NewUE(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAttach(t, u2, net)
+	if net.State() != session.Attached {
+		t.Fatalf("re-attach after shed failed: %v", net.State())
+	}
+}
+
+// TestIdleSessionBytes measures the retained heap per idle (attached,
+// quiescent) NetworkSession. This is the per-UE cost the EPC pays for
+// every registered subscriber; the bound is a regression tripwire for
+// accidental per-session retention (buffers, vectors, closures).
+func TestIdleSessionBytes(t *testing.T) {
+	const n = 512
+	hss := auth.NewSubscriberDB(false)
+	sims := make([]auth.SIM, n)
+	for i := range sims {
+		sims[i] = testSIM(t, "0010100"+string([]byte{
+			'0' + byte(i/10000%10), '0' + byte(i/1000%10), '0' + byte(i/100%10),
+			'0' + byte(i/10%10), '0' + byte(i%10),
+		})+"000")
+		if err := hss.Provision(sims[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	sessions := make([]*NetworkSession, n)
+	for i := range sessions {
+		u, err := NewUE(sims[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = testNetwork(t, hss)
+		runAttach(t, u, sessions[i])
+		// The UE side is garbage: only the network session idles on.
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	perSession := float64(m1.HeapAlloc-m0.HeapAlloc) / n
+	t.Logf("idle NetworkSession ≈ %.0f B retained", perSession)
+	if perSession > 3072 {
+		t.Errorf("idle session retains %.0f B, want ≤ 3072 (vector/buffer leak?)", perSession)
+	}
+	runtime.KeepAlive(sessions)
+}

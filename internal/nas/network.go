@@ -240,6 +240,11 @@ func (s *NetworkSession) HandleAppend(b, dst []byte) (out []byte, ev Event, err 
 		if _, ferr := s.fsm.Fire(session.EvAttachComplete); ferr != nil {
 			return dst, Event{}, ferr
 		}
+		// The AKA vector is only consulted between AttachRequest and
+		// SecurityModeComplete; a re-attach always fetches a fresh one.
+		// Dropping it here shrinks every idle session the EPC retains
+		// (RAND/AUTN/XRES/KASME ≈ 200 bytes per registered UE).
+		s.vector = auth.Vector{}
 		return dst, Event{Kind: EventRegistered, IMSI: s.imsi, IP: s.ip, GUTI: s.guti}, nil
 
 	case TypeDetachRequest:

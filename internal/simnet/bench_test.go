@@ -103,6 +103,117 @@ func BenchmarkSchedulerEvery(b *testing.B) {
 	}
 }
 
+// schedTimerSizes are the populations BenchmarkSchedulerTimers and its
+// reference-heap twin sweep: one op schedules n timers over a fixed
+// per-timer density, cancels a third, and drains the rest — the
+// schedule+fire+cancel mix of an attach-and-idle world.
+var schedTimerSizes = []struct {
+	name string
+	n    int
+}{
+	{"1k", 1_000},
+	{"100k", 100_000},
+	{"1M", 1_000_000},
+}
+
+// timerOffset spreads timer j pseudo-randomly over a span of 100ns per
+// population member, so the wheel sees realistic slot occupancy rather
+// than one timer per instant.
+func timerOffset(j, n int) time.Duration {
+	return time.Duration(uint64(j)*2654435761%(uint64(n)*100)) + 1
+}
+
+// BenchmarkSchedulerTimers prices the hierarchical timing wheel; its
+// RefHeap twin below runs the identical workload on the old
+// container/heap scheduler. The wheel must win on both ns/op and
+// allocs/op (see TestSchedulerWheelAllocsBeatHeap); benchgate pins the
+// wheel numbers against BENCH_BASELINE.json.
+func BenchmarkSchedulerTimers(b *testing.B) {
+	for _, bc := range schedTimerSizes {
+		b.Run(bc.name, func(b *testing.B) {
+			s := NewScheduler()
+			fn := func() {}
+			handles := make([]Event, bc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := s.Now()
+				for j := 0; j < bc.n; j++ {
+					handles[j] = s.At(base+timerOffset(j, bc.n), fn)
+				}
+				for j := 0; j < bc.n; j += 3 {
+					handles[j].Cancel()
+				}
+				s.RunUntil(base + time.Duration(bc.n)*100)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerTimersRefHeap is the comparison baseline; it is
+// deliberately not gated (the old implementation only exists for the
+// differential test and this price tag).
+func BenchmarkSchedulerTimersRefHeap(b *testing.B) {
+	for _, bc := range schedTimerSizes {
+		b.Run(bc.name, func(b *testing.B) {
+			s := newRefScheduler()
+			fn := func() {}
+			handles := make([]*refEvent, bc.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := s.Now()
+				for j := 0; j < bc.n; j++ {
+					handles[j] = s.At(base+timerOffset(j, bc.n), fn)
+				}
+				for j := 0; j < bc.n; j += 3 {
+					handles[j].Cancel()
+				}
+				s.RunUntil(base + time.Duration(bc.n)*100)
+			}
+		})
+	}
+}
+
+// TestSchedulerWheelAllocsBeatHeap pins the allocation half of the
+// wheel-vs-heap acceptance bar: at steady state the slab-recycling
+// wheel schedules+cancels+drains an entire population with ~zero
+// allocations, where the heap pays one Event per timer.
+func TestSchedulerWheelAllocsBeatHeap(t *testing.T) {
+	const n = 10_000
+	ws := NewScheduler()
+	fn := func() {}
+	wh := make([]Event, n)
+	wheelAvg := testing.AllocsPerRun(5, func() {
+		base := ws.Now()
+		for j := 0; j < n; j++ {
+			wh[j] = ws.At(base+timerOffset(j, n), fn)
+		}
+		for j := 0; j < n; j += 3 {
+			wh[j].Cancel()
+		}
+		ws.RunUntil(base + time.Duration(n)*100)
+	})
+	hs := newRefScheduler()
+	hh := make([]*refEvent, n)
+	heapAvg := testing.AllocsPerRun(5, func() {
+		base := hs.Now()
+		for j := 0; j < n; j++ {
+			hh[j] = hs.At(base+timerOffset(j, n), fn)
+		}
+		for j := 0; j < n; j += 3 {
+			hh[j].Cancel()
+		}
+		hs.RunUntil(base + time.Duration(n)*100)
+	})
+	if wheelAvg > float64(n)/100 {
+		t.Errorf("wheel workload allocates %.0f objects for %d timers, want ~0", wheelAvg, n)
+	}
+	if wheelAvg*10 >= heapAvg {
+		t.Errorf("wheel allocs %.0f not clearly below heap allocs %.0f", wheelAvg, heapAvg)
+	}
+}
+
 // TestSchedulerEveryNoAllocPerFiring pins the Every-chain optimization:
 // a firing requeues the same link event, so steady state allocates
 // nothing.

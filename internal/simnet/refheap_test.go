@@ -1,0 +1,164 @@
+package simnet
+
+// The pre-wheel container/heap scheduler, kept verbatim (renamed) as a
+// build-internal reference implementation: the differential property
+// test drives it and the timing wheel with identical workloads and
+// asserts identical firing order, and the scheduler benchmarks price
+// the wheel against it. Test-only — it does not ship in the package.
+
+import (
+	"container/heap"
+	"time"
+)
+
+type refEvent struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	dead  bool
+	idx   int
+	armed *refEvent
+}
+
+func (e *refEvent) Cancel() {
+	if e == nil {
+		return
+	}
+	e.dead = true
+	if e.armed != nil {
+		e.armed.dead = true
+		e.armed = nil
+	}
+}
+
+type refEventHeap []*refEvent
+
+func (h refEventHeap) Len() int { return len(h) }
+func (h refEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refEventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *refEventHeap) Push(x interface{}) {
+	e := x.(*refEvent)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *refEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+type refScheduler struct {
+	now  time.Duration
+	seq  uint64
+	heap refEventHeap
+}
+
+func newRefScheduler() *refScheduler {
+	return &refScheduler{heap: make(refEventHeap, 0, 64)}
+}
+
+func (s *refScheduler) Now() time.Duration { return s.now }
+
+func (s *refScheduler) At(t time.Duration, fn func()) *refEvent {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &refEvent{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.heap, e)
+	return e
+}
+
+func (s *refScheduler) After(d time.Duration, fn func()) *refEvent {
+	return s.At(s.now+d, fn)
+}
+
+func (s *refScheduler) Every(start, period time.Duration, fn func()) *refEvent {
+	ctl := &refEvent{}
+	link := &refEvent{idx: -1}
+	next := start
+	link.fn = func() {
+		if ctl.dead {
+			return
+		}
+		fn()
+		if ctl.dead {
+			return
+		}
+		next += period
+		s.requeue(link, next)
+	}
+	ctl.armed = link
+	s.requeue(link, next)
+	return ctl
+}
+
+func (s *refScheduler) requeue(e *refEvent, t time.Duration) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e.at = t
+	e.seq = s.seq
+	heap.Push(&s.heap, e)
+}
+
+func (s *refScheduler) Step() bool {
+	for s.heap.Len() > 0 {
+		e := heap.Pop(&s.heap).(*refEvent)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+func (s *refScheduler) RunUntil(t time.Duration) {
+	for s.heap.Len() > 0 {
+		e := s.heap[0]
+		if e.dead {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		heap.Pop(&s.heap)
+		s.now = e.at
+		e.fn()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+func (s *refScheduler) Run() {
+	for s.Step() {
+	}
+}
+
+func (s *refScheduler) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

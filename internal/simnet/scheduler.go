@@ -2,8 +2,9 @@
 // experiment runs on:
 //
 //   - Scheduler: a single-threaded virtual-time discrete-event engine
-//     used by the radio/PHY simulations (airtime, contention, HARQ),
-//     where wall-clock time is irrelevant and determinism is mandatory.
+//     used by the radio/PHY simulations and the compact million-UE
+//     worlds (E13), where wall-clock time is irrelevant and
+//     determinism is mandatory.
 //
 //   - Network: an in-memory packet/stream network with per-link latency,
 //     bandwidth, loss, and failure injection, exposing net.Conn-style
@@ -13,66 +14,95 @@
 package simnet
 
 import (
-	"container/heap"
+	"math/bits"
+	"slices"
 	"time"
+	"unsafe"
 )
 
-// Event is a scheduled callback inside a Scheduler run.
-type Event struct {
+// The scheduler is a hierarchical timing wheel: wheelLevels wheels of
+// wheelSlots slots each, where a level-k slot spans 64^k nanoseconds of
+// virtual time. Level 0 resolves single instants; an event whose
+// deadline is further out parks in the coarsest wheel that still
+// separates it from the current time, and cascades down one level at a
+// time as the clock reaches its slot's span. Schedule, cancel, and fire
+// are all O(1) amortized (a cascade touches each event at most
+// wheelLevels times over its whole lifetime), versus O(log n) per
+// operation for the old container/heap queue — and cancellation
+// reclaims the event slot immediately instead of pinning it in the
+// heap until its deadline.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11 // 64^11 ns > max time.Duration: any deadline fits
+
+	maxDuration = time.Duration(1<<63 - 1)
+
+	// Events are arena-allocated in slabs and recycled through a free
+	// list, so a million parked timers cost one allocation per
+	// eventSlab and zero per event at steady state.
+	eventSlab = 512
+)
+
+// wevent is the wheel's internal event record. It lives in a slab and
+// is recycled (generation-bumped) after firing or cancellation; user
+// code only ever holds the Event value handle.
+type wevent struct {
 	at   time.Duration
 	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
-	// armed is the currently queued link of an Every chain; Cancel on
-	// the chain's control event kills it so the heap does not
-	// accumulate dead periodic events.
-	armed *Event
+	gen  uint64 // bumped on recycle; stale Event handles check it
+	prev *wevent
+	next *wevent
+	// armed is the queued chain link of an Every control record; nil
+	// for ordinary events.
+	armed *wevent
+	fn    func()
+	arg   uint64 // payload for fn == nil (indexed) events
+	level uint8
+	slot  uint8
+	flags uint8
 }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() {
-	if e == nil {
+const (
+	wfLinked uint8 = 1 << iota // on a wheel slot list
+	wfDue                      // pulled into the due buffer, not yet run
+	wfDead                     // canceled while due or firing; skip and recycle
+)
+
+// EventBytes is the in-memory size of one parked event record — the
+// per-timer cost a compact world accounts per idle UE.
+var EventBytes = int(unsafe.Sizeof(wevent{}))
+
+// Event is a cancelable handle to a scheduled callback. It is a value:
+// the zero Event is valid and Cancel/At on it are no-ops. Handles stay
+// safe after the event fires — the scheduler recycles the underlying
+// record and a generation check turns stale cancels into no-ops.
+type Event struct {
+	s   *Scheduler
+	e   *wevent
+	gen uint64
+	at  time.Duration
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or zero Event is a no-op. The event's record is
+// reclaimed immediately (or, mid-dispatch, as soon as the current
+// instant finishes) instead of lingering until its deadline.
+func (ev Event) Cancel() {
+	if ev.s == nil || ev.e == nil || ev.e.gen != ev.gen {
 		return
 	}
-	e.dead = true
-	if e.armed != nil {
-		e.armed.dead = true
-		e.armed = nil
-	}
+	ev.s.cancelEvent(ev.e)
 }
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// At reports the virtual time the event was scheduled for.
+func (ev Event) At() time.Duration { return ev.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x interface{}) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+// slotList is an intrusive doubly-linked list threaded through wevent
+// prev/next pointers; one per wheel slot.
+type slotList struct {
+	head, tail *wevent
 }
 
 // Scheduler is a deterministic virtual-time event loop. It is not safe
@@ -81,107 +111,409 @@ func (h *eventHeap) Pop() interface{} {
 type Scheduler struct {
 	now  time.Duration
 	seq  uint64
-	heap eventHeap
+	live int // queued, non-canceled events
+
+	slots    [wheelLevels][wheelSlots]slotList
+	occupied [wheelLevels]uint64 // bitmap of non-empty slots per level
+
+	// due holds the current instant's events, seq-sorted; dueIdx is the
+	// dispatch cursor. The buffer is reused across instants.
+	due    []*wevent
+	dueIdx int
+
+	free  *wevent
+	slabs int // slabs ever allocated (diagnostic; see storeCap)
+
+	// OnIndexed dispatches events scheduled with AtIndexed: closure-free
+	// timers for compact worlds, where arg encodes the target endpoint.
+	// It must be set before the first such event fires.
+	OnIndexed func(arg uint64)
 }
 
 // NewScheduler returns a Scheduler at virtual time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{heap: make(eventHeap, 0, 64)}
+	return &Scheduler{}
 }
 
 // Now reports the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
-// At schedules fn to run at virtual time t. Scheduling in the past runs
-// the event at the current time (it will still fire after all events
-// already due). The returned Event may be used to cancel.
-func (s *Scheduler) At(t time.Duration, fn func()) *Event {
-	if t < s.now {
-		t = s.now
+func (s *Scheduler) alloc() *wevent {
+	e := s.free
+	if e == nil {
+		slab := make([]wevent, eventSlab)
+		s.slabs++
+		for i := range slab {
+			slab[i].next = s.free
+			s.free = &slab[i]
+		}
+		e = s.free
 	}
-	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.heap, e)
+	s.free = e.next
+	e.next = nil
 	return e
 }
 
+// recycle returns a record to the free list, bumping its generation so
+// outstanding handles go stale.
+func (s *Scheduler) recycle(e *wevent) {
+	e.gen++
+	e.fn = nil
+	e.arg = 0
+	e.prev = nil
+	e.armed = nil
+	e.flags = 0
+	e.next = s.free
+	s.free = e
+}
+
+// insert links e (with at/seq set, at >= s.now) into the wheel.
+func (s *Scheduler) insert(e *wevent) {
+	at, now := uint64(e.at), uint64(s.now)
+	k := 0
+	if delta := at - now; delta > 0 {
+		k = (bits.Len64(delta) - 1) / wheelBits
+	}
+	// A delta just under a level's span can still land on that level's
+	// current position (a full revolution ahead, which would fire one
+	// revolution late); bump such events one level up, where their slot
+	// is strictly ahead. A single bump always suffices.
+	for k < wheelLevels-1 && (at>>(uint(k)*wheelBits))-(now>>(uint(k)*wheelBits)) >= wheelSlots {
+		k++
+	}
+	slot := int((at >> (uint(k) * wheelBits)) & wheelMask)
+	e.level, e.slot = uint8(k), uint8(slot)
+	e.flags |= wfLinked
+	l := &s.slots[k][slot]
+	e.prev = l.tail
+	e.next = nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	s.occupied[k] |= 1 << uint(slot)
+}
+
+func (s *Scheduler) unlink(e *wevent) {
+	l := &s.slots[e.level][e.slot]
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.flags &^= wfLinked
+	if l.head == nil {
+		s.occupied[e.level] &^= 1 << uint(e.slot)
+	}
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past runs
+// the event at the current time (it will still fire after all events
+// already due). The returned Event may be used to cancel.
+func (s *Scheduler) At(t time.Duration, fn func()) Event {
+	if fn == nil {
+		panic("simnet: Scheduler.At with nil fn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	e := s.alloc()
+	s.seq++
+	e.at, e.seq, e.fn = t, s.seq, fn
+	s.insert(e)
+	s.live++
+	return Event{s: s, e: e, gen: e.gen, at: t}
+}
+
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, fn func()) Event {
 	return s.At(s.now+d, fn)
+}
+
+// AtIndexed schedules a closure-free event: when it fires, the
+// scheduler calls OnIndexed(arg). There is no handle — the record is
+// recycled on firing — so compact worlds pay EventBytes per parked
+// timer and zero allocations per schedule at steady state. A timer
+// that must stop firing is skipped by the handler (the arg encodes
+// enough state to tell), not canceled.
+func (s *Scheduler) AtIndexed(t time.Duration, arg uint64) {
+	if t < s.now {
+		t = s.now
+	}
+	e := s.alloc()
+	s.seq++
+	e.at, e.seq, e.arg = t, s.seq, arg
+	s.insert(e)
+	s.live++
 }
 
 // Every schedules fn to run at t, t+period, t+2·period, … until the
 // returned Event is canceled.
-func (s *Scheduler) Every(start, period time.Duration, fn func()) *Event {
-	// One link Event and one closure serve the whole chain: each firing
-	// requeues the same (already popped) link instead of allocating a
-	// fresh event and closure per period — the dominant allocation in
-	// long PHY simulations. Cancel marks both the control struct and the
-	// link dead, so Pending stays accurate and Step skips the corpse.
-	ctl := &Event{}
-	link := &Event{idx: -1}
+func (s *Scheduler) Every(start, period time.Duration, fn func()) Event {
+	if fn == nil {
+		panic("simnet: Scheduler.Every with nil fn")
+	}
+	// One chain link and one closure serve the whole chain: each firing
+	// requeues the same record instead of allocating per period — the
+	// dominant allocation in long PHY simulations. The control record
+	// exists only to give Cancel a stable target; it is never queued.
+	ctl := s.alloc()
+	link := s.alloc()
+	ctl.armed = link
+	ctl.at = 0
+	ctlGen := ctl.gen
 	next := start
 	link.fn = func() {
-		if ctl.dead {
+		if ctl.gen != ctlGen || ctl.flags&wfDead != 0 {
 			return
 		}
 		fn()
-		if ctl.dead {
+		if ctl.gen != ctlGen || ctl.flags&wfDead != 0 {
 			return // fn canceled the chain; do not re-arm
 		}
 		next += period
-		s.requeue(link, next)
+		t := next
+		if t < s.now {
+			t = s.now
+		}
+		s.seq++
+		link.at, link.seq = t, s.seq
+		s.insert(link)
+		s.live++
 	}
-	ctl.armed = link
-	s.requeue(link, next)
-	return ctl
-}
-
-// requeue schedules an already-popped event to fire again at t, reusing
-// its allocation. Scheduling in the past runs it at the current time.
-func (s *Scheduler) requeue(e *Event, t time.Duration) {
-	if t < s.now {
-		t = s.now
+	// Clamp only the queued time: `next` keeps the raw chain phase, so a
+	// past start still yields firings at start+period, start+2·period, …
+	t0 := next
+	if t0 < s.now {
+		t0 = s.now
 	}
 	s.seq++
-	e.at = t
-	e.seq = s.seq
-	heap.Push(&s.heap, e)
+	link.at, link.seq = t0, s.seq
+	s.insert(link)
+	s.live++
+	return Event{s: s, e: ctl, gen: ctlGen, at: 0}
+}
+
+// cancelEvent handles a live (generation-matched) cancel.
+func (s *Scheduler) cancelEvent(e *wevent) {
+	if e.flags&wfDead != 0 {
+		return
+	}
+	if l := e.armed; l != nil {
+		// Every control: kill the queued chain link, reclaim the
+		// control record.
+		e.armed = nil
+		e.flags |= wfDead // closure may observe this before the gen bump
+		s.cancelQueued(l)
+		s.recycle(e)
+		return
+	}
+	s.cancelQueued(e)
+}
+
+// cancelQueued cancels an event in whatever dispatch state it is in:
+// parked in the wheel (unlink and reclaim now), pulled into the due
+// buffer (flag dead; the dispatch scan reclaims it), or currently
+// firing (flag dead; runEvent reclaims it after fn returns).
+func (s *Scheduler) cancelQueued(e *wevent) {
+	switch {
+	case e.flags&wfLinked != 0:
+		s.unlink(e)
+		s.live--
+		s.recycle(e)
+	case e.flags&wfDue != 0:
+		e.flags |= wfDead
+		s.live--
+	default:
+		e.flags |= wfDead
+	}
+}
+
+// pullSlot drains level-0 slot (all events share at == s.now) into the
+// due buffer in seq order.
+func (s *Scheduler) pullSlot(slot int) {
+	l := &s.slots[0][slot]
+	for e := l.head; e != nil; {
+		n := e.next
+		e.prev, e.next = nil, nil
+		e.flags = e.flags&^wfLinked | wfDue
+		s.due = append(s.due, e)
+		e = n
+	}
+	l.head, l.tail = nil, nil
+	s.occupied[0] &^= 1 << uint(slot)
+	if len(s.due)-s.dueIdx > 1 {
+		slices.SortFunc(s.due[s.dueIdx:], func(a, b *wevent) int {
+			switch {
+			case a.seq < b.seq:
+				return -1
+			case a.seq > b.seq:
+				return 1
+			}
+			return 0
+		})
+	}
+}
+
+// cascade empties an upper-level slot whose span the clock has reached;
+// every event re-inserts at a strictly lower level.
+func (s *Scheduler) cascade(level, slot int) {
+	l := &s.slots[level][slot]
+	head := l.head
+	l.head, l.tail = nil, nil
+	s.occupied[level] &^= 1 << uint(slot)
+	for e := head; e != nil; {
+		n := e.next
+		e.prev, e.next = nil, nil
+		e.flags &^= wfLinked
+		s.insert(e)
+		e = n
+	}
+}
+
+// nextDue advances the wheel to the next occupied instant ≤ limit,
+// pulling that instant's events into the due buffer, and reports
+// whether it found one. Upper-level slots cascade as virtual time
+// reaches their span — before any level-0 instant at the same time
+// fires, so same-instant events always merge into one seq-sorted
+// batch. When nothing is due by limit, the clock advances to limit if
+// advance is set (safe: every occupied slot's span then starts after
+// limit).
+func (s *Scheduler) nextDue(limit time.Duration, advance bool) bool {
+	for {
+		now := uint64(s.now)
+
+		// Earliest exact instant on the level-0 wheel, if any.
+		cand := time.Duration(-1)
+		if bm := s.occupied[0]; bm != 0 {
+			pos := int(now & wheelMask)
+			d := bits.TrailingZeros64(bits.RotateLeft64(bm, -pos))
+			cand = s.now + time.Duration(d)
+		}
+
+		// Earliest upper-level slot boundary: events there must drop a
+		// level before they can fire.
+		casLevel := -1
+		var casStart time.Duration
+		for k := 1; k < wheelLevels; k++ {
+			bm := s.occupied[k]
+			if bm == 0 {
+				continue
+			}
+			shift := uint(k) * wheelBits
+			pos := int((now >> shift) & wheelMask)
+			// Distance 0 is valid: once the clock lands on an occupied
+			// slot's span start (common when several levels share one
+			// boundary), that slot cascades immediately. Inserts never
+			// target the current position (the bump rule keeps them
+			// strictly ahead), so a cascaded slot stays empty and the
+			// loop always descends.
+			d := bits.TrailingZeros64(bits.RotateLeft64(bm, -pos))
+			start := time.Duration(((now >> shift) + uint64(d)) << shift)
+			if casLevel < 0 || start < casStart {
+				casLevel, casStart = k, start
+			}
+		}
+
+		// Strict <: on a tie the upper slot may hold same-instant events
+		// with smaller seq, so it must cascade into the batch first.
+		if cand >= 0 && (casLevel < 0 || cand < casStart) {
+			if cand > limit {
+				break
+			}
+			s.now = cand
+			s.pullSlot(int(uint64(cand) & wheelMask))
+			return true
+		}
+		if casLevel >= 0 {
+			if casStart > limit {
+				break
+			}
+			if casStart > s.now {
+				s.now = casStart
+			}
+			s.cascade(casLevel, int((uint64(casStart)>>(uint(casLevel)*wheelBits))&wheelMask))
+			continue
+		}
+		break // nothing queued anywhere
+	}
+	if advance && limit > s.now {
+		s.now = limit
+	}
+	return false
+}
+
+// popDue returns the next live event at or before limit, advancing the
+// clock, or nil.
+func (s *Scheduler) popDue(limit time.Duration, advance bool) *wevent {
+	for {
+		for s.dueIdx < len(s.due) {
+			e := s.due[s.dueIdx]
+			s.due[s.dueIdx] = nil
+			s.dueIdx++
+			e.flags &^= wfDue
+			if e.flags&wfDead != 0 {
+				s.recycle(e)
+				continue
+			}
+			return e
+		}
+		if len(s.due) > 0 {
+			s.due = s.due[:0]
+			s.dueIdx = 0
+		}
+		if !s.nextDue(limit, advance) {
+			return nil
+		}
+	}
+}
+
+// runEvent dispatches one popped event and reclaims its record unless
+// it re-queued itself (an Every chain link).
+func (s *Scheduler) runEvent(e *wevent) {
+	s.live--
+	if e.fn == nil {
+		arg := e.arg
+		s.recycle(e)
+		if h := s.OnIndexed; h != nil {
+			h(arg)
+		}
+		return
+	}
+	e.fn()
+	if e.flags&wfLinked == 0 {
+		s.recycle(e)
+	}
 }
 
 // Step runs the single next event, if any, advancing virtual time to it.
 // It reports whether an event ran.
 func (s *Scheduler) Step() bool {
-	for s.heap.Len() > 0 {
-		e := heap.Pop(&s.heap).(*Event)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
-		e.fn()
-		return true
+	e := s.popDue(maxDuration, false)
+	if e == nil {
+		return false
 	}
-	return false
+	s.runEvent(e)
+	return true
 }
 
 // RunUntil runs events in order until the queue is empty or the next
 // event is later than t, then advances time to exactly t.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for s.heap.Len() > 0 {
-		e := s.heap[0]
-		if e.dead {
-			heap.Pop(&s.heap)
-			continue
+	for {
+		e := s.popDue(t, true)
+		if e == nil {
+			return
 		}
-		if e.at > t {
-			break
-		}
-		heap.Pop(&s.heap)
-		s.now = e.at
-		e.fn()
-	}
-	if t > s.now {
-		s.now = t
+		s.runEvent(e)
 	}
 }
 
@@ -193,12 +525,18 @@ func (s *Scheduler) Run() {
 }
 
 // Pending reports the number of live queued events.
-func (s *Scheduler) Pending() int {
+func (s *Scheduler) Pending() int { return s.live }
+
+// storeCap reports the event-record capacity ever allocated; storeFree
+// walks the free list. Together they let tests assert that cancellation
+// actually reclaims records (live + free == cap, with free growing on
+// cancel) instead of pinning them until their deadline.
+func (s *Scheduler) storeCap() int { return s.slabs * eventSlab }
+
+func (s *Scheduler) storeFree() int {
 	n := 0
-	for _, e := range s.heap {
-		if !e.dead {
-			n++
-		}
+	for e := s.free; e != nil; e = e.next {
+		n++
 	}
 	return n
 }

@@ -71,10 +71,10 @@ func TestSchedulerCancel(t *testing.T) {
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	// Cancel is idempotent and nil-safe.
+	// Cancel is idempotent and zero-value-safe.
 	e.Cancel()
-	var nilEvent *Event
-	nilEvent.Cancel()
+	var zero Event
+	zero.Cancel()
 }
 
 func TestSchedulerRunUntil(t *testing.T) {
@@ -176,7 +176,7 @@ func TestSchedulerEveryCancelLeavesNoZombie(t *testing.T) {
 func TestSchedulerEveryCancelFromInsideFn(t *testing.T) {
 	s := NewScheduler()
 	count := 0
-	var ctl *Event
+	var ctl Event
 	ctl = s.Every(time.Second, time.Second, func() {
 		count++
 		if count == 3 {
@@ -194,8 +194,8 @@ func TestSchedulerEveryCancelFromInsideFn(t *testing.T) {
 
 func TestSchedulerCancelNilAndDouble(t *testing.T) {
 	s := NewScheduler()
-	var nilEvent *Event
-	nilEvent.Cancel() // must not panic
+	var zero Event
+	zero.Cancel() // must not panic
 	e := s.After(time.Second, func() { t.Fatal("canceled event fired") })
 	e.Cancel()
 	e.Cancel() // double cancel is a no-op

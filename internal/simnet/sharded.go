@@ -1,0 +1,157 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBarrierWindow is the barrier interval a ShardedScheduler uses
+// when the caller does not pick one. Wide enough to amortize the
+// barrier over many events, short enough that cross-region effects
+// (handover, registry sync) stay responsive at simulation timescales.
+const DefaultBarrierWindow = 100 * time.Millisecond
+
+// ShardedScheduler drains independent per-region Schedulers in
+// lockstep barrier windows: within a window every region's wheel runs
+// on its own (possibly on its own OS thread), and all regions
+// quiesce at the window boundary before the next window starts —
+// the same sync-point structure the VirtualClock's quiescence barrier
+// gives the goroutine-based worlds. Regions must not touch each
+// other's state inside a window; cross-region work happens in the
+// onBarrier callback (which runs serially, with every region parked)
+// or through commutative aggregation.
+//
+// Determinism: a region's event stream depends only on that region's
+// own state, so per-region results are identical at any worker count.
+// Byte-identical *global* output additionally requires the caller to
+// aggregate region results in a region-count-invariant way — merge
+// ordered logs with MergeRegions, sum counters, or derive values from
+// global indices rather than region-local ones (DESIGN.md §11).
+type ShardedScheduler struct {
+	regions []*Scheduler
+	window  time.Duration
+	workers int
+	now     time.Duration
+}
+
+// NewShardedScheduler builds a world of `regions` independent wheels
+// advanced in `window`-sized barriers by up to `workers` OS threads
+// (workers <= 1 drains serially on the caller's goroutine; either way
+// the result is identical).
+func NewShardedScheduler(regions int, window time.Duration, workers int) *ShardedScheduler {
+	if regions < 1 {
+		regions = 1
+	}
+	if window <= 0 {
+		window = DefaultBarrierWindow
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rs := make([]*Scheduler, regions)
+	for i := range rs {
+		rs[i] = NewScheduler()
+	}
+	return &ShardedScheduler{regions: rs, window: window, workers: workers}
+}
+
+// Regions reports the number of region wheels.
+func (ss *ShardedScheduler) Regions() int { return len(ss.regions) }
+
+// Region returns region i's Scheduler. Safe to use directly between
+// (not during) RunUntil calls, and from region i's own events.
+func (ss *ShardedScheduler) Region(i int) *Scheduler { return ss.regions[i] }
+
+// Now reports the last barrier the world has fully reached.
+func (ss *ShardedScheduler) Now() time.Duration { return ss.now }
+
+// Pending sums live queued events across all regions.
+func (ss *ShardedScheduler) Pending() int {
+	n := 0
+	for _, r := range ss.regions {
+		n += r.Pending()
+	}
+	return n
+}
+
+// RunUntil advances every region to t in barrier windows. After each
+// window all regions have reached the same virtual instant; onBarrier
+// (optional) then runs serially and may mutate any region — including
+// scheduling new events — before the next window opens.
+func (ss *ShardedScheduler) RunUntil(t time.Duration, onBarrier func(now time.Duration)) {
+	for ss.now < t {
+		end := ss.now + ss.window
+		if end > t || end < ss.now { // clamp, and guard overflow near the horizon
+			end = t
+		}
+		ss.drain(end)
+		ss.now = end
+		if onBarrier != nil {
+			onBarrier(end)
+		}
+	}
+}
+
+// drain advances every region wheel to end, fanning regions out over
+// the worker budget. Work-stealing order does not matter: regions are
+// independent, so scheduling is invisible in the results.
+func (ss *ShardedScheduler) drain(end time.Duration) {
+	w := ss.workers
+	if w > len(ss.regions) {
+		w = len(ss.regions)
+	}
+	if w <= 1 {
+		for _, r := range ss.regions {
+			r.RunUntil(end)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1))
+				if j >= len(ss.regions) {
+					return
+				}
+				ss.regions[j].RunUntil(end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MergeRegions merges per-region record slices — each already in that
+// region's local (at, seq) order — into the single global (at, seq,
+// region) order, the canonical way to turn sharded event logs into
+// region-count-stable output.
+func MergeRegions[T any](parts [][]T, key func(T) (at time.Duration, seq uint64)) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		var bestAt time.Duration
+		var bestSeq uint64
+		for r, p := range parts {
+			if idx[r] >= len(p) {
+				continue
+			}
+			at, seq := key(p[idx[r]])
+			if best < 0 || at < bestAt || (at == bestAt && seq < bestSeq) {
+				best, bestAt, bestSeq = r, at, seq
+			}
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

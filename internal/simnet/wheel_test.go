@@ -1,0 +1,393 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// ---- differential property test: wheel vs reference heap ----------------
+
+const (
+	opAt = iota
+	opEvery
+	opCancel
+	opRunUntil
+)
+
+type schedOp struct {
+	kind      int
+	t         time.Duration // absolute: At target, Every start, RunUntil limit
+	period    time.Duration
+	stopAfter int // Every: self-cancel from inside fn after this many fires
+	cancelIdx int
+}
+
+// genSchedOps builds a deterministic randomized workload mixing every
+// scheduler operation across time scales that exercise all wheel
+// levels (ns .. hundreds of seconds), including past-time clamps,
+// external cancels in every dispatch state, and self-canceling chains.
+func genSchedOps(seed int64, n int) []schedOp {
+	rng := rand.New(rand.NewSource(seed))
+	scales := []time.Duration{
+		time.Nanosecond, time.Microsecond, time.Millisecond,
+		time.Second, 100 * time.Second,
+	}
+	var ops []schedOp
+	now := time.Duration(0)
+	handles := 0
+	off := func() time.Duration {
+		d := time.Duration(rng.Int63n(200)) * scales[rng.Intn(len(scales))]
+		if rng.Intn(8) == 0 {
+			d = -d // past target: exercises the clamp-to-now path
+		}
+		return d
+	}
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 4:
+			ops = append(ops, schedOp{kind: opAt, t: now + off()})
+			handles++
+		case k < 6:
+			period := time.Duration(rng.Int63n(50*int64(scales[rng.Intn(len(scales))])) + 1)
+			ops = append(ops, schedOp{
+				kind: opEvery, t: now + off(), period: period,
+				stopAfter: 1 + rng.Intn(8), // always bounded: chains self-cancel
+			})
+			handles++
+		case k < 8 && handles > 0:
+			ops = append(ops, schedOp{kind: opCancel, cancelIdx: rng.Intn(handles)})
+		default:
+			now += time.Duration(rng.Int63n(100*int64(scales[rng.Intn(len(scales))])) + 1)
+			ops = append(ops, schedOp{kind: opRunUntil, t: now})
+		}
+	}
+	ops = append(ops, schedOp{kind: opRunUntil, t: now + 500*time.Second})
+	return ops
+}
+
+// schedDriver adapts one scheduler implementation to the op script.
+type schedDriver struct {
+	now      func() time.Duration
+	at       func(t time.Duration, fn func()) func()
+	every    func(start, period time.Duration, fn func()) func()
+	runUntil func(t time.Duration)
+	pending  func() int
+}
+
+type fireRec struct {
+	at time.Duration
+	id int
+}
+
+func driveSchedOps(ops []schedOp, d schedDriver) (fires []fireRec, pend []int) {
+	var cancels []func()
+	for id, op := range ops {
+		id := id
+		switch op.kind {
+		case opAt:
+			c := d.at(op.t, func() { fires = append(fires, fireRec{d.now(), id}) })
+			cancels = append(cancels, c)
+		case opEvery:
+			count := 0
+			stop := op.stopAfter
+			var self func()
+			self = d.every(op.t, op.period, func() {
+				count++
+				fires = append(fires, fireRec{d.now(), id})
+				if count == stop {
+					self()
+				}
+			})
+			cancels = append(cancels, self)
+		case opCancel:
+			cancels[op.cancelIdx]()
+		case opRunUntil:
+			d.runUntil(op.t)
+			pend = append(pend, d.pending())
+		}
+	}
+	return fires, pend
+}
+
+func wheelDriver() schedDriver {
+	s := NewScheduler()
+	return schedDriver{
+		now: s.Now,
+		at: func(t time.Duration, fn func()) func() {
+			return s.At(t, fn).Cancel
+		},
+		every: func(start, period time.Duration, fn func()) func() {
+			return s.Every(start, period, fn).Cancel
+		},
+		runUntil: s.RunUntil,
+		pending:  s.Pending,
+	}
+}
+
+func refDriver() schedDriver {
+	s := newRefScheduler()
+	return schedDriver{
+		now: s.Now,
+		at: func(t time.Duration, fn func()) func() {
+			return s.At(t, fn).Cancel
+		},
+		every: func(start, period time.Duration, fn func()) func() {
+			return s.Every(start, period, fn).Cancel
+		},
+		runUntil: s.RunUntil,
+		pending:  s.Pending,
+	}
+}
+
+// TestSchedulerDifferentialVsRefHeap drives the timing wheel and the
+// old container/heap scheduler with identical randomized workloads and
+// requires identical firing order and identical pending counts at
+// every quiescent point.
+func TestSchedulerDifferentialVsRefHeap(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		ops := genSchedOps(seed, 600)
+		wf, wp := driveSchedOps(ops, wheelDriver())
+		rf, rp := driveSchedOps(ops, refDriver())
+		if len(wf) != len(rf) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(wf), len(rf))
+		}
+		for i := range wf {
+			if wf[i] != rf[i] {
+				t.Fatalf("seed %d: firing %d diverges: wheel %v heap %v", seed, i, wf[i], rf[i])
+			}
+		}
+		if len(wp) != len(rp) {
+			t.Fatalf("seed %d: pending snapshots %d vs %d", seed, len(wp), len(rp))
+		}
+		for i := range wp {
+			if wp[i] != rp[i] {
+				t.Fatalf("seed %d: pending snapshot %d diverges: wheel %d heap %d", seed, i, wp[i], rp[i])
+			}
+		}
+	}
+}
+
+// ---- wheel-specific regressions ------------------------------------------
+
+// TestSchedulerCancelReclaimsStore is the regression for the heap
+// scheduler's memory pinning: canceled events stayed in the queue
+// until their deadline. The wheel must return every record of 100k
+// canceled periodic chains to the free list immediately, and reuse
+// them for later events instead of growing the store.
+func TestSchedulerCancelReclaimsStore(t *testing.T) {
+	s := NewScheduler()
+	const n = 100_000
+	ctls := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ctls = append(ctls, s.Every(time.Duration(i)*time.Microsecond, time.Hour, func() {}))
+	}
+	inUse := s.storeCap() - s.storeFree()
+	if inUse != 2*n { // one control + one chain link per Every
+		t.Fatalf("in-use records = %d, want %d", inUse, 2*n)
+	}
+	for _, c := range ctls {
+		c.Cancel()
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after mass cancel = %d, want 0", got)
+	}
+	if free, cap := s.storeFree(), s.storeCap(); free != cap {
+		t.Fatalf("canceled events still pin %d of %d records", cap-free, cap)
+	}
+	// The reclaimed store is reused: scheduling n fresh timers must not
+	// allocate a single new slab.
+	capBefore := s.storeCap()
+	for i := 0; i < n; i++ {
+		s.AtIndexed(time.Duration(i), uint64(i))
+	}
+	if s.storeCap() != capBefore {
+		t.Fatalf("store grew %d -> %d records despite %d free", capBefore, s.storeCap(), capBefore)
+	}
+	s.RunUntil(time.Hour)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// TestSchedulerWheelLevels pins ordering across every time scale a
+// world uses — events parked many wheel levels apart must still fire
+// in (at, seq) order as they cascade down.
+func TestSchedulerWheelLevels(t *testing.T) {
+	s := NewScheduler()
+	targets := []time.Duration{
+		1, 63, 64, 65, // around the level-0/1 boundary
+		4095, 4096, 4097, // level-1/2 boundary
+		5 * time.Microsecond, 3 * time.Millisecond, 450 * time.Millisecond,
+		7 * time.Second, 90 * time.Minute, 300 * time.Hour,
+	}
+	var fired []time.Duration
+	for i := len(targets) - 1; i >= 0; i-- { // schedule in reverse
+		at := targets[i]
+		s.At(at, func() {
+			if s.Now() != at {
+				t.Errorf("event for %v fired at %v", at, s.Now())
+			}
+			fired = append(fired, at)
+		})
+	}
+	s.Run()
+	if len(fired) != len(targets) {
+		t.Fatalf("fired %d of %d events", len(fired), len(targets))
+	}
+	for i, at := range targets {
+		if fired[i] != at {
+			t.Fatalf("firing order %v, want %v", fired, targets)
+		}
+	}
+}
+
+// TestSchedulerSameInstantCrossLevel pins the cascade-before-fire tie
+// rule: an early-scheduled event parked in an upper wheel and a
+// late-scheduled event already on level 0 share one deadline; the
+// earlier seq must fire first even though it has further to cascade.
+func TestSchedulerSameInstantCrossLevel(t *testing.T) {
+	s := NewScheduler()
+	const deadline = 100 * time.Millisecond
+	var order []string
+	s.At(deadline, func() { order = append(order, "early-seq") }) // parks high
+	s.At(deadline-time.Nanosecond, func() {
+		// Runs just before the deadline: this sibling lands on level 0.
+		s.At(deadline, func() { order = append(order, "late-seq") })
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "early-seq" || order[1] != "late-seq" {
+		t.Fatalf("same-instant order = %v", order)
+	}
+}
+
+// TestSchedulerIndexedEvents covers the closure-free timer path used
+// by compact worlds.
+func TestSchedulerIndexedEvents(t *testing.T) {
+	s := NewScheduler()
+	var got []uint64
+	s.OnIndexed = func(arg uint64) {
+		got = append(got, arg)
+		if arg == 7 {
+			s.AtIndexed(s.Now()+time.Millisecond, 8) // reschedule from handler
+		}
+	}
+	s.AtIndexed(2*time.Millisecond, 7)
+	s.AtIndexed(time.Millisecond, 3)
+	s.Run()
+	want := []uint64{3, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("indexed fires = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("indexed fires = %v, want %v", got, want)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// TestSchedulerStaleHandleCancel pins the generation guard: a handle
+// kept past its event's firing must not cancel whatever event reuses
+// the record.
+func TestSchedulerStaleHandleCancel(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(time.Millisecond, func() {})
+	s.Run() // fires and recycles the record
+	fired := false
+	fresh := s.At(2*time.Millisecond, func() { fired = true }) // reuses it
+	stale.Cancel()                                             // must be a no-op
+	s.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed an innocent reused event")
+	}
+	fresh.Cancel() // already fired: no-op
+}
+
+// ---- sharded scheduler ----------------------------------------------------
+
+// TestShardedSchedulerDeterministicAcrossWorkers runs the same
+// per-region workload serially and with maximal worker parallelism and
+// requires identical per-region logs, barrier sequences, and clocks.
+func TestShardedSchedulerDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([][]time.Duration, []time.Duration) {
+		ss := NewShardedScheduler(8, 10*time.Millisecond, workers)
+		logs := make([][]time.Duration, ss.Regions())
+		for i := 0; i < ss.Regions(); i++ {
+			i := i
+			r := ss.Region(i)
+			r.Every(time.Duration(i+1)*time.Millisecond, 7*time.Millisecond, func() {
+				logs[i] = append(logs[i], r.Now())
+			})
+		}
+		var barriers []time.Duration
+		ss.RunUntil(100*time.Millisecond, func(now time.Duration) {
+			barriers = append(barriers, now)
+		})
+		return logs, barriers
+	}
+	serialLogs, serialBarriers := run(1)
+	parLogs, parBarriers := run(8)
+	for i := range serialLogs {
+		if len(serialLogs[i]) != len(parLogs[i]) {
+			t.Fatalf("region %d: %d vs %d fires", i, len(serialLogs[i]), len(parLogs[i]))
+		}
+		for j := range serialLogs[i] {
+			if serialLogs[i][j] != parLogs[i][j] {
+				t.Fatalf("region %d fire %d: %v vs %v", i, j, serialLogs[i][j], parLogs[i][j])
+			}
+		}
+	}
+	if len(serialBarriers) != len(parBarriers) || len(serialBarriers) != 10 {
+		t.Fatalf("barriers: serial %v par %v", serialBarriers, parBarriers)
+	}
+	if serialBarriers[len(serialBarriers)-1] != 100*time.Millisecond {
+		t.Fatalf("last barrier = %v", serialBarriers[len(serialBarriers)-1])
+	}
+}
+
+// TestShardedSchedulerBarrierScheduling verifies onBarrier may feed
+// new cross-region work into the next window.
+func TestShardedSchedulerBarrierScheduling(t *testing.T) {
+	ss := NewShardedScheduler(2, 10*time.Millisecond, 2)
+	var fired []time.Duration
+	ss.RunUntil(30*time.Millisecond, func(now time.Duration) {
+		if now == 10*time.Millisecond {
+			ss.Region(1).At(now+5*time.Millisecond, func() {
+				fired = append(fired, ss.Region(1).Now())
+			})
+		}
+	})
+	if len(fired) != 1 || fired[0] != 15*time.Millisecond {
+		t.Fatalf("barrier-scheduled fires = %v", fired)
+	}
+	if ss.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", ss.Now())
+	}
+}
+
+func TestMergeRegions(t *testing.T) {
+	type rec struct {
+		at  time.Duration
+		seq uint64
+		val string
+	}
+	parts := [][]rec{
+		{{1, 1, "a1"}, {5, 2, "a2"}, {5, 9, "a3"}},
+		{{2, 1, "b1"}, {5, 3, "b2"}},
+		{},
+		{{1, 1, "d1"}, {9, 1, "d2"}},
+	}
+	got := MergeRegions(parts, func(r rec) (time.Duration, uint64) { return r.at, r.seq })
+	want := []string{"a1", "d1", "b1", "a2", "b2", "a3", "d2"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].val != w {
+			t.Fatalf("merge order %v, want %v at %d", got[i].val, w, i)
+		}
+	}
+}
