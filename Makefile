@@ -75,11 +75,21 @@ IDLE_GATE_RE = BenchmarkIdleWorld/ues=10000$$|BenchmarkIdleWorld/ues=100000$$
 IDLE_GATE_PKGS = ./internal/exp
 IDLE_GATE_FLAGS = -benchmem -benchtime 1x -count 3 -json
 
+# Mobility-plane gate: one full prepared handover arc (X2 prepare/ack,
+# break-before-make re-attach, TEID re-point, path migration,
+# complete/retire) on the real stack, single UE and a 16-UE wave.
+# Committed allocs/op carry a couple of allocs of headroom: the settle
+# poll count varies by one tick across benchtime choices.
+HO_GATE_RE = BenchmarkHandover/single$$|BenchmarkHandover/storm$$
+HO_GATE_PKGS = ./internal/exp
+HO_GATE_FLAGS = -benchmem -benchtime 50x -count 3 -json
+
 bench-gate:
 	( $(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(WHEEL_GATE_RE)' $(WHEEL_GATE_FLAGS) $(WHEEL_GATE_PKGS) && \
-	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
 # Regenerate the gate's numbers (run on the reference machine, commit
@@ -89,7 +99,8 @@ bench-baseline:
 	( $(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(WHEEL_GATE_RE)' $(WHEEL_GATE_FLAGS) $(WHEEL_GATE_PKGS) && \
-	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 # Fuzz smoke: a few seconds of coverage-guided fuzzing per untrusted
@@ -116,7 +127,11 @@ smoke: build
 # and with every simulated core sharded eight ways (-shards 8). The
 # E13 leg repeats the comparison at a 100k-UE population, where
 # -shards additionally fans the region wheels across OS threads —
-# the million-UE scaling path must not cost a byte of stability.
+# the million-UE scaling path must not cost a byte of stability. The
+# E11 leg does the same for the full-size mobility scenarios: the
+# compiled corridor / flash-crowd / failure-wave worlds interleave
+# real-stack probe handovers with region-sharded compact events, and
+# neither knob may move a byte of the rendered table.
 determinism-smoke: build
 	$(GO) build -o /tmp/dlte-sim-det ./cmd/dlte-sim
 	/tmp/dlte-sim-det -quick -p 1 -shards 1 2>/dev/null > /tmp/dlte-det-p1.txt
@@ -129,7 +144,13 @@ determinism-smoke: build
 	/tmp/dlte-sim-det -exp E13 -ues 100000 -p 8 -shards 8 2>/dev/null > /tmp/dlte-det-e13-s8.txt
 	cmp /tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-p8.txt
 	cmp /tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-s8.txt
+	/tmp/dlte-sim-det -exp E11 -p 1 -shards 1 2>/dev/null > /tmp/dlte-det-e11-p1.txt
+	/tmp/dlte-sim-det -exp E11 -p 8 -shards 1 2>/dev/null > /tmp/dlte-det-e11-p8.txt
+	/tmp/dlte-sim-det -exp E11 -p 8 -shards 8 2>/dev/null > /tmp/dlte-det-e11-s8.txt
+	cmp /tmp/dlte-det-e11-p1.txt /tmp/dlte-det-e11-p8.txt
+	cmp /tmp/dlte-det-e11-p1.txt /tmp/dlte-det-e11-s8.txt
 	rm -f /tmp/dlte-sim-det /tmp/dlte-det-p1.txt /tmp/dlte-det-p8.txt /tmp/dlte-det-s8.txt \
-		/tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-p8.txt /tmp/dlte-det-e13-s8.txt
+		/tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-p8.txt /tmp/dlte-det-e13-s8.txt \
+		/tmp/dlte-det-e11-p1.txt /tmp/dlte-det-e11-p8.txt /tmp/dlte-det-e11-s8.txt
 
 check: lint build race bench smoke determinism-smoke

@@ -114,3 +114,15 @@ func BenchmarkE10Discovery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE11Mobility regenerates the §4.2 city-scale mobility
+// scenarios (compiled corridor / flash-crowd / failure-wave worlds
+// plus real-stack probe handovers).
+func BenchmarkE11Mobility(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunE11(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

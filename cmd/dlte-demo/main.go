@@ -130,7 +130,7 @@ func main() {
 	if err := s.ConnectUERadio("ue1", "ap2", geo.Pt(2400, 0)); err != nil {
 		log.Fatal(err)
 	}
-	if err := aps[0].PrepareHandover("ap2", d.Publication(), -102); err != nil {
+	if err := aps[0].Mobility.Prepare("ap2", d.Publication(), -102); err != nil {
 		log.Fatal(err)
 	}
 	time.Sleep(100 * time.Millisecond)

@@ -116,7 +116,7 @@ func run(mode transport.Mode) error {
 	if _, err := aps[0].DiscoverPeers(); err != nil {
 		return err
 	}
-	if err := aps[0].PrepareHandover("ap2", d.Publication(), -103); err != nil {
+	if err := aps[0].Mobility.Prepare("ap2", d.Publication(), -103); err != nil {
 		return err
 	}
 	time.Sleep(50 * time.Millisecond)

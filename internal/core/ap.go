@@ -21,6 +21,7 @@ import (
 	"dlte/internal/enb"
 	"dlte/internal/epc"
 	"dlte/internal/geo"
+	"dlte/internal/mobility"
 	"dlte/internal/radio"
 	"dlte/internal/registry"
 	"dlte/internal/simnet"
@@ -56,6 +57,12 @@ type APConfig struct {
 	// 0 means one per CPU). Shard-count choice never changes simulated
 	// results, only real-CPU signaling throughput.
 	Shards int
+	// Trigger is the AP's RSRP handover policy; the zero value means
+	// mobility.DefaultTrigger.
+	Trigger mobility.Trigger
+	// Meter, when non-nil, is a shared mobility measurement seam (see
+	// mobility.Config.Meter); nil gives the AP a private one.
+	Meter *mobility.Meter
 }
 
 // AccessPoint is a running dLTE site.
@@ -63,12 +70,13 @@ type AccessPoint struct {
 	cfg  APConfig
 	host *simnet.Host
 
-	Core   *epc.Core
-	ENB    *enb.ENodeB
-	Agent  *x2.Agent
-	reg    *registry.Client
-	mirror *registry.Mirror
-	keyRev uint64 // registry revision key sync is current through
+	Core     *epc.Core
+	ENB      *enb.ENodeB
+	Agent    *x2.Agent
+	Mobility *mobility.Plane
+	reg      *registry.Client
+	mirror   *registry.Mirror
+	keyRev   uint64 // registry revision key sync is current through
 
 	s1Listener epc.Listener
 	x2Listener x2.Listener
@@ -139,6 +147,10 @@ func NewAccessPoint(host *simnet.Host, cfg APConfig) (*AccessPoint, error) {
 		X: cfg.Position.X, Y: cfg.Position.Y,
 		BandName: cfg.Band.Name, Mode: cfg.Mode,
 	}, ap.handleX2)
+	ap.Mobility = mobility.NewPlane(mobility.Config{
+		APID: cfg.ID, X2: ap.Agent, Core: core,
+		Trigger: cfg.Trigger, Meter: cfg.Meter,
+	})
 	x2l, err := host.Listen(X2Port)
 	if err != nil {
 		e.Close()

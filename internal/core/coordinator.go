@@ -1,17 +1,21 @@
 package core
 
 import (
-	"dlte/internal/auth"
 	"dlte/internal/x2"
 )
 
 // This file implements the AP's coordination behaviour: the X2 message
 // handler and the share-negotiation logic for fair-share and
-// cooperative modes (§4.3), plus the cooperative handover preparation
-// path (UE context push → fast local re-attach, §4.2/§6).
+// cooperative modes (§4.3). The handover choreography that used to be
+// dispatched here (context push, request/ack, complete) now belongs to
+// the AP's mobility plane (internal/mobility): handleX2 funnels every
+// message through the plane first and only handles what it declines.
 
 // handleX2 dispatches inbound peer messages.
 func (ap *AccessPoint) handleX2(peerID string, msg x2.Message) {
+	if ap.Mobility.HandleX2(peerID, msg) {
+		return
+	}
 	switch m := msg.(type) {
 	case *x2.LoadInformation:
 		ap.mu.Lock()
@@ -32,24 +36,6 @@ func (ap *AccessPoint) handleX2(peerID string, msg x2.Message) {
 		// the protocol's baseline obligation).
 		accept := m.Mode == x2.ModeFairShare || ap.cfg.Mode == x2.ModeCooperative
 		ap.Agent.Send(peerID, &x2.ModeResponse{APID: ap.cfg.ID, Mode: m.Mode, Accepted: accept})
-
-	case *x2.UEContextPush:
-		// Handover preparation: pre-provision the roaming client's
-		// published key on its owning session shard so its re-attach
-		// here is purely local.
-		pub := auth.KeyPublication{IMSI: auth.IMSI(m.IMSI), K: m.K, OPc: m.OPc}
-		ap.Core.PrepareHandoverTarget(pub, peerID)
-
-	case *x2.HandoverRequest:
-		// dLTE always has room for a re-attaching client (admission
-		// control is a policy knob we leave open).
-		ap.Agent.Send(peerID, &x2.HandoverRequestAck{IMSI: m.IMSI, Accepted: true})
-
-	case *x2.HandoverComplete:
-		// Source-side cleanup: the client landed elsewhere, so its
-		// local lifecycle ends through the session FSM (Attached →
-		// Detached) and the gateway session is torn down with it.
-		ap.Core.CompleteHandover(m.IMSI)
 
 	case *x2.RelayRequest:
 		// Grant relay capacity within our backhaul budget (§7); the
@@ -173,29 +159,4 @@ func (ap *AccessPoint) ShareOf(id string) float64 {
 	ap.mu.Lock()
 	defer ap.mu.Unlock()
 	return ap.shares[id]
-}
-
-// PrepareHandover pushes the roaming client's published key and a
-// handover request to the target AP, so the client's re-attach there
-// is fast and purely local.
-func (ap *AccessPoint) PrepareHandover(targetAP string, pub auth.KeyPublication, rsrpDBm float64) error {
-	if err := ap.Agent.Send(targetAP, &x2.UEContextPush{
-		IMSI: string(pub.IMSI), K: pub.K, OPc: pub.OPc,
-	}); err != nil {
-		return err
-	}
-	return ap.Agent.Send(targetAP, &x2.HandoverRequest{
-		IMSI: string(pub.IMSI), SourceAP: ap.cfg.ID, RSRPdBm: int32(rsrpDBm * 100),
-	})
-}
-
-// HandoverPrepared reports whether the named client was pre-provisioned
-// here by a peer, and by whom.
-func (ap *AccessPoint) HandoverPrepared(imsi string) (string, bool) {
-	return ap.Core.HandoverPreparedBy(imsi)
-}
-
-// NotifyHandoverComplete tells the source AP its former client landed.
-func (ap *AccessPoint) NotifyHandoverComplete(sourceAP, imsi string) error {
-	return ap.Agent.Send(sourceAP, &x2.HandoverComplete{IMSI: imsi, TargetAP: ap.cfg.ID})
 }

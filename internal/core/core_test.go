@@ -8,8 +8,10 @@ import (
 
 	"dlte/internal/auth"
 	"dlte/internal/geo"
+	"dlte/internal/mobility"
 	"dlte/internal/radio"
 	"dlte/internal/simnet"
+	"dlte/internal/ue"
 	"dlte/internal/x2"
 )
 
@@ -232,16 +234,16 @@ func TestRoamingWithHandoverPrep(t *testing.T) {
 
 	// Source AP prepares the target over X2 (pushes the published
 	// key), then the UE re-attaches at the target.
-	if err := ap1.PrepareHandover("ap2", d.Publication(), -101.5); err != nil {
+	if err := ap1.Mobility.Prepare("ap2", d.Publication(), -101.5); err != nil {
 		t.Fatal(err)
 	}
 	if !waitSettle(s.Clock(), 2*time.Second, func() bool {
-		_, ok := ap2.HandoverPrepared(d.IMSI())
+		_, ok := ap2.Mobility.PreparedBy(d.IMSI())
 		return ok
 	}) {
 		t.Fatal("target AP never saw the context push")
 	}
-	src, _ := ap2.HandoverPrepared(d.IMSI())
+	src, _ := ap2.Mobility.PreparedBy(d.IMSI())
 	if src != "ap1" {
 		t.Errorf("prepared by %q", src)
 	}
@@ -255,7 +257,7 @@ func TestRoamingWithHandoverPrep(t *testing.T) {
 	if res.IP == ip1 && ip1 != "" {
 		t.Logf("note: IPs collided across APs (%s); allowed but rare", ip1)
 	}
-	if err := ap2.NotifyHandoverComplete("ap1", d.IMSI()); err != nil {
+	if err := ap2.Mobility.NotifyComplete("ap1", d.IMSI()); err != nil {
 		t.Fatal(err)
 	}
 	// Source cleans up its session.
@@ -409,5 +411,140 @@ func TestRecordRoundTrip(t *testing.T) {
 	got, ok := s.Registry.Get("ap9")
 	if !ok || got.X2Addr != rec.X2Addr {
 		t.Errorf("registry copy = %+v ok=%v", got, ok)
+	}
+}
+
+// roamPair builds two associated cooperative APs with a UE attached at
+// the first, radio-visible to both — the starting point of every
+// handover failure-path test.
+func roamPair(t *testing.T, imsi string) (*Scenario, *AccessPoint, *AccessPoint, *ue.Device) {
+	t.Helper()
+	s := newScenario(t)
+	ap1 := addAP(t, s, "ap1", 0, x2.ModeCooperative)
+	ap2 := addAP(t, s, "ap2", 3000, x2.ModeCooperative)
+	if _, err := ap1.DiscoverPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool { return len(ap2.Agent.Peers()) == 1 }) {
+		t.Fatal("association not established")
+	}
+	d, err := s.AddUE("roamer", auth.IMSI(imsi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap1.SyncSubscriberKeys(); err != nil {
+		t.Fatal(err)
+	}
+	s.ConnectUERadio("roamer", "ap1", geo.Pt(1000, 0))
+	s.ConnectUERadio("roamer", "ap2", geo.Pt(2000, 0))
+	if _, err := d.Attach(ap1.AirAddr(), 5*time.Second); err != nil {
+		t.Fatalf("initial attach: %v", err)
+	}
+	return s, ap1, ap2, d
+}
+
+func TestHandoverTargetRejects(t *testing.T) {
+	// Failure path: the target's admission policy refuses the UE. The
+	// source must land in REJECTED with the target's cause, the target
+	// must not keep a prepared context, and the UE stays attached and
+	// served at the source — a refused handover is not an outage.
+	s, ap1, ap2, d := roamPair(t, "001010000000270")
+	ap2.Mobility.SetAdmit(func(imsi, sourceAP string, rsrpDBm float64) (bool, uint8) {
+		return false, 42
+	})
+	if err := ap1.Mobility.Prepare("ap2", d.Publication(), -101); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool {
+		return ap1.Mobility.State(d.IMSI()) == mobility.StateRejected
+	}) {
+		t.Fatalf("source state = %v, want REJECTED", ap1.Mobility.State(d.IMSI()))
+	}
+	if c := ap1.Mobility.RejectionCause(d.IMSI()); c != 42 {
+		t.Errorf("cause = %d, want 42", c)
+	}
+	if _, ok := ap2.Mobility.PreparedBy(d.IMSI()); ok {
+		t.Error("rejected UE still prepared at target")
+	}
+	// The session at the source is intact and service continues.
+	if n := ap1.Core.Gateway().NumSessions(); n != 1 {
+		t.Errorf("source sessions = %d, want 1", n)
+	}
+	if _, err := d.Attach(ap1.AirAddr(), 5*time.Second); err != nil {
+		t.Errorf("UE lost service after rejected handover: %v", err)
+	}
+}
+
+func TestHandoverSourceDiesMidPrepare(t *testing.T) {
+	// Failure path: the source AP dies after pushing the UE context but
+	// before the handover finishes. The UE must still land at the
+	// prepared target, and the target's NotifyComplete must retire the
+	// prepared entry even though the source is unreachable — nothing
+	// strands.
+	s, ap1, ap2, d := roamPair(t, "001010000000271")
+	if err := ap1.Mobility.Prepare("ap2", d.Publication(), -101); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool {
+		_, ok := ap2.Mobility.PreparedBy(d.IMSI())
+		return ok
+	}) {
+		t.Fatal("context push never landed at target")
+	}
+
+	// The source dies: registry record gone, X2 agent and air side shut.
+	ap1.Close()
+
+	if _, err := d.Attach(ap2.AirAddr(), 5*time.Second); err != nil {
+		t.Fatalf("re-attach at prepared target after source death: %v", err)
+	}
+	if n := ap2.Core.Gateway().NumSessions(); n != 1 {
+		t.Fatalf("target sessions = %d, want 1", n)
+	}
+	// Completing toward a dead source may error — but the prepared
+	// entry must be retired regardless, or the context leaks forever.
+	if err := ap2.Mobility.NotifyComplete("ap1", d.IMSI()); err != nil {
+		t.Logf("notify toward dead source failed as expected: %v", err)
+	}
+	if _, ok := ap2.Mobility.PreparedBy(d.IMSI()); ok {
+		t.Error("prepared entry survived NotifyComplete — stranded context")
+	}
+	// The UE's session at the living AP is untouched by the failure.
+	if n := ap2.Core.Gateway().NumSessions(); n != 1 {
+		t.Errorf("target sessions after notify = %d, want 1", n)
+	}
+}
+
+func TestHandoverDuplicateComplete(t *testing.T) {
+	// Failure path: the target retransmits HandoverComplete (its first
+	// notify looked lost). The source must tear the session down exactly
+	// once, end in COMPLETED, and shrug off the duplicate.
+	s, ap1, ap2, d := roamPair(t, "001010000000272")
+	if err := ap1.Mobility.Prepare("ap2", d.Publication(), -101); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool {
+		return ap1.Mobility.State(d.IMSI()) == mobility.StatePrepared
+	}) {
+		t.Fatalf("source state = %v, want PREPARED", ap1.Mobility.State(d.IMSI()))
+	}
+	if _, err := d.Attach(ap2.AirAddr(), 5*time.Second); err != nil {
+		t.Fatalf("re-attach at target: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := ap2.Mobility.NotifyComplete("ap1", d.IMSI()); err != nil {
+			t.Fatalf("notify %d: %v", i+1, err)
+		}
+	}
+	if !waitSettle(s.Clock(), 2*time.Second, func() bool {
+		return ap1.Core.Gateway().NumSessions() == 0 &&
+			ap1.Mobility.State(d.IMSI()) == mobility.StateCompleted
+	}) {
+		t.Fatalf("after duplicate completes: sessions=%d state=%v",
+			ap1.Core.Gateway().NumSessions(), ap1.Mobility.State(d.IMSI()))
+	}
+	// Both sides settled: target serves the UE, source holds nothing.
+	if n := ap2.Core.Gateway().NumSessions(); n != 1 {
+		t.Errorf("target sessions = %d, want 1", n)
 	}
 }

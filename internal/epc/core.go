@@ -147,7 +147,6 @@ type sessShard struct {
 	nextGUTI uint64
 	gutis    map[uint64]string     // GUTI → IMSI
 	byIMSI   map[string]*ueSession // current session per registered IMSI
-	prepared map[string]string     // IMSI → source AP (X2 handover prep)
 }
 
 // NewCore creates a core whose gateway lives on host.
@@ -189,7 +188,6 @@ func NewCore(host *simnet.Host, cfg Config) (*Core, error) {
 			nextGUTI: 0x100,
 			gutis:    make(map[uint64]string),
 			byIMSI:   make(map[string]*ueSession),
-			prepared: make(map[string]string),
 		}
 	}
 	return c, nil
@@ -227,36 +225,16 @@ func (c *Core) ImportPublishedKey(p auth.KeyPublication) error {
 	return c.hss.ImportPublished(p.SIM())
 }
 
-// PrepareHandoverTarget readies this core for a roaming UE pushed by
-// a peer AP over X2: it imports the published key (so the fresh
-// attach authenticates locally) and records which peer prepared the
-// context on the UE's owning shard.
-func (c *Core) PrepareHandoverTarget(pub auth.KeyPublication, sourceAP string) error {
-	if err := c.hss.ImportPublished(pub.SIM()); err != nil {
-		return err
-	}
-	sh := c.shardFor(string(pub.IMSI))
-	sh.mu.Lock()
-	sh.prepared[string(pub.IMSI)] = sourceAP
-	sh.mu.Unlock()
-	return nil
-}
-
-// HandoverPreparedBy reports which peer AP (if any) pushed the named
-// UE's context here.
-func (c *Core) HandoverPreparedBy(imsi string) (string, bool) {
-	sh := c.shardFor(imsi)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	src, ok := sh.prepared[imsi]
-	return src, ok
-}
-
 // CompleteHandover finishes the source side of an X2 handover: the UE
 // landed at a peer AP, so the local lifecycle ends (Attached →
 // Detached via EvHandoverComplete) and its gateway session is torn
-// down.
-func (c *Core) CompleteHandover(imsi string) {
+// down. Idempotent: a duplicate or late complete finds no session and
+// only re-deletes the (already gone) user-plane state. A session still
+// mid-attach falls back to EvRelease inside releaseSession, so a
+// complete racing an attach can never strand the session. Handover
+// bookkeeping (who prepared what, in-flight state) lives in
+// internal/mobility, not here.
+func (c *Core) CompleteHandover(imsi string) error {
 	sh := c.shardFor(imsi)
 	sh.mu.Lock()
 	s := sh.byIMSI[imsi]
@@ -265,10 +243,11 @@ func (c *Core) CompleteHandover(imsi string) {
 		// No live control-plane session (it may already have been
 		// released); make sure the user plane is gone regardless.
 		c.gw.DeleteSession(imsi)
-		return
+		return nil
 	}
-	s.nasSession.FSM().Fire(session.EvHandoverComplete)
+	_, err := s.nasSession.FSM().Fire(session.EvHandoverComplete)
 	c.releaseSession(s)
+	return err
 }
 
 // Stats snapshots the signaling counters.

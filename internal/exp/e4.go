@@ -223,7 +223,7 @@ func runRoam(seed int64, ottOneWayMs int, mode transport.Mode, shards int) (roam
 
 	// Warm up, then roam.
 	drainUntil(clk, echoes, 400*time.Millisecond)
-	aps[0].PrepareHandover("ap2", d.Publication(), -101)
+	aps[0].Mobility.Prepare("ap2", d.Publication(), -101)
 	// Flush any echo that slipped in between warm-up and the roam so
 	// the first item on the channel is genuinely post-roam.
 	for {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dlte/internal/metrics"
+	"dlte/internal/mobility"
 	"dlte/internal/phy"
 	"dlte/internal/radio"
 )
@@ -23,6 +24,12 @@ type E5Result struct {
 	TotalMbps   map[string]float64
 	Jain        map[string]float64
 	MinUserMbps map[string]float64
+	// TriggerEligible counts users whose RSRP geometry trips the
+	// mobility plane's handover trigger (mobility.DefaultTrigger)
+	// toward the neighbor cell. Cooperative mode reassigns on load as
+	// well as signal, so its cross-AP handoff count can exceed this —
+	// the delta is load balancing, not radio necessity.
+	TriggerEligible int
 }
 
 // e5APSpacingM places the two co-channel APs close enough that their
@@ -30,6 +37,16 @@ type E5Result struct {
 // coordinates. (With well-separated cells, frequency reuse 1 wins and
 // no coordination is needed; E5's point is the overlapping case.)
 const e5APSpacingM = 1500
+
+// e5Positions / e5Homes lay out the 8 clients every E5 comparator
+// shares (the LTE modes, the WiFi DCF baseline, and the mobility
+// trigger audit): six ap1 clients spread from near the site out past
+// the cell-edge midpoint, two ap2 clients (one comfortable, one at
+// the edge).
+var (
+	e5Positions = []float64{150, 350, 500, 650, 750, 800, 1300, 780}
+	e5Homes     = []int{0, 0, 0, 0, 0, 0, 1, 1}
+)
 
 // e5Geometry builds the canonical two-AP scenario: overlapping cells
 // with clients spread through the shared corridor, load skewed toward
@@ -55,14 +72,38 @@ func e5Geometry() []phy.MultiUser {
 		return u
 	}
 	var users []phy.MultiUser
-	// Six ap1 clients spread from near the site out to the cell-edge
-	// midpoint, where the neighbor's signal rivals the serving one.
-	for i, x := range []float64{150, 350, 500, 650, 750, 800} {
-		users = append(users, mkUser(fmt.Sprintf("a%d", i), x, 0))
+	for i, x := range e5Positions {
+		id := fmt.Sprintf("a%d", i)
+		if e5Homes[i] == 1 {
+			id = fmt.Sprintf("b%d", i-6)
+		}
+		users = append(users, mkUser(id, x, e5Homes[i]))
 	}
-	// Two ap2 clients, one comfortable and one at the edge.
-	users = append(users, mkUser("b0", 1300, 1), mkUser("b1", 780, 1))
 	return users
+}
+
+// e5TriggerEligible audits the same geometry through the mobility
+// plane's production handover policy: per-user RSRP toward each AP
+// from the radio model, decision by mobility.BestCell +
+// mobility.DefaultTrigger — the exact seam the live mobility.Plane
+// and E11's scenario compiler evaluate.
+func e5TriggerEligible() int {
+	band := radio.LTEBand5
+	apX := []float64{0, e5APSpacingM}
+	trig := mobility.DefaultTrigger()
+	n := 0
+	for i, x := range e5Positions {
+		rsrp := make([]float64, 2)
+		for c := 0; c < 2; c++ {
+			link := radio.Link{Tx: radio.LTEBaseStation, Rx: radio.LTEHandset, Band: band}
+			rsrp[c] = link.RxPowerDBm(abs(x-apX[c]) / 1000)
+		}
+		serving := e5Homes[i]
+		if best := mobility.BestCell(rsrp); best != serving && trig.Decide(rsrp[serving], rsrp[best]) {
+			n++
+		}
+	}
+	return n
 }
 
 func abs(v float64) float64 {
@@ -76,6 +117,7 @@ func abs(v float64) float64 {
 func RunE5(opt Options) (E5Result, error) {
 	res := E5Result{TotalMbps: map[string]float64{}, Jain: map[string]float64{}, MinUserMbps: map[string]float64{}}
 	users := e5Geometry()
+	res.TriggerEligible = e5TriggerEligible()
 	ttis := 2000
 	dcfSeconds := 1.0
 	if opt.Quick {
@@ -121,13 +163,11 @@ func RunE5(opt Options) (E5Result, error) {
 			// Legacy WiFi comparator: the same 8 clients contend via
 			// CSMA on ISM spectrum (rates from WiFi SINR at their
 			// positions, capped by association range).
-			positions := []float64{150, 350, 500, 650, 750, 800, 1300, 780}
-			homes := []int{0, 0, 0, 0, 0, 0, 1, 1}
 			var stations []phy.DCFStation
 			var wifiDead int
 			for j, u := range users {
-				apX := float64(homes[j]) * e5APSpacingM
-				dKm := abs(positions[j]-apX) / 1000
+				apX := float64(e5Homes[j]) * e5APSpacingM
+				dKm := abs(e5Positions[j]-apX) / 1000
 				wl := radio.Link{Tx: radio.WiFiAccessPoint, Rx: radio.WiFiClient, Band: radio.ISM24}
 				rate, _ := radio.WiFiRate(wl.SNRdB(dKm))
 				if dKm > radio.WiFiDefaultMaxRangeKm {
@@ -217,13 +257,16 @@ func RunE5(opt Options) (E5Result, error) {
 	return res, nil
 }
 
-// reassignToBest unpins users so the fair-share simulator serves each
-// from its strongest cell (isolating assignment from share policy).
+// reassignToBest pins each user to the cell the mobility plane would
+// pick — mobility.BestCell over the orthogonal-SINR vector — so the
+// ablation isolates share policy from assignment under the production
+// selection logic. (Identical to phy's internal strongest-cell fallback
+// for unpinned users, but the decision now lives in one place.)
 func reassignToBest(users []phy.MultiUser) []phy.MultiUser {
 	out := make([]phy.MultiUser, len(users))
 	copy(out, users)
 	for i := range out {
-		out[i].Home = -1
+		out[i].Home = mobility.BestCell(out[i].SINROrthogonal)
 	}
 	return out
 }

@@ -257,3 +257,76 @@ func TestE10DiscoveryAtScaleShape(t *testing.T) {
 		t.Errorf("mesh table rows = %d, want %d", got, want)
 	}
 }
+
+func TestE5MobilityTriggerAudit(t *testing.T) {
+	// The E5 geometry sits entirely inside the mobility trigger's 3 dB
+	// hysteresis: no client's neighbor RSRP justifies a handover, so
+	// every cross-AP handoff cooperative mode reports is load
+	// balancing, not radio necessity. If this starts failing the
+	// geometry or the trigger policy changed — update the E5Result
+	// commentary along with it.
+	if n := e5TriggerEligible(); n != 0 {
+		t.Errorf("trigger-eligible users = %d, want 0", n)
+	}
+	// reassignToBest must pin exactly what phy's internal
+	// strongest-cell fallback picks (argmax with lower-index ties):
+	// home cell for every comfortable client, and never a cell the
+	// user can't hear.
+	for i, u := range reassignToBest(e5Geometry()) {
+		best := 0
+		for c := 1; c < len(u.SINROrthogonal); c++ {
+			if u.SINROrthogonal[c] > u.SINROrthogonal[best] {
+				best = c
+			}
+		}
+		if u.Home != best {
+			t.Errorf("user %d pinned to %d, strongest is %d", i, u.Home, best)
+		}
+	}
+}
+
+func TestE11MobilityScenariosShape(t *testing.T) {
+	res, err := RunE11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"corridor", "flash-crowd", "failure-wave"} {
+		if res.Handovers[name] == 0 {
+			t.Errorf("%s: compact world recorded no dLTE handovers", name)
+		}
+		if res.ProbeInterruptMs[name] <= 0 {
+			t.Errorf("%s: probe interruption %.1f ms", name, res.ProbeInterruptMs[name])
+		}
+		if res.BytesPerHandover[name] <= 0 {
+			t.Errorf("%s: %.0f signaling bytes per handover", name, res.BytesPerHandover[name])
+		}
+	}
+	// Outside a failure wave every session survives, under both schemes.
+	for _, name := range []string{"corridor", "flash-crowd"} {
+		if res.Survival[name] != 1 || res.TelecomSurvival[name] != 1 {
+			t.Errorf("%s: survival dLTE %.2f telecom %.2f, want 1/1",
+				name, res.Survival[name], res.TelecomSurvival[name])
+		}
+	}
+	// The headline resilience claim: dLTE islands keep serving through
+	// the AP failure wave while the telecom baseline behind a dead EPC
+	// loses everything.
+	if res.Survival["failure-wave"] <= 0 {
+		t.Error("failure wave: dLTE survival is 0")
+	}
+	if res.TelecomSurvival["failure-wave"] != 0 {
+		t.Errorf("failure wave: telecom survival %.2f, want 0", res.TelecomSurvival["failure-wave"])
+	}
+	if !res.FailureProbeSurvived {
+		t.Error("real-stack failure probe: dLTE UE did not re-attach to a surviving island")
+	}
+	if res.FailureProbeTelecomSurvived {
+		t.Error("real-stack failure probe: telecom UE attached through a dead EPC")
+	}
+	if res.TelecomBytesPerHandover <= 0 {
+		t.Error("telecom baseline handover bytes not derived")
+	}
+	if got, want := res.Table.NumRows(), 6; got != want {
+		t.Errorf("table rows = %d, want %d", got, want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -130,18 +131,28 @@ type waypointLeg struct {
 
 // RandomWaypoint implements the classic random-waypoint model inside a
 // bounding rectangle: pick a destination uniformly, travel at Speed,
-// pause, repeat. Legs are precomputed lazily and cached so PositionAt is
-// deterministic and O(log n) amortized.
+// pause, repeat.
+//
+// PositionAt(t) is a pure function of (Seed, t): the walk's legs are
+// derived from the seed alone and the internal cache is append-only,
+// so queries may arrive in any order — increasing, decreasing, or
+// interleaved across goroutines (sharded replay visits the same
+// trajectory from multiple regions) — and a given t always maps to the
+// same point. Negative t clamps to the walk's start. Concurrent
+// queries are safe: the lazy leg extension happens under an internal
+// lock.
 type RandomWaypoint struct {
 	Bounds Rect
 	Speed  float64 // meters per second, must be > 0
 	Pause  time.Duration
 	Seed   int64
 
-	legs []waypointLeg
-	rng  *rand.Rand
-	cur  Point
-	end  time.Duration
+	mu    sync.Mutex
+	legs  []waypointLeg
+	rng   *rand.Rand
+	start Point
+	cur   Point
+	end   time.Duration
 }
 
 // NewRandomWaypoint constructs a seeded random-waypoint walker that
@@ -149,36 +160,57 @@ type RandomWaypoint struct {
 func NewRandomWaypoint(bounds Rect, speed float64, pause time.Duration, seed int64) *RandomWaypoint {
 	rw := &RandomWaypoint{Bounds: bounds, Speed: speed, Pause: pause, Seed: seed}
 	rw.rng = rand.New(rand.NewSource(seed))
-	rw.cur = bounds.RandomPoint(rw.rng)
+	rw.start = bounds.RandomPoint(rw.rng)
+	rw.cur = rw.start
 	return rw
 }
 
-// PositionAt implements Mobility.
+// PositionAt implements Mobility. It never mutates the observable
+// trajectory: extending the cached walk draws from the seeded rng in
+// leg order regardless of which t forced the extension, so an
+// out-of-order query sequence sees exactly the points an in-order one
+// would.
 func (rw *RandomWaypoint) PositionAt(t time.Duration) Point {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if t < 0 {
+		t = 0 // before the scenario started: the walk hasn't moved
+	}
 	for rw.end <= t {
 		rw.extend()
 	}
-	// Binary search would be possible; linear from the back is fine since
-	// queries are mostly monotonic in t.
-	for i := len(rw.legs) - 1; i >= 0; i-- {
-		leg := rw.legs[i]
-		if t >= leg.start {
-			if leg.duration == 0 {
-				return leg.to
-			}
-			frac := float64(t-leg.start) / float64(leg.duration)
-			if frac > 1 {
-				frac = 1
-			}
-			return Point{
-				X: leg.from.X + (leg.to.X-leg.from.X)*frac,
-				Y: leg.from.Y + (leg.to.Y-leg.from.Y)*frac,
-			}
+	// Binary search for the leg containing t: first leg starting
+	// after t, minus one.
+	lo, hi := 0, len(rw.legs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rw.legs[mid].start <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return rw.cur
+	if lo == 0 {
+		return rw.start
+	}
+	leg := rw.legs[lo-1]
+	if leg.duration == 0 {
+		return leg.to
+	}
+	frac := float64(t-leg.start) / float64(leg.duration)
+	if frac > 1 {
+		frac = 1
+	}
+	return Point{
+		X: leg.from.X + (leg.to.X-leg.from.X)*frac,
+		Y: leg.from.Y + (leg.to.Y-leg.from.Y)*frac,
+	}
 }
 
+// extend appends the next leg (and pause) of the walk. Callers hold
+// rw.mu. The rng is consumed strictly in leg order, which is what
+// keeps PositionAt pure: a query can only ever grow the cache, never
+// reshape it.
 func (rw *RandomWaypoint) extend() {
 	dest := rw.Bounds.RandomPoint(rw.rng)
 	dist := rw.cur.DistanceTo(dest)

@@ -3,6 +3,8 @@ package geo
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -156,6 +158,91 @@ func TestRandomWaypointSpeedBound(t *testing.T) {
 			t.Fatalf("moved %v m in %v (speed %v)", dist, dt, speed)
 		}
 		prev = cur
+	}
+}
+
+func TestRandomWaypointQueryOrderIndependent(t *testing.T) {
+	// Regression: PositionAt used to fall back to the walker's mutable
+	// "current" point for times before the cached legs, so querying a
+	// large t and then a small t returned a different position than a
+	// fresh walker queried in order. Queries must be pure in t.
+	bounds := NewRect(Pt(0, 0), Pt(800, 800))
+	mk := func() *RandomWaypoint { return NewRandomWaypoint(bounds, 12, time.Second, 41) }
+
+	fresh := mk()
+	want := make(map[time.Duration]Point)
+	for d := time.Duration(0); d < 4*time.Minute; d += 9 * time.Second {
+		want[d] = fresh.PositionAt(d)
+	}
+
+	// Same walker, worst-case order: far future first, then strictly
+	// decreasing, then re-query everything ascending.
+	rw := mk()
+	times := make([]time.Duration, 0, len(want))
+	for d := range want {
+		times = append(times, d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] > times[j] })
+	for _, d := range times {
+		if got := rw.PositionAt(d); got != want[d] {
+			t.Fatalf("descending query at %v = %v, want %v", d, got, want[d])
+		}
+	}
+	for i := len(times) - 1; i >= 0; i-- {
+		d := times[i]
+		if got := rw.PositionAt(d); got != want[d] {
+			t.Fatalf("re-query at %v = %v, want %v", d, got, want[d])
+		}
+	}
+}
+
+func TestRandomWaypointNegativeTimeClamps(t *testing.T) {
+	bounds := NewRect(Pt(0, 0), Pt(100, 100))
+	rw := NewRandomWaypoint(bounds, 5, 0, 17)
+	start := rw.PositionAt(0)
+	if got := rw.PositionAt(-time.Minute); got != start {
+		t.Fatalf("PositionAt(-1m) = %v, want walk start %v", got, start)
+	}
+	// And after the cache has grown, t=0 still reports the start.
+	rw.PositionAt(10 * time.Minute)
+	if got := rw.PositionAt(0); got != start {
+		t.Fatalf("PositionAt(0) after extension = %v, want %v", got, start)
+	}
+}
+
+func TestRandomWaypointConcurrentQueries(t *testing.T) {
+	// Sharded replay queries one trajectory from several goroutines;
+	// exercise that under -race and check agreement with a serial walker.
+	bounds := NewRect(Pt(0, 0), Pt(600, 600))
+	serial := NewRandomWaypoint(bounds, 10, time.Second, 23)
+	want := make([]Point, 120)
+	for i := range want {
+		want[i] = serial.PositionAt(time.Duration(i) * 3 * time.Second)
+	}
+	rw := NewRandomWaypoint(bounds, 10, time.Second, 23)
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(want); i += 4 {
+				d := time.Duration(i) * 3 * time.Second
+				if got := rw.PositionAt(d); got != want[i] {
+					select {
+					case errs <- got.String() + " != " + want[i].String():
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatalf("concurrent query diverged from serial walker: %s", e)
+	default:
 	}
 }
 

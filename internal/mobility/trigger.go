@@ -1,0 +1,45 @@
+package mobility
+
+// Trigger is the RSRP handover decision policy — the 3GPP A3 event
+// ("neighbour better than serving by a hysteresis") with an A2-style
+// floor ("serving below threshold: take any usable neighbour"). It is
+// a pure value type: experiments, the phy-driven spectrum modes, and
+// the scenario compiler all evaluate the same policy, so "when does a
+// dLTE client roam" has exactly one definition.
+type Trigger struct {
+	// HysteresisDB is how much stronger (dB) a neighbour must be
+	// before a roam is worth its interruption.
+	HysteresisDB float64
+	// MinServingDBm is the serving-cell RSRP floor: below it, any
+	// neighbour that beats the serving cell at all triggers a roam.
+	MinServingDBm float64
+}
+
+// DefaultTrigger is the policy the experiments use: 3 dB hysteresis
+// (the common A3 default) and a −110 dBm serving floor (near the edge
+// of usable LTE coverage).
+func DefaultTrigger() Trigger {
+	return Trigger{HysteresisDB: 3, MinServingDBm: -110}
+}
+
+// Decide reports whether a UE at servingDBm should hand over to a
+// neighbour heard at neighborDBm.
+func (t Trigger) Decide(servingDBm, neighborDBm float64) bool {
+	if neighborDBm >= servingDBm+t.HysteresisDB {
+		return true
+	}
+	return servingDBm < t.MinServingDBm && neighborDBm > servingDBm
+}
+
+// BestCell reports the index of the strongest RSRP in cells, or -1 for
+// an empty slice. Ties break toward the lower index, so the choice is
+// deterministic.
+func BestCell(cellsDBm []float64) int {
+	best := -1
+	for i, v := range cellsDBm {
+		if best < 0 || v > cellsDBm[best] {
+			best = i
+		}
+	}
+	return best
+}

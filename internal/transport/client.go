@@ -123,14 +123,30 @@ func (c *Client) Stats() SessionStats { return c.stats() }
 // server re-binds on the first arriving packet. In Legacy mode the
 // server will RESET the connection — the TCP behaviour.
 func (c *Client) Migrate(newPC PacketConn) {
+	// The control-plane socket (c.curPC, used by writeCtl) and the
+	// data-plane socket (session.pc, used by send/retransmit) must
+	// re-bind atomically: a concurrent Send that observed the old
+	// session socket while writeCtl already used the new one would
+	// split the session across paths mid-handover. Hold c.mu across
+	// both swaps — the session never calls back into Client, so the
+	// c.mu → session.mu order cannot deadlock.
 	c.mu.Lock()
+	select {
+	case <-c.done:
+		// Closed (or closing): don't resurrect a reader on a socket
+		// nobody will ever close.
+		c.mu.Unlock()
+		newPC.Close()
+		return
+	default:
+	}
 	old := c.curPC
 	c.curPC = newPC
 	server := c.serverAt
-	c.mu.Unlock()
-
 	c.session.migrate(newPC, server)
 	c.readerWG.Add(1)
+	c.mu.Unlock()
+
 	c.clk.Go(func() { c.readLoop(newPC) })
 	if old != nil {
 		old.Close() // unblocks the old reader

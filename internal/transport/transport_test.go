@@ -3,6 +3,8 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -224,6 +226,87 @@ func TestMigrationContinuesSession(t *testing.T) {
 	st := r.server.Stats()
 	if st.FreshHandshakes != 1 || st.Resets != 0 || st.ActiveSessions != 1 {
 		t.Errorf("server stats after migration = %+v", st)
+	}
+}
+
+func TestMigrateConcurrentWithTraffic(t *testing.T) {
+	// Handover happens while the application is mid-stream: Send,
+	// Recv, and the retransmit loop must all see a consistent socket
+	// while Migrate re-binds the path. Run under -race this also
+	// checks the control-plane (curPC) and data-plane (session.pc)
+	// swaps are synchronized.
+	r := newRig(t, Migratory, time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue-h0"), r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Send([]byte(fmt.Sprintf("m%d", i)))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	var echoes atomic.Int64
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Recv(500 * time.Millisecond); err == nil {
+				echoes.Add(1)
+			}
+		}
+	}()
+
+	// Migrate across five successive hosts under load.
+	for i := 1; i <= 5; i++ {
+		time.Sleep(20 * time.Millisecond)
+		c.Migrate(r.clientPC(t, fmt.Sprintf("ue-h%d", i)))
+	}
+	// Traffic must still flow on the final path.
+	before := echoes.Load()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && echoes.Load() == before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if echoes.Load() == before {
+		t.Fatal("no echoes after final migration: session lost its path")
+	}
+	if st := r.server.Stats(); st.FreshHandshakes != 1 || st.Resets != 0 {
+		t.Errorf("server stats after migrations = %+v", st)
+	}
+}
+
+func TestMigrateAfterCloseIsNoop(t *testing.T) {
+	r := newRig(t, Migratory, time.Millisecond)
+	c, err := Dial(r.clientPC(t, "ue-old"), r.addr, DialConfig{Mode: Migratory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	pc := r.clientPC(t, "ue-late")
+	c.Migrate(pc) // must not spawn a reader or resurrect the session
+	// The socket handed to a dead client is closed so it can't leak.
+	buf := make([]byte, 16)
+	pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, _, err := pc.ReadFrom(buf); err == nil {
+		t.Fatal("socket still open after Migrate on closed client")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlte/internal/auth"
@@ -58,6 +59,11 @@ type Device struct {
 	nasEvents chan nasEvent
 	sysInfo   chan enb.SystemInfo
 	readerWG  sync.WaitGroup
+
+	// sigTx/sigRx count NAS signaling payload bytes over the air in
+	// each direction — the UE end of the mobility plane's measurement
+	// seam (a handover's cost is the delta across the re-attach).
+	sigTx, sigRx atomic.Uint64
 }
 
 // rxPacket is one downlink packet as queued by the read loop: the
@@ -110,6 +116,41 @@ func (d *Device) IP() string {
 		return ""
 	}
 	return d.result.IP
+}
+
+// SignalingBytes reports the total NAS signaling payload bytes this
+// device has exchanged over the air (both directions) since creation.
+// Monotonic; meant for deltas around an attach or handover.
+func (d *Device) SignalingBytes() uint64 { return d.sigTx.Load() + d.sigRx.Load() }
+
+// HandoverResult reports a completed roam to a new AP.
+type HandoverResult struct {
+	AttachResult
+	// Interruption is the measured service gap: from the break with
+	// the old AP (dLTE roaming is break-before-make) to registration
+	// complete at the new one.
+	Interruption time.Duration
+	// SignalingBytes is the NAS signaling spent on the re-attach.
+	SignalingBytes uint64
+}
+
+// Handover roams the device to the AP at airAddr, measuring the
+// interruption window and the signaling the re-attach cost — the
+// UE-side half of the mobility plane's measurement seam (the AP-side
+// half, X2 choreography bytes, is metered by mobility.Plane).
+func (d *Device) Handover(airAddr string, timeout time.Duration) (HandoverResult, error) {
+	clk := d.host.Clock()
+	sigBefore := d.SignalingBytes()
+	start := clk.Now()
+	res, err := d.Attach(airAddr, timeout)
+	if err != nil {
+		return HandoverResult{}, err
+	}
+	return HandoverResult{
+		AttachResult:   res,
+		Interruption:   clk.Since(start),
+		SignalingBytes: d.SignalingBytes() - sigBefore,
+	}, nil
 }
 
 // Attach connects to the AP at airAddr and runs the full registration
@@ -366,6 +407,9 @@ func (d *Device) sendAir(t enb.AirMsgType, payload []byte) error {
 	if err == nil {
 		err = air.Send(frame)
 	}
+	if err == nil && t == enb.AirNASUp {
+		d.sigTx.Add(uint64(len(payload)))
+	}
 	wire.PutFrame(frame)
 	return err
 }
@@ -406,6 +450,7 @@ func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
 				}
 			}
 		case enb.AirNASDown:
+			d.sigRx.Add(uint64(len(payload)))
 			// The PDU is queued past this frame's release, so it travels
 			// in its own pooled buffer; the NAS consumer releases it.
 			pdu := append(wire.GetFrame(), payload...)
