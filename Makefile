@@ -75,6 +75,20 @@ IDLE_GATE_RE = BenchmarkIdleWorld/ues=10000$$|BenchmarkIdleWorld/ues=100000$$
 IDLE_GATE_PKGS = ./internal/exp
 IDLE_GATE_FLAGS = -benchmem -benchtime 1x -count 3 -json
 
+# Event-driven PHY contention gate: the DCF engine at 32 and 256
+# saturated stations (one simulated second per op on a reused engine —
+# the zero-alloc hot loop, so allocs/op is pinned at 0), plus the whole
+# quick-mode E12 coexistence sweep (city construction, the registry
+# partition, six schemes per domain) as the experiment-level number.
+# E12's committed allocs/op carry ~50 allocs of headroom: its worker
+# fan-out makes goroutine/channel allocation counts scheduler-shaped.
+PHY_GATE_RE = BenchmarkDCF/(32|256)$$
+PHY_GATE_PKGS = ./internal/phy
+PHY_GATE_FLAGS = -benchmem -benchtime 100x -count 3 -json
+E12_GATE_RE = BenchmarkE12$$
+E12_GATE_PKGS = ./internal/exp
+E12_GATE_FLAGS = -benchmem -benchtime 5x -count 3 -json
+
 # Mobility-plane gate: one full prepared handover arc (X2 prepare/ack,
 # break-before-make re-attach, TEID re-point, path migration,
 # complete/retire) on the real stack, single UE and a 16-UE wave.
@@ -89,6 +103,8 @@ bench-gate:
 	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(WHEEL_GATE_RE)' $(WHEEL_GATE_FLAGS) $(WHEEL_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(PHY_GATE_RE)' $(PHY_GATE_FLAGS) $(PHY_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(E12_GATE_RE)' $(E12_GATE_FLAGS) $(E12_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
@@ -100,6 +116,8 @@ bench-baseline:
 	  $(GO) test -run '^$$' -bench '$(STORM_GATE_RE)' $(STORM_GATE_FLAGS) $(STORM_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(WHEEL_GATE_RE)' $(WHEEL_GATE_FLAGS) $(WHEEL_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(PHY_GATE_RE)' $(PHY_GATE_FLAGS) $(PHY_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(E12_GATE_RE)' $(E12_GATE_FLAGS) $(E12_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
@@ -131,7 +149,10 @@ smoke: build
 # E11 leg does the same for the full-size mobility scenarios: the
 # compiled corridor / flash-crowd / failure-wave worlds interleave
 # real-stack probe handovers with region-sharded compact events, and
-# neither knob may move a byte of the rendered table.
+# neither knob may move a byte of the rendered table. The E12 leg runs
+# the full-size coexistence frontier (64/512/2048 domains on the
+# event-driven PHY engine, fanned out over -p workers) and pins the
+# index-ordered reduction: identical tables at -p 1 and -p 8.
 determinism-smoke: build
 	$(GO) build -o /tmp/dlte-sim-det ./cmd/dlte-sim
 	/tmp/dlte-sim-det -quick -p 1 -shards 1 2>/dev/null > /tmp/dlte-det-p1.txt
@@ -149,8 +170,12 @@ determinism-smoke: build
 	/tmp/dlte-sim-det -exp E11 -p 8 -shards 8 2>/dev/null > /tmp/dlte-det-e11-s8.txt
 	cmp /tmp/dlte-det-e11-p1.txt /tmp/dlte-det-e11-p8.txt
 	cmp /tmp/dlte-det-e11-p1.txt /tmp/dlte-det-e11-s8.txt
+	/tmp/dlte-sim-det -exp E12 -p 1 2>/dev/null > /tmp/dlte-det-e12-p1.txt
+	/tmp/dlte-sim-det -exp E12 -p 8 2>/dev/null > /tmp/dlte-det-e12-p8.txt
+	cmp /tmp/dlte-det-e12-p1.txt /tmp/dlte-det-e12-p8.txt
 	rm -f /tmp/dlte-sim-det /tmp/dlte-det-p1.txt /tmp/dlte-det-p8.txt /tmp/dlte-det-s8.txt \
 		/tmp/dlte-det-e13-p1.txt /tmp/dlte-det-e13-p8.txt /tmp/dlte-det-e13-s8.txt \
-		/tmp/dlte-det-e11-p1.txt /tmp/dlte-det-e11-p8.txt /tmp/dlte-det-e11-s8.txt
+		/tmp/dlte-det-e11-p1.txt /tmp/dlte-det-e11-p8.txt /tmp/dlte-det-e11-s8.txt \
+		/tmp/dlte-det-e12-p1.txt /tmp/dlte-det-e12-p8.txt
 
 check: lint build race bench smoke determinism-smoke

@@ -53,6 +53,7 @@ func runners() []runner {
 		{"E9", "§4.3/§7: hidden terminals & relay", wrap(func(o exp.Options) error { _, err := exp.RunE9(o); return err })},
 		{"E10", "§4.3: discovery at scale", wrap(func(o exp.Options) error { _, err := exp.RunE10(o); return err })},
 		{"E11", "§4.2 at scale: compiled mobility scenarios", wrap(func(o exp.Options) error { _, err := exp.RunE11(o); return err })},
+		{"E12", "§4.3: spectrum-coexistence frontier", wrap(func(o exp.Options) error { _, err := exp.RunE12(o); return err })},
 		{"E13", "§6: million-UE attach-and-idle world", wrap(func(o exp.Options) error { _, err := exp.RunE13(o); return err })},
 	}
 }
@@ -70,7 +71,7 @@ type job struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: E1..E11, E13, E2b, or 'all'")
+	expFlag := flag.String("exp", "all", "experiment to run: E1..E13, E2b, or 'all'")
 	quick := flag.Bool("quick", false, "reduced sweeps (CI-sized)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	par := flag.Int("p", runtime.NumCPU(), "max concurrent simulation worlds (1 = fully serial)")
@@ -98,7 +99,7 @@ func main() {
 		jobs = append(jobs, &job{r: r, done: make(chan struct{})})
 	}
 	if len(jobs) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E11, E13, E2b, or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E13, E2b, or all)\n", *expFlag)
 		os.Exit(2)
 	}
 

@@ -59,7 +59,9 @@ func TestExperimentsDeterministic(t *testing.T) {
 // results); E4 covers roaming and retransmission timing; E10 covers
 // the discovery plane, where concurrent joins, key churn, pollers,
 // and a push subscription all race on one registry — its wire-byte
-// accounting depends on every delta landing in its own frame. The
+// accounting depends on every delta landing in its own frame. E12
+// covers the pure-compute fan-out: thousands of coexistence domains on
+// the event-driven PHY engine, reduced in index order. The
 // shards=32 leg is the attach-storm gate: E3's storm worlds at the
 // widest shard count the storm benchmark sweeps must render the same
 // bytes as the single-shard serial run, pinning batched shard-gate
@@ -79,6 +81,9 @@ func TestSerialParallelIdentical(t *testing.T) {
 		}
 		if _, err := RunE10(opt); err != nil {
 			t.Fatalf("E10 (p=%d s=%d): %v", parallelism, shards, err)
+		}
+		if _, err := RunE12(opt); err != nil {
+			t.Fatalf("E12 (p=%d s=%d): %v", parallelism, shards, err)
 		}
 		return buf.Bytes()
 	}

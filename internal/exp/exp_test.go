@@ -330,3 +330,81 @@ func TestE11MobilityScenariosShape(t *testing.T) {
 		t.Errorf("table rows = %d, want %d", got, want)
 	}
 }
+
+func TestE12CoexFrontierShape(t *testing.T) {
+	res, err := RunE12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The registry partition must recover exactly the constructed
+	// geometry at every size.
+	for _, size := range res.Sizes {
+		if got := res.DomainsBySize[size]; got != size {
+			t.Errorf("size %d: registry found %d contention domains", size, got)
+		}
+	}
+	alone := res.WiFiMbps["wifi-alone"]
+	if alone <= 0 {
+		t.Fatal("wifi-alone produced no throughput")
+	}
+	// Blind duty cycling degrades WiFi monotonically with the duty
+	// fraction and drives the collision rate up.
+	prev := alone
+	for _, s := range []string{"LTE-U duty 0.33", "LTE-U duty 0.50", "LTE-U duty 0.80"} {
+		if res.WiFiMbps[s] >= prev {
+			t.Errorf("%s: WiFi %.2f did not degrade below %.2f", s, res.WiFiMbps[s], prev)
+		}
+		prev = res.WiFiMbps[s]
+		if res.WiFiCollisionRate[s] <= res.WiFiCollisionRate["wifi-alone"] {
+			t.Errorf("%s: collision rate %.3f not above alone %.3f",
+				s, res.WiFiCollisionRate[s], res.WiFiCollisionRate["wifi-alone"])
+		}
+	}
+	// LBT partially restores WiFi versus half-duty LTE-U while carrying
+	// far more LTE traffic (its bursts are clean).
+	if res.WiFiMbps["LTE LBT"] <= res.WiFiMbps["LTE-U duty 0.50"] {
+		t.Errorf("LBT WiFi %.2f ≤ duty-0.50 WiFi %.2f",
+			res.WiFiMbps["LTE LBT"], res.WiFiMbps["LTE-U duty 0.50"])
+	}
+	if res.LTEMbps["LTE LBT"] <= 2*res.LTEMbps["LTE-U duty 0.50"] {
+		t.Errorf("LBT LTE %.2f not ≫ duty-0.50 LTE %.2f",
+			res.LTEMbps["LTE LBT"], res.LTEMbps["LTE-U duty 0.50"])
+	}
+	// Registry TDM dominates the frontier: highest total, highest WiFi
+	// among the sharing schemes, and the best airtime fairness.
+	for _, s := range res.Schemes {
+		if s == "registry TDM" {
+			continue
+		}
+		if res.TotalMbps["registry TDM"] <= res.TotalMbps[s] {
+			t.Errorf("TDM total %.2f ≤ %s total %.2f", res.TotalMbps["registry TDM"], s, res.TotalMbps[s])
+		}
+		if s != "wifi-alone" {
+			if res.WiFiMbps["registry TDM"] <= res.WiFiMbps[s] {
+				t.Errorf("TDM WiFi %.2f ≤ %s WiFi %.2f", res.WiFiMbps["registry TDM"], s, res.WiFiMbps[s])
+			}
+			if res.AirtimeJain["registry TDM"] < res.AirtimeJain[s] {
+				t.Errorf("TDM Jain %.3f < %s Jain %.3f", res.AirtimeJain["registry TDM"], s, res.AirtimeJain[s])
+			}
+		}
+	}
+	if res.FrontierTable.NumRows() != len(res.Schemes) {
+		t.Errorf("frontier rows = %d, want %d", res.FrontierTable.NumRows(), len(res.Schemes))
+	}
+	if res.ScaleTable.NumRows() != len(res.Sizes) {
+		t.Errorf("scale rows = %d, want %d", res.ScaleTable.NumRows(), len(res.Sizes))
+	}
+}
+
+// BenchmarkE12 prices the full quick-mode coexistence sweep — city
+// construction, the registry partition, and six schemes per domain on
+// the event-driven engine — as the experiment-level gate for PHY
+// contention performance.
+func BenchmarkE12(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunE12(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package phy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDCFStations builds n saturated stations with the mixed-rate
+// population E12 uses (the DCF rate-anomaly mix).
+func benchDCFStations(n int) []DCFStation {
+	rates := []float64{54e6, 24e6, 12e6}
+	ss := make([]DCFStation, n)
+	for i := range ss {
+		ss[i] = DCFStation{
+			ID:        fmt.Sprintf("s%d", i),
+			RateBps:   rates[i%len(rates)],
+			Saturated: true,
+		}
+	}
+	return ss
+}
+
+// BenchmarkDCF prices one simulated second of saturated contention in
+// the event-driven engine at the gate sizes (32 and 256 stations). The
+// loop reuses one engine the way parameter sweeps do, so allocs/op is
+// pinned at 0.
+func BenchmarkDCF(b *testing.B) {
+	for _, n := range []int{32, 256} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			eng := newCoexEngine(CoexConfig{WiFi: benchDCFStations(n), Seed: 11}, 1.0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.reset()
+				eng.run()
+			}
+		})
+	}
+}
+
+// BenchmarkDCFOracle prices the slot-stepped reference on the same
+// 32-station second — informational, not gated; the ratio to
+// BenchmarkDCF/32 is the tentpole's speedup.
+func BenchmarkDCFOracle(b *testing.B) {
+	cfg := DCFConfig{Stations: benchDCFStations(32), Seed: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simulateDCFRef(cfg, 1.0)
+	}
+}
+
+// BenchmarkCoex prices a full E12-style domain: 8 WiFi stations sharing
+// the channel with one duty-cycled LTE-U node and one LBT node.
+func BenchmarkCoex(b *testing.B) {
+	eng := newCoexEngine(CoexConfig{
+		WiFi: benchDCFStations(8),
+		LTE: []LTENode{
+			{ID: "duty", Kind: LTEUDuty, RateBps: 36e6, OnMs: 20, PeriodMs: 40},
+			{ID: "lbt", Kind: LTELBT, RateBps: 36e6, TXOPMs: 4, CW: 31},
+		},
+		Seed: 11,
+	}, 1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.reset()
+		eng.run()
+	}
+}

@@ -1,0 +1,115 @@
+package phy
+
+// Unlicensed-band coexistence: LTE transmitters sharing one channel
+// with DCF WiFi. Two uncoordinated access modes from the related work
+// are modeled — duty-cycled LTE-U (CSAT-style blind on/off bursts that
+// ignore the medium) and licensed-assisted listen-before-talk (a
+// CSMA-like category-4 access with a fixed contention window and a
+// bounded TXOP) — and run through the same event-driven engine as the
+// WiFi stations (DESIGN.md §13). Registry-coordinated TDM, the dLTE
+// alternative, needs no contention engine at all: see SimulateTDM and
+// spectrum.PlanTDM.
+
+// LTEKind selects the channel-access behaviour of an LTENode.
+type LTEKind int
+
+const (
+	// LTEUDuty transmits blind periodic bursts: on for OnMs out of
+	// every PeriodMs, regardless of what the medium carries. WiFi
+	// frames overlapping a burst are lost whole; the burst loses only
+	// the overlapped subframes.
+	LTEUDuty LTEKind = iota
+	// LTELBT carrier-senses like a WiFi station: it draws a backoff
+	// from a fixed contention window [0, CW], freezes while the medium
+	// is busy, and on expiry holds the channel for one TXOP.
+	LTELBT
+)
+
+// LTENode is one LTE transmitter sharing the channel.
+type LTENode struct {
+	// ID labels the node in results.
+	ID string
+	// Kind selects duty-cycled LTE-U or listen-before-talk access.
+	Kind LTEKind
+	// RateBps is the PHY rate the node sustains while transmitting
+	// cleanly.
+	RateBps float64
+
+	// OnMs and PeriodMs shape the LTEUDuty cycle (defaults 20/40).
+	// OffsetMs delays the first burst, staggering neighbours.
+	OnMs, PeriodMs, OffsetMs float64
+
+	// TXOPMs is the LTELBT burst length (default 4). CW is the fixed
+	// contention window (default dcfCWMin).
+	TXOPMs float64
+	CW     int
+}
+
+// CoexConfig describes one shared-channel contention domain holding
+// WiFi stations and LTE nodes. The combined node index space is WiFi
+// stations first (in order), then LTE nodes; Sense is indexed over that
+// combined space. Nil Sense means everyone senses everyone — except
+// duty-cycled LTE-U bursts, which carry no WiFi-detectable preamble and
+// sit below the energy-detection threshold, so by default no carrier
+// sensor defers to them (the blind-both-ways CSAT asymmetry the LTE-U
+// coexistence papers measure). Pass an explicit matrix to override.
+type CoexConfig struct {
+	WiFi  []DCFStation
+	LTE   []LTENode
+	Sense [][]bool
+	Seed  int64
+}
+
+// CoexResult reports a shared-channel simulation outcome.
+type CoexResult struct {
+	// PerNodeBps is goodput per transmitter (stations and LTE nodes).
+	PerNodeBps map[string]float64
+	// WiFiBps and LTEBps aggregate goodput per technology.
+	WiFiBps, LTEBps float64
+	// WiFiAttempts/Collisions/Drops aggregate the stations' DCF
+	// counters; WiFiCollisionRate is their ratio.
+	WiFiAttempts, WiFiCollisions, WiFiDrops int
+	WiFiCollisionRate                       float64
+	// LTEAirtimeFraction is the fraction of time LTE bursts occupied;
+	// LTECorruptFraction is the fraction of that burst airtime that
+	// overlapped another transmission and carried nothing.
+	LTEAirtimeFraction, LTECorruptFraction float64
+	// BusyAirtimeFraction is the fraction of time the medium carried
+	// at least one transmission of either technology.
+	BusyAirtimeFraction float64
+}
+
+// SimulateCoex runs WiFi stations and LTE nodes on one shared channel
+// for the given number of seconds of virtual time. With no LTE nodes it
+// degenerates to SimulateDCF's contention process exactly.
+func SimulateCoex(cfg CoexConfig, seconds float64) CoexResult {
+	eng := newCoexEngine(cfg, seconds)
+	eng.run()
+
+	nw := len(cfg.WiFi)
+	res := CoexResult{PerNodeBps: make(map[string]float64, eng.n)}
+	for i, st := range cfg.WiFi {
+		bps := eng.delivered[i] / seconds
+		res.PerNodeBps[st.ID] = bps
+		res.WiFiBps += bps
+		res.WiFiAttempts += eng.attempts[i]
+		res.WiFiCollisions += eng.collisions[i]
+		res.WiFiDrops += eng.drops[i]
+	}
+	for k, nd := range cfg.LTE {
+		bps := eng.delivered[nw+k] / seconds
+		res.PerNodeBps[nd.ID] = bps
+		res.LTEBps += bps
+	}
+	if res.WiFiAttempts > 0 {
+		res.WiFiCollisionRate = float64(res.WiFiCollisions) / float64(res.WiFiAttempts)
+	}
+	if eng.totalSlots > 0 {
+		res.LTEAirtimeFraction = float64(eng.lteBurstSlots) / float64(eng.totalSlots)
+		res.BusyAirtimeFraction = float64(eng.busySlots) / float64(eng.totalSlots)
+	}
+	if eng.lteBurstSlots > 0 {
+		res.LTECorruptFraction = float64(eng.lteCorruptSlots) / float64(eng.lteBurstSlots)
+	}
+	return res
+}

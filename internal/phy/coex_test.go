@@ -1,0 +1,113 @@
+package phy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func coexWiFi8() []DCFStation { return benchDCFStations(8) }
+
+func dutyNode(duty float64) []LTENode {
+	return []LTENode{{ID: "lte", Kind: LTEUDuty, RateBps: 36e6, OnMs: duty * 40, PeriodMs: 40}}
+}
+
+func lbtNode() []LTENode {
+	return []LTENode{{ID: "lte", Kind: LTELBT, RateBps: 36e6, TXOPMs: 4, CW: 63}}
+}
+
+// TestCoexNoLTEMatchesDCF: with no LTE nodes the coexistence engine is
+// the DCF contention process exactly.
+func TestCoexNoLTEMatchesDCF(t *testing.T) {
+	stations := coexWiFi8()
+	coex := SimulateCoex(CoexConfig{WiFi: stations, Seed: 6}, 0.5)
+	dcf := SimulateDCF(DCFConfig{Stations: stations, Seed: 6}, 0.5)
+	if !reflect.DeepEqual(coex.PerNodeBps, dcf.PerStationBps) {
+		t.Errorf("coex %v != dcf %v", coex.PerNodeBps, dcf.PerStationBps)
+	}
+	if coex.WiFiAttempts != dcf.Attempts || coex.WiFiCollisions != dcf.Collisions ||
+		coex.WiFiDrops != dcf.Drops || coex.BusyAirtimeFraction != dcf.BusyAirtimeFraction {
+		t.Errorf("coex counters %+v != dcf %+v", coex, dcf)
+	}
+	if coex.LTEBps != 0 || coex.LTEAirtimeFraction != 0 {
+		t.Errorf("phantom LTE traffic: %+v", coex)
+	}
+}
+
+// TestCoexDutyDegradesWiFi: CSAT duty bursts are invisible to carrier
+// sense, so WiFi throughput falls monotonically as the duty fraction
+// rises, WiFi's collision rate climbs well above the WiFi-alone level,
+// and the blind bursts themselves lose most of their overlapped slots —
+// the related work's "neither friend nor foe" result.
+func TestCoexDutyDegradesWiFi(t *testing.T) {
+	alone := SimulateCoex(CoexConfig{WiFi: coexWiFi8(), Seed: 3}, 1.0)
+	var prev = alone.WiFiBps
+	for _, duty := range []float64{0.33, 0.5, 0.8} {
+		r := SimulateCoex(CoexConfig{WiFi: coexWiFi8(), LTE: dutyNode(duty), Seed: 3}, 1.0)
+		if r.WiFiBps >= prev {
+			t.Errorf("duty %.2f: WiFi %.0f did not degrade below %.0f", duty, r.WiFiBps, prev)
+		}
+		prev = r.WiFiBps
+		// The duty cycle owns its scheduled airtime regardless of the
+		// medium.
+		if r.LTEAirtimeFraction < duty*0.95 || r.LTEAirtimeFraction > duty*1.05 {
+			t.Errorf("duty %.2f: LTE airtime %.3f", duty, r.LTEAirtimeFraction)
+		}
+		if r.WiFiCollisionRate < alone.WiFiCollisionRate+0.05 {
+			t.Errorf("duty %.2f: WiFi collision rate %.3f not elevated over alone %.3f",
+				duty, r.WiFiCollisionRate, alone.WiFiCollisionRate)
+		}
+		if r.LTECorruptFraction < 0.5 {
+			t.Errorf("duty %.2f: burst corruption %.3f — saturated WiFi should trample blind bursts",
+				duty, r.LTECorruptFraction)
+		}
+	}
+}
+
+// TestCoexLBTRestoresWiFi: listen-before-talk defers like a WiFi
+// station, so versus 50%-duty LTE-U it returns throughput to WiFi and
+// delivers far more LTE throughput (its bursts are clean), at a far
+// lower WiFi collision rate.
+func TestCoexLBTRestoresWiFi(t *testing.T) {
+	duty := SimulateCoex(CoexConfig{WiFi: coexWiFi8(), LTE: dutyNode(0.5), Seed: 3}, 1.0)
+	lbt := SimulateCoex(CoexConfig{WiFi: coexWiFi8(), LTE: lbtNode(), Seed: 3}, 1.0)
+	if lbt.WiFiBps <= duty.WiFiBps {
+		t.Errorf("LBT WiFi %.0f did not restore over duty-0.5 %.0f", lbt.WiFiBps, duty.WiFiBps)
+	}
+	if lbt.LTEBps <= duty.LTEBps*2 {
+		t.Errorf("LBT LTE %.0f not ≫ duty LTE %.0f", lbt.LTEBps, duty.LTEBps)
+	}
+	if lbt.LTECorruptFraction > 0.05 {
+		t.Errorf("LBT bursts %.1f%% corrupted — carrier sense should keep them clean",
+			lbt.LTECorruptFraction*100)
+	}
+	if lbt.WiFiCollisionRate > duty.WiFiCollisionRate {
+		t.Errorf("LBT WiFi collision rate %.3f above duty's %.3f",
+			lbt.WiFiCollisionRate, duty.WiFiCollisionRate)
+	}
+}
+
+// TestCoexDeterministic: identical configs give identical results.
+func TestCoexDeterministic(t *testing.T) {
+	cfg := CoexConfig{WiFi: coexWiFi8(), LTE: append(dutyNode(0.5), lbtNode()...), Seed: 12}
+	a := SimulateCoex(cfg, 0.5)
+	b := SimulateCoex(cfg, 0.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("coex not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestCoexDutyOffsetShifts: the offset delays the first burst without
+// changing the steady-state airtime share.
+func TestCoexDutyOffsetShifts(t *testing.T) {
+	base := dutyNode(0.5)
+	shifted := dutyNode(0.5)
+	shifted[0].OffsetMs = 13
+	a := SimulateCoex(CoexConfig{WiFi: coexWiFi8(), LTE: base, Seed: 3}, 1.0)
+	b := SimulateCoex(CoexConfig{WiFi: coexWiFi8(), LTE: shifted, Seed: 3}, 1.0)
+	if a.LTEAirtimeFraction < 0.45 || b.LTEAirtimeFraction < 0.45 {
+		t.Errorf("airtime lost to offset: %.3f vs %.3f", a.LTEAirtimeFraction, b.LTEAirtimeFraction)
+	}
+	if reflect.DeepEqual(a.PerNodeBps, b.PerNodeBps) {
+		t.Error("13 ms offset changed nothing — bursts not actually shifted")
+	}
+}

@@ -1,9 +1,5 @@
 package phy
 
-import (
-	"math/rand"
-)
-
 // DCF timing constants (802.11n 2.4 GHz OFDM, microseconds). The
 // simulation advances in slot ticks; frame and overhead durations are
 // rounded up to whole slots.
@@ -53,6 +49,10 @@ type DCFResult struct {
 	// Attempts and Collisions count transmission attempts and the
 	// attempts that ended corrupted at the AP.
 	Attempts, Collisions int
+	// Drops counts frames abandoned after exceeding dcfRetryLimit
+	// consecutive corrupted attempts. The retry counter and contention
+	// window reset and the station moves on to a fresh frame.
+	Drops int
 	// CollisionRate is Collisions/Attempts (0 when no attempts).
 	CollisionRate float64
 	// BusyAirtimeFraction is the fraction of time the AP-observed
@@ -60,170 +60,75 @@ type DCFResult struct {
 	BusyAirtimeFraction float64
 }
 
-type dcfStationState struct {
-	cfg          DCFStation
-	backoff      int // remaining backoff slots
-	cw           int
-	retries      int
-	txRemaining  int  // slots left in current transmission
-	txCorrupted  bool // another audible-to-AP TX overlapped
-	frameSlots   int
-	payloadBits  float64
-	deliveredBit float64
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche over uint64. Chaining it over (seed, node, draw) keys gives
+// every backoff draw as a pure function of those coordinates, so the
+// event-driven engine and the slot-stepped oracle produce bit-identical
+// trajectories with no shared-stream ordering dependence.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
-func (s *dcfStationState) newBackoff(rng *rand.Rand) {
-	s.backoff = rng.Intn(s.cw + 1)
+// backoffDraw returns node i's k-th backoff, uniform on [0, cw].
+func backoffDraw(seed int64, i int, k uint32, cw int) int {
+	h := splitmix64(uint64(seed) ^ 0x6C62272E07BB0142)
+	h = splitmix64(h ^ uint64(i)<<32 ^ uint64(k))
+	return int(h % uint64(cw+1))
 }
 
-// SimulateDCF runs the slotted CSMA/CA contention process for the given
-// number of seconds of virtual time and reports per-station goodput.
-// Stations outside each other's sensing range (hidden terminals) count
-// their backoff down during each other's transmissions and collide at
-// the AP — the failure mode the dLTE registry eliminates (§4.3).
-func SimulateDCF(cfg DCFConfig, seconds float64, _ ...struct{}) DCFResult {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// dcfFrameSlots computes the whole-slot duration of one frame exchange
+// (preamble + payload + SIFS + ACK + DIFS) and the goodput bits it
+// carries when delivered.
+func dcfFrameSlots(st DCFStation) (slots int, payloadBits float64) {
+	payload := st.PayloadBytes
+	if payload == 0 {
+		payload = 1500
+	}
+	frameUs := dcfPreambleUs + dcfSIFSUs + dcfAckUs + dcfDIFSUs
+	if st.RateBps > 0 {
+		frameUs += int(float64(payload*8) / st.RateBps * 1e6)
+	}
+	slots = (frameUs + dcfSlotUs - 1) / dcfSlotUs
+	if slots < 1 {
+		slots = 1
+	}
+	return slots, float64(payload * 8)
+}
+
+// SimulateDCF runs the CSMA/CA contention process for the given number
+// of seconds of virtual time and reports per-station goodput. Stations
+// outside each other's sensing range (hidden terminals) count their
+// backoff down during each other's transmissions and collide at the
+// AP — the failure mode the dLTE registry eliminates (§4.3).
+//
+// The simulation is event-driven: it jumps straight to the next
+// state-changing slot (earliest backoff expiry or transmission end)
+// instead of ticking every 9 µs slot, with per-station sense sets as
+// uint64 bitmask words (DESIGN.md §13). The slot-stepped loop it
+// replaced survives as the differential oracle in refdcf_test.go and
+// must produce identical results.
+func SimulateDCF(cfg DCFConfig, seconds float64) DCFResult {
+	eng := newCoexEngine(CoexConfig{WiFi: cfg.Stations, Sense: cfg.Sense, Seed: cfg.Seed}, seconds)
+	eng.run()
+
 	n := len(cfg.Stations)
-	states := make([]*dcfStationState, n)
+	res := DCFResult{PerStationBps: make(map[string]float64, n)}
 	for i, st := range cfg.Stations {
-		payload := st.PayloadBytes
-		if payload == 0 {
-			payload = 1500
-		}
-		frameUs := dcfPreambleUs + dcfSIFSUs + dcfAckUs + dcfDIFSUs
-		if st.RateBps > 0 {
-			frameUs += int(float64(payload*8) / st.RateBps * 1e6)
-		}
-		slots := (frameUs + dcfSlotUs - 1) / dcfSlotUs
-		if slots < 1 {
-			slots = 1
-		}
-		s := &dcfStationState{
-			cfg:         st,
-			cw:          dcfCWMin,
-			frameSlots:  slots,
-			payloadBits: float64(payload * 8),
-		}
-		s.newBackoff(rng)
-		states[i] = s
+		bps := eng.delivered[i] / seconds
+		res.PerStationBps[st.ID] = bps
+		res.TotalBps += bps
+		res.Attempts += eng.attempts[i]
+		res.Collisions += eng.collisions[i]
+		res.Drops += eng.drops[i]
 	}
-	senses := func(i, j int) bool {
-		if cfg.Sense == nil {
-			return true
-		}
-		return cfg.Sense[i][j]
+	if res.Attempts > 0 {
+		res.CollisionRate = float64(res.Collisions) / float64(res.Attempts)
 	}
-
-	totalSlots := int(seconds * 1e6 / dcfSlotUs)
-	attempts, collisions, busySlots := 0, 0, 0
-	result := DCFResult{PerStationBps: make(map[string]float64, n)}
-
-	for slot := 0; slot < totalSlots; slot++ {
-		// Phase 1: stations with expired backoff and an idle medium (as
-		// they sense it at slot start) begin transmitting. Eligibility
-		// is computed against slot-start state so that two stations
-		// whose backoff expired in the same slot both transmit — the
-		// same-slot collision at the heart of CSMA/CA.
-		var starting []int
-		for i, s := range states {
-			if s.txRemaining > 0 || !s.cfg.Saturated || s.backoff > 0 {
-				continue
-			}
-			idle := true
-			for j, o := range states {
-				if j != i && o.txRemaining > 0 && senses(i, j) {
-					idle = false
-					break
-				}
-			}
-			if idle {
-				starting = append(starting, i)
-			}
-		}
-		for _, i := range starting {
-			states[i].txRemaining = states[i].frameSlots
-			states[i].txCorrupted = false
-			attempts++
-		}
-
-		// Phase 2: collision detection at the AP — any overlap of
-		// transmissions (the AP hears everyone) corrupts all involved.
-		active := 0
-		for _, s := range states {
-			if s.txRemaining > 0 {
-				active++
-			}
-		}
-		if active > 0 {
-			busySlots++
-		}
-		if active > 1 {
-			for _, s := range states {
-				if s.txRemaining > 0 {
-					s.txCorrupted = true
-				}
-			}
-		}
-
-		// Phase 3: advance transmissions and count down backoff for
-		// stations that sense an idle medium.
-		for i, s := range states {
-			if s.txRemaining > 0 {
-				s.txRemaining--
-				if s.txRemaining == 0 {
-					if s.txCorrupted {
-						collisions++
-						s.retries++
-						if s.retries > dcfRetryLimit {
-							s.retries = 0
-							s.cw = dcfCWMin
-						} else if s.cw < dcfCWMax {
-							s.cw = min(2*(s.cw+1)-1, dcfCWMax)
-						}
-					} else {
-						s.deliveredBit += s.payloadBits
-						s.retries = 0
-						s.cw = dcfCWMin
-					}
-					s.newBackoff(rng)
-				}
-				continue
-			}
-			if !s.cfg.Saturated || s.backoff == 0 {
-				continue
-			}
-			idle := true
-			for j, o := range states {
-				if j != i && o.txRemaining > 0 && senses(i, j) {
-					idle = false
-					break
-				}
-			}
-			if idle {
-				s.backoff--
-			}
-		}
+	if eng.totalSlots > 0 {
+		res.BusyAirtimeFraction = float64(eng.busySlots) / float64(eng.totalSlots)
 	}
-
-	for _, s := range states {
-		bps := s.deliveredBit / seconds
-		result.PerStationBps[s.cfg.ID] = bps
-		result.TotalBps += bps
-	}
-	result.Attempts = attempts
-	result.Collisions = collisions
-	if attempts > 0 {
-		result.CollisionRate = float64(collisions) / float64(attempts)
-	}
-	if totalSlots > 0 {
-		result.BusyAirtimeFraction = float64(busySlots) / float64(totalSlots)
-	}
-	return result
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return res
 }

@@ -1,0 +1,515 @@
+package phy
+
+import "math/bits"
+
+// coexEngine is the event-driven contention core behind SimulateDCF and
+// SimulateCoex (DESIGN.md §13). Instead of ticking every 9 µs slot it
+// jumps straight to the next state-changing slot: the earliest
+// transmission end or the earliest start (a backoff expiry of an
+// unblocked contender, or a scheduled LTE-U burst boundary). Sense sets
+// are uint64 bitmask words, so "is the medium idle for node i" is a few
+// ANDs over words instead of an O(n) scan. All state is preallocated at
+// construction; reset+run performs zero heap allocations.
+//
+// The engine reproduces the slot-stepped reference loop (refdcf_test.go)
+// bit for bit. The equivalences it relies on:
+//
+//   - A transmission started at slot s with L frame slots occupies
+//     slots [s, s+L-1] and blocks phase-1 starts of sensing stations
+//     during [s+1, s+L] (the slot-start snapshot the oracle takes).
+//     Since blocking only ever increases when transmissions start and
+//     decreases when they end, the medium state seen by any node is
+//     piecewise constant between start/end events.
+//   - Corruption is symmetric and decided by overlap: two concurrently
+//     active transmissions corrupt each other from the later start
+//     onward. Marking both parties at every start event is equivalent
+//     to the oracle's per-slot "≥2 active → all corrupted" sweep.
+//   - Backoff decrements happen once per slot for contenders that are
+//     idle, saturated, and sense no active transmitter. Between events
+//     that is a bulk subtraction; at a transmission-end slot e the
+//     oracle's index-ordered phase 3 adds one subtlety: an ender j
+//     blocks station i's decrement at slot e iff j > i (a j < i ender
+//     has already reset to txRemaining 0 when i is examined).
+//
+// Backoff draws come from splitmix64 keyed by (seed, node, draw index),
+// so each node's trajectory is a pure function of the seed and the
+// engine and oracle consume identical randomness with no shared-stream
+// ordering coupling.
+type coexEngine struct {
+	seed       int64
+	n, nw      int // total nodes, WiFi station count
+	words      int
+	totalSlots int
+	lastSlot   int
+
+	// Immutable per-node shape.
+	kind        []uint8 // nodeWiFi, nodeDuty, nodeLBT
+	contender   []bool  // draws backoff and senses before transmitting
+	frameSlots  []int   // TX length in slots (frame, burst, or TXOP)
+	periodSlots []int   // duty: cycle length
+	offsetSlots []int   // duty: first burst start
+	payloadBits []float64
+	bitsPerSlot []float64 // LTE: delivered bits per clean burst slot
+	cwFixed     []int     // LBT: fixed contention window
+	sense       [][]uint64
+
+	// Mutable simulation state (cleared by reset).
+	active       []uint64
+	nActive      int
+	endSlot      []int
+	corrupt      []bool // WiFi: any overlap during current TX
+	corruptSlots []int  // LTE: overlapped slots in current burst
+	corruptCover []int  // LTE: first slot not yet counted corrupt
+	backoff      []int
+	cw           []int
+	retries      []int
+	draws        []uint32
+	nextBurst    []int
+	delivered    []float64
+	attempts     []int
+	collisions   []int
+	drops        []int
+
+	busySlots, busyCover           int
+	lteBurstSlots, lteCorruptSlots int
+
+	starters, enders []int
+	endersMask       []uint64
+}
+
+const (
+	nodeWiFi = iota
+	nodeDuty
+	nodeLBT
+)
+
+const maxSlot = int(^uint(0) >> 1)
+
+func newCoexEngine(cfg CoexConfig, seconds float64) *coexEngine {
+	nw := len(cfg.WiFi)
+	n := nw + len(cfg.LTE)
+	words := (n + 63) / 64
+	e := &coexEngine{
+		seed:       cfg.Seed,
+		n:          n,
+		nw:         nw,
+		words:      words,
+		totalSlots: int(seconds * 1e6 / dcfSlotUs),
+
+		kind:        make([]uint8, n),
+		contender:   make([]bool, n),
+		frameSlots:  make([]int, n),
+		periodSlots: make([]int, n),
+		offsetSlots: make([]int, n),
+		payloadBits: make([]float64, n),
+		bitsPerSlot: make([]float64, n),
+		cwFixed:     make([]int, n),
+		sense:       make([][]uint64, n),
+
+		active:       make([]uint64, words),
+		endSlot:      make([]int, n),
+		corrupt:      make([]bool, n),
+		corruptSlots: make([]int, n),
+		corruptCover: make([]int, n),
+		backoff:      make([]int, n),
+		cw:           make([]int, n),
+		retries:      make([]int, n),
+		draws:        make([]uint32, n),
+		nextBurst:    make([]int, n),
+		delivered:    make([]float64, n),
+		attempts:     make([]int, n),
+		collisions:   make([]int, n),
+		drops:        make([]int, n),
+
+		starters:   make([]int, 0, n),
+		enders:     make([]int, 0, n),
+		endersMask: make([]uint64, words),
+	}
+	e.lastSlot = e.totalSlots - 1
+
+	for i, st := range cfg.WiFi {
+		e.kind[i] = nodeWiFi
+		e.contender[i] = st.Saturated
+		e.frameSlots[i], e.payloadBits[i] = dcfFrameSlots(st)
+	}
+	msSlots := func(ms, def float64) int {
+		if ms <= 0 {
+			ms = def
+		}
+		s := int(ms * 1e3 / dcfSlotUs)
+		if s < 2 {
+			s = 2
+		}
+		return s
+	}
+	for k, nd := range cfg.LTE {
+		i := nw + k
+		e.bitsPerSlot[i] = nd.RateBps * dcfSlotUs * 1e-6
+		switch nd.Kind {
+		case LTEUDuty:
+			e.kind[i] = nodeDuty
+			e.frameSlots[i] = msSlots(nd.OnMs, 20)
+			e.periodSlots[i] = msSlots(nd.PeriodMs, 40)
+			if e.periodSlots[i] < e.frameSlots[i] {
+				e.periodSlots[i] = e.frameSlots[i]
+			}
+			if nd.OffsetMs > 0 {
+				e.offsetSlots[i] = int(nd.OffsetMs * 1e3 / dcfSlotUs)
+			}
+		case LTELBT:
+			e.kind[i] = nodeLBT
+			e.contender[i] = true
+			e.frameSlots[i] = msSlots(nd.TXOPMs, 4)
+			cw := nd.CW
+			if cw <= 0 {
+				cw = dcfCWMin
+			}
+			e.cwFixed[i] = cw
+		}
+	}
+
+	// Sense rows: bit j of row i set iff node i carrier-senses node j.
+	// Self bits stay clear so "active ∩ sense[i]" tests other nodes
+	// only. Rows share one backing array. With no explicit matrix,
+	// everyone senses everyone except duty-cycled LTE-U bursts: CSAT
+	// transmits no WiFi-detectable preamble and typically sits below
+	// the −62 dBm energy-detection threshold, so to a WiFi station (and
+	// to LBT's clear-channel check) a duty burst is a hidden
+	// transmitter — the asymmetry at the heart of the LTE-U coexistence
+	// papers. Pass an explicit Sense matrix to override.
+	backing := make([]uint64, n*words)
+	for i := 0; i < n; i++ {
+		row := backing[i*words : (i+1)*words]
+		e.sense[i] = row
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sensed := cfg.Sense == nil && e.kind[j] != nodeDuty
+			if cfg.Sense != nil {
+				sensed = cfg.Sense[i][j]
+			}
+			if sensed {
+				row[j>>6] |= 1 << uint(j&63)
+			}
+		}
+	}
+
+	e.reset()
+	return e
+}
+
+// reset restores post-construction state so one engine can run the same
+// configuration repeatedly (benchmarks, differential tests) without
+// allocating.
+func (e *coexEngine) reset() {
+	for w := range e.active {
+		e.active[w] = 0
+	}
+	e.nActive = 0
+	e.busySlots, e.busyCover = 0, 0
+	e.lteBurstSlots, e.lteCorruptSlots = 0, 0
+	e.starters = e.starters[:0]
+	e.enders = e.enders[:0]
+	for i := 0; i < e.n; i++ {
+		e.endSlot[i] = 0
+		e.corrupt[i] = false
+		e.corruptSlots[i] = 0
+		e.corruptCover[i] = 0
+		e.retries[i] = 0
+		e.nextBurst[i] = 0
+		e.delivered[i] = 0
+		e.attempts[i] = 0
+		e.collisions[i] = 0
+		e.drops[i] = 0
+		e.draws[i] = 0
+		switch e.kind[i] {
+		case nodeLBT:
+			e.cw[i] = e.cwFixed[i]
+		default:
+			e.cw[i] = dcfCWMin
+		}
+		e.backoff[i] = 0
+		if e.contender[i] {
+			e.backoff[i] = backoffDraw(e.seed, i, 0, e.cw[i])
+			e.draws[i] = 1
+		}
+	}
+}
+
+func (e *coexEngine) isActive(i int) bool {
+	return e.active[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// blocked reports whether node i senses any active transmitter.
+func (e *coexEngine) blocked(i int) bool {
+	row := e.sense[i]
+	for w, word := range e.active {
+		if word&row[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *coexEngine) run() {
+	now := 0
+	for now <= e.lastSlot {
+		// Next end event across active transmissions.
+		tEnd := maxSlot
+		if e.nActive > 0 {
+			for w, word := range e.active {
+				for word != 0 {
+					i := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if e.endSlot[i] < tEnd {
+						tEnd = e.endSlot[i]
+					}
+				}
+			}
+		}
+		// Next start event: earliest backoff expiry among unblocked
+		// contenders, or earliest scheduled duty burst. Blocked
+		// contenders have frozen backoff — their expiry will be
+		// re-derived after the blocking transmission ends.
+		tStart := maxSlot
+		for i := 0; i < e.n; i++ {
+			if e.isActive(i) {
+				continue
+			}
+			var c int
+			if e.kind[i] == nodeDuty {
+				c = e.offsetSlots[i] + e.nextBurst[i]*e.periodSlots[i]
+			} else {
+				if !e.contender[i] || e.blocked(i) {
+					continue
+				}
+				c = now + e.backoff[i]
+			}
+			if c < tStart {
+				tStart = c
+			}
+		}
+		next := tStart
+		if tEnd < next {
+			next = tEnd
+		}
+		if next > e.lastSlot {
+			break
+		}
+		if tStart < tEnd {
+			// Pure start event: nobody finishes at tStart, so the slot
+			// needs no end processing and no boundary-decrement pass.
+			e.advanceBackoffs(now, tStart)
+			e.startAt(tStart)
+			now = tStart
+		} else {
+			// End slot (possibly with simultaneous starts). Order
+			// mirrors the oracle's phases: starts against slot-start
+			// state, overlap marking, then transmission completion and
+			// the boundary backoff decrement.
+			e.advanceBackoffs(now, tEnd)
+			e.startAt(tEnd)
+			e.finishAt(tEnd)
+			e.boundaryDecrement()
+			now = tEnd + 1
+		}
+	}
+}
+
+// advanceBackoffs bulk-decrements unblocked idle contenders by the
+// event gap. Candidate selection guarantees backoff ≥ to-now for every
+// node decremented here.
+func (e *coexEngine) advanceBackoffs(now, to int) {
+	d := to - now
+	if d <= 0 {
+		return
+	}
+	for i := 0; i < e.n; i++ {
+		if !e.contender[i] || e.backoff[i] == 0 || e.isActive(i) || e.blocked(i) {
+			continue
+		}
+		e.backoff[i] -= d
+	}
+}
+
+// startAt begins every transmission due at slot t: expired unblocked
+// contenders and scheduled duty bursts. Starters are admitted against
+// the slot-start active set, so simultaneous expiries start together
+// (the same-slot collision at the heart of CSMA/CA); each new starter
+// is then marked against everything already on the air, which covers
+// both starter-vs-active and starter-vs-starter overlap.
+func (e *coexEngine) startAt(t int) {
+	e.starters = e.starters[:0]
+	for i := 0; i < e.n; i++ {
+		if e.isActive(i) {
+			continue
+		}
+		if e.kind[i] == nodeDuty {
+			if e.offsetSlots[i]+e.nextBurst[i]*e.periodSlots[i] != t {
+				continue
+			}
+			e.nextBurst[i]++
+		} else if !e.contender[i] || e.backoff[i] != 0 || e.blocked(i) {
+			continue
+		}
+		e.starters = append(e.starters, i)
+	}
+	for _, i := range e.starters {
+		end := t + e.frameSlots[i] - 1
+		e.endSlot[i] = end
+		e.attempts[i]++
+		if e.kind[i] == nodeWiFi {
+			e.corrupt[i] = false
+		} else {
+			e.corruptSlots[i] = 0
+			e.corruptCover[i] = t
+		}
+		// Busy airtime: union of [t, end] with everything counted so
+		// far. Starts arrive in nondecreasing t, so a single cover
+		// pointer suffices.
+		hi := end
+		if hi > e.lastSlot {
+			hi = e.lastSlot
+		}
+		lo := t
+		if lo < e.busyCover {
+			lo = e.busyCover
+		}
+		if hi >= lo {
+			e.busySlots += hi - lo + 1
+			e.busyCover = hi + 1
+		}
+		// Mark mutual corruption against everything already active —
+		// including earlier same-slot starters, which were added to
+		// the active set before this node.
+		for w, word := range e.active {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				e.markOverlap(i, j, t)
+			}
+		}
+		e.active[i>>6] |= 1 << uint(i&63)
+		e.nActive++
+	}
+}
+
+// markOverlap records that i and j transmitted concurrently from slot
+// `from` until the earlier of their ends.
+func (e *coexEngine) markOverlap(i, j, from int) {
+	end := e.endSlot[i]
+	if e.endSlot[j] < end {
+		end = e.endSlot[j]
+	}
+	e.markCorrupt(i, from, end)
+	e.markCorrupt(j, from, end)
+}
+
+// markCorrupt charges node i for overlap during [from, to]. WiFi loses
+// the whole frame; LTE bursts lose exactly the overlapped slots, with a
+// per-burst cover pointer making repeated or nested markings exact
+// (intervals for one burst arrive with nondecreasing `from`).
+func (e *coexEngine) markCorrupt(i, from, to int) {
+	if e.kind[i] == nodeWiFi {
+		e.corrupt[i] = true
+		return
+	}
+	if to > e.lastSlot {
+		to = e.lastSlot
+	}
+	if from < e.corruptCover[i] {
+		from = e.corruptCover[i]
+	}
+	if to >= from {
+		e.corruptSlots[i] += to - from + 1
+		e.corruptCover[i] = to + 1
+	}
+}
+
+// finishAt completes every transmission ending at slot t: outcome
+// resolution, retry/window bookkeeping, and the next backoff draw.
+func (e *coexEngine) finishAt(t int) {
+	e.enders = e.enders[:0]
+	for w := range e.endersMask {
+		e.endersMask[w] = 0
+	}
+	for w, word := range e.active {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if e.endSlot[i] == t {
+				e.enders = append(e.enders, i)
+				e.endersMask[w] |= 1 << uint(i&63)
+			}
+		}
+	}
+	for _, i := range e.enders {
+		e.active[i>>6] &^= 1 << uint(i&63)
+		e.nActive--
+		switch e.kind[i] {
+		case nodeWiFi:
+			if e.corrupt[i] {
+				e.collisions[i]++
+				e.retries[i]++
+				if e.retries[i] > dcfRetryLimit {
+					e.drops[i]++
+					e.retries[i] = 0
+					e.cw[i] = dcfCWMin
+				} else if e.cw[i] < dcfCWMax {
+					e.cw[i] = 2*(e.cw[i]+1) - 1
+					if e.cw[i] > dcfCWMax {
+						e.cw[i] = dcfCWMax
+					}
+				}
+			} else {
+				e.delivered[i] += e.payloadBits[i]
+				e.retries[i] = 0
+				e.cw[i] = dcfCWMin
+			}
+			e.backoff[i] = backoffDraw(e.seed, i, e.draws[i], e.cw[i])
+			e.draws[i]++
+		default:
+			good := e.frameSlots[i] - e.corruptSlots[i]
+			e.delivered[i] += e.bitsPerSlot[i] * float64(good)
+			e.lteBurstSlots += e.frameSlots[i]
+			e.lteCorruptSlots += e.corruptSlots[i]
+			if e.corruptSlots[i] > 0 {
+				e.collisions[i]++
+			}
+			if e.kind[i] == nodeLBT {
+				e.backoff[i] = backoffDraw(e.seed, i, e.draws[i], e.cw[i])
+				e.draws[i]++
+			}
+		}
+	}
+}
+
+// boundaryDecrement applies the oracle's phase-3 backoff countdown at
+// an end slot. A contender decrements iff it is idle, its backoff is
+// nonzero, it did not itself just finish (an ender's freshly drawn
+// backoff starts counting next slot), it senses nothing still active
+// after the slot's completions (same-slot starters included), and no
+// *higher-indexed* ender is in its sense set — the oracle resolves
+// stations in index order, so a lower-indexed ender has already gone
+// idle when station i is examined, while a higher-indexed one still
+// reads as transmitting.
+func (e *coexEngine) boundaryDecrement() {
+	for i := 0; i < e.n; i++ {
+		if !e.contender[i] || e.backoff[i] == 0 || e.isActive(i) {
+			continue
+		}
+		if e.endersMask[i>>6]&(1<<uint(i&63)) != 0 || e.blocked(i) {
+			continue
+		}
+		row := e.sense[i]
+		w0 := i >> 6
+		above := row[w0] & e.endersMask[w0] & (^uint64(0) << uint(i&63+1))
+		for w := w0 + 1; w < e.words && above == 0; w++ {
+			above = row[w] & e.endersMask[w]
+		}
+		if above == 0 {
+			e.backoff[i]--
+		}
+	}
+}

@@ -214,6 +214,79 @@ func TestDCFHiddenTerminalCollapse(t *testing.T) {
 	}
 }
 
+// TestDCFHiddenPairCollapse is the hidden-terminal regression the
+// registry story rests on: two mutually-unsensing saturated stations
+// whose frames (12 Mbps, 12 kB aggregates — ~8 ms on air, longer than
+// any backoff the 1023-slot CW can draw) always overlap. Collision rate
+// goes to ~1 and AP goodput to ~0; the same pair with carrier sense is
+// fine.
+func TestDCFHiddenPairCollapse(t *testing.T) {
+	stations := []DCFStation{
+		{ID: "a", RateBps: 12e6, PayloadBytes: 12000, Saturated: true},
+		{ID: "b", RateBps: 12e6, PayloadBytes: 12000, Saturated: true},
+	}
+	hidden := SimulateDCF(DCFConfig{
+		Stations: stations,
+		Sense:    [][]bool{{true, false}, {false, true}},
+		Seed:     2,
+	}, 1.0)
+	sensing := SimulateDCF(DCFConfig{Stations: stations, Seed: 2}, 1.0)
+
+	if hidden.CollisionRate < 0.95 {
+		t.Errorf("hidden pair collision rate = %.3f, want ≈1", hidden.CollisionRate)
+	}
+	if hidden.TotalBps > 0.02*sensing.TotalBps {
+		t.Errorf("hidden pair goodput %.0f not ≈0 (sensing pair %.0f)", hidden.TotalBps, sensing.TotalBps)
+	}
+	if sensing.CollisionRate > 0.3 {
+		t.Errorf("sensing pair collision rate = %.3f, want low", sensing.CollisionRate)
+	}
+	if sensing.TotalBps < 5e6 {
+		t.Errorf("sensing pair goodput = %.0f, want healthy", sensing.TotalBps)
+	}
+}
+
+// TestDCFDropAccounting pins the retry-limit bookkeeping: a frame that
+// collides more than dcfRetryLimit times in a row is dropped and
+// counted, not silently recycled. Every drop costs retryLimit+1
+// collided attempts, and attempts reconcile with successes, collisions,
+// and at most one in-flight frame per station.
+func TestDCFDropAccounting(t *testing.T) {
+	clean := SimulateDCF(DCFConfig{
+		Stations: []DCFStation{{ID: "s", RateBps: 54e6, Saturated: true}},
+		Seed:     1,
+	}, 1.0)
+	if clean.Drops != 0 {
+		t.Errorf("lone station dropped %d frames", clean.Drops)
+	}
+
+	stations := []DCFStation{
+		{ID: "a", RateBps: 24e6, Saturated: true},
+		{ID: "b", RateBps: 24e6, Saturated: true},
+	}
+	hidden := SimulateDCF(DCFConfig{
+		Stations: stations,
+		Sense:    [][]bool{{true, false}, {false, true}},
+		Seed:     2,
+	}, 1.0)
+	if hidden.Drops == 0 {
+		t.Fatal("hidden saturated pair never exhausted the retry limit")
+	}
+	if hidden.Drops*(dcfRetryLimit+1) > hidden.Collisions {
+		t.Errorf("%d drops need ≥ %d collisions, have %d",
+			hidden.Drops, hidden.Drops*(dcfRetryLimit+1), hidden.Collisions)
+	}
+	successes := 0
+	for _, bps := range hidden.PerStationBps {
+		successes += int(bps / (1500 * 8)) // 1 s of default-payload frames
+	}
+	inFlight := hidden.Attempts - hidden.Collisions - successes
+	if inFlight < 0 || inFlight > len(stations) {
+		t.Errorf("attempts %d, collisions %d, successes %d: %d unaccounted",
+			hidden.Attempts, hidden.Collisions, successes, inFlight)
+	}
+}
+
 func TestDCFDeterministic(t *testing.T) {
 	cfg := DCFConfig{
 		Stations: []DCFStation{

@@ -1,0 +1,5 @@
+//go:build !race
+
+package phy
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package phy
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip themselves under it.
+const raceEnabled = true

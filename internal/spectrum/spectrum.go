@@ -237,6 +237,71 @@ func ContentionDomains(grants []Grant, model radio.PathLoss, thresholdDBm float6
 	return out
 }
 
+// SlotShare is one domain member's TDM allocation.
+type SlotShare struct {
+	// APID is the transmitter the slots belong to.
+	APID string
+	// Slots is the member's whole-slot count per frame.
+	Slots int
+	// Fraction is Slots over the frame length.
+	Fraction float64
+}
+
+// PlanTDM turns a contention domain's member list into a deterministic
+// TDM slot assignment — the registry-coordinated alternative to
+// contending for the channel (§4.3): because the license database knows
+// every transmitter in the domain, airtime is divided explicitly.
+// Weights set proportional claims (missing or non-positive entries
+// count as 1; nil means equal shares). Slots are apportioned by largest
+// remainder over the APID-sorted member list, so every call with the
+// same inputs yields the same plan and no slot is lost to rounding.
+func PlanTDM(members []string, weights map[string]float64, slotsPerFrame int) []SlotShare {
+	if len(members) == 0 || slotsPerFrame <= 0 {
+		return nil
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+
+	type quota struct {
+		idx   int
+		whole int
+		frac  float64
+	}
+	var totalW float64
+	w := make([]float64, len(sorted))
+	for i, m := range sorted {
+		w[i] = 1
+		if weights != nil && weights[m] > 0 {
+			w[i] = weights[m]
+		}
+		totalW += w[i]
+	}
+	quotas := make([]quota, len(sorted))
+	assigned := 0
+	for i := range sorted {
+		q := w[i] / totalW * float64(slotsPerFrame)
+		whole := int(q)
+		quotas[i] = quota{idx: i, whole: whole, frac: q - float64(whole)}
+		assigned += whole
+	}
+	// Hand the leftover slots to the largest fractional remainders;
+	// ties break toward the lexicographically earlier APID.
+	sort.SliceStable(quotas, func(a, b int) bool { return quotas[a].frac > quotas[b].frac })
+	for r := 0; r < slotsPerFrame-assigned; r++ {
+		quotas[r%len(quotas)].whole++
+	}
+
+	out := make([]SlotShare, len(sorted))
+	for _, q := range quotas {
+		out[q.idx] = SlotShare{
+			APID:     sorted[q.idx],
+			Slots:    q.whole,
+			Fraction: float64(q.whole) / float64(slotsPerFrame),
+		}
+	}
+	return out
+}
+
 // DomainOf returns the contention-domain members containing apID, or
 // nil if the AP holds no grant in the set.
 func DomainOf(domains [][]string, apID string) []string {

@@ -2,6 +2,7 @@ package spectrum
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -161,5 +162,61 @@ func TestContentionDomainsBandIsolation(t *testing.T) {
 func TestContentionDomainsEmpty(t *testing.T) {
 	if d := ContentionDomains(nil, nil, InterferenceThresholdDBm); len(d) != 0 {
 		t.Errorf("empty = %v", d)
+	}
+}
+
+func TestPlanTDMEqualSplit(t *testing.T) {
+	plan := PlanTDM([]string{"wifi-d0", "lte-d0"}, nil, 20)
+	if len(plan) != 2 {
+		t.Fatalf("plan = %v", plan)
+	}
+	for _, s := range plan {
+		if s.Slots != 10 || s.Fraction != 0.5 {
+			t.Errorf("%s got %d slots (%.2f), want 10 (0.50)", s.APID, s.Slots, s.Fraction)
+		}
+	}
+	// APID-sorted output regardless of input order.
+	if plan[0].APID != "lte-d0" || plan[1].APID != "wifi-d0" {
+		t.Errorf("plan order = %v", plan)
+	}
+}
+
+func TestPlanTDMWeights(t *testing.T) {
+	plan := PlanTDM([]string{"a", "b"}, map[string]float64{"a": 3}, 20)
+	if plan[0].Slots != 15 || plan[1].Slots != 5 {
+		t.Errorf("weighted plan = %v", plan)
+	}
+}
+
+func TestPlanTDMLargestRemainder(t *testing.T) {
+	// 10 slots over 3 equal members: 3.33 each, one leftover slot goes
+	// to the lexicographically first member; nothing lost to rounding.
+	plan := PlanTDM([]string{"c", "a", "b"}, nil, 10)
+	total := 0
+	for _, s := range plan {
+		total += s.Slots
+	}
+	if total != 10 {
+		t.Errorf("slots lost to rounding: %v", plan)
+	}
+	if plan[0].APID != "a" || plan[0].Slots != 4 || plan[1].Slots != 3 || plan[2].Slots != 3 {
+		t.Errorf("remainder plan = %v", plan)
+	}
+}
+
+func TestPlanTDMDeterministic(t *testing.T) {
+	a := PlanTDM([]string{"x", "y", "z"}, map[string]float64{"y": 2}, 17)
+	b := PlanTDM([]string{"z", "y", "x"}, map[string]float64{"y": 2}, 17)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("member order changed the plan: %v vs %v", a, b)
+	}
+}
+
+func TestPlanTDMEmpty(t *testing.T) {
+	if p := PlanTDM(nil, nil, 20); p != nil {
+		t.Errorf("empty members = %v", p)
+	}
+	if p := PlanTDM([]string{"a"}, nil, 0); p != nil {
+		t.Errorf("zero slots = %v", p)
 	}
 }
