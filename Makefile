@@ -97,6 +97,12 @@ E12_GATE_FLAGS = -benchmem -benchtime 5x -count 3 -json
 HO_GATE_RE = BenchmarkHandover/single$$|BenchmarkHandover/storm$$
 HO_GATE_PKGS = ./internal/exp
 HO_GATE_FLAGS = -benchmem -benchtime 50x -count 3 -json
+# The steady-state handler-to-handler hop (DESIGN.md §14). The
+# baseline pins 0 allocs/op: any allocation creeping onto the dispatch
+# hot path fails the gate outright.
+DISPATCH_GATE_RE = BenchmarkDispatchHop$$
+DISPATCH_GATE_PKGS = ./internal/simnet
+DISPATCH_GATE_FLAGS = -benchmem -benchtime 2000x -count 3 -json
 
 bench-gate:
 	( $(GO) test -run '^$$' -bench '$(BENCH_GATE_RE)' -benchmem -benchtime 10000x -count 5 -json $(BENCH_GATE_PKGS) && \
@@ -105,7 +111,8 @@ bench-gate:
 	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(PHY_GATE_RE)' $(PHY_GATE_FLAGS) $(PHY_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(E12_GATE_RE)' $(E12_GATE_FLAGS) $(E12_GATE_PKGS) && \
-	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(DISPATCH_GATE_RE)' $(DISPATCH_GATE_FLAGS) $(DISPATCH_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
 # Regenerate the gate's numbers (run on the reference machine, commit
@@ -118,7 +125,8 @@ bench-baseline:
 	  $(GO) test -run '^$$' -bench '$(IDLE_GATE_RE)' $(IDLE_GATE_FLAGS) $(IDLE_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(PHY_GATE_RE)' $(PHY_GATE_FLAGS) $(PHY_GATE_PKGS) && \
 	  $(GO) test -run '^$$' -bench '$(E12_GATE_RE)' $(E12_GATE_FLAGS) $(E12_GATE_PKGS) && \
-	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) ) \
+	  $(GO) test -run '^$$' -bench '$(HO_GATE_RE)' $(HO_GATE_FLAGS) $(HO_GATE_PKGS) && \
+	  $(GO) test -run '^$$' -bench '$(DISPATCH_GATE_RE)' $(DISPATCH_GATE_FLAGS) $(DISPATCH_GATE_PKGS) ) \
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 # Fuzz smoke: a few seconds of coverage-guided fuzzing per untrusted

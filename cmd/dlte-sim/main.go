@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -77,7 +78,42 @@ func main() {
 	par := flag.Int("p", runtime.NumCPU(), "max concurrent simulation worlds (1 = fully serial)")
 	shards := flag.Int("shards", 0, "session shards per simulated core (0 = one per CPU; output-invariant)")
 	ues := flag.Int("ues", 0, "E13 only: run a single world of exactly this many UEs instead of the default sweep (output depends on -ues but never on -p/-shards)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit (pprof format)")
 	flag.Parse()
+
+	// Profiles go to stderr-side files only; stdout (the tables) stays
+	// byte-comparable across runs with and without profiling.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	// -ues is a world-shape knob, so an explicit nonsense value must be
 	// an error, not a silent fallback to the default sweep.

@@ -1,6 +1,7 @@
 package enb
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -60,6 +61,12 @@ type ueCtx struct {
 	mu       sync.Mutex
 	dlTEID   uint32 // eNodeB-local TEID for downlink
 	released bool   // core commanded this context's release already
+
+	// teardown, set in dispatch-handler mode before the context is
+	// published, is the association's idempotent exit path. The S1
+	// release handler calls it directly: closing our own side of the
+	// air conn no longer unblocks a reader whose defer did the cleanup.
+	teardown func()
 }
 
 // New creates an eNodeB on host and connects it to its core: dials
@@ -105,9 +112,39 @@ func New(host *simnet.Host, cfg Config) (*ENodeB, error) {
 	}
 	e.airL = l
 
-	host.Clock().Go(e.s1Loop)
+	if sc, ok := raw.(*simnet.Conn); ok {
+		e.installS1(sc)
+	} else {
+		host.Clock().Go(e.s1Loop)
+	}
 	host.Clock().Go(e.airAccept)
 	return e, nil
+}
+
+// installS1 attaches the run-to-completion downlink S1AP path: frames
+// reassemble and dispatch inline on the network dispatcher. A decode
+// error stops consumption, as the legacy loop's return did.
+func (e *ENodeB) installS1(sc *simnet.Conn) {
+	asm := &wire.FrameAssembler{}
+	var v s1ap.MsgView
+	dead := false
+	sc.OnDeliver(func(data []byte) {
+		if dead {
+			return
+		}
+		if err := asm.Feed(data, func(frame []byte) error {
+			if derr := s1ap.DecodeView(frame, &v); derr != nil {
+				return derr
+			}
+			e.handleS1(&v)
+			return nil
+		}); err != nil {
+			dead = true
+			asm.Reset()
+		}
+	}, func() {
+		asm.Reset()
+	})
 }
 
 // AirAddr is where UEs attach ("host:port").
@@ -133,11 +170,122 @@ func (e *ENodeB) airAccept() {
 	}
 }
 
+// errAirReleased stops frame consumption after an AirRelease tore the
+// association down mid-chunk.
+var errAirReleased = errors.New("enb: air released")
+
+// ueRx is one radio association's uplink consumer, shared by the
+// dispatch handler and the legacy reader loop. Its fields are only
+// touched by the (serialized) delivery path for this conn, plus the
+// idempotent teardown.
+type ueRx struct {
+	e     *ENodeB
+	ctx   *ueCtx
+	first bool
+	done  atomic.Bool
+	// asm reassembles the uplink stream in dispatch mode; embedded so
+	// an association costs one state allocation (ueRx doubles as the
+	// conn's simnet.StreamHandler).
+	asm wire.FrameAssembler
+}
+
+// HandleDeliver implements simnet.StreamHandler: reassemble the chunk
+// and dispatch each completed uplink frame inline.
+func (ur *ueRx) HandleDeliver(data []byte) {
+	if ur.done.Load() {
+		return
+	}
+	if err := ur.asm.Feed(data, ur.frame); err != nil {
+		ur.asm.Reset()
+		ur.teardown()
+	}
+}
+
+// HandleStreamClose implements simnet.StreamHandler: the UE end closed
+// the association.
+func (ur *ueRx) HandleStreamClose() {
+	ur.asm.Reset()
+	ur.teardown()
+}
+
+// frame consumes one uplink air frame, valid only for the duration of
+// the call: every consumer (S1AP send, GTP send) copies synchronously.
+func (ur *ueRx) frame(frame []byte) error {
+	t, payload, err := DecodeAirView(frame)
+	if err != nil {
+		return nil // tolerate junk frames, as the reader loop did
+	}
+	switch t {
+	case AirNASUp:
+		// Uplink NAS rides the per-UE hot path of an attach storm, so
+		// the S1AP envelope is built in a pooled frame rather than
+		// through a per-message heap struct.
+		buf := wire.GetFrame()
+		var out []byte
+		var serr error
+		if ur.first {
+			ur.first = false
+			out, serr = s1ap.AppendInitialUEMessage(buf, ur.ctx.enbUEID, payload)
+		} else {
+			out, serr = s1ap.AppendUplinkNASTransport(buf, ur.ctx.enbUEID, 0, payload)
+		}
+		if serr == nil {
+			ur.e.s1.SendFrame(out)
+		}
+		wire.PutFrame(buf)
+	case AirDataUp:
+		if teid := ur.ctx.ul.Load(); teid != 0 {
+			ur.e.gtpE.Send(teid, payload)
+		}
+	case AirRelease:
+		ur.teardown()
+		return errAirReleased
+	}
+	return nil
+}
+
+// teardown is the association's exit path (the old serveUE defer).
+// Idempotent: reachable from the air conn's delivery path, its close
+// event, and the S1 release handler.
+func (ur *ueRx) teardown() {
+	if !ur.done.CompareAndSwap(false, true) {
+		return
+	}
+	e, ctx := ur.e, ur.ctx
+	ctx.raw.Close()
+	e.mu.Lock()
+	delete(e.byUEID, ctx.enbUEID)
+	closing := e.closed
+	e.mu.Unlock()
+	ctx.mu.Lock()
+	if ctx.dlTEID != 0 {
+		e.gtpE.Release(ctx.dlTEID)
+	}
+	released := ctx.released
+	ctx.mu.Unlock()
+	if ul := ctx.ul.Load(); ul != 0 {
+		e.gtpE.Release(ul)
+	}
+	// The radio link is gone: unless the core itself commanded the
+	// release (or the whole eNodeB is shutting down), report it
+	// upstream so the UE's session is evicted instead of lingering
+	// until association teardown.
+	if !ur.first && !released && !closing {
+		e.s1.Send(&s1ap.UEContextReleaseRequest{ENBUEID: ctx.enbUEID})
+	}
+}
+
 func (e *ENodeB) serveUE(raw net.Conn) {
 	fc := wire.NewFrameConn(raw)
+	ctx := &ueCtx{air: fc, raw: raw}
+	ur := &ueRx{e: e, ctx: ctx, first: true}
+	sc, handlerMode := raw.(*simnet.Conn)
+	if handlerMode {
+		ctx.teardown = ur.teardown
+	}
 	e.mu.Lock()
 	e.nextUEID++
-	ctx := &ueCtx{enbUEID: e.nextUEID, air: fc, raw: raw}
+	ctx.enbUEID = e.nextUEID
 	e.byUEID[ctx.enbUEID] = ctx
 	e.mu.Unlock()
 
@@ -147,71 +295,24 @@ func (e *ENodeB) serveUE(raw net.Conn) {
 		e.sendAir(ctx, AirBroadcast, sib)
 	}
 
-	first := true
-	defer func() {
-		raw.Close()
-		e.mu.Lock()
-		delete(e.byUEID, ctx.enbUEID)
-		closing := e.closed
-		e.mu.Unlock()
-		ctx.mu.Lock()
-		if ctx.dlTEID != 0 {
-			e.gtpE.Release(ctx.dlTEID)
-		}
-		released := ctx.released
-		ctx.mu.Unlock()
-		if ul := ctx.ul.Load(); ul != 0 {
-			e.gtpE.Release(ul)
-		}
-		// The radio link is gone: unless the core itself commanded the
-		// release (or the whole eNodeB is shutting down), report it
-		// upstream so the UE's session is evicted instead of lingering
-		// until association teardown.
-		if !first && !released && !closing {
-			e.s1.Send(&s1ap.UEContextReleaseRequest{ENBUEID: ctx.enbUEID})
-		}
-	}()
+	if handlerMode {
+		// Run-to-completion uplink: frames reassemble and dispatch
+		// inline on the network dispatcher; no goroutine per UE.
+		sc.OnDeliverHandler(ur)
+		return
+	}
 
-	// Frames are read into pooled buffers and decoded by view: every
-	// consumer below (S1AP send, GTP send) copies synchronously, so the
-	// buffer is recycled as soon as the frame is dispatched.
+	defer ur.teardown()
 	for {
 		frame, err := fc.RecvOwned()
 		if err != nil {
 			return
 		}
-		t, payload, err := DecodeAirView(frame)
-		if err != nil {
-			wire.PutFrame(frame)
-			continue
-		}
-		switch t {
-		case AirNASUp:
-			// Uplink NAS rides the per-UE hot path of an attach storm, so
-			// the S1AP envelope is built in a pooled frame rather than
-			// through a per-message heap struct.
-			buf := wire.GetFrame()
-			var out []byte
-			var serr error
-			if first {
-				first = false
-				out, serr = s1ap.AppendInitialUEMessage(buf, ctx.enbUEID, payload)
-			} else {
-				out, serr = s1ap.AppendUplinkNASTransport(buf, ctx.enbUEID, 0, payload)
-			}
-			if serr == nil {
-				e.s1.SendFrame(out)
-			}
-			wire.PutFrame(buf)
-		case AirDataUp:
-			if teid := ctx.ul.Load(); teid != 0 {
-				e.gtpE.Send(teid, payload)
-			}
-		case AirRelease:
-			wire.PutFrame(frame)
+		ferr := ur.frame(frame)
+		wire.PutFrame(frame)
+		if ferr != nil {
 			return
 		}
-		wire.PutFrame(frame)
 	}
 }
 
@@ -230,24 +331,34 @@ func (e *ENodeB) s1Loop() {
 			wire.PutFrame(frame)
 			return
 		}
-		switch v.Type {
-		case s1ap.TypeDownlinkNASTransport:
-			if ctx := e.lookup(v.ENBUEID); ctx != nil {
-				e.sendAir(ctx, AirNASDown, v.NASPDU)
-			}
-		case s1ap.TypeInitialContextSetupRequest:
-			e.setupContext(&v)
-		case s1ap.TypeUEContextReleaseCommand:
-			if ctx := e.lookup(v.ENBUEID); ctx != nil {
-				ctx.mu.Lock()
-				ctx.released = true
-				ctx.mu.Unlock()
-				e.sendAir(ctx, AirRelease, nil)
-				ctx.raw.Close()
-			}
-			e.s1.Send(&s1ap.UEContextReleaseComplete{ENBUEID: v.ENBUEID, MMEUEID: v.MMEUEID})
-		}
+		e.handleS1(&v)
 		wire.PutFrame(frame)
+	}
+}
+
+// handleS1 runs one decoded downlink S1AP message. The view's slices
+// point into the frame under dispatch and every case copies what it
+// keeps before returning.
+func (e *ENodeB) handleS1(v *s1ap.MsgView) {
+	switch v.Type {
+	case s1ap.TypeDownlinkNASTransport:
+		if ctx := e.lookup(v.ENBUEID); ctx != nil {
+			e.sendAir(ctx, AirNASDown, v.NASPDU)
+		}
+	case s1ap.TypeInitialContextSetupRequest:
+		e.setupContext(v)
+	case s1ap.TypeUEContextReleaseCommand:
+		if ctx := e.lookup(v.ENBUEID); ctx != nil {
+			ctx.mu.Lock()
+			ctx.released = true
+			ctx.mu.Unlock()
+			e.sendAir(ctx, AirRelease, nil)
+			ctx.raw.Close()
+			if ctx.teardown != nil {
+				ctx.teardown()
+			}
+		}
+		e.s1.Send(&s1ap.UEContextReleaseComplete{ENBUEID: v.ENBUEID, MMEUEID: v.MMEUEID})
 	}
 }
 

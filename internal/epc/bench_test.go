@@ -26,7 +26,7 @@ type stormBed struct {
 	air []string // air address per UE
 }
 
-func newStormBed(b *testing.B, shards, nENB, uesPerENB int) *stormBed {
+func newStormBed(b testing.TB, shards, nENB, uesPerENB int) *stormBed {
 	b.Helper()
 	sb := &stormBed{net: simnet.New(simnet.Link{}, 1)}
 	coreHost := sb.net.MustAddHost("core")

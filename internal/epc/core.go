@@ -308,6 +308,10 @@ type ueSession struct {
 }
 
 func (c *Core) serveENB(raw net.Conn) {
+	if sc, ok := raw.(*simnet.Conn); ok {
+		c.serveENBDispatch(sc)
+		return
+	}
 	defer raw.Close()
 	clk := simnet.ClockOf(raw)
 	connID := raw.RemoteAddr().String()
@@ -337,6 +341,147 @@ func (c *Core) serveENB(raw net.Conn) {
 		derr := c.dispatchS1AP(clk, ec, connID, &v)
 		wire.PutFrame(frame)
 		if errors.Is(derr, errENBRefused) {
+			return // drop the association: closed core
+		}
+		// Per-UE errors are isolated; the association survives.
+	}
+}
+
+// enbIngest is the run-to-completion ingest queue for one eNB
+// association. The conn's delivery handler reassembles frames and
+// queues pooled copies; the association's serving goroutine (the one
+// ServeS1AP spawned) drains the queue through dispatchS1AP, which may
+// sleep on admission gates and so cannot run inside a dispatch
+// handler. One goroutine per eNB association — not per UE — keeps the
+// pre-existing serialization (messages on one S1AP association are
+// inherently serial) while the per-UE hot paths stay handler-driven.
+type enbIngest struct {
+	mu   sync.Mutex
+	q    [][]byte // pooled frame copies, FIFO from head
+	head int
+	dead bool
+	wake chan struct{} // buffered(1) doorbell for the serving goroutine
+}
+
+// push queues a copy of frame (which is only valid during the
+// handler's call) for the serving goroutine.
+func (in *enbIngest) push(frame []byte) {
+	buf := append(wire.GetFrame(), frame...)
+	in.mu.Lock()
+	in.q = append(in.q, buf)
+	in.mu.Unlock()
+	in.signal()
+}
+
+// close marks the association dead; queued frames (already fully
+// received) are still served first, matching the blocking reader that
+// drained buffered stream data before seeing the close.
+func (in *enbIngest) close() {
+	in.mu.Lock()
+	in.dead = true
+	in.mu.Unlock()
+	in.signal()
+}
+
+func (in *enbIngest) signal() {
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop returns the next queued frame, parking through the clock until
+// one arrives. ok=false means dead and drained.
+func (in *enbIngest) pop(clk simnet.Clock) (frame []byte, ok bool) {
+	for {
+		in.mu.Lock()
+		if in.head < len(in.q) {
+			f := in.q[in.head]
+			in.q[in.head] = nil
+			in.head++
+			if in.head == len(in.q) {
+				in.q, in.head = in.q[:0], 0
+			}
+			in.mu.Unlock()
+			return f, true
+		}
+		if in.dead {
+			in.mu.Unlock()
+			return nil, false
+		}
+		in.mu.Unlock()
+		clk.Block()
+		<-in.wake
+		clk.Unblock()
+	}
+}
+
+// drain recycles any frames still queued when the association is torn
+// down mid-stream (decode error, refused eNB).
+func (in *enbIngest) drain() {
+	in.mu.Lock()
+	for i := in.head; i < len(in.q); i++ {
+		wire.PutFrame(in.q[i])
+		in.q[i] = nil
+	}
+	in.q, in.head, in.dead = nil, 0, true
+	in.mu.Unlock()
+}
+
+// serveENBDispatch serves one eNB association with run-to-completion
+// ingest: frames reassemble inside the delivery handler and the
+// serving goroutine wakes only when there is a message to process —
+// no read-deadline polling, no per-read park/unpark.
+func (c *Core) serveENBDispatch(sc *simnet.Conn) {
+	clk := simnet.ClockOf(sc)
+	connID := sc.RemoteAddr().String()
+	in := &enbIngest{wake: make(chan struct{}, 1)}
+	asm := &wire.FrameAssembler{}
+	sc.OnDeliver(func(data []byte) {
+		if asm.Feed(data, func(frame []byte) error {
+			in.push(frame)
+			return nil
+		}) != nil {
+			asm.Reset()
+			in.close()
+		}
+		// The serving goroutine may have parked on the doorbell; tell
+		// the virtual clock a goroutine became runnable.
+		simnet.Poke(clk)
+	}, func() {
+		asm.Reset()
+		in.close()
+		simnet.Poke(clk)
+	})
+
+	ec := &enbConn{conn: s1ap.NewConn(sc), sessions: make(map[uint32]*ueSession)}
+	var v s1ap.MsgView
+	for {
+		frame, ok := in.pop(clk)
+		if !ok {
+			// Association lost: tear down this eNB's sessions.
+			for _, s := range ec.sessions {
+				c.releaseSession(s)
+			}
+			sc.Close()
+			return
+		}
+		if err := s1ap.DecodeView(frame, &v); err != nil {
+			wire.PutFrame(frame)
+			for _, s := range ec.sessions {
+				c.releaseSession(s)
+			}
+			sc.Close()
+			in.drain()
+			return
+		}
+		c.sigMsgs.Add(1)
+		c.applyProcessingDelay(clk, connID)
+		derr := c.dispatchS1AP(clk, ec, connID, &v)
+		wire.PutFrame(frame)
+		if errors.Is(derr, errENBRefused) {
+			sc.Close()
+			in.drain()
 			return // drop the association: closed core
 		}
 		// Per-UE errors are isolated; the association survives.

@@ -110,7 +110,13 @@ func (g *detGate) run(clk simnet.Clock, actor string, fn func()) {
 	w.at = clk.Now()
 	w.actor = actor
 	g.enqueue(w)
-	clk.Sleep(gateEpsilon) // same-instant arrivals finish enqueueing
+	if _, virtual := clk.(*simnet.VirtualClock); virtual {
+		// Same-instant arrivals finish enqueueing before admission
+		// order is decided. Only a virtual clock has the quiescence
+		// guarantee that makes the window meaningful; on a wall clock
+		// the 1 ns sleep is a ~50 µs real timer for nothing.
+		clk.Sleep(gateEpsilon)
+	}
 	g.mu.Lock()
 	g.tryAdmit()
 	g.mu.Unlock()

@@ -81,6 +81,12 @@ type gwSession struct {
 	localTEID uint32
 	ext       *simnet.PacketConn
 	bind      atomic.Pointer[enbBind]
+
+	// Downlink dispatch-handler state (the source-address memo the old
+	// reader loop kept on its stack). Touched only by the handler,
+	// which the dispatcher runs serially per socket.
+	lastFrom   net.Addr
+	lastRemote string
 }
 
 // ErrNoSession reports an operation on an unknown subscriber session.
@@ -177,7 +183,9 @@ func (g *Gateway) CreateSession(imsi string) (ueIP string, uplinkTEID uint32, er
 		g.uplink(s, payload)
 	})
 	g.sessions[imsi] = s
-	g.host.Clock().Go(func() { g.downlinkLoop(s) })
+	// Downlink runs run-to-completion on the network dispatcher: no
+	// per-session reader goroutine, nothing to unwind on teardown.
+	ext.SetHandler(func(data []byte, from net.Addr) { g.downlink(s, data, from) })
 	return s.ueIP, s.localTEID, nil
 }
 
@@ -277,38 +285,29 @@ func (g *Gateway) uplink(s *gwSession, payload []byte) {
 	s.ext.WriteTo(data, addr)
 }
 
-// downlinkLoop forwards Internet return traffic back through the
-// session's tunnel toward the eNodeB. It blocks on owned reads (no
-// deadline churn; closing the socket unblocks it), memoizes the
-// rendered source address across the run of packets from one peer, and
-// builds the tunneled packet in a pooled buffer behind GTP headroom —
-// steady state costs no allocation.
-func (g *Gateway) downlinkLoop(s *gwSession) {
-	var lastFrom net.Addr
-	var lastRemote string
-	for {
-		data, from, err := s.ext.ReadFromOwned()
-		if err != nil {
-			return // socket closed (session deleted or gateway down)
-		}
-		bind := s.bind.Load()
-		if bind == nil {
-			g.drops.UnboundDownlink.Inc()
-			simnet.PutPayload(data)
-			continue
-		}
-		if from != lastFrom {
-			lastFrom, lastRemote = from, from.String()
-		}
-		buf := gtp.GetBuffer()
-		buf, err = AppendUserPacket(buf, lastRemote, data)
-		simnet.PutPayload(data)
-		if err != nil {
-			gtp.PutBuffer(buf)
-			continue
-		}
-		g.ep.SendBuffer(s.localTEID, buf)
+// downlink forwards one Internet return packet back through the
+// session's tunnel toward the eNodeB. It is the session's dispatch
+// handler: data is the dispatcher's pooled delivery buffer, valid only
+// for the duration of the call (the user-packet append below consumes
+// it before returning). The source-address memo and the pooled
+// GTP-headroom build keep steady state allocation-free, as the old
+// reader loop did.
+func (g *Gateway) downlink(s *gwSession, data []byte, from net.Addr) {
+	bind := s.bind.Load()
+	if bind == nil {
+		g.drops.UnboundDownlink.Inc()
+		return
 	}
+	if from != s.lastFrom {
+		s.lastFrom, s.lastRemote = from, from.String()
+	}
+	buf := gtp.GetBuffer()
+	buf, err := AppendUserPacket(buf, s.lastRemote, data)
+	if err != nil {
+		gtp.PutBuffer(buf)
+		return
+	}
+	g.ep.SendBuffer(s.localTEID, buf)
 }
 
 // Close tears down all sessions and the GTP endpoint.

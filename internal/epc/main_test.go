@@ -1,0 +1,13 @@
+package epc
+
+import (
+	"testing"
+
+	"dlte/internal/leaktest"
+)
+
+// TestMain audits the package for leaked goroutines; see
+// internal/leaktest. The S1AP service goroutines park on handler-fed
+// ingest queues, so an association whose EOF never arrives (the bug
+// class the forced teardown close exists for) fails the suite.
+func TestMain(m *testing.M) { leaktest.Main(m) }

@@ -119,6 +119,13 @@ type ownedReader interface {
 	ReadFromOwned() ([]byte, net.Addr, error)
 }
 
+// handlerSetter is the run-to-completion receive surface
+// (simnet.PacketConn): inbound packets run the handler inline on the
+// network's dispatcher instead of waking a parked reader goroutine.
+type handlerSetter interface {
+	SetHandler(h func(data []byte, from net.Addr))
+}
+
 // Handler consumes a decapsulated user packet arriving on a tunnel.
 //
 // The payload is a view into a pooled receive buffer: it is valid only
@@ -197,7 +204,15 @@ func NewEndpoint(pc PacketConn) *Endpoint {
 	e.ow, _ = pc.(ownedWriter)
 	e.or, _ = pc.(ownedReader)
 	e.table.Store(&tunnelTable{m: map[uint32]*tunnelState{}})
-	e.clk.Go(e.readLoop)
+	if hs, ok := pc.(handlerSetter); ok {
+		// Run-to-completion: demux runs inline per delivered packet; no
+		// reader goroutine exists to leak or park. demux is already a
+		// conforming handler — it never blocks on the clock, and the
+		// pooled buffer is only viewed for the duration of the call.
+		hs.SetHandler(e.demux)
+	} else {
+		e.clk.Go(e.readLoop)
+	}
 	return e
 }
 

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,24 +21,55 @@ type chunk struct {
 // halfPipe is one direction of a stream connection. Bytes written are
 // delivered after the link delay; the byte stream is reliable and
 // ordered (it models TCP riding the simulated link).
+//
+// A pipe delivers through exactly one of three paths, in lifecycle
+// order: preq buffers writes that arrive before the receiver engages
+// (no reader parked yet, no handler installed — typically a dial
+// handshake frame in flight); queue is the legacy channel a blocking
+// reader parks on, allocated on first Read; a registered dispatch
+// handler (dc) replaces both and runs deliveries run-to-completion on
+// the network's dispatcher.
 type halfPipe struct {
 	mu         sync.Mutex
-	queue      chan chunk
-	pending    []byte // unread remainder of the last delivered chunk
-	pendingBuf []byte // pending's backing pool buffer, recycled when drained
+	preq       []chunk    // writes before engagement, in write order
+	queue      chan chunk // legacy path; nil until a reader engages
+	pending    []byte     // unread remainder of the last delivered chunk
+	pendingBuf []byte     // pending's backing pool buffer, recycled when drained
 	closed     chan struct{}
 	once       sync.Once
+
+	// dc is the receiver's dispatch endpoint. Written under mu (so
+	// installation can migrate buffered chunks atomically against
+	// writers); read lock-free on the write fast path.
+	dc atomic.Pointer[dconn]
 }
 
 func newHalfPipe() *halfPipe {
-	return &halfPipe{
-		queue:  make(chan chunk, 4096),
-		closed: make(chan struct{}),
-	}
+	return &halfPipe{closed: make(chan struct{})}
 }
 
 func (p *halfPipe) close() {
 	p.once.Do(func() { close(p.closed) })
+}
+
+// engage returns the legacy delivery channel, allocating it and
+// draining any pre-engagement chunks into it on first use.
+func (p *halfPipe) engage() chan chunk {
+	p.mu.Lock()
+	if p.queue == nil {
+		depth := streamQueueDepth
+		if len(p.preq) >= depth {
+			depth = len(p.preq) + 64
+		}
+		p.queue = make(chan chunk, depth)
+		for _, ch := range p.preq {
+			p.queue <- ch
+		}
+		p.preq = nil
+	}
+	q := p.queue
+	p.mu.Unlock()
+	return q
 }
 
 // Conn is a simnet stream connection implementing net.Conn.
@@ -78,6 +110,97 @@ func newConnPair(n *Network, local, remote Addr) (*Conn, *Conn) {
 	return a, b
 }
 
+// OnDeliver switches the conn to run-to-completion dispatch: h runs
+// inline on the network's dispatcher for every delivered write, in
+// delivery order, at the delivery instant; onClose (optional) runs
+// after the final delivery when the peer closes. The buffer passed to
+// h is owned by the dispatcher and valid only for the duration of the
+// call — copy anything retained.
+//
+// Anything already buffered (a handshake frame read partially, chunks
+// queued before the handler existed) is re-registered with the
+// dispatcher at its original delivery instant, so installing a handler
+// mid-stream loses nothing and shifts no timestamps. After
+// installation the blocking Read path must not be used again. The
+// caller must be a clock-registered goroutine, and h must not block on
+// clock waits (no Sleep, no blocking simnet reads); a handler that
+// wakes other goroutines through plain channels must call Poke.
+func (c *Conn) OnDeliver(h func(data []byte), onClose func()) {
+	d := c.network.dispatcherFor()
+	dc := d.register()
+	dc.onData = h
+	dc.onClose = onClose
+	c.installDispatch(d, dc)
+}
+
+// StreamHandler is the allocation-free form of OnDeliver: one receiver
+// carries both callbacks, so a per-conn registration costs no closure
+// allocations — it matters on paths that register a fresh conn per
+// protocol event (every attach creates a radio association). The same
+// contract as OnDeliver applies to both methods.
+type StreamHandler interface {
+	HandleDeliver(data []byte) // one delivered write; buffer valid for the call only
+	HandleStreamClose()        // peer closed, after the final delivery
+}
+
+// OnDeliverHandler is OnDeliver with an interface receiver in place of
+// the two closures.
+func (c *Conn) OnDeliverHandler(h StreamHandler) {
+	d := c.network.dispatcherFor()
+	dc := d.register()
+	dc.sink = h
+	c.installDispatch(d, dc)
+}
+
+// closeTeardown is Close for world teardown: if the conn runs a
+// dispatch handler, its close callback is scheduled as a forced event
+// first, so the handler sees EOF even though the close is
+// administrative rather than the peer's — a service goroutine parked
+// on a handler-fed queue depends on that callback to exit.
+func (c *Conn) closeTeardown() error {
+	if dc := c.rx.dc.Load(); dc != nil && (dc.sink != nil || dc.onClose != nil) {
+		dc.d.sendCloseForce(dc)
+	}
+	return c.Close()
+}
+
+// installDispatch migrates buffered data to the endpoint's dispatcher
+// and publishes the registration, preserving original delivery
+// instants (see OnDeliver).
+func (c *Conn) installDispatch(d *dispatcher, dc *dconn) {
+	p := c.rx
+	p.mu.Lock()
+	if len(p.pending) > 0 {
+		// Remainder of a partially-read chunk: already deliverable.
+		d.migrateChunk(dc, chunk{data: p.pending}, nil)
+		p.pending, p.pendingBuf = nil, nil
+	}
+	if p.queue != nil {
+	drain:
+		for {
+			select {
+			case ch := <-p.queue:
+				d.migrateChunk(dc, ch, nil)
+			default:
+				break drain
+			}
+		}
+	}
+	for _, ch := range p.preq {
+		d.migrateChunk(dc, ch, nil)
+	}
+	p.preq = nil
+	p.dc.Store(dc)
+	p.mu.Unlock()
+	select {
+	case <-p.closed:
+		// Peer closed before the handler existed; its close event was
+		// never scheduled, so schedule it now (after migrated data).
+		d.sendClose(dc)
+	default:
+	}
+}
+
 // Read implements net.Conn. It blocks until data is deliverable (its
 // link delay has elapsed), the peer closes, or the read deadline fires.
 func (c *Conn) Read(b []byte) (int, error) {
@@ -96,10 +219,11 @@ func (c *Conn) Read(b []byte) (int, error) {
 	c.rx.mu.Unlock()
 
 	clk := c.network.clock
+	queue := c.rx.engage()
 
 	// Fast path: a chunk is already queued; no need to park.
 	select {
-	case ch := <-c.rx.queue:
+	case ch := <-queue:
 		return c.deliver(ch, b, nil), nil
 	default:
 	}
@@ -118,14 +242,14 @@ func (c *Conn) Read(b []byte) (int, error) {
 
 	clk.Block()
 	select {
-	case ch := <-c.rx.queue:
+	case ch := <-queue:
 		clk.Unblock()
 		return c.deliver(ch, b, deadlineC), nil
 	case <-c.rx.closed:
 		clk.Unblock()
 		// Drain anything queued before the close won the race.
 		select {
-		case ch := <-c.rx.queue:
+		case ch := <-queue:
 			return c.deliver(ch, b, deadlineC), nil
 		default:
 			return 0, io.EOF
@@ -191,6 +315,18 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if !up {
 		return 0, ErrLinkDown
 	}
+	p := c.tx
+
+	// Dispatch fast path: the receiver runs a handler; schedule a
+	// delivery event. No channel, no barrier, no blocking (deadlines
+	// are moot — the event queue never exerts backpressure).
+	if dc := p.dc.Load(); dc != nil {
+		data := payloadGet(len(b))
+		copy(data, b)
+		dc.d.send(dc, data, nil, delay)
+		return len(b), nil
+	}
+
 	clk := c.network.clock
 	data := payloadGet(len(b))
 	copy(data, b)
@@ -202,12 +338,31 @@ func (c *Conn) Write(b []byte) (int, error) {
 		ch.at = clk.Now().Add(delay)
 	}
 
-	// Fast path: queue has room.
+	// Legacy enqueue, mode-checked under the pipe lock so a concurrent
+	// OnDeliver migration cannot strand the chunk behind the handler.
+	p.mu.Lock()
+	if dc := p.dc.Load(); dc != nil {
+		p.mu.Unlock()
+		c.releaseBarrier(ch.bar)
+		dc.d.send(dc, data, nil, delay)
+		return len(b), nil
+	}
+	if p.queue == nil {
+		// Receiver not engaged yet: buffer in write order.
+		p.preq = append(p.preq, ch)
+		p.mu.Unlock()
+		c.network.noteLegacyDelivery()
+		return len(b), nil
+	}
+	queue := p.queue
 	select {
-	case c.tx.queue <- ch:
+	case queue <- ch:
+		p.mu.Unlock()
+		c.network.noteLegacyDelivery()
 		return len(b), nil
 	default:
 	}
+	p.mu.Unlock()
 
 	var deadlineC <-chan time.Time
 	if dl := c.writeDeadline.get(); !dl.IsZero() {
@@ -224,8 +379,9 @@ func (c *Conn) Write(b []byte) (int, error) {
 
 	clk.Block()
 	select {
-	case c.tx.queue <- ch:
+	case queue <- ch:
 		clk.Unblock()
+		c.network.noteLegacyDelivery()
 		return len(b), nil
 	case <-c.tx.closed:
 		clk.Unblock()
@@ -250,8 +406,15 @@ func (c *Conn) releaseBarrier(b *vbarrier) {
 }
 
 // Close implements net.Conn. It closes both directions, so the peer's
-// pending Read returns io.EOF after draining delivered data.
+// pending Read returns io.EOF (or its dispatch handler sees onClose)
+// after draining delivered data.
 func (c *Conn) Close() error {
+	if dc := c.rx.dc.Load(); dc != nil {
+		dc.d.markClosed(dc) // drop own in-flight deliveries
+	}
+	if dc := c.tx.dc.Load(); dc != nil {
+		dc.d.sendClose(dc) // peer's handler sees EOF after queued data
+	}
 	c.tx.close()
 	c.rx.close()
 	c.network.dropConn(c)

@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDispatchHop prices the steady-state unit of the dispatch
+// model: one handler-to-handler round trip (a delivery into a handler
+// that writes back, and the echoed delivery into the far handler). The
+// ping-pong sustains itself on the advancer with no goroutine parked
+// anywhere, so ns/op is the pure event cost and allocs/op must be 0 —
+// payload buffers and event records recycle through their pools. The
+// bench rides make bench-gate with a 0-alloc baseline; any allocation
+// creeping onto the hot path fails the gate.
+func BenchmarkDispatchHop(b *testing.B) {
+	n := NewVirtualNetwork(Link{Latency: 50 * time.Microsecond}, 1)
+	defer n.Close()
+	ha := n.MustAddHost("a")
+	hb := n.MustAddHost("b")
+	l, err := hb.Listen(9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clk := n.Clock().(*VirtualClock)
+	acceptCh := make(chan *Conn, 1)
+	clk.Go(func() {
+		c, err := l.Accept()
+		if err == nil {
+			acceptCh <- c.(*Conn)
+		}
+	})
+	ccRaw, err := ha.Dial("b:9000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc := ccRaw.(*Conn)
+	clk.Block()
+	sc := <-acceptCh
+	clk.Unblock()
+
+	// Warmup hops fill the payload and event-record pools; the timed
+	// hops then run allocation-free.
+	const warmup = 256
+	count := 0
+	warmDone := make(chan struct{})
+	done := make(chan struct{})
+	sc.OnDeliver(func(data []byte) { sc.Write(data) }, nil)
+	cc.OnDeliver(func(data []byte) {
+		count++
+		switch count {
+		case warmup:
+			close(warmDone)
+		case warmup + b.N:
+			close(done)
+		default:
+			cc.Write(data)
+		}
+	}, nil)
+
+	msg := make([]byte, 64)
+	cc.Write(msg)
+	clk.Block()
+	<-warmDone
+	clk.Unblock()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	cc.Write(msg)
+	clk.Block()
+	<-done
+	clk.Unblock()
+	b.StopTimer()
+}

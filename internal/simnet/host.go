@@ -145,11 +145,12 @@ func (h *Host) ListenPacket(port int) (*PacketConn, error) {
 	if _, used := h.pktConns[port]; used {
 		return nil, fmt.Errorf("%w: %s:%d (udp)", ErrPortInUse, h.name, port)
 	}
+	// The inbox channel is allocated lazily on first blocking read;
+	// handler-mode sockets never pay for it.
 	pc := &PacketConn{
-		host:  h,
-		addr:  Addr{Host: h.name, Port: port},
-		inbox: make(chan datagram, 1024),
-		done:  make(chan struct{}),
+		host: h,
+		addr: Addr{Host: h.name, Port: port},
+		done: make(chan struct{}),
 	}
 	pc.boxedSrc = pc.addr
 	h.pktConns[port] = pc

@@ -1,0 +1,13 @@
+package simnet
+
+import (
+	"testing"
+
+	"dlte/internal/leaktest"
+)
+
+// TestMain audits the package for leaked goroutines: every world a
+// test builds must tear back down to the starting population (the
+// point of run-to-completion dispatch is that conns cost no standing
+// goroutines, so a leak here is a correctness bug, not noise).
+func TestMain(m *testing.M) { leaktest.Main(m) }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,6 +55,13 @@ type Network struct {
 	defaultLink Link
 	rng         *rand.Rand
 	closed      bool
+
+	// disp is the run-to-completion dispatch engine, created lazily on
+	// the first handler registration (dispatcherFor).
+	disp atomic.Pointer[dispatcher]
+	// legacyDeliveries counts deliveries that took the channel path to
+	// a blocking reader instead of a handler (ExecStats).
+	legacyDeliveries atomic.Uint64
 }
 
 type linkState struct {
@@ -270,7 +278,7 @@ func (n *Network) Close() {
 		h.closeAll()
 	}
 	for _, c := range conns {
-		c.Close()
+		c.closeTeardown()
 	}
 	if n.ownedVC != nil {
 		n.ownedVC.Close()

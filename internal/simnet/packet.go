@@ -23,11 +23,25 @@ type datagram struct {
 // net.PacketConn read/write surface used by the GTP-U and mobility
 // transport layers: unreliable, unordered-within-jitter, loss- and
 // latency-afflicted delivery.
+//
+// Like a stream halfPipe, a socket receives through one of three
+// paths: prebox buffers packets arriving before the receiver engages,
+// inbox is the legacy channel a blocking reader parks on (allocated on
+// first ReadFrom), and a registered dispatch handler replaces both.
+// The receive buffer is bounded at inboxDepth on every path — overflow
+// drops model kernel receive-buffer loss identically in all modes.
 type PacketConn struct {
 	host     *Host
 	addr     Addr
 	boxedSrc net.Addr // addr boxed once, stamped on outgoing datagrams
-	inbox    chan datagram
+
+	imu    sync.Mutex
+	prebox []datagram
+	inbox  chan datagram // legacy path; nil until a reader engages
+
+	// dc is the receiver's dispatch endpoint. Written under imu; read
+	// lock-free on the send fast path.
+	dc atomic.Pointer[dconn]
 
 	// lastDst memoizes the most recent resolved destination so a
 	// socket streaming to one peer (the common user-plane shape) skips
@@ -78,6 +92,124 @@ func (p *PacketConn) resolveDst(a Addr) (*PacketConn, bool) {
 // LocalAddr reports the socket's bound address.
 func (p *PacketConn) LocalAddr() net.Addr { return p.addr }
 
+// SetHandler switches the socket to run-to-completion dispatch: h runs
+// inline on the network's dispatcher for every delivered datagram, in
+// delivery order, at the delivery instant. The buffer is owned by the
+// dispatcher and valid only for the duration of the call. Packets
+// already buffered are re-registered at their original delivery
+// instants. The same handler contract as Conn.OnDeliver applies: no
+// clock waits inside h, and Poke after waking goroutines through
+// channels the clock cannot see.
+func (p *PacketConn) SetHandler(h func(data []byte, from net.Addr)) {
+	d := p.host.net.dispatcherFor()
+	dc := d.register()
+	dc.onPacket = h
+	dc.bounded = true
+	p.imu.Lock()
+	if p.inbox != nil {
+	drain:
+		for {
+			select {
+			case dg := <-p.inbox:
+				d.migrateDatagram(dc, dg)
+			default:
+				break drain
+			}
+		}
+	}
+	for _, dg := range p.prebox {
+		d.migrateDatagram(dc, dg)
+	}
+	p.prebox = nil
+	p.dc.Store(dc)
+	p.imu.Unlock()
+}
+
+// engage returns the legacy inbox, allocating it and draining any
+// pre-engagement datagrams into it on first use.
+func (p *PacketConn) engage() chan datagram {
+	p.imu.Lock()
+	if p.inbox == nil {
+		p.inbox = make(chan datagram, inboxDepth)
+		for _, dg := range p.prebox {
+			p.inbox <- dg
+		}
+		p.prebox = nil
+	}
+	in := p.inbox
+	p.imu.Unlock()
+	return in
+}
+
+// coerceAddr normalizes the destination address forms WriteTo accepts.
+func coerceAddr(addr net.Addr) (Addr, error) {
+	switch v := addr.(type) {
+	case Addr:
+		return v, nil
+	case *Addr:
+		return *v, nil
+	default:
+		return ParseAddr(addr.String())
+	}
+}
+
+// queueTo hands an owned payload to dst's receive path after delay:
+// the dispatch handler when one is registered, otherwise the legacy
+// inbox (or prebox). Overflow beyond inboxDepth drops the packet on
+// every path.
+func (p *PacketConn) queueTo(dst *PacketConn, data []byte, delay time.Duration) {
+	// Dispatch fast path: no barrier, no channel.
+	if dc := dst.dc.Load(); dc != nil {
+		dc.d.send(dc, data, p.boxedSrc, delay)
+		return
+	}
+	clk := p.host.net.clock
+	dg := datagram{data: data, from: p.boxedSrc}
+	vc, virtual := clk.(*VirtualClock)
+	if virtual {
+		dg.at = clk.Now().Add(delay)
+		dg.bar = vc.addBarrier(dg.at)
+	} else if delay > 0 {
+		// Wall clock with no link delay leaves at zero: holdUntil
+		// skips the clock read entirely for immediate deliveries.
+		dg.at = clk.Now().Add(delay)
+	}
+	// Legacy enqueue, mode-checked under the receive lock so a
+	// concurrent SetHandler migration cannot strand the datagram.
+	dst.imu.Lock()
+	if dc := dst.dc.Load(); dc != nil {
+		dst.imu.Unlock()
+		if virtual {
+			vc.releaseBarrier(dg.bar)
+		}
+		dc.d.send(dc, data, p.boxedSrc, delay)
+		return
+	}
+	if dst.inbox == nil {
+		if len(dst.prebox) < inboxDepth {
+			dst.prebox = append(dst.prebox, dg)
+			dst.imu.Unlock()
+			p.host.net.noteLegacyDelivery()
+			return
+		}
+		dst.imu.Unlock()
+	} else {
+		select {
+		case dst.inbox <- dg:
+			dst.imu.Unlock()
+			p.host.net.noteLegacyDelivery()
+			return
+		default:
+			dst.imu.Unlock()
+		}
+	}
+	// Receiver queue overflow models receive-buffer drops.
+	if virtual {
+		vc.releaseBarrier(dg.bar)
+	}
+	payloadPut(data)
+}
+
 // WriteTo sends a datagram to addr ("host:port" or an Addr). Sends on a
 // down link or lost by the link's loss process are silently dropped, as
 // with UDP. Sends to unknown hosts or unbound ports are also dropped
@@ -91,18 +223,9 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	if len(b) > MTU {
 		return 0, fmt.Errorf("%w: %d > %d", ErrPacketTooBig, len(b), MTU)
 	}
-	var a Addr
-	switch v := addr.(type) {
-	case Addr:
-		a = v
-	case *Addr:
-		a = *v
-	default:
-		parsed, err := ParseAddr(addr.String())
-		if err != nil {
-			return 0, err
-		}
-		a = parsed
+	a, err := coerceAddr(addr)
+	if err != nil {
+		return 0, err
 	}
 
 	dst, ok := p.resolveDst(a)
@@ -114,28 +237,9 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	if !deliver {
 		return len(b), nil // lost or link down
 	}
-	clk := p.host.net.clock
 	data := payloadGet(len(b))
 	copy(data, b)
-	dg := datagram{data: data, from: p.boxedSrc}
-	vc, virtual := clk.(*VirtualClock)
-	if virtual {
-		dg.at = clk.Now().Add(delay)
-		dg.bar = vc.addBarrier(dg.at)
-	} else if delay > 0 {
-		// Wall clock with no link delay leaves at zero: holdUntil
-		// skips the clock read entirely for immediate deliveries.
-		dg.at = clk.Now().Add(delay)
-	}
-	select {
-	case dst.inbox <- dg:
-	default:
-		// Receiver queue overflow models receive-buffer drops.
-		if virtual {
-			vc.releaseBarrier(dg.bar)
-		}
-		payloadPut(data)
-	}
+	p.queueTo(dst, data, delay)
 	return len(b), nil
 }
 
@@ -162,19 +266,10 @@ func (p *PacketConn) WriteOwnedTo(b []byte, addr net.Addr) (int, error) {
 		payloadPut(b)
 		return 0, fmt.Errorf("%w: %d > %d", ErrPacketTooBig, n, MTU)
 	}
-	var a Addr
-	switch v := addr.(type) {
-	case Addr:
-		a = v
-	case *Addr:
-		a = *v
-	default:
-		parsed, err := ParseAddr(addr.String())
-		if err != nil {
-			payloadPut(b)
-			return 0, err
-		}
-		a = parsed
+	a, err := coerceAddr(addr)
+	if err != nil {
+		payloadPut(b)
+		return 0, err
 	}
 
 	dst, ok := p.resolveDst(a)
@@ -190,25 +285,8 @@ func (p *PacketConn) WriteOwnedTo(b []byte, addr net.Addr) (int, error) {
 		payloadPut(b)
 		return n, nil // lost or link down
 	}
-	clk := p.host.net.clock
 	n := len(b)
-	dg := datagram{data: b, from: p.boxedSrc}
-	vc, virtual := clk.(*VirtualClock)
-	if virtual {
-		dg.at = clk.Now().Add(delay)
-		dg.bar = vc.addBarrier(dg.at)
-	} else if delay > 0 {
-		dg.at = clk.Now().Add(delay)
-	}
-	select {
-	case dst.inbox <- dg:
-	default:
-		// Receiver queue overflow models receive-buffer drops.
-		if virtual {
-			vc.releaseBarrier(dg.bar)
-		}
-		payloadPut(b)
-	}
+	p.queueTo(dst, b, delay)
 	return n, nil
 }
 
@@ -216,10 +294,11 @@ func (p *PacketConn) WriteOwnedTo(b []byte, addr net.Addr) (int, error) {
 // deliverable, the socket closes, or the read deadline fires.
 func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 	clk := p.host.net.clock
+	inbox := p.engage()
 
 	// Fast path: a datagram is already queued; no need to park.
 	select {
-	case dg := <-p.inbox:
+	case dg := <-inbox:
 		p.holdUntil(dg, nil)
 		n := copy(b, dg.data)
 		payloadPut(dg.data)
@@ -239,7 +318,7 @@ func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 	}
 	clk.Block()
 	select {
-	case dg := <-p.inbox:
+	case dg := <-inbox:
 		clk.Unblock()
 		p.holdUntil(dg, deadlineC)
 		n := copy(b, dg.data)
@@ -261,10 +340,11 @@ func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 // and close behavior match ReadFrom.
 func (p *PacketConn) ReadFromOwned() ([]byte, net.Addr, error) {
 	clk := p.host.net.clock
+	inbox := p.engage()
 
 	// Fast path: a datagram is already queued; no need to park.
 	select {
-	case dg := <-p.inbox:
+	case dg := <-inbox:
 		p.holdUntil(dg, nil)
 		return dg.data, dg.from, nil
 	default:
@@ -282,7 +362,7 @@ func (p *PacketConn) ReadFromOwned() ([]byte, net.Addr, error) {
 	}
 	clk.Block()
 	select {
-	case dg := <-p.inbox:
+	case dg := <-inbox:
 		clk.Unblock()
 		p.holdUntil(dg, deadlineC)
 		return dg.data, dg.from, nil
@@ -331,6 +411,9 @@ func (p *PacketConn) SetReadDeadline(t time.Time) error {
 // Close releases the socket.
 func (p *PacketConn) Close() error {
 	p.closeOnce.Do(func() {
+		if dc := p.dc.Load(); dc != nil {
+			dc.d.markClosed(dc)
+		}
 		close(p.done)
 		p.host.removePacketConn(p.addr.Port)
 	})

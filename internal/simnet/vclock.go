@@ -41,7 +41,14 @@ type VirtualClock struct {
 	barriers barrierHeap
 	closed   bool
 
-	live atomic.Int64 // goroutines spawned via Go that have not returned
+	// disp holds the run-to-completion dispatchers attached to this
+	// clock (one per Network with registered handlers; almost always
+	// zero or one). The advancer treats their earliest pending
+	// delivery as a third event source next to timers and barriers.
+	disp []*dispatcher
+
+	live  atomic.Int64  // goroutines spawned via Go that have not returned
+	parks atomic.Uint64 // goroutine parks: Sleep, Block, delivery holds
 }
 
 // vwaiter is one scheduled wakeup. Exactly one of wake/ch is set:
@@ -207,6 +214,7 @@ func (c *VirtualClock) Sleep(d time.Duration) {
 	}
 	w := c.pushWaiterLocked(d, nil)
 	c.busy--
+	c.parks.Add(1)
 	if c.busy == 0 {
 		c.cond.Broadcast()
 	}
@@ -312,6 +320,7 @@ func (c *VirtualClock) Go(fn func()) {
 func (c *VirtualClock) Block() {
 	c.mu.Lock()
 	c.busy--
+	c.parks.Add(1)
 	if c.busy == 0 {
 		c.cond.Broadcast()
 	}
@@ -376,6 +385,7 @@ func (c *VirtualClock) holdDelivery(b *vbarrier, at time.Time, abortC <-chan tim
 	w := &vwaiter{at: d, seq: c.seq, wake: make(chan struct{})}
 	heap.Push(&c.timers, w)
 	c.busy--
+	c.parks.Add(1)
 	if c.busy == 0 {
 		c.cond.Broadcast()
 	}
@@ -406,64 +416,182 @@ func (c *VirtualClock) Pending() int {
 	return len(c.timers)
 }
 
+// attachDispatcher registers a Network's run-to-completion dispatcher
+// as an event source for the advancer.
+func (c *VirtualClock) attachDispatcher(d *dispatcher) {
+	c.mu.Lock()
+	c.disp = append(c.disp, d)
+	c.mu.Unlock()
+}
+
+// nowDur returns the current virtual time as a duration since the
+// clock's base — the representation delivery events are keyed on.
+func (c *VirtualClock) nowDur() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Poke tells the clock that the calling dispatch handler made a
+// registered goroutine runnable through something the clock cannot see
+// (an application channel send, a cond broadcast), so the advancer
+// must run a settle round before moving time again. See Poke (the
+// package function) for the handler-facing contract.
+func (c *VirtualClock) Poke() {
+	c.mu.Lock()
+	c.gen++
+	for _, d := range c.disp {
+		d.woke.Store(true)
+	}
+	c.mu.Unlock()
+}
+
 // stabilizeRounds bounds the advancer's settle loop: how many yield
 // rounds of unchanged state it requires before trusting that no woken
 // goroutine is still on a run queue waiting to declare itself busy.
-// This is the single-world budget; settleRounds scales it by the
-// number of concurrently-open clocks, because each runtime.Gosched may
-// run a foreign world's goroutine instead of one of ours.
+// This is the single-world budget for ordinary steps; settleRounds
+// scales it by the number of concurrently-open clocks, because each
+// runtime.Gosched may run a foreign world's goroutine instead of one
+// of ours.
 const stabilizeRounds = 12
 
-// maxStabilizeRounds caps the scaled settle budget. Yields under load
-// execute other worlds' useful work, so a generous cap costs little
-// wall time; it only bounds advancer latency on an otherwise idle
-// scheduler.
-const maxStabilizeRounds = 384
+// wakeStabilizeRounds is the settle budget after a step that carried a
+// wake signal the clock cannot track — a dispatch handler that woke a
+// goroutine through a plain channel send (Poke), or a legacy enqueue
+// made from inside a dispatch batch. Unlike a barrier-protected legacy
+// delivery, such a wake is only caught if the woken goroutine gets
+// scheduled within the settle window, so the window must absorb
+// ambient scheduler load (GC assists, a dying world's stragglers).
+// The full budget is burned only when the signal turns out to have
+// woken nobody — any actual wake exits the loop early via the
+// busy/gen check — and wake steps are a small fraction of advances,
+// so the deep budget does not tax the common quiet step.
+const wakeStabilizeRounds = 64
 
-// settleRounds is the current settle budget: stabilizeRounds per live
-// VirtualClock sharing the scheduler.
-func settleRounds() int {
+// maxStabilizeRounds / maxWakeStabilizeRounds cap the scaled settle
+// budgets. Yields under load execute other worlds' useful work, so a
+// generous cap costs little wall time; it only bounds advancer latency
+// on an otherwise idle scheduler.
+const (
+	maxStabilizeRounds     = 384
+	maxWakeStabilizeRounds = 1024
+)
+
+// settleRounds is the current settle budget: the per-world base
+// (deeper when the last step carried an untracked wake signal) per
+// live VirtualClock sharing the scheduler.
+func settleRounds(deep bool) int {
 	n := int(liveClocks.Load())
 	if n < 1 {
 		n = 1
 	}
-	r := stabilizeRounds * n
-	if r > maxStabilizeRounds {
-		r = maxStabilizeRounds
+	base, cap := stabilizeRounds, maxStabilizeRounds
+	if deep {
+		base, cap = wakeStabilizeRounds, maxWakeStabilizeRounds
+	}
+	r := base * n
+	if r > cap {
+		r = cap
 	}
 	return r
 }
 
+// stepKind classifies what one advancer step did, which decides
+// whether the next step must settle the Go scheduler first.
+type stepKind int
+
+const (
+	stepIdle     stepKind = iota // nothing to step
+	stepQuiet                    // moved time only; nobody became runnable
+	stepWake                     // fired a timer: someone may be runnable
+	stepDispatch                 // a dispatch batch is due at c.now
+)
+
 // advance is the clock's background engine. Whenever the world is
-// quiescent (busy == 0) and wakeups or barriers are scheduled, it
-// settles the Go scheduler, then moves virtual time one step: to the
-// earliest barrier (making that delivery current so its receiver can
-// run) or the earliest timer (firing it).
+// quiescent (busy == 0) and wakeups, barriers, or dispatch deliveries
+// are scheduled, it settles the Go scheduler, then moves virtual time
+// one step: to the earliest barrier (making that delivery current so
+// its receiver can run), the earliest timer (firing it), or the
+// earliest dispatch batch (running its handlers inline).
+//
+// Settle rounds are the expensive part of a step, and they exist only
+// to catch goroutines that became runnable outside the clock's
+// bookkeeping. Steps that provably woke nobody — barrier advances, and
+// dispatch batches whose handlers only wrote handler-mode conns — skip
+// the settle before the next step; that skip is what makes a
+// handler-to-handler hop a plain scheduler event instead of a
+// park/settle/unpark round.
 func (c *VirtualClock) advance() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	needSettle := true
+	deepSettle := false
 	for {
 		if c.closed {
+			// Deliveries scheduled during teardown (every conn close
+			// becomes a dispatcher event) would otherwise strand, and
+			// with them any goroutine waiting on a handler to see EOF;
+			// run them so Close's drain finishes promptly.
+			disp := append([]*dispatcher(nil), c.disp...)
+			c.mu.Unlock()
+			for _, d := range disp {
+				d.flush()
+			}
+			c.mu.Lock()
 			return
 		}
-		if c.busy > 0 || (len(c.timers) == 0 && len(c.barriers) == 0) {
+		if c.busy > 0 || !c.pendingWorkLocked() {
 			c.cond.Wait()
+			needSettle, deepSettle = true, false
 			continue
 		}
-		if !c.settleLocked() {
-			continue // someone became runnable; re-evaluate
+		if needSettle && !c.settleLocked(deepSettle) {
+			deepSettle = false // whoever woke will re-park through the clock
+			continue           // someone became runnable; re-evaluate
 		}
-		c.stepLocked()
+		kind, d := c.stepLocked()
+		switch kind {
+		case stepIdle:
+			needSettle, deepSettle = true, false
+		case stepQuiet:
+			needSettle = false
+		case stepWake:
+			needSettle, deepSettle = true, false
+		case stepDispatch:
+			at := c.now
+			gen := c.gen
+			c.mu.Unlock()
+			woke := d.runAt(at)
+			c.mu.Lock()
+			needSettle = woke || c.gen != gen || c.busy > 0
+			// A woke flag or gen bump is an untracked wake: the woken
+			// goroutine may sit on a run queue for a while before it
+			// can declare itself busy, so the next settle digs deeper.
+			deepSettle = woke || c.gen != gen
+		}
 	}
+}
+
+// pendingWorkLocked reports whether any event source has work.
+func (c *VirtualClock) pendingWorkLocked() bool {
+	if len(c.timers) > 0 || len(c.barriers) > 0 {
+		return true
+	}
+	for _, d := range c.disp {
+		if d.pending.Load() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // settleLocked gives runnable-but-unscheduled goroutines (a receiver
 // whose channel was just filled, a select whose timer just fired) a
 // chance to run and re-register as busy before time moves. It reports
 // whether the world stayed quiescent throughout.
-func (c *VirtualClock) settleLocked() bool {
+func (c *VirtualClock) settleLocked(deep bool) bool {
 	gen := c.gen
-	rounds := settleRounds()
+	rounds := settleRounds(deep)
 	for i := 0; i < rounds; i++ {
 		c.mu.Unlock()
 		runtime.Gosched()
@@ -475,8 +603,14 @@ func (c *VirtualClock) settleLocked() bool {
 	return true
 }
 
-// stepLocked advances virtual time by one event.
-func (c *VirtualClock) stepLocked() {
+// stepLocked advances virtual time by one event. Ordering among the
+// three sources at one instant: barriers strictly first (they only
+// move time), then timers (legacy receivers parked on a delivery run
+// before same-instant handlers), then dispatch batches. For
+// stepDispatch the returned dispatcher's batch at the (already
+// advanced) current instant must be run by the caller with the clock
+// unlocked.
+func (c *VirtualClock) stepLocked() (stepKind, *dispatcher) {
 	// Barriers already in the past never hold time back.
 	for len(c.barriers) > 0 && c.barriers[0].at <= c.now {
 		heap.Pop(&c.barriers)
@@ -485,36 +619,62 @@ func (c *VirtualClock) stepLocked() {
 	if len(c.timers) > 0 {
 		nextTimer = c.timers[0].at
 	}
-	if len(c.barriers) > 0 && (nextTimer < 0 || c.barriers[0].at < nextTimer) {
-		// An in-flight delivery is due first: advance to its instant
-		// only. Its receiver (if one is parked on the queue) has been
-		// runnable since the enqueue and will be caught by the next
-		// settle round; a queue nobody reads stops capping time once
-		// matured.
-		b := heap.Pop(&c.barriers).(*vbarrier)
-		if b.at > c.now {
-			c.now = b.at
+	nextDispatch := time.Duration(-1)
+	var dispSrc *dispatcher
+	for _, d := range c.disp {
+		if at, ok := d.next(); ok {
+			if at < c.now {
+				at = c.now // already due: runs at the current instant
+			}
+			if nextDispatch < 0 || at < nextDispatch {
+				nextDispatch, dispSrc = at, d
+			}
 		}
-		return
 	}
-	if nextTimer < 0 {
-		return
+	if len(c.barriers) > 0 {
+		b := c.barriers[0].at
+		if (nextTimer < 0 || b < nextTimer) && (nextDispatch < 0 || b < nextDispatch) {
+			// An in-flight delivery is due first: advance to its instant
+			// only. Its receiver (if one is parked on the queue) has been
+			// runnable since the enqueue and will be caught by the next
+			// settle round; a queue nobody reads stops capping time once
+			// matured.
+			heap.Pop(&c.barriers)
+			if b > c.now {
+				c.now = b
+			}
+			return stepQuiet, nil
+		}
 	}
-	w := heap.Pop(&c.timers).(*vwaiter)
-	if w.at > c.now {
-		c.now = w.at
+	if nextTimer >= 0 && (nextDispatch < 0 || nextTimer <= nextDispatch) {
+		w := heap.Pop(&c.timers).(*vwaiter)
+		if w.at > c.now {
+			c.now = w.at
+		}
+		if w.wake != nil {
+			c.busy++ // transfer a busy slot to the woken sleeper
+			close(w.wake)
+			return stepWake, nil
+		}
+		select {
+		case w.ch <- c.base.Add(c.now):
+		default: // ticker receiver lagging; skip the tick like time.Ticker
+		}
+		if w.period > 0 {
+			w.at += w.period
+			heap.Push(&c.timers, w)
+		}
+		return stepWake, nil
 	}
-	if w.wake != nil {
-		c.busy++ // transfer a busy slot to the woken sleeper
-		close(w.wake)
-		return
+	if nextDispatch >= 0 {
+		// The bound may be an upper-wheel slot boundary rather than an
+		// exact event instant; advancing to it and running the (possibly
+		// empty) batch lets the wheel cascade and refine the bound, the
+		// same way barrier steps move time without firing anything.
+		if nextDispatch > c.now {
+			c.now = nextDispatch
+		}
+		return stepDispatch, dispSrc
 	}
-	select {
-	case w.ch <- c.base.Add(c.now):
-	default: // ticker receiver lagging; skip the tick like time.Ticker
-	}
-	if w.period > 0 {
-		w.at += w.period
-		heap.Push(&c.timers, w)
-	}
+	return stepIdle, nil
 }

@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"dlte/internal/simnet"
 )
 
 // Client is the client end of an MST session.
@@ -48,8 +50,14 @@ func Dial(pc PacketConn, server net.Addr, cfg DialConfig) (*Client, error) {
 		curPC:    pc,
 		serverAt: server,
 	}
-	c.readerWG.Add(1)
-	c.clk.Go(func() { c.readLoop(pc) })
+	if hs, ok := pc.(handlerSetter); ok {
+		// Run-to-completion ingress on this socket; see Migrate for how
+		// path changes swap the handler to the new socket.
+		hs.SetHandler(c.ingress)
+	} else {
+		c.readerWG.Add(1)
+		c.clk.Go(func() { c.readLoop(pc) })
+	}
 	c.clk.Go(c.retransmitLoop)
 
 	hello := Packet{Type: PktHello, CID: cid, Token: cfg.ResumeToken}
@@ -144,12 +152,24 @@ func (c *Client) Migrate(newPC PacketConn) {
 	c.curPC = newPC
 	server := c.serverAt
 	c.session.migrate(newPC, server)
-	c.readerWG.Add(1)
+	hs, handlerMode := newPC.(handlerSetter)
+	if !handlerMode {
+		c.readerWG.Add(1)
+	}
 	c.mu.Unlock()
 
-	c.clk.Go(func() { c.readLoop(newPC) })
+	if handlerMode {
+		// Datagrams that land on newPC before this install are buffered
+		// pre-engagement and replayed to the handler in order.
+		hs.SetHandler(c.ingress)
+	} else {
+		c.clk.Go(func() { c.readLoop(newPC) })
+	}
 	if old != nil {
-		old.Close() // unblocks the old reader
+		// Unblocks a legacy reader; in handler mode the close drops the
+		// old socket's in-flight deliveries — the stale-socket check the
+		// old reader loop performed.
+		old.Close()
 	}
 	// Nudge the new path immediately so the server re-binds without
 	// waiting for the next data or RTO.
@@ -193,26 +213,52 @@ func (c *Client) readLoop(pc PacketConn) {
 		if err != nil || p.CID != c.cid {
 			continue
 		}
-		switch p.Type {
-		case PktChallenge:
-			c.writeCtl(Packet{Type: PktConfirm, CID: c.cid, Seq: p.Seq})
-		case PktAccept:
-			c.mu.Lock()
-			c.token = append([]byte{}, p.Token...)
-			c.mu.Unlock()
-			c.accOnce.Do(func() { close(c.accepted) })
-		case PktData:
-			// Ack first, deliver second: see ingestData.
-			ack, deliver, freed := c.ingestData(p)
-			c.writeCtl(Packet{Type: PktAck, CID: c.cid, Ack: ack})
-			c.finishData(deliver, freed)
-		case PktAck:
-			c.handleAck(p.Ack)
-		case PktReset:
-			c.markReset()
-		case PktClose:
-			c.closeSession()
-		}
+		c.handlePkt(p)
+	}
+}
+
+// ingress is the client's dispatch handler, installed per socket (Dial
+// and Migrate). data is the dispatcher's buffer, valid only for this
+// call; the packet's consumers copy what they keep.
+func (c *Client) ingress(data []byte, _ net.Addr) {
+	select {
+	case <-c.done:
+		return
+	default:
+	}
+	p, err := DecodePacket(data)
+	if err != nil || p.CID != c.cid {
+		return
+	}
+	c.handlePkt(p)
+}
+
+// handlePkt runs the client protocol machine on one inbound packet.
+func (c *Client) handlePkt(p Packet) {
+	switch p.Type {
+	case PktChallenge:
+		c.writeCtl(Packet{Type: PktConfirm, CID: c.cid, Seq: p.Seq})
+	case PktAccept:
+		c.mu.Lock()
+		c.token = append([]byte{}, p.Token...)
+		c.mu.Unlock()
+		c.accOnce.Do(func() {
+			close(c.accepted)
+			// The dialer parked on accepted wakes; tell a virtual clock
+			// when this runs inside a dispatch handler.
+			simnet.Poke(c.clk)
+		})
+	case PktData:
+		// Ack first, deliver second: see ingestData.
+		ack, deliver, freed := c.ingestData(p)
+		c.writeCtl(Packet{Type: PktAck, CID: c.cid, Ack: ack})
+		c.finishData(deliver, freed)
+	case PktAck:
+		c.handleAck(p.Ack)
+	case PktReset:
+		c.markReset()
+	case PktClose:
+		c.closeSession()
 	}
 }
 

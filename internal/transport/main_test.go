@@ -1,0 +1,12 @@
+package transport
+
+import (
+	"testing"
+
+	"dlte/internal/leaktest"
+)
+
+// TestMain audits the package for leaked goroutines; see
+// internal/leaktest. Transport sessions ride handler-mode conns, so a
+// conn that outlives its session shows up here.
+func TestMain(m *testing.M) { leaktest.Main(m) }

@@ -87,9 +87,33 @@ func NewServer(pc PacketConn, cfg ServerConfig) *Server {
 		cookies:  make(map[uint64]uint64),
 		done:     make(chan struct{}),
 	}
-	s.clk.Go(s.readLoop)
+	if hs, ok := pc.(handlerSetter); ok {
+		// Run-to-completion ingress: each datagram runs the protocol
+		// machine inline on the network dispatcher; no reader goroutine,
+		// no read-deadline polling.
+		hs.SetHandler(s.ingress)
+	} else {
+		s.clk.Go(s.readLoop)
+	}
 	s.clk.Go(s.retransmitLoop)
 	return s
+}
+
+// ingress is the server's dispatch handler: one decoded packet per
+// delivery. data is the dispatcher's buffer, valid only for this call —
+// every consumer copies what it keeps (ingestData copies payloads,
+// token lookups re-encode).
+func (s *Server) ingress(data []byte, from net.Addr) {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	p, err := DecodePacket(data)
+	if err != nil {
+		return
+	}
+	s.handle(p, from)
 }
 
 // ServerStats reports server-level counters.

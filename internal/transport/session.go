@@ -19,6 +19,15 @@ type PacketConn interface {
 	Close() error
 }
 
+// handlerSetter is the optional run-to-completion surface of a
+// PacketConn (simnet.PacketConn implements it): installing a delivery
+// handler retires the endpoint's blocking reader goroutine, so each
+// inbound datagram runs the protocol machine inline on the network
+// dispatcher instead of waking a parked reader.
+type handlerSetter interface {
+	SetHandler(h func(data []byte, from net.Addr))
+}
+
 // Session errors.
 var (
 	ErrClosed      = errors.New("transport: session closed")
@@ -204,10 +213,12 @@ func (s *session) finishData(deliver [][]byte, freed bool) {
 	s.mu.Lock()
 	// Deliver under the lock (sends are non-blocking) so a concurrent
 	// close cannot close the channel mid-send.
+	delivered := false
 	if !s.closed && !s.reset {
 		for _, d := range deliver {
 			select {
 			case s.incoming <- d:
+				delivered = true
 			default: // receiver not draining; drop like a full buffer
 			}
 		}
@@ -216,15 +227,25 @@ func (s *session) finishData(deliver [][]byte, freed bool) {
 		s.sendCond.Broadcast()
 	}
 	s.mu.Unlock()
+	if delivered || freed {
+		// A recv-parked app or window-blocked sender just became
+		// runnable; when this runs inside a dispatch handler the clock
+		// cannot see that wake on its own.
+		simnet.Poke(s.clk)
+	}
 }
 
 // handleAck processes a cumulative acknowledgment.
 func (s *session) handleAck(ack uint64) {
 	s.mu.Lock()
-	if s.applyAckLocked(ack) {
+	freed := s.applyAckLocked(ack)
+	if freed {
 		s.sendCond.Broadcast()
 	}
 	s.mu.Unlock()
+	if freed {
+		simnet.Poke(s.clk)
+	}
 }
 
 // applyAckLocked discards acked inflight packets and reports whether
@@ -305,6 +326,7 @@ func (s *session) markReset() {
 	close(s.incoming)
 	s.sendCond.Broadcast()
 	s.mu.Unlock()
+	simnet.Poke(s.clk)
 }
 
 // closeSession ends the session locally.
@@ -319,6 +341,7 @@ func (s *session) closeSession() {
 	close(s.incoming)
 	s.sendCond.Broadcast()
 	s.mu.Unlock()
+	simnet.Poke(s.clk)
 }
 
 // SessionStats reports transfer counters.

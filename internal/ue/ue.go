@@ -175,8 +175,14 @@ func (d *Device) Attach(airAddr string, timeout time.Duration) (AttachResult, er
 	d.sysInfo = make(chan enb.SystemInfo, 1)
 	d.mu.Unlock()
 
-	d.readerWG.Add(1)
-	clk.Go(func() { d.readLoop(raw, air) })
+	if sc, ok := raw.(*simnet.Conn); ok {
+		// Run-to-completion downlink: air frames reassemble and dispatch
+		// inline on the network dispatcher; no reader goroutine per UE.
+		d.installAir(sc)
+	} else {
+		d.readerWG.Add(1)
+		clk.Go(func() { d.readLoop(raw, air) })
+	}
 
 	deadlineT := clk.NewTimer(timeout)
 	defer deadlineT.Stop()
@@ -414,81 +420,148 @@ func (d *Device) sendAir(t enb.AirMsgType, payload []byte) error {
 	return err
 }
 
-func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
-	defer d.readerWG.Done()
+// airState is one association's downlink frame consumer: the memoized
+// remote endpoint the old reader loop kept on its stack, shared by the
+// dispatch handler and the legacy reader.
+type airState struct {
+	d   *Device
+	raw net.Conn
 	// Downlink packets from one peer share a memoized remote string and
 	// boxed address, so steady-state delivery costs one pooled copy and
 	// no allocation.
-	var lastRemote string
-	var lastAddr net.Addr
+	lastRemote string
+	lastAddr   net.Addr
+	// asm reassembles the downlink stream in dispatch mode. Embedded
+	// (and airState registered as the conn's StreamHandler) so an
+	// attach allocates one state object, not a constellation of
+	// assembler plus closures.
+	asm wire.FrameAssembler
+}
+
+// onFrame adapts frame to the assembler's emit signature. Passed as a
+// call-only method value, so it does not escape or allocate.
+func (st *airState) onFrame(frame []byte) error {
+	st.frame(frame)
+	return nil
+}
+
+// HandleDeliver implements simnet.StreamHandler: reassemble the chunk
+// and consume each completed downlink frame inline.
+func (st *airState) HandleDeliver(data []byte) {
+	if st.asm.Feed(data, st.onFrame) != nil {
+		st.asm.Reset()
+		st.raw.Close()
+		st.d.connLost(st.raw)
+	}
+}
+
+// HandleStreamClose implements simnet.StreamHandler: the eNodeB end
+// closed the association.
+func (st *airState) HandleStreamClose() {
+	st.asm.Reset()
+	st.d.connLost(st.raw)
+}
+
+// frame consumes one downlink air frame. frame is valid only for the
+// duration of the call; anything queued (NAS PDUs, user packets) is
+// copied into its own pooled buffer. Channel sends that wake parked
+// consumers Poke the clock, since this may run inside a dispatch batch.
+func (st *airState) frame(frame []byte) {
+	d := st.d
+	t, payload, err := enb.DecodeAirView(frame)
+	if err != nil {
+		return
+	}
+	switch t {
+	case enb.AirBroadcast:
+		if si, err := enb.DecodeSystemInfo(payload); err == nil {
+			d.mu.Lock()
+			ch := d.sysInfo
+			d.mu.Unlock()
+			select {
+			case ch <- si:
+				simnet.Poke(d.host.Clock())
+			default:
+			}
+		}
+	case enb.AirNASDown:
+		d.sigRx.Add(uint64(len(payload)))
+		// The PDU is queued past this frame's release, so it travels
+		// in its own pooled buffer; the NAS consumer releases it.
+		pdu := append(wire.GetFrame(), payload...)
+		d.mu.Lock()
+		ch := d.nasEvents
+		d.mu.Unlock()
+		select {
+		case ch <- nasEvent{pdu: pdu}:
+			simnet.Poke(d.host.Clock())
+		default:
+			wire.PutFrame(pdu)
+		}
+	case enb.AirDataDown:
+		remote, data, err := epc.DecodeUserPacketView(payload)
+		if err != nil {
+			return
+		}
+		if string(remote) != st.lastRemote {
+			st.lastRemote = string(remote)
+			if a, err := simnet.ParseAddr(st.lastRemote); err == nil {
+				st.lastAddr = a
+			} else {
+				st.lastAddr = simnet.Addr{Host: st.lastRemote}
+			}
+		}
+		d.mu.Lock()
+		ch := d.rx
+		d.mu.Unlock()
+		if ch != nil {
+			buf := append(wire.GetFrame(), data...)
+			select {
+			case ch <- rxPacket{remote: st.lastRemote, addr: st.lastAddr, data: buf}:
+				simnet.Poke(d.host.Clock())
+			default: // receiver not draining; drop like a full buffer
+				wire.PutFrame(buf)
+			}
+		}
+	case enb.AirRelease:
+		st.raw.Close()
+		d.connLost(st.raw)
+	}
+}
+
+// connLost finishes an association teardown: if raw is still the
+// current association, registration drops and the rx channel closes
+// (waking blocked Recv callers). Idempotent.
+func (d *Device) connLost(raw net.Conn) {
+	d.mu.Lock()
+	if d.raw == raw {
+		d.attached = false
+		if d.rx != nil {
+			close(d.rx)
+			d.rx = nil
+		}
+	}
+	d.mu.Unlock()
+	simnet.Poke(d.host.Clock())
+}
+
+// installAir attaches the run-to-completion downlink path to a simnet
+// air connection: per-association frame reassembly feeding airState,
+// teardown on peer close.
+func (d *Device) installAir(sc *simnet.Conn) {
+	sc.OnDeliverHandler(&airState{d: d, raw: sc})
+}
+
+func (d *Device) readLoop(raw net.Conn, air *wire.FrameConn) {
+	defer d.readerWG.Done()
+	st := &airState{d: d, raw: raw}
 	for {
 		frame, err := air.RecvOwned()
 		if err != nil {
-			d.mu.Lock()
-			if d.raw == raw {
-				d.attached = false
-				close(d.rx)
-				d.rx = nil
-			}
-			d.mu.Unlock()
+			d.connLost(raw)
 			return
 		}
-		t, payload, err := enb.DecodeAirView(frame)
-		if err != nil {
-			wire.PutFrame(frame)
-			continue
-		}
-		switch t {
-		case enb.AirBroadcast:
-			if si, err := enb.DecodeSystemInfo(payload); err == nil {
-				d.mu.Lock()
-				ch := d.sysInfo
-				d.mu.Unlock()
-				select {
-				case ch <- si:
-				default:
-				}
-			}
-		case enb.AirNASDown:
-			d.sigRx.Add(uint64(len(payload)))
-			// The PDU is queued past this frame's release, so it travels
-			// in its own pooled buffer; the NAS consumer releases it.
-			pdu := append(wire.GetFrame(), payload...)
-			d.mu.Lock()
-			ch := d.nasEvents
-			d.mu.Unlock()
-			select {
-			case ch <- nasEvent{pdu: pdu}:
-			default:
-				wire.PutFrame(pdu)
-			}
-		case enb.AirDataDown:
-			remote, data, err := epc.DecodeUserPacketView(payload)
-			if err != nil {
-				break
-			}
-			if string(remote) != lastRemote {
-				lastRemote = string(remote)
-				if a, err := simnet.ParseAddr(lastRemote); err == nil {
-					lastAddr = a
-				} else {
-					lastAddr = simnet.Addr{Host: lastRemote}
-				}
-			}
-			d.mu.Lock()
-			ch := d.rx
-			d.mu.Unlock()
-			if ch != nil {
-				buf := append(wire.GetFrame(), data...)
-				select {
-				case ch <- rxPacket{remote: lastRemote, addr: lastAddr, data: buf}:
-				default: // receiver not draining; drop like a full buffer
-					wire.PutFrame(buf)
-				}
-			}
-		case enb.AirRelease:
-			raw.Close()
-		}
+		st.frame(frame)
 		wire.PutFrame(frame)
 	}
 }

@@ -1,0 +1,80 @@
+package wire
+
+import "fmt"
+
+// FrameAssembler incrementally reassembles length-prefixed frames from
+// a byte stream delivered in arbitrary chunks — the per-conn state
+// machine a run-to-completion delivery handler keeps where a blocking
+// reader kept its stack. Feed it each delivered chunk; it invokes emit
+// once per completed frame, in order.
+//
+// When a chunk carries whole frames (the common case: WriteFrame sends
+// prefix+payload in a single stream write), emit receives a subslice of
+// the fed chunk with no copying; a frame split across chunks is
+// assembled in a pooled buffer. Either way the frame is valid only for
+// the duration of the emit call.
+type FrameAssembler struct {
+	hdr  [4]byte
+	hlen int
+	buf  []byte // partial frame under assembly (nil when between frames)
+	fill int
+}
+
+// Feed consumes one delivered chunk, emitting every frame it completes.
+// A frame-size error or an emit error stops consumption and is
+// returned; the assembler is not safe to reuse after an error.
+func (a *FrameAssembler) Feed(data []byte, emit func(frame []byte) error) error {
+	for len(data) > 0 {
+		if a.buf == nil {
+			n := copy(a.hdr[a.hlen:], data)
+			a.hlen += n
+			data = data[n:]
+			if a.hlen < 4 {
+				return nil
+			}
+			size := int(a.hdr[0])<<24 | int(a.hdr[1])<<16 | int(a.hdr[2])<<8 | int(a.hdr[3])
+			if size > MaxFrameSize {
+				return fmt.Errorf("%w: frame length %d", ErrOverflow, size)
+			}
+			if len(data) >= size {
+				// Whole frame present: emit in place, no copy.
+				frame := data[:size:size]
+				data = data[size:]
+				a.hlen = 0
+				if err := emit(frame); err != nil {
+					return err
+				}
+				continue
+			}
+			if size <= frameClassBytes {
+				a.buf = framePool.Get().(*[frameClassBytes]byte)[:size]
+			} else {
+				a.buf = make([]byte, size)
+			}
+			a.fill = 0
+			continue
+		}
+		n := copy(a.buf[a.fill:], data)
+		a.fill += n
+		data = data[n:]
+		if a.fill == len(a.buf) {
+			frame := a.buf
+			a.buf, a.fill, a.hlen = nil, 0, 0
+			err := emit(frame)
+			PutFrame(frame)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reset discards any partial state, recycling the assembly buffer.
+func (a *FrameAssembler) Reset() {
+	if a.buf != nil {
+		PutFrame(a.buf[:cap(a.buf)])
+		a.buf = nil
+	}
+	a.fill, a.hlen = 0, 0
+}

@@ -108,7 +108,7 @@ func (a *Agent) acceptPeer(c net.Conn) {
 		c.Close()
 		return
 	}
-	a.readLoop(pc)
+	a.attach(pc, true)
 }
 
 // Connect dials a peer's X2 endpoint and performs the hello exchange.
@@ -151,8 +151,71 @@ func (a *Agent) Connect(dial func(addr string) (net.Conn, error), addr string) (
 		c.Close()
 		return "", fmt.Errorf("x2: agent closed")
 	}
-	simnet.ClockOf(c).Go(func() { a.readLoop(pc) })
+	a.attach(pc, false)
 	return ack.APID, nil
+}
+
+// attach starts inbound delivery for a registered peer. A simnet conn
+// gets a run-to-completion delivery handler (per-association frame
+// reassembly, no reader goroutine); anything else falls back to the
+// blocking reader loop — inline when the caller is already a spawned
+// goroutine (accept side), else on a fresh one.
+func (a *Agent) attach(pc *peerConn, inline bool) {
+	if sc, ok := pc.raw.(*simnet.Conn); ok {
+		asm := &wire.FrameAssembler{}
+		sc.OnDeliver(func(data []byte) {
+			if asm.Feed(data, func(frame []byte) error {
+				a.inbound(pc, frame)
+				return nil
+			}) != nil {
+				// Framing is broken; drop the association like a failed
+				// blocking read did.
+				asm.Reset()
+				a.dropPeer(pc)
+				pc.raw.Close()
+			}
+		}, func() {
+			asm.Reset()
+			a.dropPeer(pc)
+		})
+		return
+	}
+	if inline {
+		a.readLoop(pc)
+		return
+	}
+	simnet.ClockOf(pc.raw).Go(func() { a.readLoop(pc) })
+}
+
+// dropPeer removes the association if pc is still current for its ID.
+func (a *Agent) dropPeer(pc *peerConn) {
+	a.mu.Lock()
+	if cur, ok := a.peers[pc.id]; ok && cur == pc {
+		delete(a.peers, pc.id)
+	}
+	a.mu.Unlock()
+}
+
+// inbound accounts and dispatches one received message frame. frame is
+// only valid for the duration of the call; decoded views that handlers
+// may retain (key material, relay payloads) are un-aliased here.
+func (a *Agent) inbound(pc *peerConn, frame []byte) {
+	a.bytesRx.Add(uint64(len(frame) + 4))
+	a.msgsRx.Add(1)
+	msg, err := Decode(frame)
+	if err != nil {
+		return // tolerate unknown extensions from newer peers
+	}
+	switch m := msg.(type) {
+	case *UEContextPush:
+		m.K = append([]byte(nil), m.K...)
+		m.OPc = append([]byte(nil), m.OPc...)
+	case *RelayData:
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	if a.handle != nil {
+		a.handle(pc.id, msg)
+	}
 }
 
 func (a *Agent) register(pc *peerConn) bool {
@@ -172,22 +235,10 @@ func (a *Agent) readLoop(pc *peerConn) {
 	for {
 		b, err := pc.fc.Recv()
 		if err != nil {
-			a.mu.Lock()
-			if cur, ok := a.peers[pc.id]; ok && cur == pc {
-				delete(a.peers, pc.id)
-			}
-			a.mu.Unlock()
+			a.dropPeer(pc)
 			return
 		}
-		a.bytesRx.Add(uint64(len(b) + 4))
-		a.msgsRx.Add(1)
-		msg, err := Decode(b)
-		if err != nil {
-			continue // tolerate unknown extensions from newer peers
-		}
-		if a.handle != nil {
-			a.handle(pc.id, msg)
-		}
+		a.inbound(pc, b)
 	}
 }
 
